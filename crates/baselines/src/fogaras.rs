@@ -1,0 +1,344 @@
+//! Fogaras & Rácz — coupled random-walk fingerprints.
+//!
+//! The random-surfer-pair model (equations (2)–(3) of the paper): two
+//! reverse walks start at `u` and `v`; with `τ` their first meeting time,
+//! `s(u,v) = E[c^τ]`. Fogaras & Rácz make the estimator an *index*: `R′`
+//! fingerprints, each a **coupled** simulation of walks from *every* vertex
+//! — within one fingerprint, all walkers occupying the same vertex at the
+//! same step move together (the move is a function of `(fingerprint, step,
+//! vertex)`), so walks that meet coalesce, exactly as the surfer-pair model
+//! requires. The positions are precomputed and stored, making queries pure
+//! lookups.
+//!
+//! Space is the method's downfall: `n · R′ · (T+1)` stored positions
+//! (`O(nR′)`), versus the proposed method's `O(n)`. [`FingerprintIndex::build`]
+//! enforces a memory budget so the Table 4 reproduction can show the `—`
+//! failures honestly.
+
+use crate::BaselineError;
+use srs_graph::hash::mix_seed;
+use srs_graph::{Graph, VertexId};
+use srs_mc::walker::DEAD;
+
+/// Parameters of the Fogaras–Rácz index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FogarasParams {
+    /// Decay factor `c`.
+    pub c: f64,
+    /// Walk length `T` (first-meeting times beyond `T` contribute 0).
+    pub t: u32,
+    /// Number of fingerprints `R′` (the paper's comparison uses 100).
+    pub r_prime: u32,
+}
+
+impl Default for FogarasParams {
+    fn default() -> Self {
+        // §8.3: R′ = 100, same c and T as the proposed method.
+        FogarasParams { c: 0.6, t: 11, r_prime: 100 }
+    }
+}
+
+/// The precomputed fingerprint index.
+#[derive(Clone)]
+pub struct FingerprintIndex {
+    params: FogarasParams,
+    n: u32,
+    /// `positions[(r * (t+1) + step) * n + v]` = position of `v`'s walker in
+    /// fingerprint `r` after `step` steps ([`DEAD`] once the walk dies).
+    positions: Vec<VertexId>,
+}
+
+impl FingerprintIndex {
+    /// Bytes needed for a graph of `n` vertices (the stored positions).
+    pub fn required_bytes(n: u64, params: &FogarasParams) -> u64 {
+        n * params.r_prime as u64 * (params.t as u64 + 1) * 4
+    }
+
+    /// Builds the index under `budget_bytes`, deterministically in `seed`.
+    ///
+    /// ```
+    /// use srs_baselines::fogaras::{FingerprintIndex, FogarasParams};
+    /// use srs_graph::gen::fixtures;
+    ///
+    /// let g = fixtures::claw();
+    /// let params = FogarasParams { c: 0.8, ..Default::default() };
+    /// let idx = FingerprintIndex::build(&g, &params, 7, u64::MAX).unwrap();
+    /// // Leaves meet at the hub after one step in every fingerprint.
+    /// assert!((idx.single_pair(1, 2) - 0.8).abs() < 1e-12);
+    /// ```
+    pub fn build(
+        g: &Graph,
+        params: &FogarasParams,
+        seed: u64,
+        budget_bytes: u64,
+    ) -> Result<Self, BaselineError> {
+        assert!(params.c > 0.0 && params.c < 1.0, "c must be in (0,1)");
+        assert!(params.r_prime >= 1 && params.t >= 1);
+        let n = g.num_vertices() as usize;
+        let required = Self::required_bytes(n as u64, params);
+        if required > budget_bytes {
+            return Err(BaselineError::MemoryBudgetExceeded { required, budget: budget_bytes });
+        }
+        let steps = params.t as usize + 1;
+        let mut positions = vec![DEAD; n * steps * params.r_prime as usize];
+        for r in 0..params.r_prime as usize {
+            let base = r * steps * n;
+            // Step 0: every walker at its own vertex.
+            for v in 0..n {
+                positions[base + v] = v as VertexId;
+            }
+            for step in 1..steps {
+                let (prev, cur) = positions[base..].split_at_mut(step * n);
+                let prev = &prev[(step - 1) * n..];
+                let cur = &mut cur[..n];
+                for v in 0..n {
+                    let at = prev[v];
+                    cur[v] = if at == DEAD { DEAD } else { coupled_step(g, at, r as u64, step as u64, seed) };
+                }
+            }
+        }
+        Ok(FingerprintIndex { params: *params, n: n as u32, positions })
+    }
+
+    /// Actual index size in bytes (the "Index" column of Table 4).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.positions.len() * 4) as u64
+    }
+
+    /// The parameters used to build the index.
+    pub fn params(&self) -> &FogarasParams {
+        &self.params
+    }
+
+    #[inline]
+    fn pos(&self, r: usize, step: usize, v: VertexId) -> VertexId {
+        let steps = self.params.t as usize + 1;
+        self.positions[(r * steps + step) * self.n as usize + v as usize]
+    }
+
+    /// Single-pair estimate `ŝ(u,v) = (1/R′) Σ_r c^{τ_r}` from the stored
+    /// fingerprints. `O(R′ T)` lookups.
+    pub fn single_pair(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let steps = self.params.t as usize + 1;
+        let mut acc = 0.0;
+        for r in 0..self.params.r_prime as usize {
+            let mut ct = 1.0;
+            for step in 0..steps {
+                let pu = self.pos(r, step, u);
+                if pu != DEAD && pu == self.pos(r, step, v) {
+                    acc += ct;
+                    break;
+                }
+                ct *= self.params.c;
+            }
+        }
+        acc / self.params.r_prime as f64
+    }
+
+    /// Single-source estimates `ŝ(u, ·)` for every vertex. `O(R′ T n)`.
+    pub fn single_source(&self, u: VertexId) -> Vec<f64> {
+        let n = self.n as usize;
+        let steps = self.params.t as usize + 1;
+        let mut scores = vec![0.0f64; n];
+        let mut met = vec![u32::MAX; n];
+        for r in 0..self.params.r_prime as usize {
+            met.fill(u32::MAX);
+            let mut ct = 1.0;
+            for step in 0..steps {
+                let pu = self.pos(r, step, u);
+                if pu == DEAD {
+                    break;
+                }
+                // Every walker co-located with u's walker (and not already
+                // met in this fingerprint) meets now.
+                let row = &self.positions[(r * steps + step) * n..(r * steps + step + 1) * n];
+                for (v, &pv) in row.iter().enumerate() {
+                    if pv == pu && met[v] == u32::MAX {
+                        met[v] = step as u32;
+                        scores[v] += ct;
+                    }
+                }
+                ct *= self.params.c;
+            }
+        }
+        let inv = 1.0 / self.params.r_prime as f64;
+        for s in &mut scores {
+            *s *= inv;
+        }
+        scores[u as usize] = 1.0;
+        scores
+    }
+
+    /// Top-k via a full single-source pass (how the baseline must answer
+    /// the paper's query workload).
+    pub fn top_k(&self, u: VertexId, k: usize) -> Vec<(VertexId, f64)> {
+        let scores = self.single_source(u);
+        let mut order: Vec<(VertexId, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| v as VertexId != u && s > 0.0)
+            .map(|(v, &s)| (v as VertexId, s))
+            .collect();
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite").then(a.0.cmp(&b.0)));
+        order.truncate(k);
+        order
+    }
+}
+
+impl std::fmt::Debug for FingerprintIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FingerprintIndex")
+            .field("n", &self.n)
+            .field("r_prime", &self.params.r_prime)
+            .field("t", &self.params.t)
+            .field("bytes", &self.memory_bytes())
+            .finish()
+    }
+}
+
+/// The coupled transition: the walker at `at` moves to an in-neighbour
+/// selected by a hash of `(seed, fingerprint, step, vertex)` — all walkers
+/// at the same vertex move identically, so met walks never separate.
+#[inline]
+fn coupled_step(g: &Graph, at: VertexId, r: u64, step: u64, seed: u64) -> VertexId {
+    let nb = g.in_neighbors(at);
+    if nb.is_empty() {
+        return DEAD;
+    }
+    let h = mix_seed(&[seed, r, step, at as u64]);
+    nb[(h % nb.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_exact::{naive, ExactParams};
+    use srs_graph::gen::{self, fixtures};
+
+    fn build(g: &Graph, r_prime: u32, c: f64) -> FingerprintIndex {
+        let params = FogarasParams { c, t: 11, r_prime };
+        FingerprintIndex::build(g, &params, 42, u64::MAX).unwrap()
+    }
+
+    #[test]
+    fn claw_exact_meeting() {
+        // Leaves meet at the hub at t = 1 in every fingerprint: the
+        // estimate is exactly c.
+        let g = fixtures::claw();
+        let idx = build(&g, 50, 0.8);
+        assert!((idx.single_pair(1, 2) - 0.8).abs() < 1e-12);
+        assert_eq!(idx.single_pair(0, 1), 0.0); // opposite phases never meet
+        assert_eq!(idx.single_pair(2, 2), 1.0);
+    }
+
+    #[test]
+    fn matches_true_simrank_on_random_graph() {
+        // E[c^τ] is the true SimRank (not the linearized approximation);
+        // compare against Jeh-Widom with enough fingerprints.
+        let g = gen::erdos_renyi(30, 150, 7);
+        let exact = naive::all_pairs(&g, &ExactParams::new(0.6, 15));
+        let idx = build(&g, 3000, 0.6);
+        let mut worst: f64 = 0.0;
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                let e = exact.get(u as usize, v as usize);
+                let f = idx.single_pair(u, v);
+                worst = worst.max((e - f).abs());
+            }
+        }
+        // Truncation (c^T/(1-c) ≈ 0.0012) + Monte-Carlo noise at R′=3000.
+        assert!(worst < 0.05, "worst |exact - fingerprint| = {worst}");
+    }
+
+    #[test]
+    fn single_source_consistent_with_single_pair() {
+        let g = gen::copying_web(60, 4, 0.8, 5);
+        let idx = build(&g, 200, 0.6);
+        for u in [0u32, 13, 44] {
+            let ss = idx.single_source(u);
+            for v in 0..60u32 {
+                assert!(
+                    (ss[v as usize] - idx.single_pair(u, v)).abs() < 1e-12,
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_sorted_and_excludes_query() {
+        let g = gen::copying_web(80, 4, 0.8, 3);
+        let idx = build(&g, 100, 0.6);
+        let top = idx.top_k(5, 10);
+        assert!(top.len() <= 10);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(top.iter().all(|&(v, _)| v != 5));
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let g = gen::erdos_renyi(1000, 4000, 1);
+        let params = FogarasParams::default();
+        let required = FingerprintIndex::required_bytes(1000, &params);
+        let err = FingerprintIndex::build(&g, &params, 1, required - 1).unwrap_err();
+        assert_eq!(err, BaselineError::MemoryBudgetExceeded { required, budget: required - 1 });
+        // Index is ~R′T× bigger than the graph itself — the paper's point.
+        assert!(required > 50 * g.memory_bytes() / 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::preferential_attachment(50, 3, 9);
+        let p = FogarasParams { r_prime: 20, ..Default::default() };
+        let a = FingerprintIndex::build(&g, &p, 5, u64::MAX).unwrap();
+        let b = FingerprintIndex::build(&g, &p, 5, u64::MAX).unwrap();
+        assert_eq!(a.single_source(3), b.single_source(3));
+        let c = FingerprintIndex::build(&g, &p, 6, u64::MAX).unwrap();
+        assert_ne!(a.single_source(3), c.single_source(3));
+    }
+
+    #[test]
+    fn dead_walks_never_meet() {
+        // Two disjoint directed paths: sources die immediately, no meetings
+        // across components.
+        let g = srs_graph::Graph::from_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+        let idx = build(&g, 50, 0.6);
+        assert_eq!(idx.single_pair(1, 3), 0.0);
+        assert_eq!(idx.single_pair(0, 2), 0.0);
+    }
+
+    #[test]
+    fn coupling_coalesces_walks() {
+        // Once two walkers meet they must stay together: verify via the
+        // stored positions on a graph with real branching.
+        let g = gen::copying_web(40, 3, 0.8, 11);
+        let p = FogarasParams { r_prime: 30, ..Default::default() };
+        let idx = FingerprintIndex::build(&g, &p, 3, u64::MAX).unwrap();
+        let steps = p.t as usize + 1;
+        for r in 0..30 {
+            for u in 0..40u32 {
+                for v in 0..40u32 {
+                    let mut together = false;
+                    for step in 0..steps {
+                        let pu = idx.pos(r, step, u);
+                        let pv = idx.pos(r, step, v);
+                        if together && pu != DEAD {
+                            assert_eq!(pu, pv, "r={r} u={u} v={v} separated at {step}");
+                        }
+                        if pu != DEAD && pu == pv {
+                            together = true;
+                        }
+                        if pu == DEAD {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # srs-baselines — comparison algorithms from the paper's Table 4
+//!
+//! * [`fogaras`] — Fogaras & Rácz's Monte-Carlo fingerprint method, the
+//!   state-of-the-art single-pair / single-source comparator. It
+//!   precomputes `R′` *coupled* reverse walks per vertex and estimates
+//!   SimRank through the random-surfer-pair model `s(u,v) = E[c^τ]`
+//!   (equations (2)–(3)).
+//!
+//! The defining trade-off the paper exploits: Fogaras–Rácz queries are fast
+//! because everything is precomputed, but the index stores `n · R′ · T`
+//! positions — `O(nR′)` space — which is what kills it beyond ~70 M edges
+//! in Table 4. The implementation therefore takes an explicit memory
+//! budget and returns [`BaselineError::MemoryBudgetExceeded`] for the `—`
+//! entries.
+//!
+//! * [`surfer`] — the plain (index-free) random-surfer-pair estimator,
+//!   kept as an independent cross-check of the fingerprint method and the
+//!   zero-preprocessing point in the benches.
+//!
+//! (Yu et al., the all-pairs comparator of Table 4, lives in
+//! `srs_exact::yu` since it doubles as a ground-truth solver.)
+
+pub mod fogaras;
+pub mod surfer;
+
+/// Errors produced by baseline construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The index would exceed the caller's memory budget (the `—` entries
+    /// of Table 4).
+    MemoryBudgetExceeded {
+        /// Bytes the index would need.
+        required: u64,
+        /// The caller-imposed cap.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::MemoryBudgetExceeded { required, budget } => {
+                write!(f, "memory budget exceeded: need {required} bytes, budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,131 @@
+//! The plain random-surfer-pair Monte-Carlo estimator (equations (2)–(3)
+//! of the paper, *without* Fogaras–Rácz's precomputed fingerprints).
+//!
+//! Two reverse walks are simulated per sample, coupled so that once they
+//! meet they stay together, and `s(u,v) = E[c^τ]` is estimated by the
+//! empirical mean of `c^{first meeting time}`. This is the conceptual
+//! baseline both the paper's Algorithm 1 and Fogaras–Rácz improve upon:
+//! no index, `O(R·T)` per query pair, unbiased for true SimRank
+//! (truncated at `T`).
+//!
+//! It exists in this workspace as (a) an independent ground-truth
+//! cross-check for the fingerprint implementation, and (b) the
+//! no-preprocessing point in the benches.
+
+use srs_graph::{Graph, VertexId};
+use srs_mc::{Pcg32, WalkEngine, DEAD};
+
+/// Parameters of the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurferParams {
+    /// Decay factor `c`.
+    pub c: f64,
+    /// Walk horizon `T` (meetings after `T` contribute 0).
+    pub t: u32,
+    /// Number of sampled walk pairs.
+    pub samples: u32,
+}
+
+impl Default for SurferParams {
+    fn default() -> Self {
+        SurferParams { c: 0.6, t: 11, samples: 1_000 }
+    }
+}
+
+/// Estimates `s(u, v)` with fresh coupled walk pairs, deterministic in
+/// `seed`.
+///
+/// ```
+/// use srs_baselines::surfer::{single_pair, SurferParams};
+/// use srs_graph::gen::fixtures;
+///
+/// let g = fixtures::claw();
+/// let p = SurferParams { c: 0.8, t: 11, samples: 100 };
+/// assert!((single_pair(&g, 1, 2, &p, 3) - 0.8).abs() < 1e-12);
+/// ```
+pub fn single_pair(g: &Graph, u: VertexId, v: VertexId, params: &SurferParams, seed: u64) -> f64 {
+    assert!(params.c > 0.0 && params.c < 1.0, "c must be in (0,1)");
+    if u == v {
+        return 1.0;
+    }
+    let engine = WalkEngine::new(g);
+    let mut acc = 0.0;
+    for r in 0..params.samples {
+        let mut rng = Pcg32::from_parts(&[seed, r as u64, u as u64, v as u64]);
+        let mut a = u;
+        let mut b = v;
+        let mut ct = 1.0;
+        for _t in 1..=params.t {
+            ct *= params.c;
+            // Coupled step: if both walkers stand on the same vertex they
+            // would move together, but the loop exits at the meeting, so
+            // stepping them with independent draws here is the pre-meeting
+            // regime where independence is correct.
+            a = engine.step_one(a, &mut rng);
+            b = engine.step_one(b, &mut rng);
+            if a == DEAD || b == DEAD {
+                break;
+            }
+            if a == b {
+                acc += ct;
+                break;
+            }
+        }
+    }
+    acc / params.samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_exact::{naive, ExactParams};
+    use srs_graph::gen::{self, fixtures};
+
+    #[test]
+    fn claw_exact() {
+        let g = fixtures::claw();
+        let p = SurferParams { c: 0.8, t: 11, samples: 400 };
+        // Leaves deterministically meet at the hub at t = 1.
+        assert!((single_pair(&g, 1, 2, &p, 3) - 0.8).abs() < 1e-12);
+        assert_eq!(single_pair(&g, 0, 1, &p, 3), 0.0);
+        assert_eq!(single_pair(&g, 3, 3, &p, 3), 1.0);
+    }
+
+    #[test]
+    fn converges_to_true_simrank() {
+        let g = gen::erdos_renyi(25, 100, 9);
+        let exact = naive::all_pairs(&g, &ExactParams::new(0.6, 15));
+        let p = SurferParams { samples: 20_000, ..Default::default() };
+        for (u, v) in [(0u32, 1u32), (4, 11), (7, 19)] {
+            let est = single_pair(&g, u, v, &p, 5);
+            let truth = exact.get(u as usize, v as usize);
+            assert!((est - truth).abs() < 0.02, "({u},{v}): {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_fingerprint_estimator() {
+        // Two independent implementations of E[c^τ] must agree.
+        let g = gen::copying_web(40, 3, 0.8, 13);
+        let fp = crate::fogaras::FingerprintIndex::build(
+            &g,
+            &crate::fogaras::FogarasParams { c: 0.6, t: 11, r_prime: 4_000 },
+            3,
+            u64::MAX,
+        )
+        .unwrap();
+        let p = SurferParams { samples: 30_000, ..Default::default() };
+        for (u, v) in [(1u32, 2u32), (5, 9)] {
+            let a = fp.single_pair(u, v);
+            let b = single_pair(&g, u, v, &p, 11);
+            assert!((a - b).abs() < 0.02, "({u},{v}): fingerprint {a} vs fresh {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::preferential_attachment(30, 3, 1);
+        let p = SurferParams::default();
+        assert_eq!(single_pair(&g, 2, 7, &p, 42), single_pair(&g, 2, 7, &p, 42));
+    }
+}

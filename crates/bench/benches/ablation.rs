@@ -1,0 +1,33 @@
+//! Criterion bench: query-time ablation of the pruning/sampling knobs
+//! (the quantitative side of the `repro ablation` experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_bench::cache;
+use srs_bench::experiments::ablation::variants;
+use srs_search::topk::QueryContext;
+use srs_search::{SimRankParams, TopKIndex};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(15);
+    let spec = srs_graph::datasets::by_name("web-Stanford").unwrap();
+    let g = cache::graph(spec, 0.02, 9);
+    let params = SimRankParams::default();
+    let index = TopKIndex::build(&g, &params, 17);
+    let queries = srs_graph::stats::sample_query_vertices(&g, 16, 23);
+    for variant in variants() {
+        group.bench_function(BenchmarkId::new("top20", variant.name), |b| {
+            let mut ctx = QueryContext::new(&g, &index);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                ctx.query(queries[i % queries.len()], 20, &variant.opts)
+            });
+        });
+    }
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

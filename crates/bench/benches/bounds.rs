@@ -1,0 +1,44 @@
+//! Criterion bench: the L1/L2 bound machinery (Algorithms 2 and 3).
+//!
+//! AlphaBeta::compute runs per query with R = r_bounds walks — the paper
+//! sets R = 10000; sweep R to show the cost knob. The gamma table is a
+//! preprocess cost; l2_bound evaluation is the per-candidate query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_bench::cache;
+use srs_graph::bfs::{BfsBuffers, Direction};
+use srs_search::bounds::{AlphaBeta, GammaTable};
+use srs_search::{Diagonal, SimRankParams};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    group.sample_size(20);
+    let spec = srs_graph::datasets::by_name("web-Stanford").unwrap();
+    let g = cache::graph(spec, 0.01, 3);
+    let diag = Diagonal::paper_default(0.6);
+    for r in [1_000u32, 10_000] {
+        let params = SimRankParams { r_bounds: r, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("alpha_beta_compute", r), &r, |b, _| {
+            let mut bfs = BfsBuffers::new(g.num_vertices());
+            bfs.run(&g, 1, Direction::Undirected, params.d_max);
+            b.iter(|| AlphaBeta::compute(&g, 1, &params, &diag, |w| bfs.distance(w), 7));
+        });
+    }
+    let params = SimRankParams::default();
+    group.bench_function("gamma_table_build", |b| {
+        b.iter(|| GammaTable::build(&g, &params, &diag, 5, 4));
+    });
+    let gt = GammaTable::build(&g, &params, &diag, 5, 4);
+    group.bench_function("l2_bound_eval", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % g.num_vertices();
+            gt.l2_bound(1, v, params.c)
+        });
+    });
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: the deterministic solver family (Table 1 rows).
+//!
+//! Jeh-Widom naive vs Lizorkin partial sums vs Yu et al. vs the
+//! linearized-series all-pairs, plus the O(Tm) single-source pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_bench::cache;
+use srs_exact::{diagonal, linearized, naive, partial_sums, yu, ExactParams};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    let params = ExactParams::default();
+    let spec = srs_graph::datasets::by_name("ca-GrQc").unwrap();
+    let g = cache::graph(spec, 0.04, 3); // ~200 vertices: all-pairs is O(n^2)
+    let n = g.num_vertices() as usize;
+    group.bench_function("naive_all_pairs", |b| b.iter(|| naive::all_pairs(&g, &params)));
+    group.bench_function("partial_sums_all_pairs", |b| b.iter(|| partial_sums::all_pairs(&g, &params, 4)));
+    group.bench_function("yu_all_pairs", |b| b.iter(|| yu::run(&g, &params, u64::MAX).unwrap()));
+    let d = diagonal::uniform(n, params.c);
+    group.bench_function("linearized_all_pairs", |b| b.iter(|| linearized::all_pairs(&g, &params, &d, 4)));
+
+    // Single-source scaling on a mid-size graph (the O(Tm) claim).
+    for scale in [0.02, 0.05] {
+        let spec = srs_graph::datasets::by_name("wiki-Vote").unwrap();
+        let g = cache::graph(spec, scale, 5);
+        let d = diagonal::uniform(g.num_vertices() as usize, params.c);
+        group.bench_with_input(
+            BenchmarkId::new("linearized_single_source", g.num_edges()),
+            &g.num_edges(),
+            |b, _| b.iter(|| linearized::single_source(&g, 1, &params, &d)),
+        );
+    }
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

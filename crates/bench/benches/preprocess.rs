@@ -1,0 +1,37 @@
+//! Criterion bench: the preprocess phase (Table 4 "Preproc." column).
+//!
+//! Measures Algorithm 3 (gamma table), Algorithm 4 (candidate index) and
+//! the combined TopKIndex build at two graph sizes, verifying the O(n)
+//! scaling the paper claims for preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_bench::cache;
+use srs_search::bounds::GammaTable;
+use srs_search::index::CandidateIndex;
+use srs_search::{Diagonal, SimRankParams, TopKIndex};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    let params = SimRankParams::default();
+    let diag = Diagonal::paper_default(params.c);
+    for scale in [0.005, 0.01, 0.02] {
+        let spec = srs_graph::datasets::by_name("web-Stanford").unwrap();
+        let g = cache::graph(spec, scale, 11);
+        let n = g.num_vertices();
+        group.bench_with_input(BenchmarkId::new("gamma_table", n), &n, |b, _| {
+            b.iter(|| GammaTable::build(&g, &params, &diag, 1, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("candidate_index", n), &n, |b, _| {
+            b.iter(|| CandidateIndex::build(&g, &params, 2, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("full_index", n), &n, |b, _| {
+            b.iter(|| TopKIndex::build(&g, &params, 3));
+        });
+    }
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the top-k query (Table 4 "Query" column) and the
+//! paper's §8.1 claim that query time tracks graph *structure*, not size —
+//! web graphs answer faster than social graphs of comparable size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_bench::cache;
+use srs_search::topk::QueryContext;
+use srs_search::{QueryOptions, SimRankParams, TopKIndex};
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    let params = SimRankParams::default();
+    let opts = QueryOptions::default();
+    // One web and one social analogue at comparable edge counts.
+    for (name, scale) in [("web-BerkStan", 0.01), ("soc-Epinions1", 0.1), ("wiki-Vote", 0.5)] {
+        let spec = srs_graph::datasets::by_name(name).unwrap();
+        let g = cache::graph(spec, scale, 5);
+        let index = TopKIndex::build(&g, &params, 9);
+        let queries = srs_graph::stats::sample_query_vertices(&g, 32, 13);
+        group.bench_function(BenchmarkId::new("top20", format!("{name}_m{}", g.num_edges())), |b| {
+            let mut ctx = QueryContext::new(&g, &index);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                ctx.query(queries[i % queries.len()], 20, &opts)
+            });
+        });
+    }
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

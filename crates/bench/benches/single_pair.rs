@@ -1,0 +1,46 @@
+//! Criterion bench: Algorithm 1 single-pair SimRank vs alternatives.
+//!
+//! The paper's claim (Section 4): the Monte-Carlo estimator costs O(TR),
+//! independent of graph size — compare against the O(Tm) deterministic
+//! series and the Fogaras-Racz fingerprint lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srs_baselines::fogaras::{FingerprintIndex, FogarasParams};
+use srs_bench::cache;
+use srs_search::{Diagonal, SimRankParams, SinglePairEstimator};
+
+fn bench_single_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_pair");
+    group.sample_size(20);
+    let params = SimRankParams::default();
+    for (name, scale) in [("wiki-Vote", 0.05), ("web-Stanford", 0.01)] {
+        let spec = srs_graph::datasets::by_name(name).unwrap();
+        let g = cache::graph(spec, scale, 7);
+        let (u, v) = (1u32, 2u32);
+        for r in [10u32, 100, 1000] {
+            group.bench_with_input(BenchmarkId::new(format!("mc_{name}"), r), &r, |b, &r| {
+                let mut est = SinglePairEstimator::new(&g, Diagonal::paper_default(params.c));
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    est.estimate(u, v, &params, r, seed)
+                });
+            });
+        }
+        group.bench_function(BenchmarkId::new("linearized_exact", name), |b| {
+            let ep = srs_exact::ExactParams::default();
+            let d = srs_exact::diagonal::uniform(g.num_vertices() as usize, ep.c);
+            b.iter(|| srs_exact::linearized::single_pair(&g, u, v, &ep, &d));
+        });
+        group.bench_function(BenchmarkId::new("fogaras_lookup", name), |b| {
+            let fp = FogarasParams::default();
+            let idx = FingerprintIndex::build(&g, &fp, 3, u64::MAX).unwrap();
+            b.iter(|| idx.single_pair(u, v));
+        });
+    }
+    group.finish();
+    cache::clear();
+}
+
+criterion_group!(benches, bench_single_pair);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [all|table1|table2|table3|table4|figure1|figure2|ablation|scaling]...
+//!       [--scale X] [--max-vertices N] [--budget-gb G] [--queries Q]
+//!       [--timing-trials T] [--out DIR] [--seed S]
+//! ```
+//!
+//! Results print to stdout; CSV artifacts for plotting land in `--out`
+//! (default `repro_out/`).
+
+use srs_bench::experiments::{ablation, figure1, figure2, scaling, table1, table2, table3, table4, Report};
+use srs_bench::ReproConfig;
+use std::path::PathBuf;
+
+fn main() {
+    let (targets, cfg, out_dir) = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: repro [all|table1|table2|table3|table4|figure1|figure2|ablation|scaling]... \
+                 [--scale X] [--max-vertices N] [--budget-gb G] [--queries Q] \
+                 [--timing-trials T] [--out DIR] [--seed S]"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("# Scalable Similarity Search for SimRank — reproduction harness");
+    println!(
+        "# scale={} max_vertices={} baseline_budget={} seed={} accuracy_queries={} timing_trials={}",
+        cfg.scale, cfg.max_vertices, cfg.baseline_budget, cfg.seed, cfg.accuracy_queries, cfg.timing_queries
+    );
+    println!();
+    for t in &targets {
+        let report: Report = match t.as_str() {
+            "table1" => table1::run(),
+            "table2" => table2::run(&cfg),
+            "table3" => table3::run(&cfg),
+            "table4" => table4::run(&cfg),
+            "figure1" => figure1::run(&cfg),
+            "figure2" => figure2::run(&cfg),
+            "ablation" => ablation::run(&cfg),
+            "scaling" => scaling::run(&cfg),
+            other => {
+                eprintln!("unknown target {other}");
+                std::process::exit(2);
+            }
+        };
+        print!("{}", report.render());
+        println!();
+        match report.save_csv(&out_dir) {
+            Ok(files) => {
+                for f in files {
+                    println!("  [csv] {}", f.display());
+                }
+            }
+            Err(e) => eprintln!("  failed to write CSV: {e}"),
+        }
+        println!();
+        srs_bench::cache::clear();
+    }
+}
+
+type Parsed = (Vec<String>, ReproConfig, PathBuf);
+
+fn parse_args(args: Vec<String>) -> Result<Parsed, String> {
+    let mut cfg = ReproConfig::default();
+    let mut out = PathBuf::from("repro_out");
+    let mut targets = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--scale" => cfg.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--max-vertices" => {
+                cfg.max_vertices = value("--max-vertices")?.parse().map_err(|e| format!("--max-vertices: {e}"))?
+            }
+            "--budget-gb" => {
+                let gb: f64 = value("--budget-gb")?.parse().map_err(|e| format!("--budget-gb: {e}"))?;
+                cfg.baseline_budget = (gb * (1u64 << 30) as f64) as u64;
+            }
+            "--queries" => {
+                cfg.accuracy_queries = value("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?
+            }
+            "--timing-trials" => {
+                cfg.timing_queries =
+                    value("--timing-trials")?.parse().map_err(|e| format!("--timing-trials: {e}"))?
+            }
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = PathBuf::from(value("--out")?),
+            "all" => targets.extend(
+                ["table1", "table2", "figure1", "figure2", "table3", "table4", "ablation", "scaling"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            t if t.starts_with("--") => return Err(format!("unknown flag {t}")),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.extend(
+            ["table1", "table2", "figure1", "figure2", "table3", "table4", "ablation", "scaling"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+    }
+    if cfg.scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    Ok((targets, cfg, out))
+}

@@ -1,0 +1,53 @@
+//! Process-wide graph cache.
+//!
+//! Several experiments and benches use the same synthetic datasets;
+//! generating a multi-million-edge graph repeatedly would dominate the
+//! harness runtime. The cache keys on `(dataset, scale, seed)` and hands
+//! out `Arc<Graph>`s.
+
+use parking_lot::Mutex;
+use srs_graph::datasets::DatasetSpec;
+use srs_graph::Graph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+static CACHE: Mutex<Option<HashMap<String, Arc<Graph>>>> = Mutex::new(None);
+
+/// Returns the (possibly cached) synthetic analogue of `spec` at `scale`.
+pub fn graph(spec: &DatasetSpec, scale: f64, seed: u64) -> Arc<Graph> {
+    let key = format!("{}@{scale:.6}#{seed}", spec.name);
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(g) = map.get(&key) {
+        return Arc::clone(g);
+    }
+    let g = Arc::new(spec.generate(scale, seed));
+    map.insert(key, Arc::clone(&g));
+    g
+}
+
+/// Drops all cached graphs (memory hygiene between large experiments).
+pub fn clear() {
+    *CACHE.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::datasets;
+
+    #[test]
+    fn caches_by_key() {
+        clear();
+        let spec = datasets::by_name("ca-GrQc").unwrap();
+        let a = graph(spec, 0.05, 1);
+        let b = graph(spec, 0.05, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = graph(spec, 0.06, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        clear();
+        let d = graph(spec, 0.05, 1);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(a.num_edges(), d.num_edges());
+    }
+}

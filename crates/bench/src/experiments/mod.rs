@@ -1,0 +1,81 @@
+//! One module per paper artifact (tables and figures of §8, plus the
+//! ablations DESIGN.md commits to). Every experiment consumes a
+//! [`crate::ReproConfig`] and returns a [`Report`] the `repro` binary
+//! prints and optionally writes as CSV.
+
+pub mod ablation;
+pub mod figure1;
+pub mod figure2;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// A rendered experiment: human-readable lines plus optional CSV artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report heading.
+    pub title: String,
+    /// Human-readable output lines.
+    pub lines: Vec<String>,
+    /// `(file name, contents)` CSV artifacts for plotting.
+    pub csv: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), ..Default::default() }
+    }
+
+    /// Appends a formatted line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Renders the whole report as one string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes CSV artifacts into `dir` (created if needed).
+    pub fn save_csv(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        if self.csv.is_empty() {
+            return Ok(written);
+        }
+        std::fs::create_dir_all(dir)?;
+        for (name, contents) in &self.csv {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_render_and_csv() {
+        let mut r = Report::new("demo");
+        r.line("hello");
+        r.csv.push(("x.csv".into(), "a,b\n1,2\n".into()));
+        let s = r.render();
+        assert!(s.contains("== demo ==") && s.contains("hello"));
+        let dir = std::env::temp_dir().join(format!("srs_report_{}", std::process::id()));
+        let files = r.save_csv(&dir).unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!(std::fs::read_to_string(&files[0]).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+// Index-style loops are the clearest form for the matrix/graph math here.
+#![allow(clippy::needless_range_loop)]
+//! # srs-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§8):
+//!
+//! | Paper artifact | Module | CLI |
+//! |---|---|---|
+//! | Table 1 (complexity summary) | [`experiments::table1`] | `repro table1` |
+//! | Figure 1 (exact vs approximate scatter) | [`experiments::figure1`] | `repro figure1` |
+//! | Figure 2 (distance of k-th similar vertex) | [`experiments::figure2`] | `repro figure2` |
+//! | Table 2 (datasets) | [`experiments::table2`] | `repro table2` |
+//! | Table 3 (accuracy vs Fogaras–Rácz) | [`experiments::table3`] | `repro table3` |
+//! | Table 4 (time/space vs baselines) | [`experiments::table4`] | `repro table4` |
+//! | Design-choice ablations (bounds, adaptive sampling, index) | [`experiments::ablation`] | `repro ablation` |
+//!
+//! Criterion micro-benches live in `benches/` (one per pipeline stage).
+//! Real datasets are substituted by scaled synthetic analogues — see
+//! DESIGN.md §3; every experiment prints the generated sizes next to the
+//! paper's.
+
+pub mod cache;
+pub mod experiments;
+pub mod metrics;
+
+/// Global experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Scale factor applied to the paper's dataset sizes (1.0 = paper
+    /// size). Individual experiments may clamp further for tractability.
+    pub scale: f64,
+    /// Cap on generated vertex count (keeps the biggest Table 2 graphs
+    /// runnable on one machine; the paper used a 256 GB Xeon).
+    pub max_vertices: u32,
+    /// Memory budget in bytes granted to the *baselines* (reproduces the
+    /// `—` = failed-to-allocate entries of Table 4).
+    pub baseline_budget: u64,
+    /// Base random seed.
+    pub seed: u64,
+    /// Queries per measurement (the paper averages 10 timing trials and
+    /// 100 accuracy queries).
+    pub timing_queries: usize,
+    /// Queries per accuracy measurement.
+    pub accuracy_queries: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            scale: 0.05,
+            max_vertices: 120_000,
+            baseline_budget: 4 << 30, // 4 GiB
+            seed: 20140622,           // SIGMOD'14 opening day
+            timing_queries: 10,
+            accuracy_queries: 100,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// Effective scale for a dataset of `paper_n` vertices: the global
+    /// scale, clamped so the generated graph stays under `max_vertices`.
+    pub fn effective_scale(&self, paper_n: u64) -> f64 {
+        let by_cap = self.max_vertices as f64 / paper_n as f64;
+        self.scale.min(by_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_scale_clamps_large_graphs() {
+        let cfg = ReproConfig::default();
+        assert_eq!(cfg.effective_scale(10_000), cfg.scale);
+        let huge = cfg.effective_scale(41_291_549); // it-2004
+        assert!(huge < cfg.scale);
+        assert!((huge * 41_291_549.0 - cfg.max_vertices as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Measurement utilities shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning `(result, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation (Pearson on fractional ranks; ties get
+/// averaged ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Fractional ranks of a sample (1-based; ties averaged).
+pub fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite values"));
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            r[idx] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// The paper's Table 3 metric: `|found ∩ truth| / |truth|`.
+pub fn containment(truth: &[u32], found: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<u32> = found.iter().copied().collect();
+    truth.iter().filter(|v| set.contains(v)).count() as f64 / truth.len() as f64
+}
+
+/// Human-readable byte count (the Table 4 index/memory columns).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Human-readable duration (the Table 4 time columns).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 1.0 {
+        format!("{s:.1} s")
+    } else if s >= 1e-3 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn containment_metric() {
+        assert_eq!(containment(&[1, 2, 3, 4], &[2, 4, 9]), 0.5);
+        assert_eq!(containment(&[], &[1]), 1.0);
+        assert_eq!(containment(&[7], &[]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MB");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.5 s");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(7200)), "2.0 h");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal flag parser (no external dependency): `--name value` pairs
+//! after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter();
+        let command = it.next().ok_or("missing subcommand")?.clone();
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, found flag {command}"));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found {flag}"))?;
+            let value = it.next().ok_or_else(|| format!("missing value for --{name}"))?;
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("duplicate flag --{name}"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Required string flag.
+    pub fn req(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    /// Required parsed flag.
+    pub fn get_req<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.req(name)?.parse::<T>().map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// Rejects flags outside `allowed` (catches typos).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k} for `{}`", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("query --graph g.bin --vertex 7 --k 20").unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.req("graph").unwrap(), "g.bin");
+        assert_eq!(a.get_req::<u32>("vertex").unwrap(), 7);
+        assert_eq!(a.get_or::<usize>("k", 5).unwrap(), 20);
+        assert_eq!(a.get_or::<usize>("missing", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("--graph g.bin").is_err());
+        assert!(parse("query --graph").is_err());
+        assert!(parse("query graph g.bin").is_err());
+        assert!(parse("query --k 1 --k 2").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = parse("stats --graph g.bin --typo x").unwrap();
+        assert!(a.ensure_known(&["graph"]).is_err());
+        assert!(a.ensure_known(&["graph", "typo"]).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_flag_name() {
+        let a = parse("query --vertex banana").unwrap();
+        let err = a.get_req::<u32>("vertex").unwrap_err();
+        assert!(err.contains("--vertex"), "{err}");
+    }
+}

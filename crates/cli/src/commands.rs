@@ -1,0 +1,414 @@
+//! Subcommand implementations. Each returns its stdout text so the logic
+//! is unit-testable without spawning processes.
+
+use crate::args::Args;
+use srs_graph::{datasets, gen, io, stats, Graph};
+use srs_search::{persist, QueryOptions, SimRankParams, TopKIndex};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  srs generate   --dataset NAME --scale X --out FILE [--seed S]
+  srs generate   --family web|social|collab|er --n N [--deg D] --out FILE [--seed S]
+  srs convert    --in FILE --out FILE
+  srs stats      --graph FILE
+  srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S]
+  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X]
+  srs topk-all   --graph FILE --index FILE [--k 20] [--out FILE]
+  srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
+  srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
+  srs reorder    --in FILE --out FILE [--by bfs|degree]
+  srs help";
+
+/// Parses and runs one invocation, returning its stdout.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        return Ok(format!("{USAGE}\n"));
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => generate(&args),
+        "convert" => convert(&args),
+        "stats" => graph_stats(&args),
+        "preprocess" => preprocess(&args),
+        "query" => query(&args),
+        "topk-all" => topk_all(&args),
+        "exact" => exact(&args),
+        "validate" => validate(&args),
+        "reorder" => reorder(&args),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Loads a graph, auto-detecting binary CSR vs text edge list.
+pub fn load_graph(path: &Path) -> Result<Graph, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if bytes.starts_with(b"SRSCSR01") {
+        io::read_binary(&bytes[..]).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        io::read_edge_list(&bytes[..]).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn save_graph(g: &Graph, path: &Path) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let w = std::io::BufWriter::new(f);
+    if path.extension().is_some_and(|e| e == "txt" || e == "edges" || e == "tsv") {
+        io::write_edge_list(g, w).map_err(|e| e.to_string())
+    } else {
+        io::write_binary(g, w).map_err(|e| e.to_string())
+    }
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["dataset", "scale", "family", "n", "deg", "out", "seed"])?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = Path::new(args.req("out")?);
+    let g = if let Some(name) = args.opt("dataset") {
+        let spec = datasets::by_name(name)
+            .ok_or_else(|| format!("unknown dataset `{name}`; see `srs help` / Table 2"))?;
+        let scale: f64 = args.get_or("scale", 0.05)?;
+        spec.generate(scale, seed)
+    } else {
+        let family = args.req("family")?;
+        let n: u32 = args.get_req("n")?;
+        let deg: u32 = args.get_or("deg", 5)?;
+        match family {
+            "web" => gen::copying_web(n, deg, 0.8, seed),
+            "social" => {
+                let window = ((n as usize * deg as usize * 2) / 100).max(100);
+                gen::preferential_attachment_windowed(n, deg, window, seed)
+            }
+            "collab" => gen::collaboration(n, deg.div_ceil(2).max(1), 0.5, seed),
+            "er" => gen::erdos_renyi(n, n as u64 * deg as u64, seed),
+            other => return Err(format!("unknown family `{other}` (web|social|collab|er)")),
+        }
+    };
+    save_graph(&g, out)?;
+    Ok(format!(
+        "generated n={} m={} -> {}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        out.display()
+    ))
+}
+
+fn convert(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["in", "out"])?;
+    let input = Path::new(args.req("in")?);
+    let output = Path::new(args.req("out")?);
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    Ok(format!("converted {} -> {} (n={} m={})\n", input.display(), output.display(), g.num_vertices(), g.num_edges()))
+}
+
+fn graph_stats(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let s = stats::degree_stats(&g);
+    let (_, wcc) = srs_graph::bfs::weakly_connected_components(&g);
+    let avg_dist = srs_graph::bfs::estimate_average_distance(&g, 8, 1);
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices             {}", g.num_vertices());
+    let _ = writeln!(out, "edges                {}", g.num_edges());
+    let _ = writeln!(out, "mean degree          {:.2}", s.mean);
+    let _ = writeln!(out, "max in / out degree  {} / {}", s.max_in, s.max_out);
+    let _ = writeln!(out, "dangling in / out    {} / {}", s.dangling_in, s.dangling_out);
+    let _ = writeln!(out, "weak components      {wcc}");
+    let _ = writeln!(out, "avg distance (est.)  {avg_dist:.2}");
+    let _ = writeln!(out, "csr memory           {} bytes", g.memory_bytes());
+    Ok(out)
+}
+
+fn params_from(args: &Args) -> Result<SimRankParams, String> {
+    let mut p = SimRankParams::default();
+    p.c = args.get_or("c", p.c)?;
+    p.t = args.get_or("t", p.t)?;
+    p.d_max = p.t;
+    if !(p.c > 0.0 && p.c < 1.0) {
+        return Err("--c must be in (0,1)".into());
+    }
+    Ok(p)
+}
+
+fn preprocess(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "c", "t", "seed"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let params = params_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let start = std::time::Instant::now();
+    let index = TopKIndex::build(&g, &params, seed);
+    let elapsed = start.elapsed();
+    let path = Path::new(args.req("index")?);
+    let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    persist::save(&index, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "preprocess done in {:.2?}: index {} bytes ({} candidate edges) -> {}\n",
+        elapsed,
+        index.memory_bytes(),
+        index.candidate_index().num_edges(),
+        path.display()
+    ))
+}
+
+fn load_index(args: &Args) -> Result<TopKIndex, String> {
+    let path = Path::new(args.req("index")?);
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    persist::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())
+}
+
+fn query_options(args: &Args) -> Result<QueryOptions, String> {
+    let mut opts = QueryOptions::default();
+    if let Some(r) = args.opt("ball") {
+        opts.candidate_ball = Some(r.parse::<u32>().map_err(|e| format!("--ball: {e}"))?);
+    }
+    if let Some(t) = args.opt("theta") {
+        opts.theta = Some(t.parse::<f64>().map_err(|e| format!("--theta: {e}"))?);
+    }
+    Ok(opts)
+}
+
+fn query(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let index = load_index(args)?;
+    let vertex: u32 = args.get_req("vertex")?;
+    if vertex >= g.num_vertices() {
+        return Err(format!("vertex {vertex} out of range (n = {})", g.num_vertices()));
+    }
+    let k: usize = args.get_or("k", 20)?;
+    let opts = query_options(args)?;
+    let start = std::time::Instant::now();
+    let res = index.query(&g, vertex, k, &opts);
+    let elapsed = start.elapsed();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "top-{k} for vertex {vertex} ({:.2?}; {} candidates, {} refined):",
+        elapsed, res.stats.candidates, res.stats.refined
+    );
+    for hit in &res.hits {
+        let _ = writeln!(out, "{}\t{:.6}", hit.vertex, hit.score);
+    }
+    if res.hits.is_empty() {
+        let _ = writeln!(out, "(no vertex above threshold)");
+    }
+    Ok(out)
+}
+
+fn topk_all(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "k", "out", "threads"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let index = load_index(args)?;
+    let k: usize = args.get_or("k", 20)?;
+    let threads: usize =
+        args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
+    let start = std::time::Instant::now();
+    let (all, stats) =
+        srs_search::all_vertices::all_topk(&g, &index, k, &QueryOptions::default(), threads);
+    let elapsed = start.elapsed();
+    let mut csv = String::from("vertex,rank,similar,score\n");
+    for (u, hits) in all.iter().enumerate() {
+        for (rank, h) in hits.iter().enumerate() {
+            let _ = writeln!(csv, "{u},{},{},{:.6}", rank + 1, h.vertex, h.score);
+        }
+    }
+    let summary = format!(
+        "all-vertices top-{k} in {:.2?} ({} queries, {} refined estimates)\n",
+        elapsed, stats.queries, stats.totals.refined
+    );
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, csv).map_err(|e| format!("{path}: {e}"))?;
+        Ok(format!("{summary}results -> {path}\n"))
+    } else {
+        Ok(format!("{summary}{csv}"))
+    }
+}
+
+fn exact(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "vertex", "k", "c", "t"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let vertex: u32 = args.get_req("vertex")?;
+    if vertex >= g.num_vertices() {
+        return Err(format!("vertex {vertex} out of range (n = {})", g.num_vertices()));
+    }
+    let k: usize = args.get_or("k", 20)?;
+    let params = srs_exact::ExactParams::new(args.get_or("c", 0.6)?, args.get_or("t", 11)?);
+    let d = srs_exact::diagonal::uniform(g.num_vertices() as usize, params.c);
+    let scores = srs_exact::linearized::single_source(&g, vertex, &params, &d);
+    let mut order: Vec<(f64, u32)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(v, &s)| v as u32 != vertex && s > 0.0)
+        .map(|(v, &s)| (s, v as u32))
+        .collect();
+    order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    order.truncate(k);
+    let mut out = String::new();
+    let _ = writeln!(out, "deterministic linearized top-{k} for vertex {vertex}:");
+    for (s, v) in order {
+        let _ = writeln!(out, "{v}\t{s:.6}");
+    }
+    Ok(out)
+}
+
+fn validate(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "k", "queries", "seed"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let index = load_index(args)?;
+    let k: usize = args.get_or("k", 20)?;
+    let queries: usize = args.get_or("queries", 50)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let qs = srs_graph::stats::sample_query_vertices(&g, queries, seed);
+    let report =
+        srs_search::validate::validate_index(&g, &index, &qs, k, &QueryOptions::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "queries          {}", report.queries);
+    let _ = writeln!(out, "recall@{k}        {:.4}", report.recall);
+    let _ = writeln!(out, "mean |error|     {:.5}", report.mean_abs_error);
+    let _ = writeln!(out, "max  |error|     {:.5}", report.max_abs_error);
+    let _ = writeln!(out, "mean hits/query  {:.1}", report.mean_hits);
+    Ok(out)
+}
+
+fn reorder(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["in", "out", "by"])?;
+    let input = Path::new(args.req("in")?);
+    let output = Path::new(args.req("out")?);
+    let g = load_graph(input)?;
+    let by = args.opt("by").unwrap_or("bfs");
+    let order = match by {
+        "bfs" => srs_graph::order::bfs_order(&g),
+        "degree" => srs_graph::order::degree_order(&g),
+        other => return Err(format!("unknown ordering `{other}` (bfs|degree)")),
+    };
+    let before = srs_graph::order::edge_locality(&g);
+    let reordered = srs_graph::order::apply_order(&g, &order);
+    let after = srs_graph::order::edge_locality(&reordered.graph);
+    save_graph(&reordered.graph, output)?;
+    Ok(format!(
+        "reordered by {by}: edge locality {before:.1} -> {after:.1} ({} -> {})\n",
+        input.display(),
+        output.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<String, String> {
+        dispatch(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("srs_cli_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn full_workflow_generate_preprocess_query() {
+        let g_path = tmp("wf.bin");
+        let i_path = tmp("wf.idx");
+        let out = run(&format!("generate --family web --n 400 --deg 4 --out {}", g_path.display()))
+            .unwrap();
+        assert!(out.contains("n=400"), "{out}");
+        let out =
+            run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display()))
+                .unwrap();
+        assert!(out.contains("preprocess done"), "{out}");
+        let out = run(&format!(
+            "query --graph {} --index {} --vertex 10 --k 5",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("top-5 for vertex 10"), "{out}");
+        let out = run(&format!("stats --graph {}", g_path.display())).unwrap();
+        assert!(out.contains("vertices             400"), "{out}");
+        let out = run(&format!(
+            "exact --graph {} --vertex 10 --k 3",
+            g_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("deterministic linearized top-3"), "{out}");
+        let out = run(&format!(
+            "validate --graph {} --index {} --k 5 --queries 8",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("recall@5"), "{out}");
+        std::fs::remove_file(&g_path).ok();
+        std::fs::remove_file(&i_path).ok();
+    }
+
+    #[test]
+    fn generate_from_registry_and_convert() {
+        let bin = tmp("reg.bin");
+        let txt = tmp("reg.txt");
+        run(&format!("generate --dataset ca-GrQc --scale 0.02 --out {}", bin.display())).unwrap();
+        let out = run(&format!("convert --in {} --out {}", bin.display(), txt.display())).unwrap();
+        assert!(out.contains("converted"), "{out}");
+        // Text file is a readable edge list.
+        let text = std::fs::read_to_string(&txt).unwrap();
+        assert!(text.starts_with("# srs-graph edge list"));
+        // And loads back through auto-detection.
+        let out = run(&format!("stats --graph {}", txt.display())).unwrap();
+        assert!(out.contains("edges"), "{out}");
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&txt).ok();
+    }
+
+    #[test]
+    fn topk_all_writes_csv() {
+        let g_path = tmp("all.bin");
+        let i_path = tmp("all.idx");
+        let csv = tmp("all.csv");
+        run(&format!("generate --family web --n 150 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display()))
+            .unwrap();
+        let out = run(&format!(
+            "topk-all --graph {} --index {} --k 3 --out {}",
+            g_path.display(),
+            i_path.display(),
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("150 queries"), "{out}");
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("vertex,rank,similar,score"));
+        for f in [&g_path, &i_path, &csv] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn reorder_roundtrip() {
+        let a = tmp("ro_a.bin");
+        let b = tmp("ro_b.bin");
+        run(&format!("generate --family social --n 300 --deg 4 --out {}", a.display())).unwrap();
+        let out = run(&format!("reorder --in {} --out {} --by degree", a.display(), b.display()))
+            .unwrap();
+        assert!(out.contains("edge locality"), "{out}");
+        let stats = run(&format!("stats --graph {}", b.display())).unwrap();
+        assert!(stats.contains("vertices             300"), "{stats}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run("help").unwrap().contains("usage"));
+        assert!(run("frobnicate --x 1").unwrap_err().contains("unknown subcommand"));
+        assert!(run("stats").unwrap_err().contains("--graph"));
+        assert!(run("generate --family martian --n 10 --out /tmp/x").unwrap_err().contains("unknown family"));
+        assert!(run("generate --dataset not-a-dataset --out /tmp/x").unwrap_err().contains("unknown dataset"));
+        let g_path = tmp("err.bin");
+        run(&format!("generate --family er --n 50 --deg 2 --out {}", g_path.display())).unwrap();
+        let err = run(&format!("exact --graph {} --vertex 999", g_path.display())).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        std::fs::remove_file(&g_path).ok();
+    }
+}

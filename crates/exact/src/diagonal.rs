@@ -1,0 +1,196 @@
+//! Diagonal correction matrix `D` (Section 3 of the paper).
+//!
+//! The linear formulation `S = c Pᵀ S P + D` holds for exactly one diagonal
+//! `D` — the one making `diag(S) = 1` (Proposition 1). Proposition 2 bounds
+//! its entries: `1 − c ≤ D_uu ≤ 1`.
+//!
+//! The paper adopts the approximation `D ≈ (1 − c) I` ([`uniform`]),
+//! arguing (Figure 1) that it rescales scores without disturbing top-k
+//! rankings. [`estimate`] computes the *exact* correction by solving the
+//! linear unit-diagonal system directly, which is what the Figure 1
+//! reproduction and the Proposition 1/2 property tests use.
+
+use crate::transition::apply_p;
+use crate::{ExactError, ExactParams};
+use srs_graph::Graph;
+
+/// The paper's approximation `D = (1 − c) I`.
+pub fn uniform(n: usize, c: f64) -> Vec<f64> {
+    vec![1.0 - c; n]
+}
+
+/// Computes `diag(S(d))`: for each vertex `i`,
+/// `S(d)_ii = Σ_{t<T} cᵗ Σ_w d_w (Pᵗ e_i)_w²`. `O(n · Tm)` total,
+/// parallelized over vertices.
+pub fn diag_of_s(g: &Graph, params: &ExactParams, d: &[f64], threads: usize) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    assert_eq!(d.len(), n);
+    assert!(threads >= 1);
+    let mut out = vec![0.0; n];
+    let per = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (k, chunk) in out.chunks_mut(per).enumerate() {
+            scope.spawn(move |_| {
+                let mut z = vec![0.0; n];
+                let mut buf = vec![0.0; n];
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = k * per + off;
+                    z.fill(0.0);
+                    z[i] = 1.0;
+                    let mut acc = 0.0;
+                    let mut ct = 1.0;
+                    for t in 0..params.t {
+                        acc += ct * z.iter().zip(d).map(|(&zw, &dw)| dw * zw * zw).sum::<f64>();
+                        ct *= params.c;
+                        if t + 1 < params.t {
+                            apply_p(g, &z, &mut buf);
+                            std::mem::swap(&mut z, &mut buf);
+                        }
+                    }
+                    *slot = acc;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+/// Computes the exact diagonal correction by solving the linear system
+/// Proposition 1's uniqueness argument describes.
+///
+/// Because `S(d)` is linear in `d`, the unit-diagonal condition is
+/// `Mᵀ d = 1` with `M_wi = Σ_{t<T} cᵗ (Pᵗ_{wi})²`. We build `M` column by
+/// column (`O(n · Tm)`) and solve directly (`O(n³)`); this is ground-truth
+/// machinery for small/mid graphs, exactly like the paper's own exact
+/// computations in Figure 1 / Table 3. The residual `max_i |S_ii − 1|` is
+/// verified against `tol` afterwards.
+///
+/// Returns the diagonal, or [`ExactError::DiagonalNotConverged`] with the
+/// residual when the system is singular or the verification fails.
+/// `max_iter` is kept for API stability but unused by the direct solver.
+pub fn estimate(g: &Graph, params: &ExactParams, tol: f64, _max_iter: u32) -> Result<Vec<f64>, ExactError> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Build Mᵀ row-parallel: row i of Mᵀ is column i of M, i.e. the vector
+    // (Σ_t cᵗ (Pᵗ e_i)²_w)_w, computable by propagating e_i.
+    let mut mt = crate::matrix::SquareMatrix::zeros(n);
+    let per = n.div_ceil(num_threads()).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (start, chunk) in mt.par_row_chunks_mut(per) {
+            scope.spawn(move |_| {
+                let rows = chunk.len() / n.max(1);
+                let mut z = vec![0.0; n];
+                let mut buf = vec![0.0; n];
+                for r in 0..rows {
+                    let i = start + r;
+                    z.fill(0.0);
+                    z[i] = 1.0;
+                    let row = &mut chunk[r * n..(r + 1) * n];
+                    let mut ct = 1.0;
+                    for t in 0..params.t {
+                        for (slot, &zw) in row.iter_mut().zip(&z) {
+                            *slot += ct * zw * zw;
+                        }
+                        ct *= params.c;
+                        if t + 1 < params.t {
+                            apply_p(g, &z, &mut buf);
+                            std::mem::swap(&mut z, &mut buf);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let d = crate::matrix::solve_linear(mt, vec![1.0; n])
+        .ok_or(ExactError::DiagonalNotConverged { residual: f64::INFINITY })?;
+    let diag = diag_of_s(g, params, &d, num_threads());
+    let residual = diag.iter().map(|&s| (s - 1.0).abs()).fold(0.0, f64::max);
+    if residual <= tol {
+        Ok(d)
+    } else {
+        Err(ExactError::DiagonalNotConverged { residual })
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+}
+
+/// Verifies Proposition 2's range `1 − c ≤ D_uu ≤ 1` for a candidate
+/// diagonal; used by tests and debug assertions.
+pub fn in_proposition2_range(d: &[f64], c: f64) -> bool {
+    d.iter().all(|&x| x >= 1.0 - c - 1e-12 && x <= 1.0 + 1e-12)
+}
+
+/// Isolated-vertex fact used in tests: a vertex with no in-links has
+/// `S_ii` contribution only from `t = 0`, so its exact correction is 1.
+pub fn expected_dangling_value() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::gen::{self, fixtures};
+
+    #[test]
+    fn claw_matches_paper_example1() {
+        // Example 1 (c = 0.8): D = diag(23/75, 1/5, 1/5, 1/5).
+        let g = fixtures::claw();
+        let params = ExactParams::new(0.8, 80);
+        let d = estimate(&g, &params, 1e-9, 500).unwrap();
+        let expect = [23.0 / 75.0, 0.2, 0.2, 0.2];
+        for (i, (&got, &want)) in d.iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-6, "d[{i}] = {got}, want {want}");
+        }
+        let diag = diag_of_s(&g, &params, &d, 2);
+        for &s in &diag {
+            assert!((s - 1.0).abs() < 1e-8, "diag {diag:?}");
+        }
+        assert!(in_proposition2_range(&d, 0.8));
+    }
+
+    #[test]
+    fn estimate_satisfies_unit_diagonal_on_random_graph() {
+        let g = gen::erdos_renyi(20, 70, 3);
+        let params = ExactParams::new(0.6, 30);
+        let d = estimate(&g, &params, 1e-9, 300).unwrap();
+        let diag = diag_of_s(&g, &params, &d, 2);
+        for (i, &s) in diag.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-8, "vertex {i}: {s}");
+        }
+        assert!(in_proposition2_range(&d, 0.6));
+    }
+
+    #[test]
+    fn uniform_diag_values() {
+        let d = uniform(5, 0.6);
+        assert_eq!(d, vec![0.4; 5]);
+    }
+
+    #[test]
+    fn dangling_vertex_correction_is_one() {
+        // Vertex with no in-links: S_ii series has only the t=0 term, so
+        // the exact correction there is exactly 1.
+        let g = fixtures::path(3); // vertex 0 dangling (no in-links)
+        let params = ExactParams::new(0.6, 30);
+        let d = estimate(&g, &params, 1e-10, 300).unwrap();
+        assert!((d[0] - expected_dangling_value()).abs() < 1e-8, "d = {d:?}");
+    }
+
+    #[test]
+    fn diag_of_s_uniform_less_than_one() {
+        // With D = (1-c)I, S_ii ≤ 1 and typically < 1 (that is why the
+        // naive (1-c)I "definition" (11) is not SimRank).
+        let g = gen::copying_web(30, 3, 0.8, 9);
+        let params = ExactParams::default();
+        let d = uniform(30, params.c);
+        let diag = diag_of_s(&g, &params, &d, 2);
+        assert!(diag.iter().all(|&s| s <= 1.0 + 1e-12));
+        assert!(diag.iter().any(|&s| s < 0.999), "some diagonal should undershoot");
+    }
+}

@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+// Index-style loops are the clearest form for the matrix/graph math here.
+#![allow(clippy::needless_range_loop)]
+//! # srs-exact — deterministic SimRank solvers
+//!
+//! Ground truth and baseline solvers for the reproduction:
+//!
+//! * [`naive`] — the original Jeh–Widom fixed-point iteration
+//!   (`O(T n² d²)` time, `O(n²)` space). The "exact method" every accuracy
+//!   experiment compares against.
+//! * [`partial_sums`] — Lizorkin et al.'s partial-sums optimization
+//!   (`O(T · nm)` time, `O(n²)` space), implemented as the two-phase
+//!   sparse-times-dense product it is equivalent to.
+//! * [`yu`] — Yu et al. [37], the state-of-the-art all-pairs comparator of
+//!   Table 4: the same iteration in single-precision with memory-budget
+//!   accounting (reproducing the paper's "failed to allocate" entries).
+//! * [`li`] — Li et al. [21]: iterative single-pair SimRank via the
+//!   pair-process distribution (Table 1's "random surfer pair
+//!   (iterative)" row), with rigorous lower/upper bracketing.
+//! * [`linearized`] — Section 3.2 of the paper: the series
+//!   `S = Σ_t cᵗ (Pᵀ)ᵗ D Pᵗ` evaluated deterministically. Contains the
+//!   first `O(Tm)`-time / `O(n)`-space single-pair and single-source
+//!   algorithms, for any diagonal correction `D`.
+//! * [`diagonal`] — estimation of the diagonal correction matrix `D`
+//!   (Proposition 1: the unique diagonal making `diag(S) = 1`), via damped
+//!   fixed-point iteration, plus the `D = (1−c) I` approximation the paper
+//!   adopts.
+//! * [`transition`] — dense application of the reverse-transition operator
+//!   `P` and its transpose.
+//! * [`matrix`] — the dense square-matrix container shared by the all-pairs
+//!   solvers.
+//!
+//! All solvers take an explicit [`ExactParams`] so experiments can sweep
+//! `c` and `T`.
+
+pub mod diagonal;
+pub mod li;
+pub mod linearized;
+pub mod matrix;
+pub mod naive;
+pub mod partial_sums;
+pub mod transition;
+pub mod yu;
+
+/// Decay factor and series length shared by the deterministic solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactParams {
+    /// Decay factor `c ∈ (0, 1)`; the paper's experiments use `0.6`
+    /// (Jeh–Widom's original suggestion is `0.8`).
+    pub c: f64,
+    /// Number of iterations / series terms `T`. With `T` terms the
+    /// truncation error is at most `c^T / (1 − c)` (equation (10)).
+    pub t: u32,
+}
+
+impl Default for ExactParams {
+    fn default() -> Self {
+        // The parameter set of §8.
+        ExactParams { c: 0.6, t: 11 }
+    }
+}
+
+impl ExactParams {
+    /// Creates params, validating `c`.
+    pub fn new(c: f64, t: u32) -> Self {
+        assert!((0.0..1.0).contains(&c) && c > 0.0, "c must be in (0,1)");
+        ExactParams { c, t }
+    }
+
+    /// Truncation error bound `c^T / (1 − c)` of equation (10).
+    pub fn truncation_error(&self) -> f64 {
+        self.c.powi(self.t as i32) / (1.0 - self.c)
+    }
+
+    /// Number of terms needed for truncation error below `eps`
+    /// (`T = ⌈log(ε(1−c)) / log c⌉`, Section 3.2).
+    pub fn terms_for_accuracy(c: f64, eps: f64) -> u32 {
+        assert!(c > 0.0 && c < 1.0 && eps > 0.0);
+        ((eps * (1.0 - c)).ln() / c.ln()).ceil().max(1.0) as u32
+    }
+}
+
+/// Errors produced by the exact solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactError {
+    /// The solver's working set would exceed the caller's memory budget.
+    /// Reproduces the `—` (failed to allocate) entries of Table 4.
+    MemoryBudgetExceeded {
+        /// Bytes the solver would need.
+        required: u64,
+        /// The caller-imposed cap.
+        budget: u64,
+    },
+    /// Fixed-point diagonal estimation did not reach the tolerance.
+    DiagonalNotConverged {
+        /// Residual `max_i |S_ii − 1|` at the final iterate.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::MemoryBudgetExceeded { required, budget } => {
+                write!(f, "memory budget exceeded: need {required} bytes, budget {budget}")
+            }
+            ExactError::DiagonalNotConverged { residual } => {
+                write!(f, "diagonal correction fixed point not converged (residual {residual:.3e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_error_formula() {
+        let p = ExactParams::default();
+        assert!((p.truncation_error() - 0.6f64.powi(11) / 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn terms_for_accuracy_achieves_it() {
+        for &(c, eps) in &[(0.6, 1e-3), (0.8, 1e-4), (0.3, 1e-2)] {
+            let t = ExactParams::terms_for_accuracy(c, eps);
+            let p = ExactParams::new(c, t);
+            assert!(p.truncation_error() <= eps * 1.0000001, "c={c} eps={eps} t={t}");
+            if t > 1 {
+                assert!(ExactParams::new(c, t - 1).truncation_error() > eps, "minimality c={c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be in (0,1)")]
+    fn rejects_bad_c() {
+        ExactParams::new(1.0, 5);
+    }
+}

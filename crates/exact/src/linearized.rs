@@ -1,0 +1,223 @@
+//! Deterministic evaluation of the linear recursive formulation
+//! (Section 3.2 of the paper).
+//!
+//! With a diagonal correction `D`, the SimRank matrix is the converging
+//! series `S = Σ_{t≥0} cᵗ (Pᵀ)ᵗ D Pᵗ` (equation (7)), truncated to `T`
+//! terms with error at most `c^T / (1 − c)` (equation (10)):
+//!
+//! ```text
+//! s⁽ᵀ⁾(u,v) = Σ_{t=0}^{T-1} cᵗ (Pᵗ e_u)ᵀ D (Pᵗ e_v)      (equation (9))
+//! ```
+//!
+//! * [`single_pair`] — propagate both endpoint columns: `O(Tm)` time,
+//!   `O(n)` space. The first linear-time/linear-space single-pair SimRank
+//!   algorithm (the paper's claim in Section 4).
+//! * [`single_source`] — all of `s(u, ·)` in `O(Tm)` via one forward pass
+//!   storing `z_t = Pᵗ e_u` and one backward accumulation
+//!   `g_t = D z_t + c Pᵀ g_{t+1}`, whose fixpoint `g_0` is the score
+//!   vector.
+//! * [`all_pairs`] — `n` single-source passes, row-parallel.
+//!
+//! All functions take the diagonal `d` explicitly: pass
+//! [`crate::diagonal::uniform`] for the paper's `D = (1−c) I`
+//! approximation, or [`crate::diagonal::estimate`] for the exact
+//! correction.
+
+use crate::matrix::SquareMatrix;
+use crate::transition::{apply_p, apply_pt};
+use crate::ExactParams;
+use srs_graph::{Graph, VertexId};
+
+/// Truncated-series single-pair SimRank `s⁽ᵀ⁾(u, v)` (exact value 1 when
+/// `u == v`).
+pub fn single_pair(g: &Graph, u: VertexId, v: VertexId, params: &ExactParams, d: &[f64]) -> f64 {
+    if u == v {
+        return 1.0;
+    }
+    let n = g.num_vertices() as usize;
+    assert_eq!(d.len(), n, "diagonal length");
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    x[u as usize] = 1.0;
+    y[v as usize] = 1.0;
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    let mut acc = 0.0;
+    let mut ct = 1.0;
+    for t in 0..params.t {
+        acc += ct * x.iter().zip(&y).zip(d).map(|((&a, &b), &dw)| a * b * dw).sum::<f64>();
+        ct *= params.c;
+        if t + 1 < params.t {
+            apply_p(g, &x, &mut bx);
+            apply_p(g, &y, &mut by);
+            std::mem::swap(&mut x, &mut bx);
+            std::mem::swap(&mut y, &mut by);
+        }
+    }
+    acc
+}
+
+/// Truncated-series single-source SimRank: returns `s⁽ᵀ⁾(u, v)` for every
+/// `v` (entry `u` is replaced by the exact `1`).
+///
+/// ```
+/// use srs_exact::{linearized, diagonal, ExactParams};
+/// use srs_graph::gen::fixtures;
+///
+/// let g = fixtures::claw();            // Example 1 of the paper
+/// let params = ExactParams::new(0.8, 40);
+/// let d = diagonal::estimate(&g, &params, 1e-6, 100).unwrap();
+/// let s = linearized::single_source(&g, 1, &params, &d);
+/// assert!((s[2] - 0.8).abs() < 1e-4); // leaves are 4/5-similar
+/// assert!(s[0] < 1e-9);               // hub and leaf never meet
+/// ```
+pub fn single_source(g: &Graph, u: VertexId, params: &ExactParams, d: &[f64]) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    assert_eq!(d.len(), n, "diagonal length");
+    if n == 0 {
+        return Vec::new();
+    }
+    let t_terms = params.t as usize;
+    // Forward pass: z_t = Pᵗ e_u for t = 0..T-1.
+    let mut z: Vec<Vec<f64>> = Vec::with_capacity(t_terms);
+    let mut z0 = vec![0.0; n];
+    z0[u as usize] = 1.0;
+    z.push(z0);
+    for t in 1..t_terms {
+        let mut next = vec![0.0; n];
+        apply_p(g, &z[t - 1], &mut next);
+        z.push(next);
+    }
+    // Backward pass: acc = D z_{T-1}; acc = D z_t + c Pᵀ acc.
+    let mut acc: Vec<f64> = z[t_terms - 1].iter().zip(d).map(|(&zt, &dw)| zt * dw).collect();
+    let mut buf = vec![0.0; n];
+    for t in (0..t_terms - 1).rev() {
+        apply_pt(g, &acc, &mut buf);
+        for w in 0..n {
+            acc[w] = d[w] * z[t][w] + params.c * buf[w];
+        }
+    }
+    acc[u as usize] = 1.0;
+    acc
+}
+
+/// All-pairs scores via `n` single-source evaluations, split across
+/// `threads` crossbeam workers. `O(T · nm)` time, `O(n²)` output.
+pub fn all_pairs(g: &Graph, params: &ExactParams, d: &[f64], threads: usize) -> SquareMatrix<f64> {
+    assert!(threads >= 1);
+    let n = g.num_vertices() as usize;
+    let mut out = SquareMatrix::zeros(n);
+    let rows_per = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (start, chunk) in out.par_row_chunks_mut(rows_per) {
+            scope.spawn(move |_| {
+                let rows = chunk.len() / n.max(1);
+                for r in 0..rows {
+                    let u = (start + r) as VertexId;
+                    let scores = single_source(g, u, params, d);
+                    chunk[r * n..(r + 1) * n].copy_from_slice(&scores);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagonal;
+    use crate::naive;
+    use srs_graph::gen::{self, fixtures};
+
+    #[test]
+    fn single_pair_matches_single_source() {
+        let g = gen::erdos_renyi(30, 120, 8);
+        let params = ExactParams::default();
+        let d = diagonal::uniform(30, params.c);
+        for u in [0u32, 7, 21] {
+            let ss = single_source(&g, u, &params, &d);
+            for v in 0..30u32 {
+                let sp = single_pair(&g, u, v, &params, &d);
+                if u == v {
+                    assert_eq!(ss[v as usize], 1.0);
+                } else {
+                    assert!((sp - ss[v as usize]).abs() < 1e-12, "u={u} v={v}: {sp} vs {}", ss[v as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_diagonal_reproduces_true_simrank() {
+        // With the exact diagonal correction, the linearized series equals
+        // Jeh-Widom SimRank (Proposition 1).
+        let g = gen::erdos_renyi(25, 80, 13);
+        let params = ExactParams::new(0.6, 25);
+        let d = diagonal::estimate(&g, &params, 1e-6, 200).unwrap();
+        let lin = all_pairs(&g, &params, &d, 2);
+        let jw = naive::all_pairs(&g, &params);
+        // Both are T-truncations of the same fixpoint; allow both
+        // truncation tails.
+        let tol = 3.0 * params.truncation_error() + 1e-9;
+        assert!(lin.max_abs_diff(&jw) < tol, "diff = {}", lin.max_abs_diff(&jw));
+    }
+
+    #[test]
+    fn claw_with_paper_diagonal() {
+        // Example 1: D = diag(23/75, 1/5, 1/5, 1/5) gives exact SimRank for
+        // c = 0.8.
+        let g = fixtures::claw();
+        let params = ExactParams::new(0.8, 60);
+        let d = vec![23.0 / 75.0, 0.2, 0.2, 0.2];
+        let s12 = single_pair(&g, 1, 2, &params, &d);
+        assert!((s12 - 0.8).abs() < 1e-4, "s12 = {s12}");
+        let s01 = single_pair(&g, 0, 1, &params, &d);
+        assert!(s01.abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_diagonal_preserves_ranking_on_claw() {
+        // The (1-c)I approximation changes scores but not the ranking —
+        // the practical justification in §3.3.
+        let g = fixtures::claw();
+        let params = ExactParams::new(0.8, 40);
+        let d = diagonal::uniform(4, params.c);
+        let ss = single_source(&g, 1, &params, &d);
+        assert!(ss[2] > ss[0]);
+        assert!((ss[2] - ss[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_error_within_bound() {
+        let g = gen::preferential_attachment(30, 3, 5);
+        let c = 0.6;
+        let d = diagonal::uniform(30, c);
+        let coarse = ExactParams::new(c, 5);
+        let fine = ExactParams::new(c, 40);
+        for u in 0..5u32 {
+            let a = single_source(&g, u, &coarse, &d);
+            let b = single_source(&g, u, &fine, &d);
+            for v in 0..30 {
+                assert!((a[v] - b[v]).abs() <= coarse.truncation_error() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = gen::copying_web(25, 3, 0.7, 6);
+        let params = ExactParams::default();
+        let d = diagonal::uniform(25, params.c);
+        let s = all_pairs(&g, &params, &d, 3);
+        assert!(s.max_asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_single_source() {
+        let g = srs_graph::Graph::from_edges(0, vec![]).unwrap();
+        let s = single_source(&g, 0, &ExactParams::default(), &[]);
+        assert!(s.is_empty());
+    }
+}

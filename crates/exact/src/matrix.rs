@@ -1,0 +1,310 @@
+//! Dense square-matrix container for the all-pairs solvers.
+//!
+//! All-pairs SimRank inherently stores `n²` scores; this container is the
+//! `O(n²)` working set the paper's Table 1 attributes to the prior
+//! algorithms. Generic over `f32` (Yu et al.'s single-precision variant)
+//! and `f64` (ground truth).
+
+/// Scalar types usable as matrix elements.
+pub trait Scalar: Copy + PartialOrd + std::fmt::Debug + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Conversion from `f64` (used for the decay factor and degrees).
+    fn from_f64(x: f64) -> Self;
+    /// Conversion to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Row-major dense `n × n` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix<T: Scalar> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> SquareMatrix<T> {
+    /// Zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix { n, data: vec![T::ZERO; n * n] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, T::ONE);
+        }
+        m
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Splits into disjoint mutable row chunks of `rows_per_chunk` rows each
+    /// (last chunk may be smaller) for parallel writers.
+    pub fn par_row_chunks_mut(&mut self, rows_per_chunk: usize) -> impl Iterator<Item = (usize, &mut [T])> {
+        self.data
+            .chunks_mut(rows_per_chunk * self.n)
+            .enumerate()
+            .map(move |(k, chunk)| (k * rows_per_chunk, chunk))
+    }
+
+    /// Sets the diagonal to 1 (the SimRank constraint `s(u,u) = 1`).
+    pub fn set_unit_diagonal(&mut self) {
+        for i in 0..self.n {
+            self.set(i, i, T::ONE);
+        }
+    }
+
+    /// `max_{ij} |A_ij − B_ij|` as `f64` (convergence checks, solver
+    /// agreement tests).
+    pub fn max_abs_diff(&self, other: &SquareMatrix<T>) -> f64 {
+        assert_eq!(self.n, other.n, "order mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `max_{ij} |A_ij − A_ji|` (symmetry check; SimRank matrices are
+    /// symmetric).
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                worst = worst.max((self.get(i, j).to_f64() - self.get(j, i).to_f64()).abs());
+            }
+        }
+        worst
+    }
+
+    /// Bytes of the backing storage (memory accounting for Table 4).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Consumes into the raw row-major buffer.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// Solves the dense linear system `A x = b` by Gaussian elimination with
+/// partial pivoting, consuming `A`. Returns `None` when the matrix is
+/// numerically singular. Used by the exact diagonal-correction solver
+/// (small-graph ground truth only — `O(n³)`).
+pub fn solve_linear(mut a: SquareMatrix<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.order();
+    assert_eq!(b.len(), n, "rhs length");
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = a.get(r, col).abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-14 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = a.get(col, j);
+                a.set(col, j, a.get(pivot, j));
+                a.set(pivot, j, tmp);
+            }
+            b.swap(col, pivot);
+        }
+        let inv = 1.0 / a.get(col, col);
+        for r in (col + 1)..n {
+            let factor = a.get(r, col) * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = a.get(r, j) - factor * a.get(col, j);
+                a.set(r, j, v);
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a.get(row, j) * x[j];
+        }
+        x[row] = acc / a.get(row, row);
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_access() {
+        let m: SquareMatrix<f64> = SquareMatrix::identity(3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.order(), 3);
+    }
+
+    #[test]
+    fn rows_and_diagonal() {
+        let mut m: SquareMatrix<f32> = SquareMatrix::zeros(3);
+        m.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.set_unit_diagonal();
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn diff_and_symmetry() {
+        let mut a: SquareMatrix<f64> = SquareMatrix::zeros(2);
+        let b: SquareMatrix<f64> = SquareMatrix::zeros(2);
+        a.set(0, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(a.max_asymmetry(), 0.25);
+        a.set(1, 0, 0.25);
+        assert_eq!(a.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn chunked_rows_cover_matrix() {
+        let mut m: SquareMatrix<f64> = SquareMatrix::zeros(5);
+        let mut seen = 0;
+        for (start, chunk) in m.par_row_chunks_mut(2) {
+            let rows = chunk.len() / 5;
+            assert!(start % 2 == 0);
+            seen += rows;
+            for v in chunk.iter_mut() {
+                *v = 1.0;
+            }
+        }
+        assert_eq!(seen, 5);
+        assert!(m.into_raw().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn solve_linear_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = (1, 3).
+        let mut a: SquareMatrix<f64> = SquareMatrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = solve_linear(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_requires_pivoting() {
+        // Zero leading pivot forces a row swap.
+        let mut a: SquareMatrix<f64> = SquareMatrix::zeros(2);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let x = solve_linear(a, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_detects_singular() {
+        let mut a: SquareMatrix<f64> = SquareMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_linear_random_roundtrip() {
+        // Build a diagonally dominant random system, solve, verify Ax ≈ b.
+        let n = 20;
+        let mut a: SquareMatrix<f64> = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let h = srs_graph::hash::mix_seed(&[i as u64, j as u64, 5]);
+                a.set(i, j, (h % 1000) as f64 / 1000.0);
+            }
+            a.set(i, i, n as f64);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        let x = solve_linear(a.clone(), b.clone()).unwrap();
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let m64: SquareMatrix<f64> = SquareMatrix::zeros(10);
+        let m32: SquareMatrix<f32> = SquareMatrix::zeros(10);
+        assert_eq!(m64.memory_bytes(), 800);
+        assert_eq!(m32.memory_bytes(), 400);
+    }
+}

@@ -1,0 +1,169 @@
+//! Naive Jeh–Widom all-pairs SimRank iteration.
+//!
+//! Evaluates the original recursion (equation (1)) directly:
+//!
+//! ```text
+//! S_{k+1}(u,v) = c / (|δ(u)| |δ(v)|) · Σ_{u'∈δ(u)} Σ_{v'∈δ(v)} S_k(u',v')
+//! S_{k+1}(u,u) = 1,    S_{k+1}(u,v) = 0 when δ(u) or δ(v) is empty
+//! ```
+//!
+//! starting from `S_0 = I`. `O(T n² d²)` time and `O(n²)` space — the
+//! "exact method" of the paper's accuracy experiments (Table 3, Figure 1),
+//! feasible only on small and mid-sized graphs. Every other solver in this
+//! workspace is validated against it.
+
+use crate::matrix::SquareMatrix;
+use crate::ExactParams;
+use srs_graph::{Graph, VertexId};
+
+/// Runs `params.t` iterations of the Jeh–Widom recursion and returns the
+/// full SimRank matrix.
+///
+/// ```
+/// use srs_exact::{naive, ExactParams};
+/// use srs_graph::gen::fixtures;
+///
+/// let s = naive::all_pairs(&fixtures::claw(), &ExactParams::new(0.8, 30));
+/// assert!((s.get(1, 2) - 0.8).abs() < 1e-6);
+/// assert_eq!(s.get(0, 0), 1.0);
+/// ```
+pub fn all_pairs(g: &Graph, params: &ExactParams) -> SquareMatrix<f64> {
+    let n = g.num_vertices() as usize;
+    let mut cur = SquareMatrix::identity(n);
+    let mut next = SquareMatrix::zeros(n);
+    for _ in 0..params.t {
+        iterate(g, params.c, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// One Jeh–Widom iteration: `next = (c Pᵀ cur P) ∨ I` computed entry-wise.
+fn iterate(g: &Graph, c: f64, cur: &SquareMatrix<f64>, next: &mut SquareMatrix<f64>) {
+    let n = g.num_vertices() as usize;
+    for u in 0..n {
+        let du = g.in_neighbors(u as VertexId);
+        for v in 0..n {
+            if u == v {
+                next.set(u, v, 1.0);
+                continue;
+            }
+            let dv = g.in_neighbors(v as VertexId);
+            if du.is_empty() || dv.is_empty() {
+                next.set(u, v, 0.0);
+                continue;
+            }
+            let mut acc = 0.0;
+            for &up in du {
+                for &vp in dv {
+                    acc += cur.get(up as usize, vp as usize);
+                }
+            }
+            next.set(u, v, c * acc / (du.len() as f64 * dv.len() as f64));
+        }
+    }
+}
+
+/// Convenience: single-source scores `s(u, ·)` from the naive matrix.
+/// (Still computes the full matrix; use [`crate::linearized`] for the
+/// `O(Tm)` path.)
+pub fn single_source(g: &Graph, u: VertexId, params: &ExactParams) -> Vec<f64> {
+    let s = all_pairs(g, params);
+    s.row(u as usize).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::gen::fixtures;
+
+    #[test]
+    fn claw_closed_form() {
+        // Example 1 of the paper (c = 0.8): leaves pairwise 4/5, hub
+        // unrelated to leaves.
+        let g = fixtures::claw();
+        let s = all_pairs(&g, &ExactParams::new(0.8, 30));
+        for i in 0..4 {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        for i in 1..4 {
+            for j in 1..4 {
+                if i != j {
+                    assert!((s.get(i, j) - 0.8).abs() < 1e-9, "s({i},{j}) = {}", s.get(i, j));
+                }
+            }
+            assert_eq!(s.get(0, i), 0.0);
+            assert_eq!(s.get(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let g = srs_graph::gen::erdos_renyi(30, 120, 5);
+        let s = all_pairs(&g, &ExactParams::default());
+        assert!(s.max_asymmetry() < 1e-12);
+        for i in 0..30 {
+            for j in 0..30 {
+                let v = s.get(i, j);
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "s({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_converges_to_uniform_meeting() {
+        // On a directed cycle both walks rotate deterministically and never
+        // meet unless they start equal: s(u,v) = 0 for u ≠ v.
+        let g = fixtures::cycle(6);
+        let s = all_pairs(&g, &ExactParams::new(0.6, 20));
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_monotone_nondecreasing() {
+        // Jeh–Widom iterates are monotonically nondecreasing in k.
+        let g = srs_graph::gen::preferential_attachment(25, 3, 2);
+        let s5 = all_pairs(&g, &ExactParams::new(0.6, 5));
+        let s10 = all_pairs(&g, &ExactParams::new(0.6, 10));
+        for i in 0..25 {
+            for j in 0..25 {
+                assert!(s10.get(i, j) + 1e-12 >= s5.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn decay_distance_bound() {
+        // s(u,v) ≤ c^⌈d/2⌉ with d the undirected distance: a meeting at
+        // time τ places both endpoints within τ reverse steps of the
+        // meeting vertex, so d ≤ 2τ. (The paper's §6 writes c^d without
+        // fixing the metric; that form fails on sibling pairs.)
+        let g = srs_graph::gen::erdos_renyi(25, 60, 9);
+        let params = ExactParams::new(0.6, 15);
+        let s = all_pairs(&g, &params);
+        for u in 0..25u32 {
+            let dist = srs_graph::bfs::distances(&g, u, srs_graph::bfs::Direction::Undirected);
+            for v in 0..25u32 {
+                if u == v {
+                    continue;
+                }
+                let bound = if dist[v as usize] == srs_graph::bfs::UNREACHED {
+                    0.0
+                } else {
+                    params.c.powi(dist[v as usize].div_ceil(2) as i32)
+                };
+                assert!(
+                    s.get(u as usize, v as usize) <= bound + 1e-9,
+                    "s({u},{v}) = {} > bound {bound} at d = {}",
+                    s.get(u as usize, v as usize),
+                    dist[v as usize]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Lizorkin et al.'s partial-sums all-pairs SimRank.
+//!
+//! The naive recursion re-evaluates `Σ_{v'∈δ(v)} S_k(u', v')` once per
+//! `(u, v)` pair; Lizorkin et al. memoize these *partial sums*. Algebraically
+//! that is exactly a two-phase evaluation of `S_{k+1} = c Pᵀ S_k P` (with the
+//! diagonal reset to 1):
+//!
+//! ```text
+//! phase 1 (partial sums): M(w, v) = (1/|δ(v)|) Σ_{v'∈δ(v)} S_k(w, v')   — S_k P
+//! phase 2 (combine):  S_{k+1}(u, v) = (c/|δ(u)|) Σ_{u'∈δ(u)} M(u', v)   — c Pᵀ M
+//! ```
+//!
+//! `O(T · nm)` time instead of `O(T n² d²)`, still `O(n²)` space. Row
+//! blocks are processed in parallel with crossbeam scoped threads.
+
+use crate::matrix::SquareMatrix;
+use crate::ExactParams;
+use srs_graph::{Graph, VertexId};
+
+/// Runs `params.t` partial-sums iterations and returns the SimRank matrix.
+/// `threads = 1` gives the sequential reference behaviour.
+pub fn all_pairs(g: &Graph, params: &ExactParams, threads: usize) -> SquareMatrix<f64> {
+    assert!(threads >= 1, "need at least one thread");
+    let n = g.num_vertices() as usize;
+    let mut cur = SquareMatrix::identity(n);
+    let mut partial = SquareMatrix::zeros(n);
+    let mut next = SquareMatrix::zeros(n);
+    for _ in 0..params.t {
+        // Phase 1: partial[w][v] = mean_{v'∈δ(v)} cur[w][v'] — row-parallel.
+        phase_rows(g, &cur, &mut partial, threads, |g, cur_row, out_row| {
+            for v in 0..out_row.len() {
+                let dv = g.in_neighbors(v as VertexId);
+                out_row[v] = if dv.is_empty() {
+                    0.0
+                } else {
+                    dv.iter().map(|&vp| cur_row[vp as usize]).sum::<f64>() / dv.len() as f64
+                };
+            }
+        });
+        // Phase 2: next[u][v] = c · mean_{u'∈δ(u)} partial[u'][v], diag 1.
+        let c = params.c;
+        {
+            let partial_ref = &partial;
+            let rows_per = n.div_ceil(threads).max(1);
+            crossbeam::thread::scope(|scope| {
+                for (start, chunk) in next.par_row_chunks_mut(rows_per) {
+                    scope.spawn(move |_| {
+                        let rows = chunk.len() / n.max(1);
+                        for r in 0..rows {
+                            let u = start + r;
+                            let row = &mut chunk[r * n..(r + 1) * n];
+                            let du = g.in_neighbors(u as VertexId);
+                            if du.is_empty() {
+                                row.fill(0.0);
+                            } else {
+                                let inv = c / du.len() as f64;
+                                row.fill(0.0);
+                                for &up in du {
+                                    let src = partial_ref.row(up as usize);
+                                    for (dst, &s) in row.iter_mut().zip(src) {
+                                        *dst += s;
+                                    }
+                                }
+                                for v in row.iter_mut() {
+                                    *v *= inv;
+                                }
+                            }
+                            row[u] = 1.0;
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Applies `f(graph, input_row, output_row)` to every row, split across
+/// `threads` scoped workers.
+fn phase_rows<F>(g: &Graph, input: &SquareMatrix<f64>, output: &mut SquareMatrix<f64>, threads: usize, f: F)
+where
+    F: Fn(&Graph, &[f64], &mut [f64]) + Sync,
+{
+    let n = input.order();
+    let rows_per = n.div_ceil(threads).max(1);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (start, chunk) in output.par_row_chunks_mut(rows_per) {
+            scope.spawn(move |_| {
+                let rows = chunk.len() / n.max(1);
+                for r in 0..rows {
+                    let w = start + r;
+                    f(g, input.row(w), &mut chunk[r * n..(r + 1) * n]);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use srs_graph::gen;
+
+    #[test]
+    fn agrees_with_naive_on_random_digraph() {
+        let g = gen::erdos_renyi(40, 200, 11);
+        let params = ExactParams::new(0.6, 8);
+        let a = naive::all_pairs(&g, &params);
+        let b = all_pairs(&g, &params, 1);
+        assert!(a.max_abs_diff(&b) < 1e-10, "diff = {}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn agrees_with_naive_on_web_graph() {
+        let g = gen::copying_web(35, 3, 0.8, 4);
+        let params = ExactParams::new(0.8, 10);
+        let a = naive::all_pairs(&g, &params);
+        let b = all_pairs(&g, &params, 2);
+        assert!(a.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::preferential_attachment(60, 4, 9);
+        let params = ExactParams::default();
+        let s1 = all_pairs(&g, &params, 1);
+        let s4 = all_pairs(&g, &params, 4);
+        assert!(s1.max_abs_diff(&s4) < 1e-12);
+    }
+
+    #[test]
+    fn claw_closed_form() {
+        let g = gen::fixtures::claw();
+        let s = all_pairs(&g, &ExactParams::new(0.8, 30), 2);
+        assert!((s.get(1, 2) - 0.8).abs() < 1e-9);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn dangling_rows_zeroed_off_diagonal() {
+        // path: vertex 0 has no in-links, so s(0, v) = 0 for v ≠ 0.
+        let g = gen::fixtures::path(5);
+        let s = all_pairs(&g, &ExactParams::default(), 1);
+        for v in 1..5 {
+            assert_eq!(s.get(0, v), 0.0);
+        }
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Dense application of the reverse-transition operator.
+//!
+//! `P` is the paper's transition matrix of the transposed graph: column `u`
+//! of `P` is the uniform distribution over the in-neighbours `δ(u)` (zero
+//! column when `u` has no in-links — `P` is substochastic, the walk dies).
+//!
+//! * [`apply_p`] computes `y = P x` — a *scatter*: each vertex `u` sends
+//!   `x[u] / |δ(u)|` to every in-neighbour. One reverse walk step applied to
+//!   a distribution.
+//! * [`apply_pt`] computes `y = Pᵀ x` — a *gather*: `y[u]` is the mean of
+//!   `x` over `δ(u)`.
+//!
+//! Both are `O(m)` and allocation-free given an output buffer.
+
+use srs_graph::{Graph, VertexId};
+
+/// `out = P x` (reverse-walk step on a distribution). `out` must have
+/// length `n`; it is overwritten.
+pub fn apply_p(g: &Graph, x: &[f64], out: &mut [f64]) {
+    let n = g.num_vertices() as usize;
+    assert_eq!(x.len(), n, "input length");
+    assert_eq!(out.len(), n, "output length");
+    out.fill(0.0);
+    for u in 0..n {
+        let xu = x[u];
+        if xu == 0.0 {
+            continue;
+        }
+        let nb = g.in_neighbors(u as VertexId);
+        if nb.is_empty() {
+            continue; // mass dies (substochastic column)
+        }
+        let share = xu / nb.len() as f64;
+        for &w in nb {
+            out[w as usize] += share;
+        }
+    }
+}
+
+/// `out = Pᵀ x`. `out` must have length `n`; it is overwritten.
+pub fn apply_pt(g: &Graph, x: &[f64], out: &mut [f64]) {
+    let n = g.num_vertices() as usize;
+    assert_eq!(x.len(), n, "input length");
+    assert_eq!(out.len(), n, "output length");
+    for u in 0..n {
+        let nb = g.in_neighbors(u as VertexId);
+        out[u] = if nb.is_empty() {
+            0.0
+        } else {
+            nb.iter().map(|&w| x[w as usize]).sum::<f64>() / nb.len() as f64
+        };
+    }
+}
+
+/// Computes the dense column `Pᵗ e_u` by `t` applications of [`apply_p`],
+/// returning all intermediate vectors `z_0 = e_u, z_1, …, z_t`.
+pub fn power_columns(g: &Graph, u: VertexId, t: u32) -> Vec<Vec<f64>> {
+    let n = g.num_vertices() as usize;
+    let mut z0 = vec![0.0; n];
+    z0[u as usize] = 1.0;
+    let mut cols = Vec::with_capacity(t as usize + 1);
+    cols.push(z0);
+    for step in 0..t as usize {
+        let mut next = vec![0.0; n];
+        apply_p(g, &cols[step], &mut next);
+        cols.push(next);
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::gen::fixtures;
+
+    fn e(n: usize, i: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn claw_matches_paper_matrix() {
+        // Example 1: P column 0 = (0, 1/3, 1/3, 1/3)ᵀ; leaf columns = e_0.
+        let g = fixtures::claw();
+        let mut out = vec![0.0; 4];
+        apply_p(&g, &e(4, 0), &mut out);
+        assert_eq!(out, vec![0.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]);
+        apply_p(&g, &e(4, 1), &mut out);
+        assert_eq!(out, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pt_is_transpose_of_p() {
+        let g = srs_graph::gen::erdos_renyi(20, 60, 3);
+        let n = 20usize;
+        for i in 0..n {
+            let mut pi = vec![0.0; n];
+            apply_p(&g, &e(n, i), &mut pi); // column i of P
+            for j in 0..n {
+                let mut ptj = vec![0.0; n];
+                apply_pt(&g, &e(n, j), &mut ptj); // column j of Pᵀ = row j of P
+                assert!((pi[j] - ptj[i]).abs() < 1e-14, "P[{j},{i}] mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn mass_conserved_or_dies() {
+        let g = fixtures::path(4);
+        let mut out = vec![0.0; 4];
+        // Vertex 3 has in-neighbour 2: mass moves entirely.
+        apply_p(&g, &e(4, 3), &mut out);
+        assert_eq!(out.iter().sum::<f64>(), 1.0);
+        // Vertex 0 has no in-links: mass dies.
+        apply_p(&g, &e(4, 0), &mut out);
+        assert_eq!(out.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn power_columns_walk_distribution() {
+        // Cycle: P^t e_u is the point mass at u - t (mod n).
+        let g = fixtures::cycle(5);
+        let cols = power_columns(&g, 3, 4);
+        assert_eq!(cols.len(), 5);
+        for (t, col) in cols.iter().enumerate() {
+            let expect = (3 + 5 * 2 - t) % 5;
+            for (i, &v) in col.iter().enumerate() {
+                let want = if i == expect { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_columns_stay_stochastic_without_dangling() {
+        let g = fixtures::complete(6); // every vertex has in-links
+        let mut x = vec![1.0 / 6.0; 6];
+        let mut out = vec![0.0; 6];
+        for _ in 0..10 {
+            apply_p(&g, &x, &mut out);
+            std::mem::swap(&mut x, &mut out);
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Breadth-first search, distances, and components.
+//!
+//! The similarity search needs three distance facilities:
+//!
+//! 1. **Bounded undirected BFS from the query vertex** — the L1 bound
+//!    `β(u, d)` is indexed by the distance `d(u, v)` of each candidate, and
+//!    the search only ever inspects the ball of radius `d_max = T` (Section
+//!    6). Undirected distance is used because the triangle inequality in the
+//!    proof of Proposition 4 requires a symmetric metric, and every reverse
+//!    random walk of `t` steps stays inside the undirected ball of radius
+//!    `t`.
+//! 2. **Distance histograms of top-k result lists** — the Figure 2
+//!    reproduction plots the average distance of the k-th most similar
+//!    vertex.
+//! 3. **Average pairwise distance estimation** — Figure 2's blue baseline,
+//!    estimated by sampled BFS.
+//!
+//! [`BfsBuffers`] makes repeated traversals allocation-free: the visited
+//! epoch array persists across calls (a standard trick for query workloads).
+
+use crate::{Graph, VertexId};
+
+/// Sentinel distance for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Which adjacency a traversal follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges forward (`u → v`).
+    Out,
+    /// Follow in-links (the direction SimRank walks move).
+    In,
+    /// Treat edges as undirected (union of both adjacencies).
+    Undirected,
+}
+
+/// Reusable state for repeated BFS traversals over the same graph.
+///
+/// Uses an epoch-stamped visited array so `reset` is O(1) per query rather
+/// than O(n).
+pub struct BfsBuffers {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    queue: Vec<VertexId>,
+}
+
+impl BfsBuffers {
+    /// Allocates buffers for a graph of `n` vertices.
+    pub fn new(n: u32) -> Self {
+        BfsBuffers {
+            epoch: 0,
+            stamp: vec![0; n as usize],
+            dist: vec![UNREACHED; n as usize],
+            queue: Vec::new(),
+        }
+    }
+
+    /// Distance of `v` from the most recent traversal's source, or
+    /// [`UNREACHED`].
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> u32 {
+        if self.stamp[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Vertices visited by the most recent traversal, in BFS order.
+    #[inline]
+    pub fn visited(&self) -> &[VertexId] {
+        &self.queue
+    }
+
+    fn begin(&mut self) {
+        // Epoch 0 is "never visited"; on wraparound, clear stamps.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, v: VertexId, d: u32) {
+        self.stamp[v as usize] = self.epoch;
+        self.dist[v as usize] = d;
+        self.queue.push(v);
+    }
+
+    #[inline]
+    fn seen(&self, v: VertexId) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// BFS from `source` following `direction`, stopping at `max_depth`
+    /// (inclusive). Results are read back with [`BfsBuffers::distance`] /
+    /// [`BfsBuffers::visited`].
+    pub fn run(&mut self, g: &Graph, source: VertexId, direction: Direction, max_depth: u32) {
+        self.begin();
+        self.visit(source, 0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let d = self.dist[u as usize];
+            if d >= max_depth {
+                continue;
+            }
+            match direction {
+                Direction::Out => {
+                    for &v in g.out_neighbors(u) {
+                        if !self.seen(v) {
+                            self.visit(v, d + 1);
+                        }
+                    }
+                }
+                Direction::In => {
+                    for &v in g.in_neighbors(u) {
+                        if !self.seen(v) {
+                            self.visit(v, d + 1);
+                        }
+                    }
+                }
+                Direction::Undirected => {
+                    for &v in g.out_neighbors(u) {
+                        if !self.seen(v) {
+                            self.visit(v, d + 1);
+                        }
+                    }
+                    for &v in g.in_neighbors(u) {
+                        if !self.seen(v) {
+                            self.visit(v, d + 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full single-source distances (unbounded depth). Convenience wrapper used
+/// by tests and the exact pipelines; for query-path use prefer
+/// [`BfsBuffers`].
+pub fn distances(g: &Graph, source: VertexId, direction: Direction) -> Vec<u32> {
+    let mut b = BfsBuffers::new(g.num_vertices());
+    b.run(g, source, direction, u32::MAX - 1);
+    (0..g.num_vertices()).map(|v| b.distance(v)).collect()
+}
+
+/// Estimates the average finite pairwise (undirected) distance by running
+/// BFS from `samples` sources chosen deterministically from `seed`.
+/// This is the blue baseline of Figure 2.
+pub fn estimate_average_distance(g: &Graph, samples: u32, seed: u64) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut b = BfsBuffers::new(n);
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for i in 0..samples {
+        let s = (crate::hash::mix_seed(&[seed, i as u64]) % n as u64) as VertexId;
+        b.run(g, s, Direction::Undirected, u32::MAX - 1);
+        for &v in b.visited() {
+            if v != s {
+                total += b.distance(v) as u64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Weakly connected components. Returns `(component_id_per_vertex,
+/// component_count)`.
+pub fn weakly_connected_components(g: &Graph) -> (Vec<u32>, u32) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n as usize];
+    let mut next = 0u32;
+    let mut b = BfsBuffers::new(n);
+    for s in 0..n {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        b.run(g, s, Direction::Undirected, u32::MAX - 1);
+        for &v in b.visited() {
+            comp[v as usize] = next;
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path_graph() -> Graph {
+        // 0 → 1 → 2 → 3
+        Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn directed_out_distances() {
+        let d = distances(&path_graph(), 0, Direction::Out);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn directed_in_distances() {
+        let d = distances(&path_graph(), 3, Direction::In);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+        let d0 = distances(&path_graph(), 0, Direction::In);
+        assert_eq!(d0, vec![0, UNREACHED, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn undirected_distances() {
+        let d = distances(&path_graph(), 1, Direction::Undirected);
+        assert_eq!(d, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_depth() {
+        let mut b = BfsBuffers::new(4);
+        b.run(&path_graph(), 0, Direction::Out, 1);
+        assert_eq!(b.distance(1), 1);
+        assert_eq!(b.distance(2), UNREACHED);
+        assert_eq!(b.visited(), &[0, 1]);
+    }
+
+    #[test]
+    fn buffers_reusable_across_queries() {
+        let g = path_graph();
+        let mut b = BfsBuffers::new(4);
+        b.run(&g, 0, Direction::Out, 10);
+        assert_eq!(b.distance(3), 3);
+        b.run(&g, 3, Direction::Out, 10);
+        assert_eq!(b.distance(3), 0);
+        assert_eq!(b.distance(0), UNREACHED); // stale state must not leak
+    }
+
+    #[test]
+    fn average_distance_path() {
+        // Path on 4 vertices: exact average over ordered pairs is 20/12.
+        let avg = estimate_average_distance(&path_graph(), 64, 7);
+        assert!((avg - 20.0 / 12.0).abs() < 0.25, "avg={avg}");
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(5, vec![(0, 1), (3, 4)]).unwrap();
+        let (comp, k) = weakly_connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn bfs_matches_floyd_warshall_on_random_graph() {
+        // Deterministic small random digraph; undirected BFS vs Floyd.
+        let n: u32 = 12;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && crate::hash::mix_seed(&[u as u64, v as u64, 99]).is_multiple_of(5) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, edges.clone()).unwrap();
+        let inf = 1_000_000i64;
+        let mut fw = vec![vec![inf; n as usize]; n as usize];
+        for i in 0..n as usize {
+            fw[i][i] = 0;
+        }
+        for &(u, v) in &edges {
+            fw[u as usize][v as usize] = 1;
+            fw[v as usize][u as usize] = 1;
+        }
+        for k in 0..n as usize {
+            for i in 0..n as usize {
+                for j in 0..n as usize {
+                    let via = fw[i][k] + fw[k][j];
+                    if via < fw[i][j] {
+                        fw[i][j] = via;
+                    }
+                }
+            }
+        }
+        for s in 0..n {
+            let d = distances(&g, s, Direction::Undirected);
+            for v in 0..n as usize {
+                let expect = fw[s as usize][v];
+                if expect >= inf {
+                    assert_eq!(d[v], UNREACHED);
+                } else {
+                    assert_eq!(d[v] as i64, expect, "s={s} v={v}");
+                }
+            }
+        }
+    }
+}

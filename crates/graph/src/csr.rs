@@ -1,0 +1,366 @@
+//! Compressed sparse row (CSR) directed graph storage.
+//!
+//! [`Graph`] stores both directions of every edge:
+//!
+//! * `out`: for each `u`, the targets of edges `u → v` (successors);
+//! * `in_`: for each `v`, the sources of edges `u → v` (predecessors,
+//!   i.e. the *in-links* `δ(v)` of the paper).
+//!
+//! SimRank's random surfer walks **backwards** along in-links, so the
+//! in-adjacency arrays are the hot data. Adjacency lists are sorted, which
+//! makes membership tests binary-searchable and the representation canonical
+//! (two graphs with the same edge set compare equal).
+
+use crate::{GraphError, VertexId};
+
+/// How [`GraphBuilder`] treats self-loops `u → u`.
+///
+/// SimRank's definition gives `s(u,u) = 1` regardless of loops, and the
+/// random-surfer interpretation is cleanest without them, so the default for
+/// dataset loading is [`SelfLoopPolicy::Drop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Silently discard self-loops (default; matches common SNAP cleaning).
+    #[default]
+    Drop,
+    /// Keep self-loops as ordinary edges.
+    Keep,
+    /// Fail construction on the first self-loop.
+    Error,
+}
+
+/// Accumulates an edge list and finalizes it into a [`Graph`].
+///
+/// Duplicate edges are removed during [`GraphBuilder::build`]; the paper's
+/// SimRank formulation is over simple digraphs.
+///
+/// # Examples
+///
+/// ```
+/// use srs_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(0, 1); // duplicate, deduplicated at build time
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.in_neighbors(1), &[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(VertexId, VertexId)>,
+    policy: SelfLoopPolicy,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with exactly `n` vertices (ids `0..n`).
+    pub fn new(n: u32) -> Self {
+        GraphBuilder { n, edges: Vec::new(), policy: SelfLoopPolicy::default() }
+    }
+
+    /// Creates a builder with pre-reserved capacity for `m` edges.
+    pub fn with_capacity(n: u32, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), policy: SelfLoopPolicy::default() }
+    }
+
+    /// Sets the self-loop policy (default: [`SelfLoopPolicy::Drop`]).
+    pub fn self_loop_policy(mut self, policy: SelfLoopPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges added so far (including duplicates).
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `u → v`. Bounds are checked at build time so
+    /// bulk loading stays branch-light.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Adds both `u → v` and `v → u` (used by undirected dataset families).
+    pub fn add_undirected_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+        self.edges.push((v, u));
+    }
+
+    /// Finalizes into an immutable [`Graph`], validating vertex ids,
+    /// applying the self-loop policy, and deduplicating edges.
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            if u >= n || v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u.max(v) as u64, n: n as u64 });
+            }
+        }
+        match self.policy {
+            SelfLoopPolicy::Drop => self.edges.retain(|&(u, v)| u != v),
+            SelfLoopPolicy::Keep => {}
+            SelfLoopPolicy::Error => {
+                if let Some(&(u, _)) = self.edges.iter().find(|&&(u, v)| u == v) {
+                    return Err(GraphError::SelfLoopForbidden { vertex: u });
+                }
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Ok(Graph::from_sorted_dedup_edges(n, &self.edges))
+    }
+}
+
+/// Immutable directed graph in CSR form with both adjacency directions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: u32,
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` with the
+    /// sorted successors of `u`.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<VertexId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` with the sorted
+    /// predecessors (in-links `δ(v)`) of `v`.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds from an already sorted, deduplicated `(u, v)` edge slice.
+    fn from_sorted_dedup_edges(n: u32, edges: &[(VertexId, VertexId)]) -> Graph {
+        let nu = n as usize;
+        let m = edges.len();
+        let mut out_offsets = vec![0u64; nu + 1];
+        let mut in_degree = vec![0u64; nu];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_degree[v as usize] += 1;
+        }
+        for i in 0..nu {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        for &(_, v) in edges {
+            out_targets.push(v); // edges sorted by (u, v): grouped by u, targets ascending
+        }
+        let mut in_offsets = vec![0u64; nu + 1];
+        for v in 0..nu {
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut cursor: Vec<u64> = in_offsets[..nu].to_vec();
+        let mut in_sources = vec![0 as VertexId; m];
+        for &(u, v) in edges {
+            let c = &mut cursor[v as usize];
+            in_sources[*c as usize] = u; // edges sorted by u: sources land ascending per v
+            *c += 1;
+        }
+        Graph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Convenience constructor from an edge iterator (drop self-loops).
+    pub fn from_edges<I>(n: u32, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of directed edges `m` (after deduplication).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.out_targets.len() as u64
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n
+    }
+
+    /// Sorted successors of `u` (targets of `u → v`).
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// Sorted predecessors of `v` — the in-links `δ(v)` of the paper.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> u32 {
+        (self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]) as u32
+    }
+
+    /// In-degree `|δ(v)|` of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as u32
+    }
+
+    /// `true` iff the edge `u → v` exists. `O(log out_degree(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all edges `(u, v)` in `(u, v)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Returns the transposed graph (every edge reversed).
+    pub fn transpose(&self) -> Graph {
+        Graph {
+            n: self.n,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Estimated resident memory of the CSR arrays in bytes. Used by the
+    /// Table 4 reproduction to report graph storage (`O(m)` as the paper
+    /// claims for the proposed method).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.out_offsets.len() as u64 + self.in_offsets.len() as u64) * 8
+            + (self.out_targets.len() as u64 + self.in_sources.len() as u64) * 4
+    }
+
+    /// Entries of the column `P e_u` of the paper's transition matrix:
+    /// the uniform distribution over `δ(u)`, or the zero vector when `u` has
+    /// no in-links (the walk dies; `P` is substochastic there).
+    pub fn reverse_step_distribution(&self, u: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let nb = self.in_neighbors(u);
+        let p = if nb.is_empty() { 0.0 } else { 1.0 / nb.len() as f64 };
+        nb.iter().map(move |&w| (w, p))
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claw() -> Graph {
+        // Example 1 of the paper: star graph of order 4, edges from leaves
+        // into the hub? The paper's P has column 0 = (0, 1/3, 1/3, 1/3)ᵀ...
+        // i.e. δ(0) = {1,2,3}: edges 1→0, 2→0, 3→0.
+        Graph::from_edges(4, vec![(1, 0), (2, 0), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_claw() {
+        let g = claw();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.in_degree(0), 3);
+        assert_eq!(g.out_degree(1), 1);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_degree(2), 0);
+    }
+
+    #[test]
+    fn self_loop_keep_and_error() {
+        let mut b = GraphBuilder::new(2).self_loop_policy(SelfLoopPolicy::Keep);
+        b.add_edge(1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_neighbors(1), &[1]);
+
+        let mut b = GraphBuilder::new(2).self_loop_policy(SelfLoopPolicy::Error);
+        b.add_edge(1, 1);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoopForbidden { vertex: 1 })));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+        assert!(matches!(b.build(), Err(GraphError::VertexOutOfRange { vertex: 5, n: 2 })));
+    }
+
+    #[test]
+    fn adjacency_sorted_both_directions() {
+        let g = Graph::from_edges(5, vec![(4, 2), (1, 2), (3, 2), (2, 0), (2, 4), (2, 1)]).unwrap();
+        assert_eq!(g.in_neighbors(2), &[1, 3, 4]);
+        assert_eq!(g.out_neighbors(2), &[0, 1, 4]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let t = g.transpose();
+        assert_eq!(t.in_neighbors(1), g.out_neighbors(1));
+        assert_eq!(t.out_neighbors(2), g.in_neighbors(2));
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        let g = Graph::from_edges(3, edges.clone()).unwrap();
+        let got: Vec<_> = g.edges().collect();
+        assert_eq!(got, edges);
+    }
+
+    #[test]
+    fn reverse_step_distribution_sums_to_one_or_zero() {
+        let g = claw();
+        let s: f64 = g.reverse_step_distribution(0).map(|(_, p)| p).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(g.reverse_step_distribution(1).count(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,561 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP / LAW / MPI datasets (Table 2) that are not
+//! bundled here; these generators produce graphs with the same *structural*
+//! properties the paper's conclusions rest on:
+//!
+//! * [`copying_web`] — the Kleinberg et al. copying model. Pages copy most
+//!   out-links from a prototype page, which produces the tight link locality
+//!   of real web graphs. The paper observes (Figure 2, §8.1) that top-k
+//!   SimRank neighbours in web graphs sit at distance ≤ 2–3, which this model
+//!   reproduces.
+//! * [`preferential_attachment`] — directed scale-free graphs standing in
+//!   for the social/vote/citation networks, whose top-k neighbours sit
+//!   farther out (distance 3–5).
+//! * [`collaboration`] — symmetrized preferential attachment with triadic
+//!   closure, standing in for ca-GrQc / ca-HepTh style co-authorship graphs.
+//! * [`erdos_renyi`] — the unstructured control.
+//! * [`watts_strogatz`] — small-world ring, used by tests that need tunable
+//!   locality.
+//!
+//! Deterministic: every generator takes an explicit seed.
+//!
+//! Small closed-form fixtures used throughout the test suites live in
+//! [`fixtures`].
+
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Directed Erdős–Rényi `G(n, m)`: `m` distinct directed non-loop edges,
+/// uniformly at random.
+pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0, "need at least 2 vertices for edges");
+    let max_m = n as u64 * (n as u64 - 1);
+    let m = m.min(max_m);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = crate::hash::FxHashSet::default();
+    let mut b = GraphBuilder::with_capacity(n, m as usize);
+    while (seen.len() as u64) < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert(((u as u64) << 32) | v as u64) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Directed preferential attachment: vertices arrive in order; each new
+/// vertex emits `out_per_vertex` edges whose targets are sampled
+/// proportionally to (in-degree + 1) among earlier vertices, using the
+/// classic "pick an endpoint of a random existing edge" trick.
+///
+/// Produces heavy-tailed in-degrees like social / vote / citation networks.
+pub fn preferential_attachment(n: u32, out_per_vertex: u32, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m_est = n as usize * out_per_vertex as usize;
+    let mut b = GraphBuilder::with_capacity(n, m_est);
+    // targets[i] repeats each vertex once per received edge, plus once at
+    // birth (the "+1" smoothing so isolated vertices stay reachable).
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * m_est + n as usize);
+    if n == 0 {
+        return b.build().expect("empty graph");
+    }
+    targets.push(0);
+    let mut chosen: Vec<VertexId> = Vec::with_capacity(out_per_vertex as usize);
+    for u in 1..n {
+        chosen.clear();
+        // Rejection-sample distinct targets so dedup at build time doesn't
+        // erode the per-vertex edge budget (hubs get sampled repeatedly).
+        let want = (out_per_vertex as usize).min(u as usize);
+        let mut attempts = 0;
+        while chosen.len() < want && attempts < 16 * out_per_vertex {
+            attempts += 1;
+            let v = targets[rng.gen_range(0..targets.len())];
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            b.add_edge(u, v);
+            targets.push(v);
+        }
+        targets.push(u);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Preferential attachment with a **locality window**: targets are sampled
+/// degree-proportionally, but only among the most recent `window` endpoint
+/// entries. Pure PA (`window = usize::MAX`) collapses real-size social
+/// networks into a diameter-2 hub core; the window models the temporal
+/// locality of real social/follower graphs and restores their distance
+/// structure (average distance ~3 and bounded hub degrees at wiki-Vote
+/// scale), which the Figure 2 reproduction depends on.
+pub fn preferential_attachment_windowed(
+    n: u32,
+    out_per_vertex: u32,
+    window: usize,
+    seed: u64,
+) -> Graph {
+    assert!(window >= 1, "window must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m_est = n as usize * out_per_vertex as usize;
+    let mut b = GraphBuilder::with_capacity(n, m_est);
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * m_est + n as usize);
+    if n == 0 {
+        return b.build().expect("empty graph");
+    }
+    targets.push(0);
+    let mut chosen: Vec<VertexId> = Vec::with_capacity(out_per_vertex as usize);
+    for u in 1..n {
+        chosen.clear();
+        let want = (out_per_vertex as usize).min(u as usize);
+        let lo = targets.len().saturating_sub(window);
+        let mut attempts = 0;
+        while chosen.len() < want && attempts < 16 * out_per_vertex {
+            attempts += 1;
+            let v = targets[lo + rng.gen_range(0..targets.len() - lo)];
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            b.add_edge(u, v);
+            targets.push(v);
+        }
+        targets.push(u);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Copying-model web graph (Kleinberg/Kumar et al.). Each new page `u`
+/// chooses a uniformly random earlier prototype `p` and emits
+/// `out_per_vertex` links; link `i` copies `p`'s `i`-th out-link with
+/// probability `copy_prob`, otherwise points to a uniform earlier page.
+///
+/// High `copy_prob` (the default regime, 0.7–0.9) yields many co-citation
+/// pairs — exactly the structure that gives web pages high SimRank scores at
+/// distance 2.
+pub fn copying_web(n: u32, out_per_vertex: u32, copy_prob: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n as usize * out_per_vertex as usize);
+    // out_links[u] kept so later pages can copy them.
+    let mut out_links: Vec<Vec<VertexId>> = Vec::with_capacity(n as usize);
+    for u in 0..n {
+        let mut links: Vec<VertexId> = Vec::with_capacity(out_per_vertex as usize);
+        if u == 0 {
+            out_links.push(links);
+            continue;
+        }
+        let proto = rng.gen_range(0..u);
+        for i in 0..out_per_vertex as usize {
+            let v = if rng.gen_bool(copy_prob) && i < out_links[proto as usize].len() {
+                out_links[proto as usize][i]
+            } else {
+                rng.gen_range(0..u)
+            };
+            if v != u {
+                b.add_edge(u, v);
+                links.push(v);
+            }
+        }
+        out_links.push(links);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Symmetrized collaboration-network model: preferential attachment plus
+/// triadic closure. Each new author links to `links_per_vertex` earlier
+/// authors (degree-proportional); with probability `closure_prob` each link
+/// is replaced by a link to a random neighbour of the previous choice
+/// (closing a triangle). All edges are added in both directions, matching
+/// how SNAP ships ca-GrQc / ca-HepTh.
+pub fn collaboration(n: u32, links_per_vertex: u32, closure_prob: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&closure_prob));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n as usize * links_per_vertex as usize);
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n as usize];
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    if n == 0 {
+        return b.build().expect("empty graph");
+    }
+    endpoints.push(0);
+    for u in 1..n {
+        let mut last: Option<VertexId> = None;
+        for _ in 0..links_per_vertex {
+            let v = match last {
+                Some(w) if rng.gen_bool(closure_prob) && !adj[w as usize].is_empty() => {
+                    adj[w as usize][rng.gen_range(0..adj[w as usize].len())]
+                }
+                _ => endpoints[rng.gen_range(0..endpoints.len())],
+            };
+            if v != u {
+                b.add_undirected_edge(u, v);
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+                endpoints.push(v);
+                last = Some(v);
+            }
+        }
+        endpoints.push(u);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Watts–Strogatz small-world ring: each vertex connects to its `k/2`
+/// clockwise neighbours (symmetrized); each edge is rewired to a uniform
+/// random target with probability `beta`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Graph {
+    assert!(n > k, "ring requires n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (n * k) as usize);
+    for u in 0..n {
+        for j in 1..=(k / 2).max(1) {
+            let mut v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // rewire; retry a few times to avoid loops
+                for _ in 0..8 {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            if v != u {
+                b.add_undirected_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// R-MAT / Kronecker-style recursive generator (Chakrabarti et al.): each
+/// edge picks its endpoints by descending `log2(n)` levels of a 2×2
+/// quadrant distribution `(a, b, c, d)`. The classic parameterization
+/// `(0.57, 0.19, 0.19, 0.05)` produces the skewed, community-laden
+/// structure of large web/social crawls and is what the LAW datasets the
+/// paper uses (it-2004, twitter-2010) most resemble at scale.
+pub fn rmat(scale: u32, edges: u64, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!((1..31).contains(&scale), "scale out of range");
+    let d = 1.0 - a - b - c;
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "invalid quadrant probabilities");
+    let n = 1u32 << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, edges as usize);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _level in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build().expect("generator produces valid edges")
+}
+
+/// Forest-fire model (Leskovec et al.): each new vertex links to a random
+/// ambassador and then recursively "burns" through the ambassador's
+/// neighbourhood with forward-burning probability `p`. Produces densifying
+/// graphs with heavy community structure and shrinking diameter —
+/// citation-network-like.
+pub fn forest_fire(n: u32, p: f64, seed: u64) -> Graph {
+    assert!((0.0..1.0).contains(&p), "burning probability must be in [0,1)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // out_links grown incrementally so burning can traverse them.
+    let mut out_links: Vec<Vec<VertexId>> = vec![Vec::new(); n as usize];
+    let mut visited: crate::hash::FxHashSet<VertexId> = crate::hash::FxHashSet::default();
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for u in 1..n {
+        let ambassador = rng.gen_range(0..u);
+        visited.clear();
+        frontier.clear();
+        frontier.push(ambassador);
+        visited.insert(ambassador);
+        // Cap total burn to keep degree bounded on dense fires.
+        let burn_cap = 32usize;
+        while let Some(w) = frontier.pop() {
+            b.add_edge(u, w);
+            out_links[u as usize].push(w);
+            if visited.len() >= burn_cap {
+                continue;
+            }
+            // Geometric number of links to follow from w.
+            for &next in &out_links[w as usize] {
+                if visited.len() >= burn_cap {
+                    break;
+                }
+                if rng.gen_bool(p) && visited.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Directed configuration model: realizes (approximately) the given
+/// out-degree sequence with uniformly random targets, rejecting self-loops
+/// and duplicates. Used to build graphs matching a measured degree
+/// distribution.
+pub fn configuration(out_degrees: &[u32], seed: u64) -> Graph {
+    let n = out_degrees.len() as u32;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m: usize = out_degrees.iter().map(|&d| d as usize).sum();
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut chosen: Vec<VertexId> = Vec::new();
+    for (u, &deg) in out_degrees.iter().enumerate() {
+        let u = u as VertexId;
+        chosen.clear();
+        let want = (deg as usize).min(n.saturating_sub(1) as usize);
+        let mut attempts = 0;
+        while chosen.len() < want && attempts < 16 * deg.max(1) {
+            attempts += 1;
+            let v = rng.gen_range(0..n);
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Small closed-form graphs used in unit and property tests.
+pub mod fixtures {
+    use crate::Graph;
+
+    /// The paper's Example 1: star graph of order 4 ("claw"), edges in both
+    /// directions (the paper's transition matrix has `δ(0) = {1,2,3}` and
+    /// `δ(leaf) = {0}`). For `c = 0.8`, `s(i, j) = 4/5` for distinct leaves
+    /// and `D = diag(23/75, 1/5, 1/5, 1/5)`.
+    pub fn claw() -> Graph {
+        Graph::from_edges(4, vec![(1, 0), (2, 0), (3, 0), (0, 1), (0, 2), (0, 3)])
+            .expect("static edges valid")
+    }
+
+    /// Directed path `0 → 1 → … → n-1`.
+    pub fn path(n: u32) -> Graph {
+        Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1))).expect("static edges valid")
+    }
+
+    /// Directed cycle on `n` vertices.
+    pub fn cycle(n: u32) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("static edges valid")
+    }
+
+    /// Complete digraph on `n` vertices (every ordered pair, no loops).
+    pub fn complete(n: u32) -> Graph {
+        let edges = (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)));
+        Graph::from_edges(n, edges).expect("static edges valid")
+    }
+
+    /// Two dense communities of size `half` bridged by one edge; exposes
+    /// locality behaviour in pruning tests.
+    pub fn two_communities(half: u32) -> Graph {
+        let n = 2 * half;
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            let base = c * half;
+            for i in 0..half {
+                for j in 0..half {
+                    if i != j && (i + 2 * j) % 3 == 0 {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        edges.push((0, half));
+        Graph::from_edges(n, edges).expect("static edges valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_edge_count_and_determinism() {
+        let g1 = erdos_renyi(100, 500, 42);
+        let g2 = erdos_renyi(100, 500, 42);
+        assert_eq!(g1.num_edges(), 500);
+        assert_eq!(g1, g2);
+        let g3 = erdos_renyi(100, 500, 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_complete() {
+        let g = erdos_renyi(5, 10_000, 1);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn preferential_attachment_heavy_tail() {
+        let g = preferential_attachment(2000, 5, 7);
+        assert!(g.num_edges() > 8000);
+        let max_in = (0..g.num_vertices()).map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        // scale-free graphs have hubs far above the mean
+        assert!(max_in as f64 > 10.0 * avg_in, "max_in={max_in} avg={avg_in}");
+    }
+
+    #[test]
+    fn windowed_pa_limits_hub_dominance() {
+        let full = preferential_attachment(3000, 8, 7);
+        let windowed = preferential_attachment_windowed(3000, 8, 500, 7);
+        let max_in = |g: &Graph| (0..g.num_vertices()).map(|v| g.in_degree(v)).max().unwrap();
+        assert!(
+            max_in(&windowed) < max_in(&full),
+            "window should cap hub growth: {} vs {}",
+            max_in(&windowed),
+            max_in(&full)
+        );
+        // And increase typical distances.
+        let d_full = crate::bfs::estimate_average_distance(&full, 8, 3);
+        let d_win = crate::bfs::estimate_average_distance(&windowed, 8, 3);
+        assert!(d_win > d_full, "windowed avg distance {d_win} vs full {d_full}");
+    }
+
+    #[test]
+    fn windowed_pa_huge_window_equals_plain_pa() {
+        let a = preferential_attachment(400, 4, 9);
+        let b = preferential_attachment_windowed(400, 4, usize::MAX, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn copying_web_has_cocitation() {
+        let g = copying_web(2000, 8, 0.8, 11);
+        // Count vertices with in-degree ≥ 2 — copying should concentrate
+        // in-links strongly.
+        let popular = (0..g.num_vertices()).filter(|&v| g.in_degree(v) >= 10).count();
+        assert!(popular > 20, "popular={popular}");
+    }
+
+    #[test]
+    fn collaboration_symmetric() {
+        let g = collaboration(500, 4, 0.5, 3);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "missing reverse of {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_degree() {
+        let g = watts_strogatz(100, 4, 0.0, 5);
+        // beta = 0: pure ring. Each vertex participates in k = 4 undirected
+        // edges, each stored as both directions: out + in = 2k = 8.
+        for v in 0..100 {
+            assert_eq!(g.out_degree(v) + g.in_degree(v), 8);
+        }
+    }
+
+    #[test]
+    fn fixtures_shapes() {
+        let c = fixtures::claw();
+        assert_eq!(c.in_degree(0), 3);
+        let p = fixtures::path(5);
+        assert_eq!(p.num_edges(), 4);
+        let cy = fixtures::cycle(5);
+        assert_eq!(cy.num_edges(), 5);
+        let k = fixtures::complete(4);
+        assert_eq!(k.num_edges(), 12);
+        let tc = fixtures::two_communities(5);
+        assert_eq!(tc.num_vertices(), 10);
+    }
+
+    #[test]
+    fn generators_never_emit_self_loops() {
+        for g in [
+            erdos_renyi(50, 200, 1),
+            preferential_attachment(50, 3, 2),
+            preferential_attachment_windowed(50, 3, 20, 2),
+            copying_web(50, 3, 0.7, 3),
+            collaboration(50, 3, 0.4, 4),
+            watts_strogatz(50, 4, 0.3, 5),
+            rmat(6, 200, 0.57, 0.19, 0.19, 6),
+            forest_fire(50, 0.3, 7),
+            configuration(&[3; 50], 8),
+        ] {
+            for (u, v) in g.edges() {
+                assert_ne!(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_skew_and_size() {
+        let g = rmat(10, 8000, 0.57, 0.19, 0.19, 11);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 6000, "m = {} (duplicates removed)", g.num_edges());
+        // Quadrant skew concentrates edges on low ids.
+        let low: u64 = (0..512u32).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum();
+        let high: u64 = (512..1024u32).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum();
+        assert!(low > 2 * high, "low-half degree {low} vs high-half {high}");
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(8, 1000, 0.57, 0.19, 0.19, 3);
+        let b = rmat(8, 1000, 0.57, 0.19, 0.19, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quadrant probabilities")]
+    fn rmat_rejects_bad_probabilities() {
+        rmat(5, 10, 0.6, 0.3, 0.3, 1);
+    }
+
+    #[test]
+    fn forest_fire_connected_and_densifying() {
+        let g = forest_fire(500, 0.35, 9);
+        // Every vertex > 0 links to at least its ambassador.
+        for v in 1..500 {
+            assert!(g.out_degree(v) >= 1, "vertex {v} has no out-links");
+        }
+        let (_, components) = crate::bfs::weakly_connected_components(&g);
+        assert_eq!(components, 1);
+        // Burning makes the graph denser than a pure tree.
+        assert!(g.num_edges() > 650, "m = {}", g.num_edges());
+    }
+
+    #[test]
+    fn configuration_model_realizes_degrees() {
+        let degs: Vec<u32> = (0..100).map(|i| (i % 5) + 1).collect();
+        let g = configuration(&degs, 13);
+        for (v, &want) in degs.iter().enumerate() {
+            assert_eq!(g.out_degree(v as u32), want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn configuration_clamps_impossible_degrees() {
+        // Degree larger than n-1 is clamped, not an infinite loop.
+        let g = configuration(&[10, 10, 10], 1);
+        for v in 0..3 {
+            assert!(g.out_degree(v) <= 2);
+        }
+    }
+}

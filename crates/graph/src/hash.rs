@@ -1,0 +1,169 @@
+//! FxHash-style fast hashing for integer-keyed maps.
+//!
+//! SimRank's hot loops key hash maps by `u32` vertex ids. The standard
+//! library's SipHash is needlessly slow there (and HashDoS is irrelevant for
+//! in-process graph ids), so this module provides the classic Firefox/rustc
+//! "Fx" multiply-rotate hash, implemented in-workspace to stay within the
+//! approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx mixing constant (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small keys (the rustc/Firefox "Fx"
+/// algorithm: `hash = (hash rotl 5 ^ byte-chunk) * SEED`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        // Mix in the length so zero-padded tails of different lengths
+        // ([1,2,3] vs [1,2,3,0]) hash apart.
+        self.add_to_hash(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with Fx hashing.
+///
+/// ```
+/// let mut m: srs_graph::hash::FxHashMap<u32, &str> = Default::default();
+/// m.insert(7, "seven");
+/// assert_eq!(m[&7], "seven");
+/// ```
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with Fx hashing.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// SplitMix64: the standard 64-bit finalizer/stream mixer. Used to derive
+/// independent sub-seeds (e.g. one per vertex, per fingerprint, per walk)
+/// from a single user-provided seed without correlation.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes several values into one seed (order-sensitive).
+#[inline]
+pub fn mix_seed(parts: &[u64]) -> u64 {
+    let mut acc = 0x243f_6a88_85a3_08d3; // pi digits
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_ne!(hash_one(42u32), hash_one(43u32));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Unequal prefixes of a byte stream must (overwhelmingly) hash apart.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the canonical splitmix64 (Vigna).
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
+    }
+
+    #[test]
+    fn mix_seed_order_sensitive() {
+        assert_ne!(mix_seed(&[1, 2]), mix_seed(&[2, 1]));
+        assert_eq!(mix_seed(&[7, 9]), mix_seed(&[7, 9]));
+    }
+
+    #[test]
+    fn distribution_sanity() {
+        // Buckets of low bits should be roughly uniform over sequential keys.
+        let mut buckets = [0u32; 16];
+        for i in 0..16_000u32 {
+            buckets[(hash_one(i) & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+}

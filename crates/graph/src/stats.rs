@@ -1,0 +1,133 @@
+//! Degree and distance statistics used by the experiment harness.
+
+use crate::{Graph, VertexId};
+
+/// Summary degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Mean out-degree (= mean in-degree = m/n).
+    pub mean: f64,
+    /// Maximum in-degree.
+    pub max_in: u32,
+    /// Maximum out-degree.
+    pub max_out: u32,
+    /// Number of vertices with no in-links (reverse walks die immediately).
+    pub dangling_in: u32,
+    /// Number of vertices with no out-links.
+    pub dangling_out: u32,
+}
+
+/// Computes [`DegreeStats`] in one pass.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut max_in = 0;
+    let mut max_out = 0;
+    let mut dangling_in = 0;
+    let mut dangling_out = 0;
+    for v in 0..n {
+        let di = g.in_degree(v);
+        let do_ = g.out_degree(v);
+        max_in = max_in.max(di);
+        max_out = max_out.max(do_);
+        if di == 0 {
+            dangling_in += 1;
+        }
+        if do_ == 0 {
+            dangling_out += 1;
+        }
+    }
+    DegreeStats {
+        mean: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        max_in,
+        max_out,
+        dangling_in,
+        dangling_out,
+    }
+}
+
+/// In-degree histogram: `hist[d]` = number of vertices with in-degree `d`
+/// (degrees above `cap` are clamped into the last bucket).
+pub fn in_degree_histogram(g: &Graph, cap: usize) -> Vec<u64> {
+    let mut hist = vec![0u64; cap + 1];
+    for v in 0..g.num_vertices() {
+        let d = (g.in_degree(v) as usize).min(cap);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Picks `count` query vertices deterministically, preferring vertices that
+/// have at least one in-link (so SimRank walks are non-trivial). Used by
+/// every experiment that averages over "100 random query vertices".
+pub fn sample_query_vertices(g: &Graph, count: usize, seed: u64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut picked = Vec::with_capacity(count);
+    let mut seen = crate::hash::FxHashSet::default();
+    let mut i = 0u64;
+    // First pass: prefer vertices with in-links.
+    while picked.len() < count && i < 64 * count as u64 + 1024 {
+        let v = (crate::hash::mix_seed(&[seed, i]) % n.max(1) as u64) as VertexId;
+        i += 1;
+        if g.in_degree(v) > 0 && seen.insert(v) {
+            picked.push(v);
+        }
+    }
+    // Fallback: accept anything (tiny or edgeless graphs).
+    let mut v = 0;
+    while picked.len() < count && (v as usize) < n as usize {
+        if seen.insert(v) {
+            picked.push(v);
+        }
+        v += 1;
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, fixtures};
+
+    #[test]
+    fn stats_on_claw() {
+        let s = degree_stats(&fixtures::claw());
+        assert_eq!(s.max_in, 3);
+        assert_eq!(s.max_out, 3);
+        assert_eq!(s.dangling_in, 0);
+        assert_eq!(s.dangling_out, 0);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram() {
+        let h = in_degree_histogram(&fixtures::claw(), 5);
+        assert_eq!(h[1], 3); // leaves: in-link from the hub
+        assert_eq!(h[3], 1); // hub: in-links from all leaves
+    }
+
+    #[test]
+    fn histogram_clamps() {
+        let g = fixtures::complete(6);
+        let h = in_degree_histogram(&g, 2);
+        assert_eq!(h[2], 6); // all have in-degree 5, clamped to bucket 2
+    }
+
+    #[test]
+    fn query_sampling_prefers_indegree_and_dedups() {
+        let g = gen::preferential_attachment(200, 3, 5);
+        let q = sample_query_vertices(&g, 50, 1);
+        assert_eq!(q.len(), 50);
+        let distinct: std::collections::HashSet<_> = q.iter().collect();
+        assert_eq!(distinct.len(), 50);
+        for &v in &q {
+            assert!(g.in_degree(v) > 0);
+        }
+    }
+
+    #[test]
+    fn query_sampling_fallback_on_tiny_graph() {
+        let g = fixtures::path(3);
+        let q = sample_query_vertices(&g, 3, 1);
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Subgraph extraction and dataset-cleaning operations.
+//!
+//! Real SNAP datasets are routinely cleaned before SimRank experiments:
+//! restricted to the largest weakly connected component (isolated shards
+//! make "similarity search" degenerate) or down-sampled to a vertex
+//! subset. These helpers mirror those steps for graphs loaded through
+//! [`crate::io`] and are used by tests to build focused fixtures.
+
+use crate::bfs::weakly_connected_components;
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// The result of an induced-subgraph extraction: the new graph plus the
+/// mapping from new vertex ids back to the original ids.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The extracted graph (vertices relabelled `0..k`).
+    pub graph: Graph,
+    /// `original_id[new_id]` — the source vertex of each new vertex.
+    pub original_id: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Maps an original vertex id to its id in the subgraph, if included.
+    pub fn new_id(&self, original: VertexId) -> Option<VertexId> {
+        // original_id is sorted (construction iterates ascending), so a
+        // binary search suffices without an extra map.
+        self.original_id.binary_search(&original).ok().map(|i| i as VertexId)
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (any iteration order;
+/// duplicates ignored). Edges with both endpoints kept survive.
+pub fn induced(g: &Graph, keep: impl IntoIterator<Item = VertexId>) -> InducedSubgraph {
+    let n = g.num_vertices() as usize;
+    let mut included = vec![false; n];
+    for v in keep {
+        included[v as usize] = true;
+    }
+    let mut original_id = Vec::new();
+    let mut new_of = vec![VertexId::MAX; n];
+    for v in 0..n {
+        if included[v] {
+            new_of[v] = original_id.len() as VertexId;
+            original_id.push(v as VertexId);
+        }
+    }
+    let mut b = GraphBuilder::new(original_id.len() as u32);
+    for (u, v) in g.edges() {
+        if included[u as usize] && included[v as usize] {
+            b.add_edge(new_of[u as usize], new_of[v as usize]);
+        }
+    }
+    InducedSubgraph { graph: b.build().expect("relabelled ids are in range"), original_id }
+}
+
+/// Extracts the largest weakly connected component (ties broken by lowest
+/// component id, i.e. the one containing the smallest vertex).
+///
+/// ```
+/// use srs_graph::{Graph, subgraph};
+///
+/// // Two components: {0,1,2} and {3,4}.
+/// let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+/// let main = subgraph::largest_wcc(&g);
+/// assert_eq!(main.graph.num_vertices(), 3);
+/// assert_eq!(main.original_id, vec![0, 1, 2]);
+/// ```
+pub fn largest_wcc(g: &Graph) -> InducedSubgraph {
+    let (comp, count) = weakly_connected_components(g);
+    let mut sizes = vec![0u64; count as usize];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    induced(g, (0..g.num_vertices()).filter(|&v| comp[v as usize] == best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let sub = induced(&g, [0u32, 1, 2]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 2); // 0→1, 1→2 survive
+        assert_eq!(sub.original_id, vec![0, 1, 2]);
+        assert_eq!(sub.new_id(2), Some(2));
+        assert_eq!(sub.new_id(4), None);
+    }
+
+    #[test]
+    fn induced_relabels_densely() {
+        let g = Graph::from_edges(6, vec![(1, 3), (3, 5), (5, 1)]).unwrap();
+        let sub = induced(&g, [1u32, 3, 5]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.original_id, vec![1, 3, 5]);
+        // The triangle must be preserved under relabelling.
+        for v in 0..3u32 {
+            assert_eq!(sub.graph.out_degree(v), 1);
+            assert_eq!(sub.graph.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn largest_wcc_picks_big_component() {
+        // Component A: 0-1-2 (3 vertices), component B: 3-4 (2 vertices).
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let sub = largest_wcc(&g);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.original_id, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_wcc_of_connected_graph_is_identity() {
+        let g = gen::fixtures::cycle(8);
+        let sub = largest_wcc(&g);
+        assert_eq!(sub.graph, g);
+        assert_eq!(sub.original_id, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_in_keep_are_harmless() {
+        let g = gen::fixtures::path(4);
+        let sub = induced(&g, [1u32, 2, 2, 1]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_keep_set() {
+        let g = gen::fixtures::path(4);
+        let sub = induced(&g, std::iter::empty());
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

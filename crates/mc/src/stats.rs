@@ -1,0 +1,180 @@
+//! Streaming statistics for Monte-Carlo estimates.
+//!
+//! [`RunningStats`] implements Welford's single-pass algorithm for mean and
+//! variance, used by the benches to report estimator dispersion and by the
+//! statistical tests to build confidence intervals without storing every
+//! sample.
+
+/// Single-pass mean / variance / extrema accumulator (Welford).
+///
+/// ```
+/// use srs_mc::stats::RunningStats;
+/// let s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation confidence half-width at `z` standard errors
+    /// (`z = 1.96` for 95%).
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.stderr()
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.n = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_sample() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; unbiased sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let one: RunningStats = [3.5].into_iter().collect();
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.stderr(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let seq: RunningStats = all.iter().copied().collect();
+        let mut a: RunningStats = all[..400].iter().copied().collect();
+        let b: RunningStats = all[400..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.variance() - seq.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0].into_iter().collect();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), 2);
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: RunningStats = (0..10).map(|i| (i % 3) as f64).collect();
+        let large: RunningStats = (0..10_000).map(|i| (i % 3) as f64).collect();
+        assert!(large.ci_half_width(1.96) < small.ci_half_width(1.96));
+    }
+}

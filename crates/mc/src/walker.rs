@@ -1,0 +1,228 @@
+//! Reverse random-walk engine.
+//!
+//! All of the paper's Monte-Carlo algorithms simulate walks that start at a
+//! vertex and repeatedly jump to a **uniformly random in-neighbour**
+//! (equation (12): `Pᵗ e_u = E[e_{u(t)}]`). This module provides:
+//!
+//! * [`WalkEngine::step_all`] — advance a batch of walk positions one step,
+//!   in place (used by the streaming Algorithms 1–3, which only ever need
+//!   the *current* positions);
+//! * [`WalkEngine::walk`] — record a full trajectory (used by the candidate
+//!   index construction, Algorithm 4, which inspects `W[t]`);
+//! * [`WalkMatrix`] — `R × (T+1)` recorded trajectories from one source.
+//!
+//! A walk that reaches a vertex with no in-links **dies**: its position
+//! becomes [`DEAD`] and stays there. Dead walks are how the substochastic
+//! rows of `P` are realized — they simply stop contributing to any count.
+
+use crate::rng::Pcg32;
+use srs_graph::{Graph, VertexId};
+
+/// Sentinel position of a dead walk (vertex with no in-links was reached).
+pub const DEAD: VertexId = VertexId::MAX;
+
+/// Batched reverse random-walk stepping over one graph.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkEngine<'g> {
+    g: &'g Graph,
+}
+
+impl<'g> WalkEngine<'g> {
+    /// Creates an engine over `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        WalkEngine { g }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Advances a single position one reverse step (or kills it).
+    #[inline]
+    pub fn step_one(&self, pos: VertexId, rng: &mut Pcg32) -> VertexId {
+        if pos == DEAD {
+            return DEAD;
+        }
+        let nb = self.g.in_neighbors(pos);
+        if nb.is_empty() {
+            DEAD
+        } else {
+            nb[rng.gen_range(nb.len() as u32) as usize]
+        }
+    }
+
+    /// Advances every position in `positions` one reverse step in place.
+    pub fn step_all(&self, positions: &mut [VertexId], rng: &mut Pcg32) {
+        for p in positions {
+            *p = self.step_one(*p, rng);
+        }
+    }
+
+    /// Records a single trajectory of `t_max` steps from `start`
+    /// (`out.len() == t_max + 1`, `out[0] == start`). Dead tail positions
+    /// are [`DEAD`].
+    ///
+    /// ```
+    /// use srs_mc::{WalkEngine, Pcg32, DEAD};
+    /// use srs_graph::gen::fixtures;
+    ///
+    /// let g = fixtures::path(3);            // 0 → 1 → 2
+    /// let engine = WalkEngine::new(&g);
+    /// let mut out = Vec::new();
+    /// engine.walk(2, 4, &mut Pcg32::new(1, 1), &mut out);
+    /// assert_eq!(out, vec![2, 1, 0, DEAD, DEAD]); // dies at the source
+    /// ```
+    pub fn walk(&self, start: VertexId, t_max: usize, rng: &mut Pcg32, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.reserve(t_max + 1);
+        out.push(start);
+        let mut cur = start;
+        for _ in 0..t_max {
+            cur = self.step_one(cur, rng);
+            out.push(cur);
+        }
+    }
+
+    /// Records `r` independent trajectories of `t_max` steps from `start`.
+    pub fn walk_matrix(&self, start: VertexId, r: usize, t_max: usize, rng: &mut Pcg32) -> WalkMatrix {
+        let mut positions = vec![start; r * (t_max + 1)];
+        for walk in 0..r {
+            let mut cur = start;
+            for t in 1..=t_max {
+                cur = self.step_one(cur, rng);
+                positions[walk * (t_max + 1) + t] = cur;
+            }
+        }
+        WalkMatrix { r, t_max, positions }
+    }
+}
+
+/// `R` recorded reverse-walk trajectories of length `T` from one source.
+/// Row-major: trajectory `i` occupies `positions[i*(T+1) .. (i+1)*(T+1)]`.
+#[derive(Debug, Clone)]
+pub struct WalkMatrix {
+    r: usize,
+    t_max: usize,
+    positions: Vec<VertexId>,
+}
+
+impl WalkMatrix {
+    /// Number of trajectories `R`.
+    pub fn num_walks(&self) -> usize {
+        self.r
+    }
+
+    /// Trajectory length `T` (number of steps; positions per row is `T+1`).
+    pub fn t_max(&self) -> usize {
+        self.t_max
+    }
+
+    /// Position of walk `walk` at step `t` (`t = 0` is the source).
+    #[inline]
+    pub fn at(&self, walk: usize, t: usize) -> VertexId {
+        self.positions[walk * (self.t_max + 1) + t]
+    }
+
+    /// Full trajectory of one walk.
+    pub fn row(&self, walk: usize) -> &[VertexId] {
+        &self.positions[walk * (self.t_max + 1)..(walk + 1) * (self.t_max + 1)]
+    }
+
+    /// Iterates the `R` positions at step `t` (including [`DEAD`] entries).
+    pub fn step_positions(&self, t: usize) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.r).map(move |w| self.at(w, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::gen::fixtures;
+
+    #[test]
+    fn walks_die_at_sources() {
+        // Path 0→1→2→3: reverse walk from 3 deterministically reaches 0 and
+        // then dies.
+        let g = fixtures::path(4);
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(1, 1);
+        let mut out = Vec::new();
+        e.walk(3, 6, &mut rng, &mut out);
+        assert_eq!(out, vec![3, 2, 1, 0, DEAD, DEAD, DEAD]);
+    }
+
+    #[test]
+    fn step_all_advances_in_place() {
+        let g = fixtures::cycle(5);
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(2, 2);
+        let mut pos = vec![0, 1, 2, 3, 4];
+        e.step_all(&mut pos, &mut rng);
+        // On a cycle, the unique in-neighbour of i is i-1.
+        assert_eq!(pos, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn walk_matrix_layout() {
+        let g = fixtures::cycle(4);
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(3, 3);
+        let m = e.walk_matrix(2, 3, 5, &mut rng);
+        assert_eq!(m.num_walks(), 3);
+        assert_eq!(m.t_max(), 5);
+        for w in 0..3 {
+            assert_eq!(m.at(w, 0), 2);
+            assert_eq!(m.row(w).len(), 6);
+            // cycle walk is deterministic: position at t is (2 - t) mod 4
+            for t in 0..=5usize {
+                assert_eq!(m.at(w, t), ((2 + 4 * 2 - t as u32) % 4), "w={w} t={t}");
+            }
+        }
+        assert_eq!(m.step_positions(1).collect::<Vec<_>>(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn claw_walks_from_hub_spread_uniformly() {
+        let g = fixtures::claw();
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(4, 4);
+        let mut counts = [0u32; 4];
+        for _ in 0..30_000 {
+            let p = e.step_one(0, &mut rng);
+            counts[p as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for leaf in 1..4 {
+            let c = counts[leaf];
+            assert!((9_000..11_000).contains(&c), "leaf {leaf}: {c}");
+        }
+    }
+
+    #[test]
+    fn dead_walk_stays_dead() {
+        let g = fixtures::path(2);
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(5, 5);
+        let mut pos = vec![0];
+        e.step_all(&mut pos, &mut rng);
+        assert_eq!(pos[0], DEAD);
+        e.step_all(&mut pos, &mut rng);
+        assert_eq!(pos[0], DEAD);
+    }
+
+    #[test]
+    fn uniform_choice_over_in_neighbors() {
+        // Vertex 0 with in-links from 1..=4; verify each chosen ~uniformly.
+        let g = srs_graph::Graph::from_edges(5, (1..5).map(|i| (i, 0))).unwrap();
+        let e = WalkEngine::new(&g);
+        let mut rng = Pcg32::new(6, 6);
+        let mut counts = [0u32; 5];
+        for _ in 0..40_000 {
+            counts[e.step_one(0, &mut rng) as usize] += 1;
+        }
+        for i in 1..5 {
+            assert!((9_000..11_000).contains(&counts[i]), "{:?}", counts);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Top-k similarity search for **all** vertices (§2.2 of the paper).
+//!
+//! The all-vertices problem is embarrassingly parallel: each query is
+//! independent, which is the paper's "distributed computing friendly"
+//! argument (`O(n²/M)` on `M` machines). Here the fleet is a thread pool:
+//! vertices are striped across workers, each with its own
+//! [`QueryContext`], and results land in a dense `Vec` indexed by vertex.
+
+use crate::topk::{Hit, QueryContext, QueryOptions, QueryStats, TopKIndex};
+use srs_graph::{Graph, VertexId};
+
+/// Aggregated counters over an all-vertices run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllVerticesStats {
+    /// Sum of per-query counters.
+    pub totals: QueryStats,
+    /// Number of queries executed (= n).
+    pub queries: u64,
+}
+
+/// Runs [`QueryContext::query`] for every vertex, `threads`-way parallel.
+/// Returns per-vertex hit lists (index = vertex id) and aggregate stats.
+pub fn all_topk(
+    g: &Graph,
+    index: &TopKIndex,
+    k: usize,
+    opts: &QueryOptions,
+    threads: usize,
+) -> (Vec<Vec<Hit>>, AllVerticesStats) {
+    assert!(threads >= 1);
+    let n = g.num_vertices() as usize;
+    let mut results: Vec<Vec<Hit>> = vec![Vec::new(); n];
+    let mut stats = AllVerticesStats { queries: n as u64, ..Default::default() };
+    let per = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in results.chunks_mut(per).enumerate() {
+            handles.push(scope.spawn(move |_| {
+                let mut ctx = QueryContext::new(g, index);
+                let mut local = QueryStats::default();
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let u = (chunk_idx * per + off) as VertexId;
+                    let res = ctx.query(u, k, opts);
+                    local.candidates += res.stats.candidates;
+                    local.pruned_distance += res.stats.pruned_distance;
+                    local.pruned_bounds += res.stats.pruned_bounds;
+                    local.pruned_coarse += res.stats.pruned_coarse;
+                    local.refined += res.stats.refined;
+                    local.bfs_visited += res.stats.bfs_visited;
+                    *slot = res.hits;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            let local = h.join().expect("worker panicked");
+            stats.totals.candidates += local.candidates;
+            stats.totals.pruned_distance += local.pruned_distance;
+            stats.totals.pruned_bounds += local.pruned_bounds;
+            stats.totals.pruned_coarse += local.pruned_coarse;
+            stats.totals.refined += local.refined;
+            stats.totals.bfs_visited += local.bfs_visited;
+        }
+    })
+    .expect("worker thread panicked");
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagonal, SimRankParams};
+    use srs_graph::gen;
+
+    fn small_index(g: &Graph) -> TopKIndex {
+        let params = SimRankParams { r_bounds: 500, r_gamma: 40, ..Default::default() };
+        TopKIndex::build_with(g, &params, Diagonal::paper_default(params.c), 7, 2)
+    }
+
+    #[test]
+    fn covers_every_vertex_and_matches_single_queries() {
+        let g = gen::copying_web(120, 4, 0.8, 6);
+        let idx = small_index(&g);
+        let opts = QueryOptions::default();
+        let (all, stats) = all_topk(&g, &idx, 5, &opts, 4);
+        assert_eq!(all.len(), 120);
+        assert_eq!(stats.queries, 120);
+        for u in [0u32, 17, 63, 119] {
+            let single = idx.query(&g, u, 5, &opts);
+            assert_eq!(all[u as usize], single.hits, "u={u}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = gen::copying_web(80, 4, 0.8, 2);
+        let idx = small_index(&g);
+        let opts = QueryOptions::default();
+        let (a, _) = all_topk(&g, &idx, 3, &opts, 1);
+        let (b, _) = all_topk(&g, &idx, 3, &opts, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_stats_accumulate() {
+        let g = gen::copying_web(60, 4, 0.8, 3);
+        let idx = small_index(&g);
+        let (_, stats) = all_topk(&g, &idx, 3, &QueryOptions::default(), 2);
+        let t = stats.totals;
+        assert_eq!(t.candidates, t.pruned_distance + t.pruned_bounds + t.pruned_coarse + t.refined);
+    }
+}

@@ -1,0 +1,294 @@
+//! Algorithm 4 — the candidate index (auxiliary bipartite graph `H`).
+//!
+//! For each vertex `u`, the preprocess runs `P` repetitions of: one *probe*
+//! walk `W0` of length `T` plus `Q` auxiliary walks `W1..WQ`, all from `u`.
+//! At step `t`, the probe position `v = W0[t]` becomes a **signature** of
+//! `u` (an edge `(u_left, v_right)` of `H`) when *any two* of the walks
+//! `W0..WQ` coincide at step `t` (Algorithm 4, line 7: "if `W_{j,t} =
+//! W_{k,t}` for some `j ≠ k` then add `W_{0,t}`"). A coincidence means the
+//! walk distribution `Pᵗe_u` carries repeated mass — exactly what makes the
+//! Algorithm 1 estimator see co-locations, so positions reached under that
+//! evidence are worth indexing.
+//!
+//! Two vertices that share a signature (`Γ(u_left) ∩ Γ(v_left) ≠ ∅`) are
+//! likely to have walks that meet, hence non-negligible SimRank — those are
+//! the query-time **candidates**. The inverted (signature → vertices) map
+//! makes candidate enumeration a two-hop lookup.
+
+use crate::SimRankParams;
+use srs_graph::hash::FxHashSet;
+use srs_graph::{Graph, VertexId};
+use srs_mc::{Pcg32, WalkEngine, DEAD};
+
+/// The candidate index: bipartite graph `H` in CSR form, both directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateIndex {
+    n: u32,
+    /// Forward: `entries[offsets[u]..offsets[u+1]]` = sorted signatures of `u`.
+    offsets: Vec<u64>,
+    entries: Vec<VertexId>,
+    /// Inverted: `inv_entries[inv_offsets[w]..inv_offsets[w+1]]` = vertices
+    /// having signature `w`.
+    inv_offsets: Vec<u64>,
+    inv_entries: Vec<VertexId>,
+}
+
+impl CandidateIndex {
+    /// Builds the index (Algorithm 4) for every vertex, `P = params.index_reps`
+    /// repetitions and `Q = params.index_walks` auxiliary walks each,
+    /// deterministically in `seed`. Vertices are split across `threads`
+    /// workers.
+    pub fn build(g: &Graph, params: &SimRankParams, seed: u64, threads: usize) -> Self {
+        Self::build_for(g, params, seed, threads, &[])
+    }
+
+    /// Like [`CandidateIndex::build`], but only vertices with
+    /// `mask[v] == true` get signatures (others stay empty). Empty mask =
+    /// all vertices. Per-vertex `(seed, vertex)` streams make masked rows
+    /// bit-identical to a full build's rows (incremental extension).
+    pub fn build_for(
+        g: &Graph,
+        params: &SimRankParams,
+        seed: u64,
+        threads: usize,
+        mask: &[bool],
+    ) -> Self {
+        params.validate();
+        assert!(threads >= 1);
+        let n = g.num_vertices() as usize;
+        assert!(mask.is_empty() || mask.len() == n, "mask length");
+        let per = n.div_ceil(threads.max(1)).max(1);
+        let mut partials: Vec<Vec<Vec<VertexId>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_start in (0..n).step_by(per) {
+                let chunk_end = (chunk_start + per).min(n);
+                handles.push(scope.spawn(move |_| {
+                    let mut local: Vec<Vec<VertexId>> = Vec::with_capacity(chunk_end - chunk_start);
+                    let engine = WalkEngine::new(g);
+                    let q = params.index_walks as usize;
+                    let t_max = params.t as usize;
+                    let mut probe: Vec<VertexId> = Vec::new();
+                    let mut aux: Vec<VertexId> = vec![DEAD; q];
+                    let mut sig: FxHashSet<VertexId> = FxHashSet::default();
+                    for u in chunk_start..chunk_end {
+                        if !mask.is_empty() && !mask[u] {
+                            local.push(Vec::new());
+                            continue;
+                        }
+                        sig.clear();
+                        let u = u as VertexId;
+                        let mut rng = Pcg32::from_parts(&[seed, 0xC4, u as u64]);
+                        for _rep in 0..params.index_reps {
+                            engine.walk(u, t_max.saturating_sub(1), &mut rng, &mut probe);
+                            aux.iter_mut().for_each(|a| *a = u);
+                            for t in 1..t_max {
+                                engine.step_all(&mut aux, &mut rng);
+                                let v = probe[t];
+                                if v == DEAD {
+                                    break;
+                                }
+                                // Any coincidence among {W0[t], W1[t], ..,
+                                // WQ[t]} indexes the probe position. Q ≤ a
+                                // handful, so the quadratic check is free.
+                                let coincidence = aux.contains(&v)
+                                    || aux.iter().enumerate().any(|(j, &a)| {
+                                        a != DEAD && aux[j + 1..].contains(&a)
+                                    });
+                                if coincidence {
+                                    sig.insert(v);
+                                }
+                            }
+                        }
+                        let mut s: Vec<VertexId> = sig.iter().copied().collect();
+                        s.sort_unstable();
+                        local.push(s);
+                    }
+                    (chunk_start, local)
+                }));
+            }
+            let mut collected: Vec<(usize, Vec<Vec<VertexId>>)> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            collected.sort_by_key(|(s, _)| *s);
+            partials = collected.into_iter().map(|(_, l)| l).collect();
+        })
+        .expect("worker thread panicked");
+
+        // Assemble forward CSR.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let total: usize = partials.iter().flat_map(|c| c.iter().map(Vec::len)).sum();
+        let mut entries = Vec::with_capacity(total);
+        for sigs in partials.iter().flat_map(|c| c.iter()) {
+            entries.extend_from_slice(sigs);
+            offsets.push(entries.len() as u64);
+        }
+        let (inv_offsets, inv_entries) = invert(n, &offsets, &entries);
+        CandidateIndex { n: n as u32, offsets, entries, inv_offsets, inv_entries }
+    }
+
+    /// Sorted signatures of `u` (`Γ(u_left)` in `H`).
+    pub fn signatures(&self, u: VertexId) -> &[VertexId] {
+        &self.entries[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Vertices having `w` among their signatures.
+    pub fn holders(&self, w: VertexId) -> &[VertexId] {
+        &self.inv_entries[self.inv_offsets[w as usize] as usize..self.inv_offsets[w as usize + 1] as usize]
+    }
+
+    /// Candidate set of `u`: all `v ≠ u` sharing at least one signature
+    /// (§7.2, line 2 of Algorithm 5). Deduplicated, unsorted.
+    pub fn candidates(&self, u: VertexId) -> Vec<VertexId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for &w in self.signatures(u) {
+            for &v in self.holders(w) {
+                if v != u && seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of vertices indexed.
+    pub fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Total signature entries (edges of `H`).
+    pub fn num_edges(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Bytes of the index arrays (Table 4 index-size accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() as u64 + self.inv_offsets.len() as u64) * 8
+            + (self.entries.len() as u64 + self.inv_entries.len() as u64) * 4
+    }
+
+    /// Raw parts for persistence.
+    pub(crate) fn raw_parts(&self) -> (u32, &[u64], &[VertexId]) {
+        (self.n, &self.offsets, &self.entries)
+    }
+
+    /// Rebuilds from persisted forward CSR (the inverted side is re-derived).
+    pub(crate) fn from_raw_parts(n: u32, offsets: Vec<u64>, entries: Vec<VertexId>) -> Self {
+        assert_eq!(offsets.len(), n as usize + 1, "offsets length");
+        let (inv_offsets, inv_entries) = invert(n as usize, &offsets, &entries);
+        CandidateIndex { n, offsets, entries, inv_offsets, inv_entries }
+    }
+}
+
+/// Builds the inverted CSR (signature → holders) by counting sort.
+fn invert(n: usize, offsets: &[u64], entries: &[VertexId]) -> (Vec<u64>, Vec<VertexId>) {
+    let mut counts = vec![0u64; n];
+    for &w in entries {
+        counts[w as usize] += 1;
+    }
+    let mut inv_offsets = vec![0u64; n + 1];
+    for i in 0..n {
+        inv_offsets[i + 1] = inv_offsets[i] + counts[i];
+    }
+    let mut cursor = inv_offsets[..n].to_vec();
+    let mut inv_entries = vec![0 as VertexId; entries.len()];
+    for u in 0..n {
+        for &w in &entries[offsets[u] as usize..offsets[u + 1] as usize] {
+            let c = &mut cursor[w as usize];
+            inv_entries[*c as usize] = u as VertexId;
+            *c += 1;
+        }
+    }
+    (inv_offsets, inv_entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_graph::gen::{self, fixtures};
+
+    fn small_params() -> SimRankParams {
+        SimRankParams { index_reps: 10, index_walks: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn claw_leaves_signature_hub() {
+        // Every walk from a leaf is at the hub at t = 1, so the hub is a
+        // signature of each leaf, making all leaves mutual candidates.
+        let g = fixtures::claw();
+        let idx = CandidateIndex::build(&g, &small_params(), 7, 1);
+        for leaf in 1..4u32 {
+            assert!(idx.signatures(leaf).contains(&0), "leaf {leaf}: {:?}", idx.signatures(leaf));
+        }
+        let cands = idx.candidates(1);
+        assert!(cands.contains(&2) && cands.contains(&3), "{cands:?}");
+        assert!(!cands.contains(&1));
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let g = gen::copying_web(120, 4, 0.8, 5);
+        let p = small_params();
+        let a = CandidateIndex::build(&g, &p, 11, 1);
+        let b = CandidateIndex::build(&g, &p, 11, 4);
+        assert_eq!(a, b);
+        let c = CandidateIndex::build(&g, &p, 12, 1);
+        assert_ne!(a, c); // different seed, different walks
+    }
+
+    #[test]
+    fn holders_inverse_of_signatures() {
+        let g = gen::preferential_attachment(100, 4, 3);
+        let idx = CandidateIndex::build(&g, &small_params(), 2, 2);
+        for u in 0..100u32 {
+            for &w in idx.signatures(u) {
+                assert!(idx.holders(w).contains(&u), "u={u} w={w}");
+            }
+        }
+        for w in 0..100u32 {
+            for &u in idx.holders(w) {
+                assert!(idx.signatures(u).contains(&w), "w={w} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_symmetric() {
+        // Sharing a signature is symmetric.
+        let g = gen::copying_web(80, 4, 0.8, 9);
+        let idx = CandidateIndex::build(&g, &small_params(), 4, 2);
+        for u in 0..80u32 {
+            for v in idx.candidates(u) {
+                assert!(idx.candidates(v).contains(&u), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_walks_produce_no_signatures() {
+        // Directed path: walks from vertex 1 die after one step at vertex 0;
+        // only possible signature is 0 itself.
+        let g = fixtures::path(4);
+        let idx = CandidateIndex::build(&g, &small_params(), 3, 1);
+        assert!(idx.signatures(1).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn roundtrip_raw_parts() {
+        let g = gen::erdos_renyi(50, 300, 6);
+        let idx = CandidateIndex::build(&g, &small_params(), 8, 2);
+        let (n, off, ent) = idx.raw_parts();
+        let back = CandidateIndex::from_raw_parts(n, off.to_vec(), ent.to_vec());
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn memory_scales_with_entries() {
+        let g = gen::copying_web(200, 5, 0.8, 13);
+        let idx = CandidateIndex::build(&g, &small_params(), 1, 2);
+        let expect = (idx.offsets.len() as u64 * 2) * 8 + idx.num_edges() * 2 * 4;
+        assert_eq!(idx.memory_bytes(), expect);
+        assert!(idx.num_edges() > 0, "index should be non-trivial on a web graph");
+    }
+}

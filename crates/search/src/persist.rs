@@ -1,0 +1,276 @@
+//! Binary persistence of the preprocess artifact.
+//!
+//! The whole point of the paper's `O(n)` preprocess is to pay it once per
+//! graph; this module snapshots a [`TopKIndex`] (parameters, diagonal,
+//! γ table, candidate index) into a compact little-endian stream with a
+//! magic header and length validation, so the query phase can start
+//! instantly on reload. The inverted candidate map is re-derived on load
+//! (cheaper than storing it).
+
+use crate::bounds::GammaTable;
+use crate::index::CandidateIndex;
+use crate::topk::TopKIndex;
+use crate::{Diagonal, SimRankParams};
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Magic/version mismatch or structural inconsistency.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Format(m) => write!(f, "index format error: {m}"),
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const MAGIC: &[u8; 8] = b"SRSIDX01";
+
+/// Serializes the index.
+pub fn save<W: Write>(index: &TopKIndex, mut w: W) -> Result<(), PersistError> {
+    let mut buf = Vec::new();
+    buf.put_slice(MAGIC);
+    // Parameters.
+    let p = &index.params;
+    buf.put_f64_le(p.c);
+    buf.put_u32_le(p.t);
+    buf.put_u32_le(p.r_refine);
+    buf.put_u32_le(p.r_coarse);
+    buf.put_u32_le(p.r_bounds);
+    buf.put_u32_le(p.r_gamma);
+    buf.put_u32_le(p.index_reps);
+    buf.put_u32_le(p.index_walks);
+    buf.put_u32_le(p.d_max);
+    buf.put_f64_le(p.theta);
+    buf.put_u64_le(index.seed);
+    // Diagonal.
+    match &index.diag {
+        Diagonal::Uniform(x) => {
+            buf.put_u8(0);
+            buf.put_f64_le(*x);
+        }
+        Diagonal::PerVertex(v) => {
+            buf.put_u8(1);
+            buf.put_u64_le(v.len() as u64);
+            for &x in v.iter() {
+                buf.put_f64_le(x);
+            }
+        }
+    }
+    // Gamma table.
+    let gamma = index.gamma.raw();
+    buf.put_u32_le(index.gamma.steps());
+    buf.put_u64_le(gamma.len() as u64);
+    for &x in gamma {
+        buf.put_f32_le(x);
+    }
+    // Candidate index (forward CSR only).
+    let (n, offsets, entries) = index.candidates.raw_parts();
+    buf.put_u32_le(n);
+    buf.put_u64_le(offsets.len() as u64);
+    for &o in offsets {
+        buf.put_u64_le(o);
+    }
+    buf.put_u64_le(entries.len() as u64);
+    for &e in entries {
+        buf.put_u32_le(e);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes an index previously written by [`save`].
+pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let need = |buf: &&[u8], n: usize| -> Result<(), PersistError> {
+        if buf.remaining() < n {
+            Err(PersistError::Format("truncated stream".into()))
+        } else {
+            Ok(())
+        }
+    };
+    // Length fields are untrusted: multiply with overflow checking so a
+    // corrupted count can never wrap past the truncation check and reach
+    // an allocation.
+    let span = |count: usize, width: usize| -> Result<usize, PersistError> {
+        count.checked_mul(width).ok_or_else(|| PersistError::Format("length overflow".into()))
+    };
+    need(&buf, 8)?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    need(&buf, 8 + 4 * 9 + 8 + 8 + 1)?;
+    let params = SimRankParams {
+        c: buf.get_f64_le(),
+        t: buf.get_u32_le(),
+        r_refine: buf.get_u32_le(),
+        r_coarse: buf.get_u32_le(),
+        r_bounds: buf.get_u32_le(),
+        r_gamma: buf.get_u32_le(),
+        index_reps: buf.get_u32_le(),
+        index_walks: buf.get_u32_le(),
+        d_max: buf.get_u32_le(),
+        theta: buf.get_f64_le(),
+    };
+    let seed = buf.get_u64_le();
+    let diag = match buf.get_u8() {
+        0 => {
+            need(&buf, 8)?;
+            Diagonal::Uniform(buf.get_f64_le())
+        }
+        1 => {
+            need(&buf, 8)?;
+            let len = buf.get_u64_le() as usize;
+            need(&buf, span(len, 8)?)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(buf.get_f64_le());
+            }
+            Diagonal::PerVertex(std::sync::Arc::new(v))
+        }
+        other => return Err(PersistError::Format(format!("unknown diagonal tag {other}"))),
+    };
+    need(&buf, 12)?;
+    let steps = buf.get_u32_le();
+    let glen = buf.get_u64_le() as usize;
+    if steps == 0 || !glen.is_multiple_of(steps as usize) {
+        return Err(PersistError::Format("gamma shape mismatch".into()));
+    }
+    need(&buf, span(glen, 4)?)?;
+    let mut gamma = Vec::with_capacity(glen);
+    for _ in 0..glen {
+        gamma.push(buf.get_f32_le());
+    }
+    let gamma = GammaTable::from_raw(steps, gamma);
+    need(&buf, 12)?;
+    let n = buf.get_u32_le();
+    let olen = buf.get_u64_le() as usize;
+    if olen != n as usize + 1 {
+        return Err(PersistError::Format("offsets shape mismatch".into()));
+    }
+    need(&buf, span(olen, 8)?)?;
+    let mut offsets = Vec::with_capacity(olen);
+    for _ in 0..olen {
+        offsets.push(buf.get_u64_le());
+    }
+    need(&buf, 8)?;
+    let elen = buf.get_u64_le() as usize;
+    if offsets.last().copied().unwrap_or(0) != elen as u64 {
+        return Err(PersistError::Format("entry count mismatch".into()));
+    }
+    need(&buf, span(elen, 4)?)?;
+    let mut entries = Vec::with_capacity(elen);
+    for _ in 0..elen {
+        entries.push(buf.get_u32_le());
+    }
+    // Structural validation before handing to the CSR inverter: offsets
+    // monotone, every entry a valid vertex id, gamma covering the same
+    // vertex set. A corrupted stream must error here, not panic later.
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Format("offsets not monotone".into()));
+    }
+    if entries.iter().any(|&e| e >= n) {
+        return Err(PersistError::Format("candidate entry out of range".into()));
+    }
+    if gamma.num_vertices() != n as usize {
+        return Err(PersistError::Format(format!(
+            "gamma covers {} vertices, candidate index {n}",
+            gamma.num_vertices()
+        )));
+    }
+    if !params.is_valid() {
+        return Err(PersistError::Format("parameters out of range".into()));
+    }
+    match &diag {
+        Diagonal::PerVertex(v) if v.len() != n as usize => {
+            return Err(PersistError::Format(format!(
+                "per-vertex diagonal covers {} vertices, index {n}",
+                v.len()
+            )));
+        }
+        Diagonal::Uniform(x) if !x.is_finite() => {
+            return Err(PersistError::Format("non-finite diagonal".into()));
+        }
+        _ => {}
+    }
+    let candidates = CandidateIndex::from_raw_parts(n, offsets, entries);
+    Ok(TopKIndex { params, diag, gamma, candidates, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::QueryOptions;
+    use srs_graph::gen;
+
+    fn build_index(g: &srs_graph::Graph) -> TopKIndex {
+        let params = SimRankParams { r_bounds: 300, r_gamma: 30, ..Default::default() };
+        TopKIndex::build_with(g, &params, Diagonal::paper_default(params.c), 5, 2)
+    }
+
+    #[test]
+    fn roundtrip_preserves_query_results() {
+        let g = gen::copying_web(120, 4, 0.8, 3);
+        let idx = build_index(&g);
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let back = load(&buf[..]).unwrap();
+        for u in [0u32, 33, 90] {
+            let a = idx.query(&g, u, 5, &QueryOptions::default());
+            let b = back.query(&g, u, 5, &QueryOptions::default());
+            assert_eq!(a.hits, b.hits, "u={u}");
+        }
+        assert_eq!(idx.params, *back.params());
+    }
+
+    #[test]
+    fn roundtrip_per_vertex_diagonal() {
+        let g = gen::erdos_renyi(40, 120, 9);
+        let params = SimRankParams { r_bounds: 100, r_gamma: 20, ..Default::default() };
+        let d: Vec<f64> = (0..40).map(|i| 0.4 + 0.01 * (i % 5) as f64).collect();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::PerVertex(std::sync::Arc::new(d)), 1, 1);
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let back = load(&buf[..]).unwrap();
+        match (&idx.diag, &back.diag) {
+            (Diagonal::PerVertex(a), Diagonal::PerVertex(b)) => assert_eq!(a, b),
+            other => panic!("diagonal variant lost: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let g = gen::erdos_renyi(30, 90, 1);
+        let idx = build_index(&g);
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[3] ^= 0xFF;
+        assert!(matches!(load(&bad[..]), Err(PersistError::Format(_))));
+        // Truncation at arbitrary points must error, never panic.
+        for cut in [10, 60, buf.len() / 2, buf.len() - 2] {
+            assert!(load(&buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Algorithm 5 — the top-k similarity query, plus the preprocess driver.
+//!
+//! [`TopKIndex::build`] runs the preprocess phase (γ table, Algorithm 3;
+//! candidate index, Algorithm 4) — `O(n (R + PQ) T)` time, `O(n)` space,
+//! exactly the paper's §7.1. [`TopKIndex::query`] then answers a top-k
+//! query (Algorithm 5):
+//!
+//! 1. enumerate candidates `S = {v : Γ(u) ∩ Γ(v) ≠ ∅}` from the index;
+//! 2. sort by undirected distance (the §2.2 "ascending order of distance"
+//!    scan) and prune with the three upper bounds
+//!    (`min(c^d, β(u,d), L2(u,v))` against `max(θ, current k-th score)`);
+//! 3. adaptive sampling: coarse estimate with `R = 10` walks, refine the
+//!    survivors with `R = 100` (§7.2);
+//! 4. return the k highest refined scores.
+//!
+//! Every pruning knob can be disabled through [`QueryOptions`] — that is
+//! what the ablation benches sweep.
+
+use crate::bounds::{AlphaBeta, GammaTable};
+use crate::index::CandidateIndex;
+use crate::single_pair::SinglePairEstimator;
+use crate::{Diagonal, SimRankParams};
+use srs_graph::bfs::{BfsBuffers, Direction, UNREACHED};
+use srs_graph::hash::mix_seed;
+use srs_graph::{Graph, VertexId};
+
+/// One result row: a vertex and its estimated SimRank score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The similar vertex.
+    pub vertex: VertexId,
+    /// Monte-Carlo estimate of `s(query, vertex)`.
+    pub score: f64,
+}
+
+/// Query-time switches (all bounds on, adaptive sampling on, by default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOptions {
+    /// Prune with the trivial bound `s(u,v) ≤ c^d`.
+    pub use_distance_bound: bool,
+    /// Prune with the L1 bound `β(u, d)` (Algorithm 2, per query).
+    pub use_l1: bool,
+    /// Prune with the L2 bound `Σ cᵗ γγ` (Algorithm 3, precomputed).
+    pub use_l2: bool,
+    /// Two-stage adaptive sampling (§7.2). When off, every surviving
+    /// candidate is refined directly.
+    pub adaptive: bool,
+    /// Slack subtracted from the running k-th score before pruning, to
+    /// absorb Monte-Carlo noise in the bounds and estimates.
+    pub bound_slack: f64,
+    /// A candidate is refined when its coarse estimate reaches this
+    /// fraction of the pruning threshold.
+    pub coarse_fraction: f64,
+    /// Extension beyond the paper: additionally treat every vertex within
+    /// this undirected distance of the query as a candidate. Raises recall
+    /// on graphs where the random-walk index misses borderline pairs, at
+    /// the cost of more bound evaluations. `None` (default) is the paper's
+    /// pure Algorithm 5.
+    pub candidate_ball: Option<u32>,
+    /// Overrides the index's score threshold `θ` for this query (used by
+    /// the Table 3 accuracy experiment, which sweeps thresholds).
+    pub theta: Option<f64>,
+    /// Extension beyond the paper: generate the query vertex's walks once
+    /// and share them across all candidate estimates (each estimate stays
+    /// unbiased; estimates become correlated across candidates, which
+    /// ranking tolerates). Roughly halves estimation work per candidate.
+    pub share_source_walks: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            use_distance_bound: true,
+            use_l1: true,
+            use_l2: true,
+            adaptive: true,
+            bound_slack: 0.02,
+            coarse_fraction: 0.5,
+            candidate_ball: None,
+            theta: None,
+            share_source_walks: false,
+        }
+    }
+}
+
+/// Counters describing how a query was answered (pruning effectiveness —
+/// the quantities behind the paper's §8.1 discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates enumerated from the index.
+    pub candidates: u64,
+    /// Candidates discarded by the `c^d` bound (incl. out-of-horizon ones).
+    pub pruned_distance: u64,
+    /// Candidates discarded by the L1/L2 bounds.
+    pub pruned_bounds: u64,
+    /// Candidates discarded after the coarse pass.
+    pub pruned_coarse: u64,
+    /// Candidates refined with the full walk budget.
+    pub refined: u64,
+    /// Vertices visited by the query-time BFS.
+    pub bfs_visited: u64,
+}
+
+/// A finished query: hits sorted by descending score, plus counters.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Up to `k` hits, best first.
+    pub hits: Vec<Hit>,
+    /// Pruning counters.
+    pub stats: QueryStats,
+}
+
+/// The preprocess artifact: γ table + candidate index (+ parameters and the
+/// seed that keeps query-time randomness reproducible).
+#[derive(Debug, Clone)]
+pub struct TopKIndex {
+    pub(crate) params: SimRankParams,
+    pub(crate) diag: Diagonal,
+    pub(crate) gamma: GammaTable,
+    pub(crate) candidates: CandidateIndex,
+    pub(crate) seed: u64,
+}
+
+impl TopKIndex {
+    /// Runs the preprocess phase with the paper's default diagonal
+    /// `D = (1−c) I`, using all available parallelism.
+    pub fn build(g: &Graph, params: &SimRankParams, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        Self::build_with(g, params, Diagonal::paper_default(params.c), seed, threads)
+    }
+
+    /// Full-control preprocess: explicit diagonal and thread count.
+    pub fn build_with(g: &Graph, params: &SimRankParams, diag: Diagonal, seed: u64, threads: usize) -> Self {
+        params.validate();
+        let gamma = GammaTable::build(g, params, &diag, mix_seed(&[seed, 1]), threads);
+        let candidates = CandidateIndex::build(g, params, mix_seed(&[seed, 2]), threads);
+        TopKIndex { params: params.clone(), diag, gamma, candidates, seed }
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> &SimRankParams {
+        &self.params
+    }
+
+    /// The γ table (L2 bound; exposed for benches and tests).
+    pub fn gamma(&self) -> &GammaTable {
+        &self.gamma
+    }
+
+    /// The candidate index (exposed for benches and tests).
+    pub fn candidate_index(&self) -> &CandidateIndex {
+        &self.candidates
+    }
+
+    /// Preprocess artifact size in bytes (the "Index" column of Table 4).
+    pub fn memory_bytes(&self) -> u64 {
+        self.gamma.memory_bytes() + self.candidates.memory_bytes()
+    }
+
+    /// Answers a top-k query (Algorithm 5). Allocates fresh query state;
+    /// for repeated queries prefer [`QueryContext`].
+    pub fn query(&self, g: &Graph, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+        QueryContext::new(g, self).query(u, k, opts)
+    }
+}
+
+/// Reusable per-thread query state: BFS buffers and the Algorithm 1
+/// estimator. Queries through one context are sequential; clone one per
+/// thread for parallel querying.
+pub struct QueryContext<'g> {
+    g: &'g Graph,
+    index: &'g TopKIndex,
+    bfs: BfsBuffers,
+    estimator: SinglePairEstimator<'g>,
+}
+
+impl<'g> QueryContext<'g> {
+    /// Creates query state for `index` over `g`.
+    pub fn new(g: &'g Graph, index: &'g TopKIndex) -> Self {
+        QueryContext {
+            g,
+            index,
+            bfs: BfsBuffers::new(g.num_vertices()),
+            estimator: SinglePairEstimator::new(g, index.diag.clone()),
+        }
+    }
+
+    /// Algorithm 5 for query vertex `u`.
+    pub fn query(&mut self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+        let params = &self.index.params;
+        let theta = opts.theta.unwrap_or(params.theta);
+        let mut stats = QueryStats::default();
+
+        // Distances from u out to the search horizon (needed by the c^d and
+        // L1 bounds; undirected — see DESIGN.md on Proposition 4).
+        self.bfs.run(self.g, u, Direction::Undirected, params.d_max);
+        stats.bfs_visited = self.bfs.visited().len() as u64;
+
+        // Candidate enumeration (line 2 of Algorithm 5).
+        let mut cand_set = self.index.candidates.candidates(u);
+        if let Some(radius) = opts.candidate_ball {
+            let mut seen: srs_graph::hash::FxHashSet<VertexId> = cand_set.iter().copied().collect();
+            for &v in self.bfs.visited() {
+                if v != u && self.bfs.distance(v) <= radius && seen.insert(v) {
+                    cand_set.push(v);
+                }
+            }
+        }
+        let mut cands: Vec<(u32, VertexId)> =
+            cand_set.into_iter().map(|v| (self.bfs.distance(v), v)).collect();
+        stats.candidates = cands.len() as u64;
+        // Ascending-distance scan order (§2.2).
+        cands.sort_unstable();
+
+        // L1 table for this query vertex (Algorithm 2).
+        let bfs = &self.bfs;
+        let l1 = if opts.use_l1 {
+            Some(AlphaBeta::compute(
+                self.g,
+                u,
+                params,
+                &self.index.diag,
+                |w| bfs.distance(w),
+                mix_seed(&[self.index.seed, 3, u as u64]),
+            ))
+        } else {
+            None
+        };
+
+        // Optional shared source walks (see QueryOptions).
+        let source_walks = opts
+            .share_source_walks
+            .then(|| {
+                crate::single_pair::SourceWalks::generate(
+                    self.g,
+                    u,
+                    params,
+                    params.r_refine,
+                    mix_seed(&[self.index.seed, 5, u as u64]),
+                )
+            });
+
+        // Running top-k (min-heap on score).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let kth = |heap: &std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>>| -> f64 {
+            if heap.len() >= k {
+                heap.peek().map(|h| h.0.score).unwrap_or(0.0)
+            } else {
+                0.0
+            }
+        };
+
+        for (ci, &(d, v)) in cands.iter().enumerate() {
+            let prune_at = theta.max(kth(&heap) - opts.bound_slack);
+            // Trivial distance bound c^⌈d/2⌉ (sound for the undirected
+            // metric — see SimRankParams::distance_bound). Undirected
+            // unreachability implies the walks can never meet, score 0.
+            if opts.use_distance_bound {
+                let cd = if d == UNREACHED { 0.0 } else { params.distance_bound(d) };
+                if cd < prune_at {
+                    stats.pruned_distance += 1;
+                    // Candidates are distance-sorted: every later candidate
+                    // has an even smaller c^d, but their L1/L2 bounds could
+                    // not save them either (bounds only prune further), so
+                    // the scan can stop outright.
+                    if kth(&heap) <= theta {
+                        // Everything after this position shares or exceeds
+                        // this distance, so its c^⌈d/2⌉ bound is no better;
+                        // count by position so distance ties are included.
+                        stats.pruned_distance += (cands.len() - ci - 1) as u64;
+                        break;
+                    }
+                    continue;
+                }
+            }
+            let mut bound = f64::INFINITY;
+            if let Some(ab) = &l1 {
+                if d != UNREACHED {
+                    bound = bound.min(ab.beta(d));
+                }
+            }
+            if opts.use_l2 {
+                bound = bound.min(self.index.gamma.l2_bound(u, v, params.c));
+            }
+            if bound < prune_at {
+                stats.pruned_bounds += 1;
+                continue;
+            }
+            // Adaptive sampling (§7.2).
+            let seed = mix_seed(&[self.index.seed, 4, u as u64, v as u64]);
+            if opts.adaptive {
+                let coarse = match &source_walks {
+                    Some(src) => self.estimator.estimate_from_source(src, v, params, params.r_coarse, seed),
+                    None => self.estimator.estimate(u, v, params, params.r_coarse, seed),
+                };
+                if coarse < opts.coarse_fraction * prune_at {
+                    stats.pruned_coarse += 1;
+                    continue;
+                }
+            }
+            let score = match &source_walks {
+                Some(src) => self.estimator.estimate_from_source(src, v, params, params.r_refine, seed),
+                None => self.estimator.estimate(u, v, params, params.r_refine, seed),
+            };
+            stats.refined += 1;
+            if score >= theta {
+                heap.push(std::cmp::Reverse(HeapHit { score, vertex: v }));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+
+        let mut hits: Vec<Hit> =
+            heap.into_iter().map(|h| Hit { vertex: h.0.vertex, score: h.0.score }).collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite").then(a.vertex.cmp(&b.vertex)));
+        TopKResult { hits, stats }
+    }
+}
+
+/// Heap entry ordered by score (ties on vertex id for determinism).
+#[derive(Debug, PartialEq)]
+struct HeapHit {
+    score: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapHit {}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are finite")
+            .then(self.vertex.cmp(&other.vertex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_exact::{diagonal, linearized, ExactParams};
+    use srs_graph::gen::{self, fixtures};
+
+    fn fast_params() -> SimRankParams {
+        SimRankParams { r_bounds: 2_000, ..Default::default() }
+    }
+
+    #[test]
+    fn claw_query_finds_sibling_leaves() {
+        let g = fixtures::claw();
+        let params = SimRankParams { c: 0.8, ..fast_params() };
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(0.8), 1, 1);
+        let res = idx.query(&g, 1, 2, &QueryOptions::default());
+        let found: Vec<VertexId> = res.hits.iter().map(|h| h.vertex).collect();
+        assert_eq!(found.len(), 2, "{res:?}");
+        assert!(found.contains(&2) && found.contains(&3));
+        for h in &res.hits {
+            assert!(h.score > 0.2, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn query_matches_exact_topk_on_web_graph() {
+        let g = gen::copying_web(300, 5, 0.8, 21);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 5, 2);
+        let ep = ExactParams::new(params.c, params.t);
+        let d = diagonal::uniform(300, params.c);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let k = 10;
+        let mut recall_sum = 0.0;
+        let mut queries = 0;
+        for u in srs_graph::stats::sample_query_vertices(&g, 15, 33) {
+            let exact = linearized::single_source(&g, u, &ep, &d);
+            // Exact "interesting" set: score ≥ 0.04 (Table 3's regime).
+            let mut truth: Vec<(f64, VertexId)> = (0..300u32)
+                .filter(|&v| v != u && exact[v as usize] >= 0.04)
+                .map(|v| (exact[v as usize], v))
+                .collect();
+            truth.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            truth.truncate(k);
+            if truth.is_empty() {
+                continue;
+            }
+            let res = ctx.query(u, k, &QueryOptions::default());
+            let got: std::collections::HashSet<VertexId> = res.hits.iter().map(|h| h.vertex).collect();
+            let hit = truth.iter().filter(|(_, v)| got.contains(v)).count();
+            recall_sum += hit as f64 / truth.len() as f64;
+            queries += 1;
+        }
+        assert!(queries > 0);
+        let recall = recall_sum / queries as f64;
+        // The paper's own Table 3 accuracy at these parameters ranges
+        // 0.82–0.99; the walk-based candidate index is heuristic and misses
+        // some borderline (≈ θ) pairs by design.
+        assert!(recall >= 0.65, "recall = {recall}");
+    }
+
+    #[test]
+    fn candidate_ball_extension_raises_recall() {
+        let g = gen::copying_web(300, 5, 0.8, 21);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 5, 2);
+        let ep = ExactParams::new(params.c, params.t);
+        let d = diagonal::uniform(300, params.c);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let with_ball = QueryOptions { candidate_ball: Some(3), ..Default::default() };
+        let mut recall_sum = 0.0;
+        let mut queries = 0;
+        for u in srs_graph::stats::sample_query_vertices(&g, 15, 33) {
+            let exact = linearized::single_source(&g, u, &ep, &d);
+            let mut truth: Vec<(f64, VertexId)> = (0..300u32)
+                .filter(|&v| v != u && exact[v as usize] >= 0.04)
+                .map(|v| (exact[v as usize], v))
+                .collect();
+            truth.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            truth.truncate(10);
+            if truth.is_empty() {
+                continue;
+            }
+            let res = ctx.query(u, 10, &with_ball);
+            let got: std::collections::HashSet<VertexId> = res.hits.iter().map(|h| h.vertex).collect();
+            recall_sum += truth.iter().filter(|(_, v)| got.contains(v)).count() as f64 / truth.len() as f64;
+            queries += 1;
+        }
+        let recall = recall_sum / queries as f64;
+        // Remaining misses are borderline-θ pairs whose Monte-Carlo
+        // estimate lands under the output threshold, not coverage failures.
+        assert!(recall >= 0.8, "ball-augmented recall = {recall}");
+    }
+
+    #[test]
+    fn pruning_preserves_results() {
+        // Everything-off vs everything-on must agree on the high scorers.
+        let g = gen::copying_web(200, 4, 0.8, 8);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 3, 2);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let open = QueryOptions {
+            use_distance_bound: false,
+            use_l1: false,
+            use_l2: false,
+            adaptive: false,
+            ..Default::default()
+        };
+        let tight = QueryOptions::default();
+        for u in srs_graph::stats::sample_query_vertices(&g, 10, 2) {
+            let a = ctx.query(u, 5, &open);
+            let b = ctx.query(u, 5, &tight);
+            // Same estimator seeds → identical scores for shared vertices;
+            // compare the clearly-above-threshold hits.
+            let strong_a: Vec<_> = a.hits.iter().filter(|h| h.score > 0.1).collect();
+            let bset: std::collections::HashSet<_> = b.hits.iter().map(|h| h.vertex).collect();
+            for h in strong_a {
+                assert!(bset.contains(&h.vertex), "u={u} lost strong hit {h:?} ({:?})", b.hits);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = gen::copying_web(200, 4, 0.8, 8);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 3, 2);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let res = ctx.query(0, 10, &QueryOptions::default());
+        let s = res.stats;
+        assert_eq!(
+            s.candidates,
+            s.pruned_distance + s.pruned_bounds + s.pruned_coarse + s.refined,
+            "{s:?}"
+        );
+        assert!(s.bfs_visited > 0);
+    }
+
+    #[test]
+    fn results_sorted_descending_and_k_respected() {
+        let g = gen::copying_web(150, 5, 0.8, 4);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 9, 2);
+        let res = idx.query(&g, 3, 4, &QueryOptions::default());
+        assert!(res.hits.len() <= 4);
+        for w in res.hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn query_deterministic() {
+        let g = gen::copying_web(150, 5, 0.8, 4);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 9, 2);
+        let a = idx.query(&g, 7, 10, &QueryOptions::default());
+        let b = idx.query(&g, 7, 10, &QueryOptions::default());
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn shared_source_walks_preserve_strong_hits() {
+        let g = gen::copying_web(250, 5, 0.8, 12);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 4, 2);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let plain = QueryOptions::default();
+        let shared = QueryOptions { share_source_walks: true, ..Default::default() };
+        for u in srs_graph::stats::sample_query_vertices(&g, 10, 6) {
+            let a = ctx.query(u, 5, &plain);
+            let b = ctx.query(u, 5, &shared);
+            let strong: Vec<_> = a.hits.iter().filter(|h| h.score > 0.1).collect();
+            let bset: std::collections::HashSet<_> = b.hits.iter().map(|h| h.vertex).collect();
+            for h in strong {
+                assert!(bset.contains(&h.vertex), "u={u}: shared walks lost {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_returns_empty() {
+        let mut b = srs_graph::GraphBuilder::new(10);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8);
+        }
+        let g = b.build().unwrap(); // vertices 8, 9 isolated
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 2, 1);
+        let res = idx.query(&g, 9, 5, &QueryOptions::default());
+        assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn memory_is_linear_not_quadratic() {
+        let params = SimRankParams { r_gamma: 20, r_bounds: 100, ..Default::default() };
+        let g1 = gen::copying_web(200, 4, 0.8, 1);
+        let g2 = gen::copying_web(400, 4, 0.8, 1);
+        let i1 = TopKIndex::build_with(&g1, &params, Diagonal::paper_default(params.c), 1, 2);
+        let i2 = TopKIndex::build_with(&g2, &params, Diagonal::paper_default(params.c), 1, 2);
+        let ratio = i2.memory_bytes() as f64 / i1.memory_bytes() as f64;
+        assert!(ratio < 3.0, "doubling n should ~double the index, ratio = {ratio}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate consistency: every estimator in the workspace must agree
+//! on what SimRank *is*.
+//!
+//! * `exact::naive` (Jeh–Widom fixed point) is the definition.
+//! * `exact::partial_sums` and `exact::yu` are reformulations → equal.
+//! * `exact::linearized` with the exact diagonal equals the definition
+//!   (Proposition 1); with `D = (1−c)I` it preserves rankings (§3.3).
+//! * `search::SinglePairEstimator` is an unbiased Monte-Carlo estimator of
+//!   the linearized scores (Proposition 3).
+//! * `baselines::fogaras` estimates `E[c^τ]`, the random-surfer form (3) —
+//!   the definition again.
+
+use simrank_search::baselines::fogaras::{FingerprintIndex, FogarasParams};
+use simrank_search::exact::{diagonal, linearized, naive, partial_sums, yu, ExactParams};
+use simrank_search::graph::gen;
+use simrank_search::search::{Diagonal, SimRankParams, SinglePairEstimator};
+
+#[test]
+fn all_deterministic_solvers_agree() {
+    for seed in [1u64, 2, 3] {
+        let g = gen::erdos_renyi(35, 140, seed);
+        let params = ExactParams::new(0.6, 10);
+        let a = naive::all_pairs(&g, &params);
+        let b = partial_sums::all_pairs(&g, &params, 2);
+        let c = yu::run(&g, &params, u64::MAX).unwrap().scores;
+        assert!(a.max_abs_diff(&b) < 1e-10, "naive vs partial_sums (seed {seed})");
+        for i in 0..35 {
+            for j in 0..35 {
+                assert!(
+                    (a.get(i, j) - c.get(i, j) as f64).abs() < 1e-4,
+                    "naive vs yu at ({i},{j}), seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linearized_with_exact_diagonal_is_simrank() {
+    let g = gen::copying_web(28, 3, 0.8, 7);
+    let params = ExactParams::new(0.6, 30);
+    let d = diagonal::estimate(&g, &params, 1e-8, 100).unwrap();
+    let lin = linearized::all_pairs(&g, &params, &d, 2);
+    let jw = naive::all_pairs(&g, &params);
+    let tol = 3.0 * params.truncation_error() + 1e-9;
+    assert!(lin.max_abs_diff(&jw) < tol, "diff {}", lin.max_abs_diff(&jw));
+}
+
+#[test]
+fn monte_carlo_estimator_is_unbiased_for_linearized() {
+    let g = gen::preferential_attachment(40, 3, 11);
+    let sp = SimRankParams::default();
+    let ep = ExactParams::new(sp.c, sp.t);
+    let d = diagonal::uniform(40, sp.c);
+    let mut est = SinglePairEstimator::new(&g, Diagonal::paper_default(sp.c));
+    for (u, v) in [(1u32, 2u32), (3, 9), (20, 33)] {
+        let exact = linearized::single_pair(&g, u, v, &ep, &d);
+        let trials = 60;
+        let mean: f64 =
+            (0..trials).map(|s| est.estimate(u, v, &sp, 200, 7_000 + s)).sum::<f64>() / trials as f64;
+        assert!(
+            (mean - exact).abs() < 0.012,
+            "({u},{v}): Monte-Carlo mean {mean} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn fogaras_estimates_true_simrank_not_linearized() {
+    // On the claw (c = 0.8): true s(1,2) = 0.8; the uniform-D linearized
+    // score is lower. Fogaras must land on the true value.
+    let g = gen::fixtures::claw();
+    let fr = FingerprintIndex::build(
+        &g,
+        &FogarasParams { c: 0.8, t: 11, r_prime: 500 },
+        3,
+        u64::MAX,
+    )
+    .unwrap();
+    let true_s = 0.8;
+    assert!((fr.single_pair(1, 2) - true_s).abs() < 1e-12);
+    let ep = ExactParams::new(0.8, 11);
+    let lin = linearized::single_pair(&g, 1, 2, &ep, &diagonal::uniform(4, 0.8));
+    assert!(lin < true_s - 0.05, "uniform-D linearized {lin} should undershoot {true_s}");
+}
+
+#[test]
+fn rankings_agree_across_score_families() {
+    // §3.3's practical claim: the (1-c)I approximation preserves the
+    // similarity ranking even though it changes score values. Compare the
+    // top-5 by true SimRank vs by the linearized scores.
+    let g = gen::copying_web(60, 4, 0.8, 17);
+    let params = ExactParams::new(0.6, 12);
+    let truth = partial_sums::all_pairs(&g, &params, 2);
+    let d = diagonal::uniform(60, params.c);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    fn top5(u: u32, n: u32, score: impl Fn(u32) -> f64) -> Vec<u32> {
+        let mut o: Vec<(f64, u32)> = (0..n).filter(|&v| v != u).map(|v| (score(v), v)).collect();
+        o.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        o.truncate(5);
+        o.into_iter().filter(|&(s, _)| s > 1e-9).map(|(_, v)| v).collect()
+    }
+    for u in 0..20u32 {
+        let lin = linearized::single_source(&g, u, &params, &d);
+        let t_true = top5(u, 60, |v| truth.get(u as usize, v as usize));
+        let t_lin = top5(u, 60, |v| lin[v as usize]);
+        total += t_true.len();
+        agree += t_true.iter().filter(|v| t_lin.contains(v)).count();
+    }
+    assert!(total > 0);
+    let overlap = agree as f64 / total as f64;
+    assert!(overlap >= 0.8, "top-5 overlap between true and linearized rankings: {overlap}");
+}
