@@ -260,10 +260,7 @@ mod tests {
         for u in [0u32, 13, 44] {
             let ss = idx.single_source(u);
             for v in 0..60u32 {
-                assert!(
-                    (ss[v as usize] - idx.single_pair(u, v)).abs() < 1e-12,
-                    "u={u} v={v}"
-                );
+                assert!((ss[v as usize] - idx.single_pair(u, v)).abs() < 1e-12, "u={u} v={v}");
             }
         }
     }

@@ -1,11 +1,16 @@
 //! Criterion bench: the top-k query (Table 4 "Query" column) and the
 //! paper's §8.1 claim that query time tracks graph *structure*, not size —
 //! web graphs answer faster than social graphs of comparable size.
+//!
+//! Two shapes per dataset: `top20` is the single-query latency through a
+//! sequential [`QueryContext`], `batch32` pushes the same workload through
+//! the parallel [`QueryEngine`] (pooled scratch state, all cores), i.e.
+//! the serving-layer throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srs_bench::cache;
 use srs_search::topk::QueryContext;
-use srs_search::{QueryOptions, SimRankParams, TopKIndex};
+use srs_search::{QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 
 fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("query");
@@ -18,12 +23,21 @@ fn bench_query(c: &mut Criterion) {
         let g = cache::graph(spec, scale, 5);
         let index = TopKIndex::build(&g, &params, 9);
         let queries = srs_graph::stats::sample_query_vertices(&g, 32, 13);
-        group.bench_function(BenchmarkId::new("top20", format!("{name}_m{}", g.num_edges())), |b| {
+        let label = format!("{name}_m{}", g.num_edges());
+        group.bench_function(BenchmarkId::new("top20", &label), |b| {
             let mut ctx = QueryContext::new(&g, &index);
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
                 ctx.query(queries[i % queries.len()], 20, &opts)
+            });
+        });
+        group.bench_function(BenchmarkId::new("batch32_top20", &label), |b| {
+            let engine = QueryEngine::new(&g, &index);
+            let mut out = srs_search::BatchResult::new();
+            b.iter(|| {
+                engine.query_batch_into(&queries, 20, &opts, &mut out);
+                out.totals
             });
         });
     }

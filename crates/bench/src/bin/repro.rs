@@ -76,7 +76,8 @@ fn parse_args(args: Vec<String>) -> Result<Parsed, String> {
         match a.as_str() {
             "--scale" => cfg.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
             "--max-vertices" => {
-                cfg.max_vertices = value("--max-vertices")?.parse().map_err(|e| format!("--max-vertices: {e}"))?
+                cfg.max_vertices =
+                    value("--max-vertices")?.parse().map_err(|e| format!("--max-vertices: {e}"))?
             }
             "--budget-gb" => {
                 let gb: f64 = value("--budget-gb")?.parse().map_err(|e| format!("--budget-gb: {e}"))?;

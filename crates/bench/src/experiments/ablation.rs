@@ -53,11 +53,7 @@ pub fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "ball + shared walks",
-            opts: QueryOptions {
-                candidate_ball: Some(2),
-                share_source_walks: true,
-                ..base.clone()
-            },
+            opts: QueryOptions { candidate_ball: Some(2), share_source_walks: true, ..base.clone() },
         },
         // The pair that shows when pruning pays: with the distance-2 ball
         // the candidate set is large, and bounds + adaptive sampling are
@@ -139,10 +135,7 @@ pub fn compute_one(cfg: &ReproConfig, name: &'static str) -> Vec<AblationRow> {
     // Reference: the unpruned result per query.
     let reference: Vec<Vec<VertexId>> = {
         let open = variants()[1].opts.clone();
-        queries
-            .iter()
-            .map(|&u| ctx.query(u, k, &open).hits.iter().map(|h| h.vertex).collect())
-            .collect()
+        queries.iter().map(|&u| ctx.query(u, k, &open).hits.iter().map(|h| h.vertex).collect()).collect()
     };
 
     variants()
@@ -151,10 +144,7 @@ pub fn compute_one(cfg: &ReproConfig, name: &'static str) -> Vec<AblationRow> {
             let mut refined = 0u64;
             let mut agreement = Vec::new();
             let (results, total) = metrics::timed(|| {
-                queries
-                    .iter()
-                    .map(|&u| ctx.query(u, k, &variant.opts))
-                    .collect::<Vec<_>>()
+                queries.iter().map(|&u| ctx.query(u, k, &variant.opts)).collect::<Vec<_>>()
             });
             for (res, truth) in results.iter().zip(&reference) {
                 refined += res.stats.refined;
@@ -186,11 +176,7 @@ mod tests {
 
     #[test]
     fn pruned_variants_agree_with_reference() {
-        let cfg = ReproConfig {
-            max_vertices: 2_000,
-            timing_queries: 5,
-            ..Default::default()
-        };
+        let cfg = ReproConfig { max_vertices: 2_000, timing_queries: 5, ..Default::default() };
         let rows = compute_one(&cfg, "web-Stanford");
         for row in &rows {
             if row.variant.contains("shared") {

@@ -25,7 +25,10 @@ const FLOOR: f64 = 0.01;
 /// Runs the experiment on the two Figure 1 datasets.
 pub fn run(cfg: &ReproConfig) -> Report {
     let mut r = Report::new("Figure 1 — exact vs approximated SimRank (log-log correlation)");
-    r.line(format!("{:<14} {:>8} {:>10} {:>8} {:>16} {:>18}", "dataset", "n", "m", "pairs", "pearson(log)", "spearman(rank)"));
+    r.line(format!(
+        "{:<14} {:>8} {:>10} {:>8} {:>16} {:>18}",
+        "dataset", "n", "m", "pairs", "pearson(log)", "spearman(rank)"
+    ));
     r.line("-".repeat(80));
     for name in ["ca-GrQc", "cit-HepTh"] {
         let spec = srs_graph::datasets::by_name(name).expect("registry dataset");
@@ -86,11 +89,7 @@ mod tests {
 
     #[test]
     fn correlations_are_high() {
-        let cfg = ReproConfig {
-            max_vertices: 400,
-            accuracy_queries: 20,
-            ..Default::default()
-        };
+        let cfg = ReproConfig { max_vertices: 400, accuracy_queries: 20, ..Default::default() };
         let r = run(&cfg);
         let s = r.render();
         assert!(s.contains("ca-GrQc") && s.contains("cit-HepTh"));

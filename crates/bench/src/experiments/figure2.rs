@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn topk_distances_below_average() {
-        let cfg = ReproConfig {
-            max_vertices: 3_000,
-            accuracy_queries: 12,
-            ..Default::default()
-        };
+        let cfg = ReproConfig { max_vertices: 3_000, accuracy_queries: 12, ..Default::default() };
         let s = compute_one(&cfg, "web-BerkStan");
         assert!(!s.points.is_empty());
         let top10: Vec<&(usize, f64)> = s.points.iter().filter(|(k, _)| *k <= 10).collect();
@@ -133,18 +129,10 @@ mod tests {
     #[test]
     fn distances_monotone_in_k() {
         // The k-th similar vertex gets (weakly) farther as k grows.
-        let cfg = ReproConfig {
-            max_vertices: 2_500,
-            accuracy_queries: 12,
-            ..Default::default()
-        };
+        let cfg = ReproConfig { max_vertices: 2_500, accuracy_queries: 12, ..Default::default() };
         let s = compute_one(&cfg, "wiki-Vote");
         for w in s.points.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1 - 0.35,
-                "distance not roughly monotone: {:?}",
-                s.points
-            );
+            assert!(w[1].1 >= w[0].1 - 0.35, "distance not roughly monotone: {:?}", s.points);
         }
         crate::cache::clear();
     }

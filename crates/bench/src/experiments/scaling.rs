@@ -8,7 +8,7 @@
 
 use super::Report;
 use crate::{cache, metrics, ReproConfig};
-use srs_search::{QueryOptions, SimRankParams, TopKIndex};
+use srs_search::{QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 use std::time::Duration;
 
 /// One size point of the sweep.
@@ -36,17 +36,15 @@ pub fn sweep(cfg: &ReproConfig, sizes: &[f64]) -> Vec<ScalePoint> {
             let params = SimRankParams::default();
             let (index, preprocess) = metrics::timed(|| TopKIndex::build(&g, &params, cfg.seed));
             let queries = srs_graph::stats::sample_query_vertices(&g, cfg.timing_queries, cfg.seed ^ 1);
-            let mut ctx = srs_search::topk::QueryContext::new(&g, &index);
-            let (_, total) = metrics::timed(|| {
-                for &u in &queries {
-                    std::hint::black_box(ctx.query(u, 20, &QueryOptions::default()));
-                }
-            });
+            // Single engine worker: the sweep charts per-query latency
+            // against n, so parallel throughput would only obscure it.
+            let engine = QueryEngine::with_threads(&g, &index, 1);
+            let batch = engine.query_batch(&queries, 20, &QueryOptions::default());
             ScalePoint {
                 n: g.num_vertices(),
                 m: g.num_edges(),
                 preprocess,
-                query: total / queries.len().max(1) as u32,
+                query: batch.latency.mean,
                 index_bytes: index.memory_bytes(),
             }
         })
@@ -148,12 +146,7 @@ mod tests {
         }
         let cfg = ReproConfig { max_vertices: 2_000, ..Default::default() };
         let res = thread_sweep(&cfg, &[1, cores.min(4)]);
-        assert!(
-            res[1].1 < res[0].1,
-            "multithreaded {:?} not faster than single {:?}",
-            res[1],
-            res[0]
-        );
+        assert!(res[1].1 < res[0].1, "multithreaded {:?} not faster than single {:?}", res[1], res[0]);
         crate::cache::clear();
     }
 }

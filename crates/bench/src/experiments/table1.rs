@@ -39,13 +39,7 @@ pub fn run() -> Report {
             "random surfer pair (Monte Carlo)",
             "srs_baselines::fogaras::FingerprintIndex",
         ),
-        (
-            "Jeh & Widom [13]",
-            "O(T n^2 d^2)",
-            "O(n^2)",
-            "naive fixed point",
-            "srs_exact::naive::all_pairs",
-        ),
+        ("Jeh & Widom [13]", "O(T n^2 d^2)", "O(n^2)", "naive fixed point", "srs_exact::naive::all_pairs"),
         (
             "Lizorkin et al. [26]",
             "O(T min(nm, n^3/log n))",
@@ -53,13 +47,7 @@ pub fn run() -> Report {
             "partial sums",
             "srs_exact::partial_sums::all_pairs",
         ),
-        (
-            "Yu et al. [37]",
-            "O(T min(nm, n^w))",
-            "O(n^2)",
-            "two-phase matrix iteration",
-            "srs_exact::yu::run",
-        ),
+        ("Yu et al. [37]", "O(T min(nm, n^w))", "O(n^2)", "two-phase matrix iteration", "srs_exact::yu::run"),
         (
             "Li et al. [19-21], Fujiwara et al. [10], Yu et al. [35]",
             "(not reproduced)",
@@ -68,7 +56,10 @@ pub fn run() -> Report {
             "-",
         ),
     ];
-    r.line(format!("{:<55} | {:<36} | {:<10} | {:<40} | implementation", "algorithm", "time", "space", "technique"));
+    r.line(format!(
+        "{:<55} | {:<36} | {:<10} | {:<40} | implementation",
+        "algorithm", "time", "space", "technique"
+    ));
     r.line("-".repeat(170));
     for (name, time, space, tech, imp) in rows {
         r.line(format!("{name:<55} | {time:<36} | {space:<10} | {tech:<40} | {imp}"));
@@ -82,7 +73,8 @@ mod tests {
     fn renders_all_rows() {
         let r = super::run();
         let s = r.render();
-        for needle in ["Proposed", "Fogaras", "Jeh & Widom", "Lizorkin", "Yu et al. [37]", "srs_search::topk"] {
+        for needle in ["Proposed", "Fogaras", "Jeh & Widom", "Lizorkin", "Yu et al. [37]", "srs_search::topk"]
+        {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

@@ -55,8 +55,7 @@ pub fn run(cfg: &ReproConfig) -> Report {
         "dataset", "threshold", "prop (exact D)", "prop (D=(1-c)I)", "Fogaras-Racz", "queries"
     ));
     r.line("-".repeat(90));
-    let mut csv =
-        String::from("dataset,threshold,proposed_exact_d,proposed_uniform_d,fogaras,queries\n");
+    let mut csv = String::from("dataset,threshold,proposed_exact_d,proposed_uniform_d,fogaras,queries\n");
     for rows in DATASETS.iter().map(|d| compute_one(cfg, d)) {
         for row in rows {
             r.line(format!(
@@ -130,17 +129,14 @@ pub fn compute_one(cfg: &ReproConfig, name: &'static str) -> Vec<AccuracyRow> {
             let mut uniform_acc = Vec::new();
             let mut fr_acc = Vec::new();
             for &u in &queries {
-                let truth: Vec<VertexId> = (0..n)
-                    .filter(|&v| v != u && exact.get(u as usize, v as usize) >= theta)
-                    .collect();
+                let truth: Vec<VertexId> =
+                    (0..n).filter(|&v| v != u && exact.get(u as usize, v as usize) >= theta).collect();
                 if truth.is_empty() {
                     continue;
                 }
                 // Proposed: threshold-θ query, k unbounded.
                 let opts = QueryOptions { theta: Some(theta), ..Default::default() };
-                for (ctx, acc) in
-                    [(&mut ctx_exact, &mut exact_acc), (&mut ctx_uniform, &mut uniform_acc)]
-                {
+                for (ctx, acc) in [(&mut ctx_exact, &mut exact_acc), (&mut ctx_uniform, &mut uniform_acc)] {
                     let res = ctx.query(u, n as usize, &opts);
                     let found: Vec<VertexId> = res.hits.iter().map(|h| h.vertex).collect();
                     acc.push(metrics::containment(&truth, &found));
@@ -169,11 +165,7 @@ mod tests {
 
     #[test]
     fn accuracy_in_paper_range_on_collaboration_graph() {
-        let cfg = ReproConfig {
-            max_vertices: 900,
-            accuracy_queries: 30,
-            ..Default::default()
-        };
+        let cfg = ReproConfig { max_vertices: 900, accuracy_queries: 30, ..Default::default() };
         let rows = compute_one(&cfg, "ca-GrQc");
         assert_eq!(rows.len(), 4);
         for row in &rows {

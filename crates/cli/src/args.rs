@@ -21,9 +21,7 @@ impl Args {
         }
         let mut flags = BTreeMap::new();
         while let Some(flag) = it.next() {
-            let name = flag
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, found {flag}"))?;
+            let name = flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, found {flag}"))?;
             let value = it.next().ok_or_else(|| format!("missing value for --{name}"))?;
             if flags.insert(name.to_string(), value.clone()).is_some() {
                 return Err(format!("duplicate flag --{name}"));
@@ -34,10 +32,7 @@ impl Args {
 
     /// Required string flag.
     pub fn req(&self, name: &str) -> Result<&str, String> {
-        self.flags
-            .get(name)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// Optional string flag.
@@ -62,6 +57,25 @@ impl Args {
         T::Err: std::fmt::Display,
     {
         self.req(name)?.parse::<T>().map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// Optional comma-separated list flag (e.g. `--vertices 3,17,99`).
+    /// Empty items are ignored; `Some(vec![])` means the flag was present
+    /// but named no values.
+    pub fn get_list<T: std::str::FromStr>(&self, name: &str) -> Result<Option<Vec<T>>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<T>().map_err(|e| format!("--{name}: `{s}`: {e}")))
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
     }
 
     /// Rejects flags outside `allowed` (catches typos).
@@ -100,6 +114,18 @@ mod tests {
         assert!(parse("query --graph").is_err());
         assert!(parse("query graph g.bin").is_err());
         assert!(parse("query --k 1 --k 2").is_err());
+    }
+
+    #[test]
+    fn comma_separated_lists() {
+        let a = parse("batch-query --vertices 3,17,99").unwrap();
+        assert_eq!(a.get_list::<u32>("vertices").unwrap(), Some(vec![3, 17, 99]));
+        assert_eq!(a.get_list::<u32>("missing").unwrap(), None);
+        let spaced = parse("batch-query --vertices 1,,2,").unwrap();
+        assert_eq!(spaced.get_list::<u32>("vertices").unwrap(), Some(vec![1, 2]));
+        let bad = parse("batch-query --vertices 1,banana").unwrap();
+        let err = bad.get_list::<u32>("vertices").unwrap_err();
+        assert!(err.contains("banana"), "{err}");
     }
 
     #[test]

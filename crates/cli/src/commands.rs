@@ -3,7 +3,7 @@
 
 use crate::args::Args;
 use srs_graph::{datasets, gen, io, stats, Graph};
-use srs_search::{persist, QueryOptions, SimRankParams, TopKIndex};
+use srs_search::{persist, QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -16,6 +16,8 @@ usage:
   srs stats      --graph FILE
   srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S]
   srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X]
+  srs batch-query --graph FILE --index FILE [--vertices 1,2,3 | --queries N [--seed S]]
+                 [--k 20] [--threads T] [--ball R] [--theta X]
   srs topk-all   --graph FILE --index FILE [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -34,6 +36,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "stats" => graph_stats(&args),
         "preprocess" => preprocess(&args),
         "query" => query(&args),
+        "batch-query" => batch_query(&args),
         "topk-all" => topk_all(&args),
         "exact" => exact(&args),
         "validate" => validate(&args),
@@ -87,12 +90,7 @@ fn generate(args: &Args) -> Result<String, String> {
         }
     };
     save_graph(&g, out)?;
-    Ok(format!(
-        "generated n={} m={} -> {}\n",
-        g.num_vertices(),
-        g.num_edges(),
-        out.display()
-    ))
+    Ok(format!("generated n={} m={} -> {}\n", g.num_vertices(), g.num_edges(), out.display()))
 }
 
 fn convert(args: &Args) -> Result<String, String> {
@@ -101,7 +99,13 @@ fn convert(args: &Args) -> Result<String, String> {
     let output = Path::new(args.req("out")?);
     let g = load_graph(input)?;
     save_graph(&g, output)?;
-    Ok(format!("converted {} -> {} (n={} m={})\n", input.display(), output.display(), g.num_vertices(), g.num_edges()))
+    Ok(format!(
+        "converted {} -> {} (n={} m={})\n",
+        input.display(),
+        output.display(),
+        g.num_vertices(),
+        g.num_edges()
+    ))
 }
 
 fn graph_stats(args: &Args) -> Result<String, String> {
@@ -198,6 +202,57 @@ fn query(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn batch_query(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "vertices", "queries", "seed", "k", "threads", "ball", "theta"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let index = load_index(args)?;
+    let k: usize = args.get_or("k", 20)?;
+    let threads: usize =
+        args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
+    let opts = query_options(args)?;
+    let queries: Vec<u32> = match args.get_list::<u32>("vertices")? {
+        Some(v) if v.is_empty() => return Err("--vertices names no vertices".into()),
+        Some(v) => v,
+        None => {
+            // No explicit list: sample a degree-weighted workload, the same
+            // way the validation and experiment harnesses pick queries.
+            let count: usize = args.get_or("queries", 100)?;
+            let seed: u64 = args.get_or("seed", 1)?;
+            stats::sample_query_vertices(&g, count, seed)
+        }
+    };
+    if let Some(&bad) = queries.iter().find(|&&u| u >= g.num_vertices()) {
+        return Err(format!("vertex {bad} out of range (n = {})", g.num_vertices()));
+    }
+    let engine = QueryEngine::with_threads(&g, &index, threads);
+    let batch = engine.query_batch(&queries, k, &opts);
+    let t = &batch.totals;
+    let l = &batch.latency;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch top-{k}: {} queries on {} threads in {:.2?} ({:.0} queries/s)",
+        queries.len(),
+        engine.threads(),
+        batch.elapsed,
+        batch.queries_per_second()
+    );
+    let _ = writeln!(out, "candidates       {}", t.candidates);
+    let _ = writeln!(out, "pruned distance  {}", t.pruned_distance);
+    let _ = writeln!(out, "pruned bounds    {}", t.pruned_bounds);
+    let _ = writeln!(out, "pruned coarse    {}", t.pruned_coarse);
+    let _ = writeln!(out, "refined          {}", t.refined);
+    let _ = writeln!(out, "bfs visited      {}", t.bfs_visited);
+    let _ = writeln!(
+        out,
+        "latency mean {:.2?} | p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
+        l.mean, l.p50, l.p95, l.p99, l.max
+    );
+    let hits: usize = batch.results.iter().map(|r| r.hits.len()).sum();
+    let _ = writeln!(out, "hits             {} ({:.1} per query)", hits, hits as f64 / queries.len() as f64);
+    Ok(out)
+}
+
 fn topk_all(args: &Args) -> Result<String, String> {
     args.ensure_known(&["graph", "index", "k", "out", "threads"])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
@@ -206,8 +261,7 @@ fn topk_all(args: &Args) -> Result<String, String> {
     let threads: usize =
         args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
     let start = std::time::Instant::now();
-    let (all, stats) =
-        srs_search::all_vertices::all_topk(&g, &index, k, &QueryOptions::default(), threads);
+    let (all, stats) = srs_search::all_vertices::all_topk(&g, &index, k, &QueryOptions::default(), threads);
     let elapsed = start.elapsed();
     let mut csv = String::from("vertex,rank,similar,score\n");
     for (u, hits) in all.iter().enumerate() {
@@ -262,8 +316,7 @@ fn validate(args: &Args) -> Result<String, String> {
     let queries: usize = args.get_or("queries", 50)?;
     let seed: u64 = args.get_or("seed", 1)?;
     let qs = srs_graph::stats::sample_query_vertices(&g, queries, seed);
-    let report =
-        srs_search::validate::validate_index(&g, &index, &qs, k, &QueryOptions::default());
+    let report = srs_search::validate::validate_index(&g, &index, &qs, k, &QueryOptions::default());
     let mut out = String::new();
     let _ = writeln!(out, "queries          {}", report.queries);
     let _ = writeln!(out, "recall@{k}        {:.4}", report.recall);
@@ -311,12 +364,10 @@ mod tests {
     fn full_workflow_generate_preprocess_query() {
         let g_path = tmp("wf.bin");
         let i_path = tmp("wf.idx");
-        let out = run(&format!("generate --family web --n 400 --deg 4 --out {}", g_path.display()))
-            .unwrap();
+        let out = run(&format!("generate --family web --n 400 --deg 4 --out {}", g_path.display())).unwrap();
         assert!(out.contains("n=400"), "{out}");
         let out =
-            run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display()))
-                .unwrap();
+            run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
         assert!(out.contains("preprocess done"), "{out}");
         let out = run(&format!(
             "query --graph {} --index {} --vertex 10 --k 5",
@@ -327,11 +378,7 @@ mod tests {
         assert!(out.contains("top-5 for vertex 10"), "{out}");
         let out = run(&format!("stats --graph {}", g_path.display())).unwrap();
         assert!(out.contains("vertices             400"), "{out}");
-        let out = run(&format!(
-            "exact --graph {} --vertex 10 --k 3",
-            g_path.display()
-        ))
-        .unwrap();
+        let out = run(&format!("exact --graph {} --vertex 10 --k 3", g_path.display())).unwrap();
         assert!(out.contains("deterministic linearized top-3"), "{out}");
         let out = run(&format!(
             "validate --graph {} --index {} --k 5 --queries 8",
@@ -362,13 +409,47 @@ mod tests {
     }
 
     #[test]
+    fn batch_query_reports_aggregates_and_latency() {
+        let g_path = tmp("bq.bin");
+        let i_path = tmp("bq.idx");
+        run(&format!("generate --family web --n 200 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        let out = run(&format!(
+            "batch-query --graph {} --index {} --vertices 1,5,9,40 --k 5 --threads 2",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("4 queries"), "{out}");
+        assert!(out.contains("candidates"), "{out}");
+        assert!(out.contains("p50") && out.contains("p95") && out.contains("p99"), "{out}");
+        // Sampled-workload form works too.
+        let out = run(&format!(
+            "batch-query --graph {} --index {} --queries 8 --seed 3 --k 5",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("8 queries"), "{out}");
+        // Out-of-range vertices are rejected up front.
+        let err = run(&format!(
+            "batch-query --graph {} --index {} --vertices 1,9999",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        std::fs::remove_file(&g_path).ok();
+        std::fs::remove_file(&i_path).ok();
+    }
+
+    #[test]
     fn topk_all_writes_csv() {
         let g_path = tmp("all.bin");
         let i_path = tmp("all.idx");
         let csv = tmp("all.csv");
         run(&format!("generate --family web --n 150 --deg 4 --out {}", g_path.display())).unwrap();
-        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display()))
-            .unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
         let out = run(&format!(
             "topk-all --graph {} --index {} --k 3 --out {}",
             g_path.display(),
@@ -389,8 +470,7 @@ mod tests {
         let a = tmp("ro_a.bin");
         let b = tmp("ro_b.bin");
         run(&format!("generate --family social --n 300 --deg 4 --out {}", a.display())).unwrap();
-        let out = run(&format!("reorder --in {} --out {} --by degree", a.display(), b.display()))
-            .unwrap();
+        let out = run(&format!("reorder --in {} --out {} --by degree", a.display(), b.display())).unwrap();
         assert!(out.contains("edge locality"), "{out}");
         let stats = run(&format!("stats --graph {}", b.display())).unwrap();
         assert!(stats.contains("vertices             300"), "{stats}");
@@ -404,7 +484,9 @@ mod tests {
         assert!(run("frobnicate --x 1").unwrap_err().contains("unknown subcommand"));
         assert!(run("stats").unwrap_err().contains("--graph"));
         assert!(run("generate --family martian --n 10 --out /tmp/x").unwrap_err().contains("unknown family"));
-        assert!(run("generate --dataset not-a-dataset --out /tmp/x").unwrap_err().contains("unknown dataset"));
+        assert!(run("generate --dataset not-a-dataset --out /tmp/x")
+            .unwrap_err()
+            .contains("unknown dataset"));
         let g_path = tmp("err.bin");
         run(&format!("generate --family er --n 50 --deg 2 --out {}", g_path.display())).unwrap();
         let err = run(&format!("exact --graph {} --vertex 999", g_path.display())).unwrap_err();

@@ -115,11 +115,7 @@ impl<T: Scalar> SquareMatrix<T> {
     /// agreement tests).
     pub fn max_abs_diff(&self, other: &SquareMatrix<T>) -> f64 {
         assert_eq!(self.n, other.n, "order mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs()).fold(0.0, f64::max)
     }
 
     /// `max_{ij} |A_ij − A_ji|` (symmetry check; SimRank matrices are

@@ -263,10 +263,7 @@ impl Graph {
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Graph")
-            .field("n", &self.n)
-            .field("m", &self.num_edges())
-            .finish()
+        f.debug_struct("Graph").field("n", &self.n).field("m", &self.num_edges()).finish()
     }
 }
 

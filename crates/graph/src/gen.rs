@@ -93,12 +93,7 @@ pub fn preferential_attachment(n: u32, out_per_vertex: u32, seed: u64) -> Graph 
 /// locality of real social/follower graphs and restores their distance
 /// structure (average distance ~3 and bounded hub degrees at wiki-Vote
 /// scale), which the Figure 2 reproduction depends on.
-pub fn preferential_attachment_windowed(
-    n: u32,
-    out_per_vertex: u32,
-    window: usize,
-    seed: u64,
-) -> Graph {
+pub fn preferential_attachment_windowed(n: u32, out_per_vertex: u32, window: usize, seed: u64) -> Graph {
     assert!(window >= 1, "window must be positive");
     let mut rng = SmallRng::seed_from_u64(seed);
     let m_est = n as usize * out_per_vertex as usize;

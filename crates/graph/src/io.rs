@@ -23,17 +23,18 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
     let reader = BufReader::new(reader);
     let mut remap: crate::hash::FxHashMap<u64, VertexId> = crate::hash::FxHashMap::default();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let intern = |raw: u64, remap: &mut crate::hash::FxHashMap<u64, VertexId>| -> Result<VertexId, GraphError> {
-        if let Some(&id) = remap.get(&raw) {
-            return Ok(id);
-        }
-        let next = remap.len() as u64;
-        if next > u32::MAX as u64 {
-            return Err(GraphError::TooManyVertices(next));
-        }
-        remap.insert(raw, next as VertexId);
-        Ok(next as VertexId)
-    };
+    let intern =
+        |raw: u64, remap: &mut crate::hash::FxHashMap<u64, VertexId>| -> Result<VertexId, GraphError> {
+            if let Some(&id) = remap.get(&raw) {
+                return Ok(id);
+            }
+            let next = remap.len() as u64;
+            if next > u32::MAX as u64 {
+                return Err(GraphError::TooManyVertices(next));
+            }
+            remap.insert(raw, next as VertexId);
+            Ok(next as VertexId)
+        };
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -106,9 +107,8 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Graph, GraphError> {
     }
     let n = buf.get_u32_le();
     let m = buf.get_u64_le();
-    let body_len = (m as usize)
-        .checked_mul(8)
-        .ok_or_else(|| GraphError::Format("edge count overflow".into()))?;
+    let body_len =
+        (m as usize).checked_mul(8).ok_or_else(|| GraphError::Format("edge count overflow".into()))?;
     // Read what is actually there before trusting the header's edge count:
     // allocating `m * 8` up front would let a corrupted count abort on
     // allocation instead of returning a Format error.
@@ -133,7 +133,6 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Graph, GraphError> {
     }
     Ok(g)
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -92,11 +92,7 @@ pub fn apply_order(g: &Graph, order: &[VertexId]) -> Reordered {
     for (u, v) in g.edges() {
         b.add_edge(new_of[u as usize], new_of[v as usize]);
     }
-    Reordered {
-        graph: b.build().expect("permutation preserves validity"),
-        new_of,
-        old_of: order.to_vec(),
-    }
+    Reordered { graph: b.build().expect("permutation preserves validity"), new_of, old_of: order.to_vec() }
 }
 
 /// Locality score: mean absolute id gap across edges (lower = better

@@ -53,16 +53,9 @@ impl PositionCounter {
     /// `Σ_w self(w) · other(w)` — the co-location inner product of
     /// Algorithm 1, iterating the smaller table.
     pub fn dot(&self, other: &PositionCounter) -> u64 {
-        let (small, large) = if self.counts.len() <= other.counts.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        small
-            .counts
-            .iter()
-            .map(|(&w, &c)| c as u64 * large.count(w) as u64)
-            .sum()
+        let (small, large) =
+            if self.counts.len() <= other.counts.len() { (self, other) } else { (other, self) };
+        small.counts.iter().map(|(&w, &c)| c as u64 * large.count(w) as u64).sum()
     }
 
     /// `Σ_w self(w)²` — used by the γ (L2 bound) estimator of Algorithm 3.

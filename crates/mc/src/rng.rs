@@ -97,8 +97,7 @@ mod tests {
         // Reference values for pcg32 with seed=42, stream=54 from the PCG
         // sample output (pcg32_random_r demo).
         let mut r = Pcg32::new(42, 54);
-        let expect: [u32; 6] =
-            [0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b, 0xcbed606e];
+        let expect: [u32; 6] = [0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b, 0xcbed606e];
         for e in expect {
             assert_eq!(r.next_u32(), e);
         }

@@ -98,6 +98,51 @@ impl<'g> WalkEngine<'g> {
     }
 }
 
+/// Reusable batch of walk positions: reset to `R` copies of a start vertex,
+/// then advanced in place one step at a time. The streaming algorithms
+/// (Algorithms 1–3) only ever need the *current* positions, so one of these
+/// buffers per worker makes their walk simulation allocation-free in the
+/// steady state — the property the batched query engine relies on.
+#[derive(Debug, Clone, Default)]
+pub struct WalkPositions {
+    pos: Vec<VertexId>,
+}
+
+impl WalkPositions {
+    /// Creates an empty buffer (first `reset` sizes it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restarts the batch: `r` walks, all at `start`. Reuses the allocation.
+    pub fn reset(&mut self, start: VertexId, r: usize) {
+        self.pos.clear();
+        self.pos.resize(r, start);
+    }
+
+    /// Advances every walk one reverse step.
+    #[inline]
+    pub fn step(&mut self, engine: &WalkEngine, rng: &mut Pcg32) {
+        engine.step_all(&mut self.pos, rng);
+    }
+
+    /// The current positions (including [`DEAD`] entries).
+    #[inline]
+    pub fn positions(&self) -> &[VertexId] {
+        &self.pos
+    }
+
+    /// Number of walks in the batch.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the batch holds no walks.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
 /// `R` recorded reverse-walk trajectories of length `T` from one source.
 /// Row-major: trajectory `i` occupies `positions[i*(T+1) .. (i+1)*(T+1)]`.
 #[derive(Debug, Clone)]

@@ -2,11 +2,12 @@
 //!
 //! The all-vertices problem is embarrassingly parallel: each query is
 //! independent, which is the paper's "distributed computing friendly"
-//! argument (`O(n²/M)` on `M` machines). Here the fleet is a thread pool:
-//! vertices are striped across workers, each with its own
-//! [`QueryContext`], and results land in a dense `Vec` indexed by vertex.
+//! argument (`O(n²/M)` on `M` machines). It is one big batch, so this is
+//! a thin driver over [`QueryEngine`]: every vertex id becomes a query,
+//! and results land in a dense `Vec` indexed by vertex.
 
-use crate::topk::{Hit, QueryContext, QueryOptions, QueryStats, TopKIndex};
+use crate::engine::QueryEngine;
+use crate::topk::{Hit, QueryOptions, QueryStats, TopKIndex};
 use srs_graph::{Graph, VertexId};
 
 /// Aggregated counters over an all-vertices run.
@@ -18,8 +19,9 @@ pub struct AllVerticesStats {
     pub queries: u64,
 }
 
-/// Runs [`QueryContext::query`] for every vertex, `threads`-way parallel.
-/// Returns per-vertex hit lists (index = vertex id) and aggregate stats.
+/// Runs an Algorithm 5 query for every vertex, `threads`-way parallel
+/// through a [`QueryEngine`]. Returns per-vertex hit lists (index =
+/// vertex id) and aggregate stats.
 pub fn all_topk(
     g: &Graph,
     index: &TopKIndex,
@@ -28,42 +30,11 @@ pub fn all_topk(
     threads: usize,
 ) -> (Vec<Vec<Hit>>, AllVerticesStats) {
     assert!(threads >= 1);
-    let n = g.num_vertices() as usize;
-    let mut results: Vec<Vec<Hit>> = vec![Vec::new(); n];
-    let mut stats = AllVerticesStats { queries: n as u64, ..Default::default() };
-    let per = n.div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, chunk) in results.chunks_mut(per).enumerate() {
-            handles.push(scope.spawn(move |_| {
-                let mut ctx = QueryContext::new(g, index);
-                let mut local = QueryStats::default();
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let u = (chunk_idx * per + off) as VertexId;
-                    let res = ctx.query(u, k, opts);
-                    local.candidates += res.stats.candidates;
-                    local.pruned_distance += res.stats.pruned_distance;
-                    local.pruned_bounds += res.stats.pruned_bounds;
-                    local.pruned_coarse += res.stats.pruned_coarse;
-                    local.refined += res.stats.refined;
-                    local.bfs_visited += res.stats.bfs_visited;
-                    *slot = res.hits;
-                }
-                local
-            }));
-        }
-        for h in handles {
-            let local = h.join().expect("worker panicked");
-            stats.totals.candidates += local.candidates;
-            stats.totals.pruned_distance += local.pruned_distance;
-            stats.totals.pruned_bounds += local.pruned_bounds;
-            stats.totals.pruned_coarse += local.pruned_coarse;
-            stats.totals.refined += local.refined;
-            stats.totals.bfs_visited += local.bfs_visited;
-        }
-    })
-    .expect("worker thread panicked");
-    (results, stats)
+    let engine = QueryEngine::with_threads(g, index, threads);
+    let queries: Vec<VertexId> = (0..g.num_vertices()).collect();
+    let batch = engine.query_batch(&queries, k, opts);
+    let stats = AllVerticesStats { totals: batch.totals, queries: queries.len() as u64 };
+    (batch.results.into_iter().map(|r| r.hits).collect(), stats)
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use crate::{Diagonal, SimRankParams};
 use srs_graph::bfs::UNREACHED;
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
-use srs_mc::{Pcg32, WalkEngine};
+use srs_mc::{Pcg32, WalkEngine, WalkPositions};
 
 /// Precomputed `γ(u, t)` for all vertices (Algorithm 3 output). Stored as
 /// `f32` — `4 n T` bytes, part of the `O(n)` preprocess artifact.
@@ -166,6 +166,13 @@ pub struct AlphaBeta {
 }
 
 impl AlphaBeta {
+    /// An empty table (no allocation); fill it with
+    /// [`AlphaBeta::compute_into`]. Until then `beta` returns +∞
+    /// everywhere, i.e. the table is uninformative, never unsound.
+    pub fn new_empty() -> Self {
+        AlphaBeta { d_max: 0, alpha: Vec::new(), beta: Vec::new() }
+    }
+
     /// Runs Algorithm 2 for query vertex `u` with `params.r_bounds` walks.
     /// `dist(w)` must give the undirected BFS distance from `u` (or
     /// [`UNREACHED`]); positions farther than `d_max` are ignored (they can
@@ -178,35 +185,67 @@ impl AlphaBeta {
         dist: impl Fn(VertexId) -> u32,
         seed: u64,
     ) -> Self {
+        let mut ab = Self::new_empty();
+        ab.compute_into(
+            g,
+            u,
+            params,
+            diag,
+            dist,
+            seed,
+            &mut WalkPositions::new(),
+            &mut PositionCounter::new(),
+        );
+        ab
+    }
+
+    /// [`AlphaBeta::compute`] into existing storage: `self`'s tables and
+    /// the caller's walk/counter buffers are reused, so a warm query
+    /// worker recomputes the L1 bound without allocating. Results are
+    /// bit-identical to `compute` for the same inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_into(
+        &mut self,
+        g: &Graph,
+        u: VertexId,
+        params: &SimRankParams,
+        diag: &Diagonal,
+        dist: impl Fn(VertexId) -> u32,
+        seed: u64,
+        walks: &mut WalkPositions,
+        counter: &mut PositionCounter,
+    ) {
         params.validate();
         let t_steps = params.t as usize;
         let d_max = params.d_max as usize;
-        let mut alpha = vec![0.0f64; (d_max + 1) * t_steps];
+        self.d_max = params.d_max;
+        self.alpha.clear();
+        self.alpha.resize((d_max + 1) * t_steps, 0.0);
         let engine = WalkEngine::new(g);
         let r = params.r_bounds as usize;
         let mut rng = Pcg32::from_parts(&[seed, 0xB0, u as u64]);
-        let mut pos = vec![u; r];
-        let mut counter = PositionCounter::new();
+        walks.reset(u, r);
         for t in 0..t_steps {
-            counter.fill(&pos);
+            counter.fill(walks.positions());
             for (w, cnt) in counter.iter() {
                 let d = dist(w);
                 if d == UNREACHED || d as usize > d_max {
                     continue;
                 }
                 let a = diag.weight(w) * cnt as f64 / r as f64;
-                let slot = &mut alpha[d as usize * t_steps + t];
+                let slot = &mut self.alpha[d as usize * t_steps + t];
                 if a > *slot {
                     *slot = a;
                 }
             }
             if t + 1 < t_steps {
-                engine.step_all(&mut pos, &mut rng);
+                walks.step(&engine, &mut rng);
             }
         }
         // β(u,d) = Σ_t cᵗ · max_{max(0,d−t) ≤ d' ≤ min(d_max, d+t)} α(d', t).
-        let mut beta = vec![0.0f64; d_max + 1];
-        for (d, slot) in beta.iter_mut().enumerate() {
+        self.beta.clear();
+        self.beta.resize(d_max + 1, 0.0);
+        for (d, slot) in self.beta.iter_mut().enumerate() {
             let mut acc = 0.0;
             let mut ct = 1.0;
             for t in 0..t_steps {
@@ -214,14 +253,13 @@ impl AlphaBeta {
                 let hi = (d + t).min(d_max);
                 let mut best = 0.0f64;
                 for dp in lo..=hi {
-                    best = best.max(alpha[dp * t_steps + t]);
+                    best = best.max(self.alpha[dp * t_steps + t]);
                 }
                 acc += ct * best;
                 ct *= params.c;
             }
             *slot = acc;
         }
-        AlphaBeta { d_max: params.d_max, alpha, beta }
     }
 
     /// `β(u, d)` — the L1 bound for any `v` at distance `d` from `u`
@@ -346,7 +384,8 @@ mod tests {
         let g = fixtures::path(5);
         let params = SimRankParams { r_bounds: 100, ..Default::default() };
         let bfs = undirected_dist(&g, 0, params.d_max);
-        let ab = AlphaBeta::compute(&g, 0, &params, &Diagonal::paper_default(params.c), |w| bfs.distance(w), 1);
+        let ab =
+            AlphaBeta::compute(&g, 0, &params, &Diagonal::paper_default(params.c), |w| bfs.distance(w), 1);
         assert_eq!(ab.beta(params.d_max + 5), f64::INFINITY);
         assert_eq!(ab.d_max(), params.d_max);
     }
@@ -357,7 +396,8 @@ mod tests {
         let g = fixtures::claw();
         let params = SimRankParams { r_bounds: 100, ..Default::default() };
         let bfs = undirected_dist(&g, 0, params.d_max);
-        let ab = AlphaBeta::compute(&g, 0, &params, &Diagonal::paper_default(params.c), |w| bfs.distance(w), 1);
+        let ab =
+            AlphaBeta::compute(&g, 0, &params, &Diagonal::paper_default(params.c), |w| bfs.distance(w), 1);
         assert!((ab.alpha(0, 0) - 0.4).abs() < 1e-12);
     }
 

@@ -1,0 +1,324 @@
+//! The batch query engine: a parallel, zero-alloc-steady-state serving
+//! layer over Algorithm 5.
+//!
+//! [`QueryEngine`] owns a pool of [`QueryScratch`] states (one grows per
+//! concurrently active worker) and answers a *batch* of queries across a
+//! fixed number of threads. Because every per-query seed is derived only
+//! from `(index seed, query vertex)` — never from thread ids, scratch
+//! identity, or arrival order — results are bit-identical regardless of
+//! thread count, batch composition, or how often the pool is reused; the
+//! partitioning below only decides *who* computes each answer, never
+//! *what* the answer is.
+//!
+//! Steady state allocates nothing: scratches are recycled through the
+//! pool, and [`QueryEngine::query_batch_into`] additionally recycles the
+//! output buffers (`TopKResult` hit vectors, latency samples) of a
+//! previous batch.
+
+use crate::topk::{QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
+use parking_lot::Mutex;
+use srs_graph::{Graph, VertexId};
+use std::time::{Duration, Instant};
+
+/// Nearest-rank latency percentiles over one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Mean per-query latency.
+    pub mean: Duration,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+    /// Slowest query.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Computes the summary from an unordered sample set, using `scratch`
+    /// as sorting storage (cleared first).
+    fn compute(samples: &[Duration], scratch: &mut Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        scratch.clear();
+        scratch.extend_from_slice(samples);
+        scratch.sort_unstable();
+        let n = scratch.len();
+        let rank = |p: f64| -> Duration {
+            // Nearest-rank: the ⌈p·n⌉-th smallest sample.
+            let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+            scratch[idx]
+        };
+        LatencySummary {
+            mean: scratch.iter().sum::<Duration>() / n as u32,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: scratch[n - 1],
+        }
+    }
+}
+
+/// Everything a finished batch produced. Reusable across batches via
+/// [`QueryEngine::query_batch_into`] — the per-query result and latency
+/// vectors keep their allocations.
+#[derive(Debug, Default)]
+pub struct BatchResult {
+    /// Per-query results, in the order of the input batch.
+    pub results: Vec<TopKResult>,
+    /// Per-query wall-clock latencies, in the order of the input batch.
+    pub latencies: Vec<Duration>,
+    /// Aggregated pruning counters over the whole batch.
+    pub totals: QueryStats,
+    /// Latency percentiles over the whole batch.
+    pub latency: LatencySummary,
+    /// Wall-clock time for the whole batch (not the sum of latencies).
+    pub elapsed: Duration,
+    /// Sorting storage for the percentile computation, kept for reuse.
+    lat_scratch: Vec<Duration>,
+}
+
+impl BatchResult {
+    /// An empty result ready to be filled by
+    /// [`QueryEngine::query_batch_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch throughput in queries per second.
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.results.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A parallel serving layer for Algorithm 5 queries over one graph +
+/// index pair. See the module docs for the determinism and allocation
+/// guarantees.
+pub struct QueryEngine<'g> {
+    g: &'g Graph,
+    index: &'g TopKIndex,
+    threads: usize,
+    pool: Mutex<Vec<QueryScratch>>,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine using all available parallelism.
+    pub fn new(g: &'g Graph, index: &'g TopKIndex) -> Self {
+        let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        Self::with_threads(g, index, threads)
+    }
+
+    /// An engine with an explicit worker count (≥ 1).
+    pub fn with_threads(g: &'g Graph, index: &'g TopKIndex, threads: usize) -> Self {
+        QueryEngine { g, index, threads: threads.max(1), pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The worker count batches are split across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The graph this engine serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The index this engine serves.
+    pub fn index(&self) -> &'g TopKIndex {
+        self.index
+    }
+
+    /// How many scratch states the pool currently holds (grows up to the
+    /// peak number of concurrently active workers, then stays flat).
+    pub fn pooled_states(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    fn take_scratch(&self) -> QueryScratch {
+        self.pool.lock().pop().unwrap_or_else(|| QueryScratch::new(self.g))
+    }
+
+    fn put_scratch(&self, scratch: QueryScratch) {
+        self.pool.lock().push(scratch);
+    }
+
+    /// Answers one query through the pool (no worker threads spawned).
+    pub fn query(&self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+        let mut out = TopKResult::default();
+        let mut scratch = self.take_scratch();
+        scratch.query_into(self.g, self.index, u, k, opts, &mut out);
+        self.put_scratch(scratch);
+        out
+    }
+
+    /// Answers a batch of queries in parallel. Results come back in input
+    /// order; `BatchResult::totals` aggregates the pruning counters and
+    /// `BatchResult::latency` summarizes per-query wall times.
+    pub fn query_batch(&self, queries: &[VertexId], k: usize, opts: &QueryOptions) -> BatchResult {
+        let mut out = BatchResult::new();
+        self.query_batch_into(queries, k, opts, &mut out);
+        out
+    }
+
+    /// [`QueryEngine::query_batch`] into an existing [`BatchResult`],
+    /// recycling its result and latency allocations.
+    pub fn query_batch_into(
+        &self,
+        queries: &[VertexId],
+        k: usize,
+        opts: &QueryOptions,
+        out: &mut BatchResult,
+    ) {
+        let started = Instant::now();
+        let n = queries.len();
+        out.results.resize_with(n, TopKResult::default);
+        out.latencies.clear();
+        out.latencies.resize(n, Duration::ZERO);
+        out.totals = QueryStats::default();
+        if n == 0 {
+            out.latency = LatencySummary::default();
+            out.elapsed = started.elapsed();
+            return;
+        }
+        // Contiguous chunks, ⌈n/threads⌉ queries each. The split only
+        // assigns work to workers; per-query seeding keeps the answers
+        // independent of it.
+        let threads = self.threads.min(n);
+        let per = n.div_ceil(threads);
+        let totals = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for ((q_chunk, r_chunk), l_chunk) in
+                queries.chunks(per).zip(out.results.chunks_mut(per)).zip(out.latencies.chunks_mut(per))
+            {
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = self.take_scratch();
+                    let mut local = QueryStats::default();
+                    for ((&u, slot), lat) in q_chunk.iter().zip(r_chunk).zip(l_chunk) {
+                        let t0 = Instant::now();
+                        scratch.query_into(self.g, self.index, u, k, opts, slot);
+                        *lat = t0.elapsed();
+                        local.accumulate(&slot.stats);
+                    }
+                    self.put_scratch(scratch);
+                    local
+                }));
+            }
+            let mut totals = QueryStats::default();
+            for h in handles {
+                totals.accumulate(&h.join().expect("query worker panicked"));
+            }
+            totals
+        })
+        .expect("query scope panicked");
+        out.totals = totals;
+        out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
+        out.elapsed = started.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::QueryContext;
+    use crate::{Diagonal, SimRankParams};
+    use srs_graph::gen;
+
+    fn build() -> (Graph, TopKIndex) {
+        let g = gen::copying_web(200, 4, 0.8, 8);
+        let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 3, 2);
+        (g, idx)
+    }
+
+    #[test]
+    fn batch_matches_sequential_context() {
+        let (g, idx) = build();
+        let engine = QueryEngine::with_threads(&g, &idx, 4);
+        let queries: Vec<VertexId> = (0..50).collect();
+        let batch = engine.query_batch(&queries, 5, &QueryOptions::default());
+        assert_eq!(batch.results.len(), queries.len());
+        assert_eq!(batch.latencies.len(), queries.len());
+        let mut ctx = QueryContext::new(&g, &idx);
+        let mut expected_totals = QueryStats::default();
+        for (&u, got) in queries.iter().zip(&batch.results) {
+            let want = ctx.query(u, 5, &QueryOptions::default());
+            assert_eq!(want.hits, got.hits, "u={u}");
+            assert_eq!(want.stats, got.stats, "u={u}");
+            expected_totals.accumulate(&want.stats);
+        }
+        assert_eq!(batch.totals, expected_totals);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let (g, idx) = build();
+        let queries: Vec<VertexId> = (0..40).collect();
+        let reference =
+            QueryEngine::with_threads(&g, &idx, 1).query_batch(&queries, 8, &QueryOptions::default());
+        for threads in [2, 3, 8] {
+            let engine = QueryEngine::with_threads(&g, &idx, threads);
+            let batch = engine.query_batch(&queries, 8, &QueryOptions::default());
+            for (a, b) in reference.results.iter().zip(&batch.results) {
+                assert_eq!(a.hits, b.hits);
+                assert_eq!(a.stats, b.stats);
+            }
+            assert_eq!(reference.totals, batch.totals);
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded_and_reused() {
+        let (g, idx) = build();
+        let engine = QueryEngine::with_threads(&g, &idx, 4);
+        let queries: Vec<VertexId> = (0..32).collect();
+        let mut out = BatchResult::new();
+        engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
+        let after_first = engine.pooled_states();
+        assert!(after_first >= 1 && after_first <= 4, "pool = {after_first}");
+        let first_hits: Vec<_> = out.results.iter().map(|r| r.hits.clone()).collect();
+        engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
+        assert!(engine.pooled_states() <= 4);
+        for (a, b) in first_hits.iter().zip(&out.results) {
+            assert_eq!(a, &b.hits, "reused pool/result buffers changed answers");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (g, idx) = build();
+        let engine = QueryEngine::with_threads(&g, &idx, 4);
+        let batch = engine.query_batch(&[], 5, &QueryOptions::default());
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.totals, QueryStats::default());
+        assert_eq!(batch.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn single_query_via_pool_matches_index_query() {
+        let (g, idx) = build();
+        let engine = QueryEngine::new(&g, &idx);
+        let a = engine.query(7, 5, &QueryOptions::default());
+        let b = idx.query(&g, 7, 5, &QueryOptions::default());
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_ordered() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let mut scratch = Vec::new();
+        let s = LatencySummary::compute(&samples, &mut scratch);
+        assert_eq!(s.p50, Duration::from_micros(50));
+        assert_eq!(s.p95, Duration::from_micros(95));
+        assert_eq!(s.p99, Duration::from_micros(99));
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+}

@@ -102,9 +102,7 @@ pub fn extend_appended(
         let snapshot = dirty.clone();
         let mut changed = false;
         for u in 0..new_n {
-            if !dirty[u as usize]
-                && new.in_neighbors(u).iter().any(|&w| snapshot[w as usize])
-            {
+            if !dirty[u as usize] && new.in_neighbors(u).iter().any(|&w| snapshot[w as usize]) {
                 dirty[u as usize] = true;
                 changed = true;
             }
@@ -125,40 +123,24 @@ pub fn extend_appended(
         GammaTable::build_for(new, &params, &index.diag, mix_seed(&[index.seed, 1]), threads, &dirty);
     let mut gamma_raw: Vec<f32> = Vec::with_capacity(new_n as usize * params.t as usize);
     for v in 0..new_n as usize {
-        let row = if dirty[v] {
-            fresh_gamma.row(v as VertexId)
-        } else {
-            index.gamma.row(v as VertexId)
-        };
+        let row = if dirty[v] { fresh_gamma.row(v as VertexId) } else { index.gamma.row(v as VertexId) };
         gamma_raw.extend_from_slice(row);
     }
     let gamma = GammaTable::from_raw(params.t, gamma_raw);
 
-    let fresh_cand =
-        CandidateIndex::build_for(new, &params, mix_seed(&[index.seed, 2]), threads, &dirty);
+    let fresh_cand = CandidateIndex::build_for(new, &params, mix_seed(&[index.seed, 2]), threads, &dirty);
     let mut offsets = Vec::with_capacity(new_n as usize + 1);
     offsets.push(0u64);
     let mut entries: Vec<VertexId> = Vec::new();
     for v in 0..new_n {
-        let sig = if dirty[v as usize] {
-            fresh_cand.signatures(v)
-        } else {
-            index.candidates.signatures(v)
-        };
+        let sig = if dirty[v as usize] { fresh_cand.signatures(v) } else { index.candidates.signatures(v) };
         entries.extend_from_slice(sig);
         offsets.push(entries.len() as u64);
     }
     let candidates = CandidateIndex::from_raw_parts(new_n, offsets, entries);
 
-    let stats = ExtendStats {
-        appended: new_n - old_n,
-        dirty: dirty_count,
-        reused: old_n - dirty_count,
-    };
-    Ok((
-        TopKIndex { params, diag: index.diag.clone(), gamma, candidates, seed: index.seed },
-        stats,
-    ))
+    let stats = ExtendStats { appended: new_n - old_n, dirty: dirty_count, reused: old_n - dirty_count };
+    Ok((TopKIndex { params, diag: index.diag.clone(), gamma, candidates, seed: index.seed }, stats))
 }
 
 #[cfg(test)]

@@ -46,13 +46,7 @@ impl CandidateIndex {
     /// `mask[v] == true` get signatures (others stay empty). Empty mask =
     /// all vertices. Per-vertex `(seed, vertex)` streams make masked rows
     /// bit-identical to a full build's rows (incremental extension).
-    pub fn build_for(
-        g: &Graph,
-        params: &SimRankParams,
-        seed: u64,
-        threads: usize,
-        mask: &[bool],
-    ) -> Self {
+    pub fn build_for(g: &Graph, params: &SimRankParams, seed: u64, threads: usize, mask: &[bool]) -> Self {
         params.validate();
         assert!(threads >= 1);
         let n = g.num_vertices() as usize;
@@ -92,9 +86,10 @@ impl CandidateIndex {
                                 // WQ[t]} indexes the probe position. Q ≤ a
                                 // handful, so the quadratic check is free.
                                 let coincidence = aux.contains(&v)
-                                    || aux.iter().enumerate().any(|(j, &a)| {
-                                        a != DEAD && aux[j + 1..].contains(&a)
-                                    });
+                                    || aux
+                                        .iter()
+                                        .enumerate()
+                                        .any(|(j, &a)| a != DEAD && aux[j + 1..].contains(&a));
                                 if coincidence {
                                     sig.insert(v);
                                 }
@@ -138,18 +133,27 @@ impl CandidateIndex {
     }
 
     /// Candidate set of `u`: all `v ≠ u` sharing at least one signature
-    /// (§7.2, line 2 of Algorithm 5). Deduplicated, unsorted.
+    /// (§7.2, line 2 of Algorithm 5). Deduplicated, sorted ascending.
     pub fn candidates(&self, u: VertexId) -> Vec<VertexId> {
-        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
-        for &w in self.signatures(u) {
-            for &v in self.holders(w) {
-                if v != u && seen.insert(v) {
-                    out.push(v);
-                }
-            }
-        }
+        self.candidates_into(u, &mut out);
         out
+    }
+
+    /// Buffer-reusing form of [`CandidateIndex::candidates`]: fills `out`
+    /// with the deduplicated candidate set of `u`, sorted ascending, `u`
+    /// itself excluded. Reuses `out`'s allocation, so the query hot path
+    /// enumerates candidates without touching the heap in the steady state.
+    pub fn candidates_into(&self, u: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        for &w in self.signatures(u) {
+            out.extend_from_slice(self.holders(w));
+        }
+        out.sort_unstable();
+        out.dedup();
+        if let Ok(i) = out.binary_search(&u) {
+            out.remove(i);
+        }
     }
 
     /// Number of vertices indexed.

@@ -13,16 +13,20 @@
 //! | Algorithm 3 — γ computation (L2 bound) | [`bounds::GammaTable`] |
 //! | Algorithm 4 — candidate index (bipartite graph `H`) | [`index::CandidateIndex`] |
 //! | Algorithm 5 — pruned, adaptively-sampled top-k query | [`topk`] |
+//! | parallel batch serving over Algorithm 5 | [`engine`] |
 //! | §2.2 — similarity search for *all* vertices | [`all_vertices`] |
 //! | index persistence (`O(n)` preprocess artifacts) | [`persist`] |
 //! | validation against the deterministic solver | [`validate`] |
 //!
 //! The usual flow is [`topk::TopKIndex::build`] once per graph (the
 //! preprocess phase: Algorithms 3 + 4), then [`topk::TopKIndex::query`] per
-//! query vertex (Algorithm 5, which internally runs Algorithms 1 and 2).
+//! query vertex (Algorithm 5, which internally runs Algorithms 1 and 2) —
+//! or, for query streams, [`engine::QueryEngine::query_batch`], which
+//! serves whole batches in parallel from pooled query state.
 
 pub mod all_vertices;
 pub mod bounds;
+pub mod engine;
 pub mod extend;
 pub mod index;
 pub mod persist;
@@ -30,8 +34,9 @@ pub mod single_pair;
 pub mod topk;
 pub mod validate;
 
+pub use engine::{BatchResult, LatencySummary, QueryEngine};
 pub use single_pair::SinglePairEstimator;
-pub use topk::{Hit, QueryOptions, QueryStats, TopKIndex, TopKResult};
+pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 
 /// The diagonal correction matrix `D` used by the estimators.
 ///
@@ -158,8 +163,7 @@ impl SimRankParams {
         let r_refine = (r_theory / looseness).clamp(50, 10_000) as u32;
         let r_bounds = (srs_mc::hoeffding::alpha_beta_samples(n, t, t, eps, delta) / looseness)
             .clamp(1_000, 100_000) as u32;
-        let r_gamma = (srs_mc::hoeffding::gamma_samples(n, eps, delta) / looseness)
-            .clamp(50, 2_000) as u32;
+        let r_gamma = (srs_mc::hoeffding::gamma_samples(n, eps, delta) / looseness).clamp(50, 2_000) as u32;
         SimRankParams {
             c,
             t,

@@ -13,42 +13,52 @@
 //! empirical means is an unbiased estimator of the product of expectations.
 //!
 //! The cost is `O(T · R)` — independent of graph size, the property the
-//! paper's scalability rests on (Section 4). [`SinglePairEstimator`] reuses
-//! its buffers across calls so a query evaluating hundreds of candidates
-//! allocates nothing after the first.
+//! paper's scalability rests on (Section 4).
+//!
+//! Buffer ownership is split in two layers so the batch query engine can
+//! pool state without borrowing the graph: [`EstimatorBuffers`] is the
+//! lifetime-free scratch (walk positions + counters) that lives inside a
+//! pooled `QueryScratch`, while [`SinglePairEstimator`] bundles it with a
+//! [`WalkEngine`] and [`Diagonal`] for convenient standalone use. Either
+//! way, a query evaluating hundreds of candidates allocates nothing after
+//! the first call.
 
 use crate::{Diagonal, SimRankParams};
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
-use srs_mc::{Pcg32, WalkEngine};
+use srs_mc::{Pcg32, WalkEngine, WalkPositions};
 
-/// Reusable Algorithm 1 estimator.
-pub struct SinglePairEstimator<'g> {
-    engine: WalkEngine<'g>,
-    diag: Diagonal,
+/// Lifetime-free Algorithm 1 scratch: two walk-position buffers and two
+/// position counters, reused across every estimate. The graph is passed
+/// per call (as a [`WalkEngine`]) instead of being borrowed, so this can
+/// sit in a pooled, `'static` query state.
+#[derive(Default)]
+pub struct EstimatorBuffers {
     pos_u: Vec<VertexId>,
     pos_v: Vec<VertexId>,
     count_u: PositionCounter,
     count_v: PositionCounter,
 }
 
-impl<'g> SinglePairEstimator<'g> {
-    /// Creates an estimator over `g` with diagonal `diag` (use
-    /// [`Diagonal::paper_default`] for `D = (1−c) I`).
-    pub fn new(g: &'g Graph, diag: Diagonal) -> Self {
-        SinglePairEstimator {
-            engine: WalkEngine::new(g),
-            diag,
-            pos_u: Vec::new(),
-            pos_v: Vec::new(),
-            count_u: PositionCounter::new(),
-            count_v: PositionCounter::new(),
-        }
+impl EstimatorBuffers {
+    /// Empty buffers; they grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Estimates `s(u, v)` with `r` walks per endpoint, deterministically in
     /// `seed`. Returns exactly 1 for `u == v`.
-    pub fn estimate(&mut self, u: VertexId, v: VertexId, params: &SimRankParams, r: u32, seed: u64) -> f64 {
+    #[allow(clippy::too_many_arguments)] // graph state is per-call by design
+    pub fn estimate(
+        &mut self,
+        engine: &WalkEngine<'_>,
+        diag: &Diagonal,
+        u: VertexId,
+        v: VertexId,
+        params: &SimRankParams,
+        r: u32,
+        seed: u64,
+    ) -> f64 {
         if u == v {
             return 1.0;
         }
@@ -66,12 +76,12 @@ impl<'g> SinglePairEstimator<'g> {
                 // t = 0 contributes only when u == v (handled above).
                 self.count_u.fill(&self.pos_u);
                 self.count_v.fill(&self.pos_v);
-                sigma += ct * self.weighted_dot() / r2;
+                sigma += ct * self.weighted_dot(diag) / r2;
             }
             ct *= params.c;
             if t + 1 < params.t {
-                self.engine.step_all(&mut self.pos_u, &mut rng);
-                self.engine.step_all(&mut self.pos_v, &mut rng);
+                engine.step_all(&mut self.pos_u, &mut rng);
+                engine.step_all(&mut self.pos_v, &mut rng);
             }
         }
         sigma
@@ -84,8 +94,11 @@ impl<'g> SinglePairEstimator<'g> {
     /// individually unbiased (the two walk sets remain independent),
     /// they just become correlated *across* candidates, which ranking
     /// tolerates. Opt-in via `QueryOptions::share_source_walks`.
+    #[allow(clippy::too_many_arguments)] // graph state is per-call by design
     pub fn estimate_from_source(
         &mut self,
+        engine: &WalkEngine<'_>,
+        diag: &Diagonal,
         src: &SourceWalks,
         v: VertexId,
         params: &SimRankParams,
@@ -106,19 +119,19 @@ impl<'g> SinglePairEstimator<'g> {
         for t in 0..params.t {
             if t > 0 {
                 self.count_v.fill(&self.pos_v);
-                sigma += ct * self.weighted_dot_with(&src.counters[t as usize]) / norm;
+                sigma += ct * self.weighted_dot_with(diag, &src.counters[t as usize]) / norm;
             }
             ct *= params.c;
             if t + 1 < params.t {
-                self.engine.step_all(&mut self.pos_v, &mut rng);
+                engine.step_all(&mut self.pos_v, &mut rng);
             }
         }
         sigma
     }
 
     /// `Σ_w D_ww · counts(w) · count_v(w)` against an external counter.
-    fn weighted_dot_with(&self, source_counts: &PositionCounter) -> f64 {
-        match &self.diag {
+    fn weighted_dot_with(&self, diag: &Diagonal, source_counts: &PositionCounter) -> f64 {
+        match diag {
             Diagonal::Uniform(x) => *x * source_counts.dot(&self.count_v) as f64,
             Diagonal::PerVertex(d) => {
                 let (a, b) = if source_counts.distinct() <= self.count_v.distinct() {
@@ -132,8 +145,8 @@ impl<'g> SinglePairEstimator<'g> {
     }
 
     /// `Σ_w D_ww · count_u(w) · count_v(w)` over the co-located vertices.
-    fn weighted_dot(&self) -> f64 {
-        match &self.diag {
+    fn weighted_dot(&self, diag: &Diagonal) -> f64 {
+        match diag {
             Diagonal::Uniform(x) => *x * self.count_u.dot(&self.count_v) as f64,
             Diagonal::PerVertex(d) => {
                 // Iterate the smaller table.
@@ -148,6 +161,40 @@ impl<'g> SinglePairEstimator<'g> {
     }
 }
 
+/// Reusable Algorithm 1 estimator: [`EstimatorBuffers`] bundled with the
+/// graph's walk engine and a diagonal, for standalone (non-pooled) use.
+pub struct SinglePairEstimator<'g> {
+    engine: WalkEngine<'g>,
+    diag: Diagonal,
+    buffers: EstimatorBuffers,
+}
+
+impl<'g> SinglePairEstimator<'g> {
+    /// Creates an estimator over `g` with diagonal `diag` (use
+    /// [`Diagonal::paper_default`] for `D = (1−c) I`).
+    pub fn new(g: &'g Graph, diag: Diagonal) -> Self {
+        SinglePairEstimator { engine: WalkEngine::new(g), diag, buffers: EstimatorBuffers::new() }
+    }
+
+    /// Estimates `s(u, v)` with `r` walks per endpoint, deterministically in
+    /// `seed`. Returns exactly 1 for `u == v`.
+    pub fn estimate(&mut self, u: VertexId, v: VertexId, params: &SimRankParams, r: u32, seed: u64) -> f64 {
+        self.buffers.estimate(&self.engine, &self.diag, u, v, params, r, seed)
+    }
+
+    /// See [`EstimatorBuffers::estimate_from_source`].
+    pub fn estimate_from_source(
+        &mut self,
+        src: &SourceWalks,
+        v: VertexId,
+        params: &SimRankParams,
+        r: u32,
+        seed: u64,
+    ) -> f64 {
+        self.buffers.estimate_from_source(&self.engine, &self.diag, src, v, params, r, seed)
+    }
+}
+
 /// Prebuilt reverse-walk position counts from one source vertex: the
 /// per-step multiset of `R` walk positions, ready for repeated inner
 /// products against candidate walk sets.
@@ -159,22 +206,48 @@ pub struct SourceWalks {
 }
 
 impl SourceWalks {
+    /// An empty placeholder (no walks, no allocation) to be filled by
+    /// [`SourceWalks::generate_into`]. Its source is the `DEAD` sentinel,
+    /// which never equals a real vertex id.
+    pub fn new_empty() -> Self {
+        SourceWalks { source: srs_mc::DEAD, r: 0, counters: Vec::new() }
+    }
+
     /// Simulates `r` reverse walks from `u` and aggregates their positions
     /// per step. Deterministic in `seed`.
     pub fn generate(g: &Graph, u: VertexId, params: &SimRankParams, r: u32, seed: u64) -> Self {
+        let mut walks = Self::new_empty();
+        walks.generate_into(g, u, params, r, seed, &mut WalkPositions::new());
+        walks
+    }
+
+    /// [`SourceWalks::generate`] into existing storage: the per-step
+    /// counters and the caller's walk buffer are reused, so a warm query
+    /// worker regenerates source walks without allocating. Results are
+    /// bit-identical to `generate` for the same inputs.
+    pub fn generate_into(
+        &mut self,
+        g: &Graph,
+        u: VertexId,
+        params: &SimRankParams,
+        r: u32,
+        seed: u64,
+        walks: &mut WalkPositions,
+    ) {
         let engine = WalkEngine::new(g);
         let mut rng = Pcg32::from_parts(&[seed, 0xAA55, u as u64]);
-        let mut pos = vec![u; r as usize];
-        let mut counters = Vec::with_capacity(params.t as usize);
+        walks.reset(u, r as usize);
+        let t_steps = params.t as usize;
+        self.counters.resize_with(t_steps, PositionCounter::new);
         for t in 0..params.t {
-            let mut counter = PositionCounter::new();
-            counter.fill(&pos);
-            counters.push(counter);
+            // `fill` clears first, so reused counters start fresh.
+            self.counters[t as usize].fill(walks.positions());
             if t + 1 < params.t {
-                engine.step_all(&mut pos, &mut rng);
+                walks.step(&engine, &mut rng);
             }
         }
-        SourceWalks { source: u, r, counters }
+        self.source = u;
+        self.r = r;
     }
 
     /// The source vertex.
@@ -193,7 +266,14 @@ mod tests {
     use super::*;
     use srs_graph::gen::{self, fixtures};
 
-    fn mean_estimate(g: &Graph, u: VertexId, v: VertexId, params: &SimRankParams, r: u32, trials: u64) -> f64 {
+    fn mean_estimate(
+        g: &Graph,
+        u: VertexId,
+        v: VertexId,
+        params: &SimRankParams,
+        r: u32,
+        trials: u64,
+    ) -> f64 {
         let mut est = SinglePairEstimator::new(g, Diagonal::paper_default(params.c));
         (0..trials).map(|s| est.estimate(u, v, params, r, 1000 + s)).sum::<f64>() / trials as f64
     }
@@ -257,8 +337,7 @@ mod tests {
             srs_exact::diagonal::estimate(&g, &srs_exact::ExactParams::new(0.8, 40), 1e-8, 100).unwrap();
         let diag = Diagonal::PerVertex(std::sync::Arc::new(d_exact.clone()));
         let mut est = SinglePairEstimator::new(&g, diag);
-        let mean: f64 =
-            (0..64).map(|s| est.estimate(1, 2, &params, 100, s)).sum::<f64>() / 64.0;
+        let mean: f64 = (0..64).map(|s| est.estimate(1, 2, &params, 100, s)).sum::<f64>() / 64.0;
         // True SimRank s(1,2) = 0.8 (Example 1).
         assert!((mean - 0.8).abs() < 0.03, "mean={mean}");
     }
@@ -296,6 +375,27 @@ mod tests {
         let b = est.estimate_from_source(&src, 2, &params, 50, 1);
         assert_eq!(a, b);
         assert!(a > 0.1, "leaves co-locate at the hub: {a}");
+    }
+
+    #[test]
+    fn generate_into_matches_generate_and_reuses_storage() {
+        let g = gen::copying_web(120, 4, 0.8, 9);
+        let params = SimRankParams::default();
+        let mut est = SinglePairEstimator::new(&g, Diagonal::paper_default(params.c));
+        let mut reused = SourceWalks::new_empty();
+        let mut walk_buf = WalkPositions::new();
+        // Fill the reused instance from a *different* source first, then
+        // regenerate — stale counters must not leak into the estimates.
+        reused.generate_into(&g, 77, &params, 80, 3, &mut walk_buf);
+        reused.generate_into(&g, 5, &params, 120, 11, &mut walk_buf);
+        let fresh = SourceWalks::generate(&g, 5, &params, 120, 11);
+        assert_eq!(reused.source(), fresh.source());
+        assert_eq!(reused.num_walks(), fresh.num_walks());
+        for v in [0u32, 9, 44, 100] {
+            let a = est.estimate_from_source(&fresh, v, &params, 100, 42);
+            let b = est.estimate_from_source(&reused, v, &params, 100, 42);
+            assert_eq!(a, b, "v={v}");
+        }
     }
 
     #[test]

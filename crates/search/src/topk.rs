@@ -18,11 +18,15 @@
 
 use crate::bounds::{AlphaBeta, GammaTable};
 use crate::index::CandidateIndex;
-use crate::single_pair::SinglePairEstimator;
+use crate::single_pair::{EstimatorBuffers, SourceWalks};
 use crate::{Diagonal, SimRankParams};
 use srs_graph::bfs::{BfsBuffers, Direction, UNREACHED};
-use srs_graph::hash::mix_seed;
+use srs_graph::hash::{mix_seed, FxHashSet};
 use srs_graph::{Graph, VertexId};
+use srs_mc::multiset::PositionCounter;
+use srs_mc::{WalkEngine, WalkPositions};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One result row: a vertex and its estimated SimRank score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,8 +105,21 @@ pub struct QueryStats {
     pub bfs_visited: u64,
 }
 
+impl QueryStats {
+    /// Adds `other`'s counters into `self` (used to aggregate per-worker
+    /// totals in the batch engine and the all-vertices driver).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.candidates += other.candidates;
+        self.pruned_distance += other.pruned_distance;
+        self.pruned_bounds += other.pruned_bounds;
+        self.pruned_coarse += other.pruned_coarse;
+        self.refined += other.refined;
+        self.bfs_visited += other.bfs_visited;
+    }
+}
+
 /// A finished query: hits sorted by descending score, plus counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TopKResult {
     /// Up to `k` hits, best first.
     pub hits: Vec<Hit>,
@@ -164,95 +181,168 @@ impl TopKIndex {
     }
 }
 
-/// Reusable per-thread query state: BFS buffers and the Algorithm 1
-/// estimator. Queries through one context are sequential; clone one per
-/// thread for parallel querying.
-pub struct QueryContext<'g> {
-    g: &'g Graph,
-    index: &'g TopKIndex,
+/// Lifetime-free, reusable per-worker query state: every buffer Algorithm 5
+/// touches, owned in one place so that a warm worker answers a query
+/// without heap allocation. The graph and index are passed per call,
+/// which lets the batch engine keep scratches in a `'static` pool.
+///
+/// [`QueryScratch::query_into`] is the staged pipeline: candidate
+/// enumeration → per-query bound tables → bounded/adaptive scan → hit
+/// collection. Results are bit-identical to the pre-split monolithic
+/// query for the same `(graph, index, u, k, opts)` — each stage consumes
+/// its own deterministic seed stream, so neither batching nor thread
+/// count can perturb scores.
+pub struct QueryScratch {
+    /// Query-time BFS out to the search horizon.
     bfs: BfsBuffers,
-    estimator: SinglePairEstimator<'g>,
+    /// Algorithm 1 walk/counter buffers.
+    estimator: EstimatorBuffers,
+    /// Algorithm 2 L1 table storage (recomputed per query when enabled).
+    l1: AlphaBeta,
+    /// Shared walk-position buffer for the L1 table and source walks.
+    walks: WalkPositions,
+    /// Position counter for the L1 table.
+    counter: PositionCounter,
+    /// Shared source walks (when `QueryOptions::share_source_walks`).
+    source_walks: SourceWalks,
+    /// Candidate ids straight from the index.
+    cand_ids: Vec<VertexId>,
+    /// Candidates keyed for the ascending-distance scan.
+    cands: Vec<(u32, VertexId)>,
+    /// Dedup set for the candidate-ball extension.
+    seen: FxHashSet<VertexId>,
+    /// Running top-k (min-heap on score).
+    heap: BinaryHeap<Reverse<HeapHit>>,
 }
 
-impl<'g> QueryContext<'g> {
-    /// Creates query state for `index` over `g`.
-    pub fn new(g: &'g Graph, index: &'g TopKIndex) -> Self {
-        QueryContext {
-            g,
-            index,
+impl QueryScratch {
+    /// Creates scratch state sized for `g`. Everything else grows on first
+    /// use and is retained across queries.
+    pub fn new(g: &Graph) -> Self {
+        QueryScratch {
             bfs: BfsBuffers::new(g.num_vertices()),
-            estimator: SinglePairEstimator::new(g, index.diag.clone()),
+            estimator: EstimatorBuffers::new(),
+            l1: AlphaBeta::new_empty(),
+            walks: WalkPositions::new(),
+            counter: PositionCounter::new(),
+            source_walks: SourceWalks::new_empty(),
+            cand_ids: Vec::new(),
+            cands: Vec::new(),
+            seen: FxHashSet::default(),
+            heap: BinaryHeap::new(),
         }
     }
 
-    /// Algorithm 5 for query vertex `u`.
-    pub fn query(&mut self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
-        let params = &self.index.params;
-        let theta = opts.theta.unwrap_or(params.theta);
-        let mut stats = QueryStats::default();
+    /// Algorithm 5 for query vertex `u`, writing into `out` (cleared
+    /// first). `g` must be the graph `index` was built over and the one
+    /// this scratch was sized for.
+    pub fn query_into(
+        &mut self,
+        g: &Graph,
+        index: &TopKIndex,
+        u: VertexId,
+        k: usize,
+        opts: &QueryOptions,
+        out: &mut TopKResult,
+    ) {
+        let theta = opts.theta.unwrap_or(index.params.theta);
+        out.hits.clear();
+        out.stats = QueryStats::default();
+        self.heap.clear();
+        self.enumerate_candidates(g, index, u, opts, &mut out.stats);
+        self.prepare_query_tables(g, index, u, opts);
+        self.scan_candidates(g, index, u, k, opts, theta, &mut out.stats);
+        out.hits.extend(self.heap.drain().map(|h| Hit { vertex: h.0.vertex, score: h.0.score }));
+        out.hits.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).expect("scores are finite").then(a.vertex.cmp(&b.vertex))
+        });
+    }
 
+    /// Stage 1 — BFS to the horizon, then candidate enumeration (line 2 of
+    /// Algorithm 5, plus the optional candidate-ball extension), leaving
+    /// `self.cands` sorted for the ascending-distance scan (§2.2).
+    fn enumerate_candidates(
+        &mut self,
+        g: &Graph,
+        index: &TopKIndex,
+        u: VertexId,
+        opts: &QueryOptions,
+        stats: &mut QueryStats,
+    ) {
         // Distances from u out to the search horizon (needed by the c^d and
         // L1 bounds; undirected — see DESIGN.md on Proposition 4).
-        self.bfs.run(self.g, u, Direction::Undirected, params.d_max);
+        self.bfs.run(g, u, Direction::Undirected, index.params.d_max);
         stats.bfs_visited = self.bfs.visited().len() as u64;
 
-        // Candidate enumeration (line 2 of Algorithm 5).
-        let mut cand_set = self.index.candidates.candidates(u);
+        index.candidates.candidates_into(u, &mut self.cand_ids);
         if let Some(radius) = opts.candidate_ball {
-            let mut seen: srs_graph::hash::FxHashSet<VertexId> = cand_set.iter().copied().collect();
+            self.seen.clear();
+            self.seen.extend(self.cand_ids.iter().copied());
             for &v in self.bfs.visited() {
-                if v != u && self.bfs.distance(v) <= radius && seen.insert(v) {
-                    cand_set.push(v);
+                if v != u && self.bfs.distance(v) <= radius && self.seen.insert(v) {
+                    self.cand_ids.push(v);
                 }
             }
         }
-        let mut cands: Vec<(u32, VertexId)> =
-            cand_set.into_iter().map(|v| (self.bfs.distance(v), v)).collect();
-        stats.candidates = cands.len() as u64;
-        // Ascending-distance scan order (§2.2).
-        cands.sort_unstable();
+        self.cands.clear();
+        self.cands.extend(self.cand_ids.iter().map(|&v| (self.bfs.distance(v), v)));
+        stats.candidates = self.cands.len() as u64;
+        // Ascending-distance scan order (§2.2). The (distance, vertex) key
+        // is a total order, so the scan sequence is independent of the
+        // enumeration order above.
+        self.cands.sort_unstable();
+    }
 
-        // L1 table for this query vertex (Algorithm 2).
-        let bfs = &self.bfs;
-        let l1 = if opts.use_l1 {
-            Some(AlphaBeta::compute(
-                self.g,
+    /// Stage 2 — per-query bound tables: the L1 table (Algorithm 2) and the
+    /// optional shared source walks, both into reused storage.
+    fn prepare_query_tables(&mut self, g: &Graph, index: &TopKIndex, u: VertexId, opts: &QueryOptions) {
+        let params = &index.params;
+        if opts.use_l1 {
+            let bfs = &self.bfs;
+            self.l1.compute_into(
+                g,
                 u,
                 params,
-                &self.index.diag,
+                &index.diag,
                 |w| bfs.distance(w),
-                mix_seed(&[self.index.seed, 3, u as u64]),
-            ))
-        } else {
-            None
-        };
+                mix_seed(&[index.seed, 3, u as u64]),
+                &mut self.walks,
+                &mut self.counter,
+            );
+        }
+        if opts.share_source_walks {
+            self.source_walks.generate_into(
+                g,
+                u,
+                params,
+                params.r_refine,
+                mix_seed(&[index.seed, 5, u as u64]),
+                &mut self.walks,
+            );
+        }
+    }
 
-        // Optional shared source walks (see QueryOptions).
-        let source_walks = opts
-            .share_source_walks
-            .then(|| {
-                crate::single_pair::SourceWalks::generate(
-                    self.g,
-                    u,
-                    params,
-                    params.r_refine,
-                    mix_seed(&[self.index.seed, 5, u as u64]),
-                )
-            });
-
-        // Running top-k (min-heap on score).
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>> =
-            std::collections::BinaryHeap::with_capacity(k + 1);
-        let kth = |heap: &std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>>| -> f64 {
-            if heap.len() >= k {
-                heap.peek().map(|h| h.0.score).unwrap_or(0.0)
-            } else {
-                0.0
-            }
-        };
-
+    /// Stage 3 — the bounded, adaptive candidate scan: distance bound →
+    /// L1/L2 bounds → coarse pass → refine, maintaining the running top-k
+    /// heap.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_candidates(
+        &mut self,
+        g: &Graph,
+        index: &TopKIndex,
+        u: VertexId,
+        k: usize,
+        opts: &QueryOptions,
+        theta: f64,
+        stats: &mut QueryStats,
+    ) {
+        let params = &index.params;
+        let engine = WalkEngine::new(g);
+        // Move the candidate list out so the loop can borrow the other
+        // scratch fields mutably; moved back below.
+        let cands = std::mem::take(&mut self.cands);
         for (ci, &(d, v)) in cands.iter().enumerate() {
-            let prune_at = theta.max(kth(&heap) - opts.bound_slack);
+            let prune_at = theta.max(kth_score(&self.heap, k) - opts.bound_slack);
             // Trivial distance bound c^⌈d/2⌉ (sound for the undirected
             // metric — see SimRankParams::distance_bound). Undirected
             // unreachability implies the walks can never meet, score 0.
@@ -264,7 +354,7 @@ impl<'g> QueryContext<'g> {
                     // has an even smaller c^d, but their L1/L2 bounds could
                     // not save them either (bounds only prune further), so
                     // the scan can stop outright.
-                    if kth(&heap) <= theta {
+                    if kth_score(&self.heap, k) <= theta {
                         // Everything after this position shares or exceeds
                         // this distance, so its c^⌈d/2⌉ bound is no better;
                         // count by position so distance ties are included.
@@ -275,47 +365,98 @@ impl<'g> QueryContext<'g> {
                 }
             }
             let mut bound = f64::INFINITY;
-            if let Some(ab) = &l1 {
-                if d != UNREACHED {
-                    bound = bound.min(ab.beta(d));
-                }
+            if opts.use_l1 && d != UNREACHED {
+                bound = bound.min(self.l1.beta(d));
             }
             if opts.use_l2 {
-                bound = bound.min(self.index.gamma.l2_bound(u, v, params.c));
+                bound = bound.min(index.gamma.l2_bound(u, v, params.c));
             }
             if bound < prune_at {
                 stats.pruned_bounds += 1;
                 continue;
             }
             // Adaptive sampling (§7.2).
-            let seed = mix_seed(&[self.index.seed, 4, u as u64, v as u64]);
+            let seed = mix_seed(&[index.seed, 4, u as u64, v as u64]);
             if opts.adaptive {
-                let coarse = match &source_walks {
-                    Some(src) => self.estimator.estimate_from_source(src, v, params, params.r_coarse, seed),
-                    None => self.estimator.estimate(u, v, params, params.r_coarse, seed),
+                let coarse = if opts.share_source_walks {
+                    self.estimator.estimate_from_source(
+                        &engine,
+                        &index.diag,
+                        &self.source_walks,
+                        v,
+                        params,
+                        params.r_coarse,
+                        seed,
+                    )
+                } else {
+                    self.estimator.estimate(&engine, &index.diag, u, v, params, params.r_coarse, seed)
                 };
                 if coarse < opts.coarse_fraction * prune_at {
                     stats.pruned_coarse += 1;
                     continue;
                 }
             }
-            let score = match &source_walks {
-                Some(src) => self.estimator.estimate_from_source(src, v, params, params.r_refine, seed),
-                None => self.estimator.estimate(u, v, params, params.r_refine, seed),
+            let score = if opts.share_source_walks {
+                self.estimator.estimate_from_source(
+                    &engine,
+                    &index.diag,
+                    &self.source_walks,
+                    v,
+                    params,
+                    params.r_refine,
+                    seed,
+                )
+            } else {
+                self.estimator.estimate(&engine, &index.diag, u, v, params, params.r_refine, seed)
             };
             stats.refined += 1;
             if score >= theta {
-                heap.push(std::cmp::Reverse(HeapHit { score, vertex: v }));
-                if heap.len() > k {
-                    heap.pop();
+                self.heap.push(Reverse(HeapHit { score, vertex: v }));
+                if self.heap.len() > k {
+                    self.heap.pop();
                 }
             }
         }
+        self.cands = cands;
+    }
+}
 
-        let mut hits: Vec<Hit> =
-            heap.into_iter().map(|h| Hit { vertex: h.0.vertex, score: h.0.score }).collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite").then(a.vertex.cmp(&b.vertex)));
-        TopKResult { hits, stats }
+/// Current k-th best score, or 0 while the heap is underfull.
+fn kth_score(heap: &BinaryHeap<Reverse<HeapHit>>, k: usize) -> f64 {
+    if heap.len() >= k {
+        heap.peek().map(|h| h.0.score).unwrap_or(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Reusable per-thread query state bound to one graph + index pair.
+/// Queries through one context are sequential; for parallel batches use
+/// [`crate::engine::QueryEngine`], which pools [`QueryScratch`] values
+/// across workers.
+pub struct QueryContext<'g> {
+    g: &'g Graph,
+    index: &'g TopKIndex,
+    scratch: QueryScratch,
+}
+
+impl<'g> QueryContext<'g> {
+    /// Creates query state for `index` over `g`.
+    pub fn new(g: &'g Graph, index: &'g TopKIndex) -> Self {
+        QueryContext { g, index, scratch: QueryScratch::new(g) }
+    }
+
+    /// Algorithm 5 for query vertex `u`.
+    pub fn query(&mut self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+        let mut out = TopKResult::default();
+        self.query_into(u, k, opts, &mut out);
+        out
+    }
+
+    /// Algorithm 5 writing into an existing result (cleared first), for
+    /// callers that also want to recycle the output allocation.
+    pub fn query_into(&mut self, u: VertexId, k: usize, opts: &QueryOptions, out: &mut TopKResult) {
+        self.scratch.query_into(self.g, self.index, u, k, opts, out);
     }
 }
 
@@ -336,10 +477,7 @@ impl PartialOrd for HeapHit {
 
 impl Ord for HeapHit {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.score
-            .partial_cmp(&other.score)
-            .expect("scores are finite")
-            .then(self.vertex.cmp(&other.vertex))
+        self.score.partial_cmp(&other.score).expect("scores are finite").then(self.vertex.cmp(&other.vertex))
     }
 }
 
@@ -473,11 +611,7 @@ mod tests {
         let mut ctx = QueryContext::new(&g, &idx);
         let res = ctx.query(0, 10, &QueryOptions::default());
         let s = res.stats;
-        assert_eq!(
-            s.candidates,
-            s.pruned_distance + s.pruned_bounds + s.pruned_coarse + s.refined,
-            "{s:?}"
-        );
+        assert_eq!(s.candidates, s.pruned_distance + s.pruned_bounds + s.pruned_coarse + s.refined, "{s:?}");
         assert!(s.bfs_visited > 0);
     }
 

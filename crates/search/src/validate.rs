@@ -126,10 +126,7 @@ mod tests {
         let poor_idx = TopKIndex::build_with(&g, &poor, d, 3, 2);
         let r1 = validate_index(&g, &rich_idx, &queries, 10, &QueryOptions::default());
         let r2 = validate_index(&g, &poor_idx, &queries, 10, &QueryOptions::default());
-        assert!(
-            r2.max_abs_error > r1.max_abs_error,
-            "poor {r2:?} should err more than rich {r1:?}"
-        );
+        assert!(r2.max_abs_error > r1.max_abs_error, "poor {r2:?} should err more than rich {r1:?}");
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn main() {
     let opts = QueryOptions::default();
     for u in [3u32, 100, 999] {
         let res = ctx.query(u, 10, &opts);
-        println!("\ntop-10 similar to vertex {u} (of {} candidates, {} refined):", res.stats.candidates, res.stats.refined);
+        println!(
+            "\ntop-10 similar to vertex {u} (of {} candidates, {} refined):",
+            res.stats.candidates, res.stats.refined
+        );
         if res.hits.is_empty() {
             println!("  (no vertex above θ = {})", params.theta);
         }

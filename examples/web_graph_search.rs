@@ -2,16 +2,17 @@
 //!
 //! Demonstrates the full production flow: generate (or load) a large web
 //! graph, preprocess once, persist the index to disk, reload it, and serve
-//! queries, printing pruning statistics that show why web graphs are the
-//! method's best case (§8.1: query cost tracks structure, not size).
+//! a batch of queries through the parallel [`QueryEngine`], printing
+//! aggregate pruning statistics and latency percentiles that show why web
+//! graphs are the method's best case (§8.1: query cost tracks structure,
+//! not size).
 //!
 //! ```sh
 //! cargo run --release --example web_graph_search
 //! ```
 
 use simrank_search::graph::{datasets, stats};
-use simrank_search::search::topk::QueryContext;
-use simrank_search::search::{persist, QueryOptions, SimRankParams, TopKIndex};
+use simrank_search::search::{persist, QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 use std::time::Instant;
 
 fn main() {
@@ -31,24 +32,37 @@ fn main() {
     let index = persist::load(std::fs::File::open(&path).expect("open index file")).expect("load index");
     println!("index persisted + reloaded from {}", path.display());
 
-    // Serve queries.
-    let mut ctx = QueryContext::new(&g, &index);
+    // Serve a batch of queries through the parallel engine. Scores are
+    // bit-identical to sequential queries for any thread count: the
+    // randomness is seeded per query, never per worker.
+    let engine = QueryEngine::new(&g, &index);
     let opts = QueryOptions::default();
-    let queries = stats::sample_query_vertices(&g, 5, 4);
-    for &u in &queries {
-        let t = Instant::now();
-        let res = ctx.query(u, 20, &opts);
-        let el = t.elapsed();
-        println!(
-            "\nquery page {u}: {:.2?} — {} candidates, {} pruned by bounds, {} coarse-pruned, {} refined",
-            el,
-            res.stats.candidates,
-            res.stats.pruned_distance + res.stats.pruned_bounds,
-            res.stats.pruned_coarse,
-            res.stats.refined
-        );
+    let queries = stats::sample_query_vertices(&g, 64, 4);
+    let batch = engine.query_batch(&queries, 20, &opts);
+    let t = &batch.totals;
+    println!(
+        "\nbatch of {} queries on {} threads: {:.2?} ({:.0} queries/s)",
+        queries.len(),
+        engine.threads(),
+        batch.elapsed,
+        batch.queries_per_second()
+    );
+    println!(
+        "pruning totals: {} candidates, {} pruned by bounds, {} coarse-pruned, {} refined",
+        t.candidates,
+        t.pruned_distance + t.pruned_bounds,
+        t.pruned_coarse,
+        t.refined
+    );
+    let l = &batch.latency;
+    println!(
+        "latency: mean {:.2?} | p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
+        l.mean, l.p50, l.p95, l.p99, l.max
+    );
+    for (&u, res) in queries.iter().zip(&batch.results).take(3) {
+        println!("\nrelated pages for {u}:");
         for hit in res.hits.iter().take(5) {
-            println!("  related page {:<8} s ≈ {:.4}", hit.vertex, hit.score);
+            println!("  page {:<8} s ≈ {:.4}", hit.vertex, hit.score);
         }
     }
     std::fs::remove_file(&path).ok();

@@ -58,10 +58,7 @@ fn monte_carlo_estimator_is_unbiased_for_linearized() {
         let trials = 60;
         let mean: f64 =
             (0..trials).map(|s| est.estimate(u, v, &sp, 200, 7_000 + s)).sum::<f64>() / trials as f64;
-        assert!(
-            (mean - exact).abs() < 0.012,
-            "({u},{v}): Monte-Carlo mean {mean} vs exact {exact}"
-        );
+        assert!((mean - exact).abs() < 0.012, "({u},{v}): Monte-Carlo mean {mean} vs exact {exact}");
     }
 }
 
@@ -70,13 +67,8 @@ fn fogaras_estimates_true_simrank_not_linearized() {
     // On the claw (c = 0.8): true s(1,2) = 0.8; the uniform-D linearized
     // score is lower. Fogaras must land on the true value.
     let g = gen::fixtures::claw();
-    let fr = FingerprintIndex::build(
-        &g,
-        &FogarasParams { c: 0.8, t: 11, r_prime: 500 },
-        3,
-        u64::MAX,
-    )
-    .unwrap();
+    let fr =
+        FingerprintIndex::build(&g, &FogarasParams { c: 0.8, t: 11, r_prime: 500 }, 3, u64::MAX).unwrap();
     let true_s = 0.8;
     assert!((fr.single_pair(1, 2) - true_s).abs() < 1e-12);
     let ep = ExactParams::new(0.8, 11);

@@ -5,7 +5,7 @@
 
 use simrank_search::baselines::fogaras::{FingerprintIndex, FogarasParams};
 use simrank_search::graph::gen;
-use simrank_search::search::{Diagonal, QueryOptions, SimRankParams, TopKIndex};
+use simrank_search::search::{Diagonal, QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 
 fn params() -> SimRankParams {
     SimRankParams { r_gamma: 40, r_bounds: 200, ..Default::default() }
@@ -44,6 +44,58 @@ fn queries_identical_after_save_load_cycles() {
         assert_eq!(q0.hits, q2.hits, "u={u}");
         assert_eq!(q0.stats, q2.stats, "u={u}");
     }
+}
+
+#[test]
+fn batch_engine_bit_identical_across_thread_counts() {
+    // The tentpole guarantee of the serving layer: for a fixed index seed,
+    // QueryEngine::query_batch returns bit-identical hits and stats on 1,
+    // 2, and 8 threads, and each of them equals the sequential
+    // TopKIndex::query answer — randomness is per query, never per worker.
+    let g = gen::copying_web(350, 4, 0.8, 13);
+    let p = params();
+    let idx = TopKIndex::build_with(&g, &p, Diagonal::paper_default(p.c), 21, 2);
+    let queries: Vec<u32> = (0..60).map(|i| i * 5 % 350).collect();
+    let opts = QueryOptions::default();
+    let batches: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| QueryEngine::with_threads(&g, &idx, threads).query_batch(&queries, 10, &opts))
+        .collect();
+    for batch in &batches[1..] {
+        for (a, b) in batches[0].results.iter().zip(&batch.results) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(batches[0].totals, batch.totals);
+    }
+    for (&u, res) in queries.iter().zip(&batches[0].results) {
+        let seq = idx.query(&g, u, 10, &opts);
+        assert_eq!(seq.hits, res.hits, "u={u}");
+        assert_eq!(seq.stats, res.stats, "u={u}");
+    }
+}
+
+#[test]
+fn batch_engine_pool_reuse_does_not_perturb_results() {
+    // Scratch states recycled through the pool (and reused output buffers)
+    // must answer later batches exactly as a cold engine would.
+    let g = gen::copying_web(250, 4, 0.8, 7);
+    let p = params();
+    let idx = TopKIndex::build_with(&g, &p, Diagonal::paper_default(p.c), 9, 2);
+    let opts = QueryOptions { share_source_walks: true, candidate_ball: Some(2), ..Default::default() };
+    let engine = QueryEngine::with_threads(&g, &idx, 4);
+    let queries: Vec<u32> = (0..40).collect();
+    // Warm the pool on an unrelated workload first.
+    let warmup: Vec<u32> = (200..250).collect();
+    let mut out = simrank_search::search::BatchResult::new();
+    engine.query_batch_into(&warmup, 7, &opts, &mut out);
+    engine.query_batch_into(&queries, 7, &opts, &mut out);
+    let cold = QueryEngine::with_threads(&g, &idx, 4).query_batch(&queries, 7, &opts);
+    for ((a, b), &u) in cold.results.iter().zip(&out.results).zip(&queries) {
+        assert_eq!(a.hits, b.hits, "u={u}");
+        assert_eq!(a.stats, b.stats, "u={u}");
+    }
+    assert_eq!(cold.totals, out.totals);
 }
 
 #[test]

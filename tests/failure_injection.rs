@@ -27,10 +27,7 @@ fn index_every_truncation_point_errors() {
     // Exhaustive truncation: every prefix must either load the full data
     // (only the complete buffer) or error gracefully.
     for cut in 0..buf.len() {
-        assert!(
-            persist::load(&buf[..cut]).is_err(),
-            "truncated prefix of {cut} bytes decoded successfully"
-        );
+        assert!(persist::load(&buf[..cut]).is_err(), "truncated prefix of {cut} bytes decoded successfully");
     }
     assert!(persist::load(&buf[..]).is_ok());
 }

@@ -12,17 +12,13 @@ use simrank_search::search::{Diagonal, SimRankParams};
 fn small_graph() -> impl Strategy<Value = Graph> {
     (2u32..=14).prop_flat_map(|n| {
         let max_edges = (n * (n - 1)) as usize;
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(60)),
-        )
-            .prop_map(|(n, edges)| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in edges {
-                    b.add_edge(u, v);
-                }
-                b.build().expect("edges are in range")
-            })
+        (Just(n), proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(60))).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            b.build().expect("edges are in range")
+        })
     })
 }
 

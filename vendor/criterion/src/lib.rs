@@ -1,0 +1,192 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Instead of upstream's statistical engine it runs a short warm-up,
+//! then times `sample_size` batched samples and prints the per-sample
+//! mean and min to stdout. Good enough to (a) keep the bench targets
+//! compiling and runnable offline and (b) give coarse relative numbers;
+//! not a replacement for upstream's confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("group {name}");
+        BenchmarkGroup { _c: self, name, sample_size }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.sample_size;
+        run_benchmark(&id.to_string(), n, f);
+        self
+    }
+}
+
+/// A named batch of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark in the group, passing `input` to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    pending_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches; one duration is recorded per
+    /// sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: aim for samples of at least ~10ms or
+        // 1 iteration, whichever is larger.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = per;
+        for _ in 0..self.pending_samples {
+            let t = Instant::now();
+            for _ in 0..per {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, pending_samples: samples };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    let per = b.iters_per_sample.max(1) as u32;
+    let mean = b.samples.iter().sum::<Duration>() / (b.samples.len() as u32 * per);
+    let min = b.samples.iter().min().copied().unwrap_or_default() / per;
+    println!(
+        "  {label}: mean {mean:?} / min {min:?} per iter ({} samples x {per} iters)",
+        b.samples.len()
+    );
+}
+
+/// Binds benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: `thread::scope` with spawn/join, layered on `std::thread::scope`
+//! (stable since Rust 1.63, below this workspace's MSRV).
+//!
+//! Matching upstream semantics: `spawn` closures receive a `&Scope` (so
+//! nested spawns work), and `join()` returns `Err` with the panic payload
+//! when the worker panicked. One divergence: upstream `scope` returns
+//! `Err` if a *never-joined* child panicked, whereas this shim propagates
+//! that panic out of `scope` itself — every call site here joins all its
+//! handles, so the difference is unobservable in this workspace.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (the `Err` payload is the panic).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; borrowed slices of the parent stack frame may be
+    /// moved into threads spawned through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one spawned worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker; returns its value or the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker. The closure receives this scope again so it
+        /// can spawn further workers (the common call shape ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn borrows_join_and_sum() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(3) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let v = thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

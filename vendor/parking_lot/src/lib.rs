@@ -1,0 +1,63 @@
+//! Offline stand-in for the subset of `parking_lot` 0.12 this workspace
+//! uses: [`Mutex`] with an infallible, non-poisoning `lock()`. Layered on
+//! `std::sync::Mutex`; a poisoned lock (a panic while held) is recovered
+//! rather than propagated, matching parking_lot's no-poisoning model.
+
+/// RAII guard; the lock is released on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the lock (usable in `static` initializers).
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    static GLOBAL: Mutex<Option<u32>> = Mutex::new(None);
+
+    #[test]
+    fn static_init_and_lock() {
+        *GLOBAL.lock() = Some(5);
+        assert_eq!(*GLOBAL.lock(), Some(5));
+    }
+
+    #[test]
+    fn survives_panic_while_held() {
+        let m = Mutex::new(1u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("poison attempt");
+        }));
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace
+//! uses: the `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`,
+//! and the strategy combinators `Just`, numeric ranges, tuples,
+//! `prop_map`, `prop_flat_map`, `collection::vec`, `any::<T>()`, and
+//! string-literal strategies.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   panic message) but is not minimized.
+//! * **String literal strategies ignore the regex** and produce
+//!   arbitrary mostly-printable text — every use in this workspace
+//!   wants "arbitrary bytes that must not panic a parser", for which
+//!   this is the same test.
+//! * Case generation is deterministically seeded per test name, so
+//!   runs are reproducible without a persistence directory.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`
+/// items, optionally preceded by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __vals = format!(
+                    concat!($(stringify!($arg), " = {:?}  ",)+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __e,
+                        __vals,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Fails the enclosing property (early-returns `Err`) when `cond` is
+/// false. Only usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+}

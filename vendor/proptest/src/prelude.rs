@@ -1,0 +1,6 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, proptest};

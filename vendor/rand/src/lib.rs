@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_range`, `gen_bool`.
+//!
+//! `SmallRng` reproduces upstream's 64-bit implementation exactly
+//! (xoshiro256++ with the SplitMix64 `seed_from_u64` expansion), so
+//! graph generators seeded through this crate emit the same streams as
+//! with the real dependency. `gen_range` uses a widening-multiply
+//! reduction instead of upstream's rejection sampler; the bias is below
+//! `range / 2^64` and no test depends on upstream's exact draw order.
+
+/// Random number generators.
+pub mod rngs {
+    /// xoshiro256++ — upstream `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion, as in upstream xoshiro seeding.
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            SmallRng::from_state(s)
+        }
+    }
+}
+
+/// Seedable construction (`seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a single `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling support for `Rng::gen_range`.
+pub trait SampleUniform: Copy {
+    /// A uniform value in `[lo, hi)`; panics if the range is empty.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                // Widening multiply: floor(x * span / 2^64) is uniform up to
+                // a bias of span / 2^64.
+                let x = rng.next_u64();
+                lo + (((x as u128 * span as u128) >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Range arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Types producible by `Rng::gen` (the upstream `Standard` distribution).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1), as upstream.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The user-facing generator trait.
+pub trait Rng {
+    /// The raw 64-bit output stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` (`f64` yields uniform `[0, 1)`).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (half-open).
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_plausibly_uniform() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[a.gen_range(0..10u32) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&heads), "{heads}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Offline placeholder for `serde`. The workspace declares the
+//! dependency (for downstream users who enable serialization) but no
+//! code path currently uses it, so an empty crate satisfies the build
+//! in network-less environments.
