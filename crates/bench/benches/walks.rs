@@ -1,0 +1,126 @@
+//! Raw walk-kernel throughput: logical walk-steps per second for every
+//! entry point of `srs_mc::WalkEngine` on a generated copying-model web
+//! graph (the in-degree skew the index build actually faces).
+//!
+//! "Logical steps" = walks × steps each was *asked* to advance, i.e. the
+//! caller-visible unit of work. The frontier kernels do less physical
+//! work than that once walks die — which is exactly the optimization the
+//! number should reflect. Results are printed as Msteps/s and written to
+//! `BENCH_walks.json` at the repo root (skipped in `-- --test` smoke
+//! mode, which also shrinks the fixture so CI just checks the harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use srs_bench::walkbench::WalkBenchReport;
+use srs_graph::gen;
+use srs_mc::multiset::PositionCounter;
+use srs_mc::{Pcg32, WalkEngine, DEAD};
+use std::time::Instant;
+
+struct Fixture {
+    n: u32,
+    batch: usize,
+    iters: usize,
+    t_max: usize,
+}
+
+fn bench_walks(_c: &mut Criterion) {
+    let smoke = criterion::smoke_mode();
+    let f = if smoke {
+        Fixture { n: 2_000, batch: 1_000, iters: 2, t_max: 11 }
+    } else {
+        Fixture { n: 100_000, batch: 50_000, iters: 20, t_max: 11 }
+    };
+    let g = gen::copying_web(f.n, 4, 0.8, 42);
+    let engine = WalkEngine::new(&g);
+    let logical = (f.iters * f.batch * f.t_max) as u64;
+    let mut report =
+        WalkBenchReport::new(format!("copying_web(n={}, out_deg=4, copy_prob=0.8, seed=42)", f.n));
+
+    // step_all: fixed-slot batch stepping (dead walks stay as DEAD slots).
+    let mut pos = vec![0u32; f.batch];
+    let mut rng = Pcg32::new(1, 1);
+    let t0 = Instant::now();
+    for it in 0..f.iters {
+        reseed(&mut pos, it, f.n);
+        for _ in 0..f.t_max {
+            engine.step_all(&mut pos, &mut rng);
+        }
+    }
+    record(&mut report, "step_all", logical, t0.elapsed().as_secs_f64());
+
+    // step_frontier: compacted live frontier, same logical work.
+    let mut frontier: Vec<u32> = Vec::with_capacity(f.batch);
+    let t0 = Instant::now();
+    for it in 0..f.iters {
+        frontier.clear();
+        frontier.resize(f.batch, 0);
+        reseed(&mut frontier, it, f.n);
+        for _ in 0..f.t_max {
+            if frontier.is_empty() {
+                break;
+            }
+            engine.step_frontier(&mut frontier, &mut rng);
+        }
+    }
+    record(&mut report, "step_frontier", logical, t0.elapsed().as_secs_f64());
+
+    // step_frontier_count: stepping fused with per-step multiset counting
+    // (the Algorithm 1/2/3 inner loop).
+    let mut counter = PositionCounter::new();
+    let t0 = Instant::now();
+    for it in 0..f.iters {
+        frontier.clear();
+        frontier.resize(f.batch, 0);
+        reseed(&mut frontier, it, f.n);
+        for _ in 0..f.t_max {
+            if frontier.is_empty() {
+                break;
+            }
+            engine.step_frontier_count(&mut frontier, &mut rng, &mut counter);
+        }
+    }
+    record(&mut report, "step_frontier_count", logical, t0.elapsed().as_secs_f64());
+
+    // walk_matrix: R recorded trajectories per source (query refinement
+    // shape). Logical steps = walks × t_max per call.
+    let sources = if smoke { 50 } else { 2_000 };
+    let r = 100;
+    let t0 = Instant::now();
+    let mut mat_steps = 0u64;
+    for u in 0..sources {
+        let m = engine.walk_matrix(u % f.n, r, f.t_max, &mut rng);
+        mat_steps += (m.num_walks() * m.t_max()) as u64;
+    }
+    record(&mut report, "walk_matrix", mat_steps, t0.elapsed().as_secs_f64());
+
+    // walk_fill: single recorded trajectories into a fixed slice (the
+    // Algorithm 4 probe-walk shape).
+    let walks = if smoke { 2_000 } else { 200_000 };
+    let mut probe = vec![DEAD; f.t_max + 1];
+    let t0 = Instant::now();
+    for i in 0..walks {
+        engine.walk_fill((i % f.n as usize) as u32, &mut rng, &mut probe);
+    }
+    record(&mut report, "walk_fill", (walks * f.t_max) as u64, t0.elapsed().as_secs_f64());
+
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walks.json");
+        report.write(path).expect("write BENCH_walks.json");
+        println!("wrote {path}");
+    }
+}
+
+/// Deterministic per-iteration restart positions spanning the vertex set.
+fn reseed(pos: &mut [u32], iteration: usize, n: u32) {
+    for (i, p) in pos.iter_mut().enumerate() {
+        *p = ((i + iteration) % n as usize) as u32;
+    }
+}
+
+fn record(report: &mut WalkBenchReport, name: &str, steps: u64, elapsed: f64) {
+    println!("  {name}: {:.1} Msteps/s", steps as f64 / elapsed / 1e6);
+    report.push(name, steps, elapsed);
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

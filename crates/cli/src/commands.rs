@@ -22,6 +22,7 @@ usage:
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
   srs reorder    --in FILE --out FILE [--by bfs|degree]
+  srs walk-bench --graph FILE [--walks N] [--t T] [--seed S]
   srs help";
 
 /// Parses and runs one invocation, returning its stdout.
@@ -41,6 +42,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "exact" => exact(&args),
         "validate" => validate(&args),
         "reorder" => reorder(&args),
+        "walk-bench" => walk_bench(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -348,6 +350,77 @@ fn reorder(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Measures raw reverse-walk kernel throughput on the loaded graph — the
+/// operational twin of the `walks` criterion bench, for sizing walk
+/// budgets against a *real* dataset instead of a generated fixture.
+/// Walks start from every vertex round-robin and advance `--t` steps
+/// through the compacted-frontier kernels; throughput is reported in
+/// logical Msteps/s (walks × steps asked for, the caller-visible unit).
+fn walk_bench(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "walks", "t", "seed"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    if g.num_vertices() == 0 {
+        return Err("graph has no vertices".into());
+    }
+    let walks: usize = args.get_or("walks", 50_000)?;
+    let t_max: usize = args.get_or("t", 11)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    if walks == 0 || t_max == 0 {
+        return Err("--walks and --t must be positive".into());
+    }
+    let engine = srs_mc::WalkEngine::new(&g);
+    let mut rng = srs_mc::Pcg32::new(seed, 1);
+    let n = g.num_vertices() as usize;
+    let logical = (walks * t_max) as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "walk kernel on n={} m={} ({} walks x {} steps):",
+        g.num_vertices(),
+        g.num_edges(),
+        walks,
+        t_max
+    );
+
+    let mut frontier: Vec<u32> = (0..walks).map(|i| (i % n) as u32).collect();
+    let start = std::time::Instant::now();
+    for _ in 0..t_max {
+        if frontier.is_empty() {
+            break;
+        }
+        engine.step_frontier(&mut frontier, &mut rng);
+    }
+    let el = start.elapsed().as_secs_f64();
+    let _ = writeln!(
+        out,
+        "step_frontier        {:>8.1} Msteps/s ({} walks alive after {} steps)",
+        logical / el / 1e6,
+        frontier.len(),
+        t_max
+    );
+
+    let mut frontier: Vec<u32> = (0..walks).map(|i| (i % n) as u32).collect();
+    let mut counter = srs_mc::multiset::PositionCounter::new();
+    let start = std::time::Instant::now();
+    for _ in 0..t_max {
+        if frontier.is_empty() {
+            break;
+        }
+        engine.step_frontier_count(&mut frontier, &mut rng, &mut counter);
+    }
+    let el = start.elapsed().as_secs_f64();
+    let _ = writeln!(out, "step_frontier_count  {:>8.1} Msteps/s", logical / el / 1e6);
+
+    let mut probe = vec![srs_mc::DEAD; t_max + 1];
+    let start = std::time::Instant::now();
+    for i in 0..walks {
+        engine.walk_fill((i % n) as u32, &mut rng, &mut probe);
+    }
+    let el = start.elapsed().as_secs_f64();
+    let _ = writeln!(out, "walk_fill            {:>8.1} Msteps/s", logical / el / 1e6);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +549,20 @@ mod tests {
         assert!(stats.contains("vertices             300"), "{stats}");
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn walk_bench_reports_throughput() {
+        let g_path = tmp("wb.bin");
+        run(&format!("generate --family web --n 500 --deg 4 --out {}", g_path.display())).unwrap();
+        let out = run(&format!("walk-bench --graph {} --walks 2000 --t 6", g_path.display())).unwrap();
+        assert!(out.contains("step_frontier "), "{out}");
+        assert!(out.contains("step_frontier_count"), "{out}");
+        assert!(out.contains("walk_fill"), "{out}");
+        assert!(out.contains("Msteps/s"), "{out}");
+        let err = run(&format!("walk-bench --graph {} --walks 0", g_path.display())).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        std::fs::remove_file(&g_path).ok();
     }
 
     #[test]

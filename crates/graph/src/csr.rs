@@ -13,6 +13,36 @@
 
 use crate::{GraphError, VertexId};
 
+/// Decoded reverse-step fast path of one vertex (see
+/// [`Graph::reverse_step`]). Walk kernels branch on this instead of
+/// touching the CSR arrays: the degree-0 and degree-1 cases — the
+/// majority of vertices on web/social graphs — resolve from a single
+/// 8-byte descriptor load, with no offset lookup and no RNG draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReverseStep {
+    /// No in-links: a reverse walk arriving here dies.
+    Dead,
+    /// Exactly one in-link: the walk follows it deterministically.
+    Unique(VertexId),
+    /// Two or more in-links: pick uniformly from
+    /// `in_sources[offset..offset + len]` (see [`Graph::in_source_at`]).
+    Branch {
+        /// Start of the in-neighbour slice in the flat in-sources array.
+        offset: u64,
+        /// In-degree (slice length), ≥ 2.
+        len: u32,
+    },
+}
+
+/// Descriptor encoding: the top 24 bits hold `min(in_degree, LEN_SAT)`,
+/// the low 40 bits hold the in-sources offset — except for degree 1,
+/// where the low 32 bits hold the unique in-neighbour directly, saving
+/// the dependent CSR load. `LEN_SAT` (and any offset ≥ 2⁴⁰) falls back
+/// to reading the exact offsets, so the encoding never loses information.
+const DESC_LEN_SHIFT: u32 = 40;
+const DESC_OFFSET_MASK: u64 = (1 << DESC_LEN_SHIFT) - 1;
+const DESC_LEN_SAT: u64 = (1 << 24) - 1;
+
 /// How [`GraphBuilder`] treats self-loops `u → u`.
 ///
 /// SimRank's definition gives `s(u,u) = 1` regardless of loops, and the
@@ -119,7 +149,7 @@ impl GraphBuilder {
 }
 
 /// Immutable directed graph in CSR form with both adjacency directions.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     n: u32,
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` with the
@@ -130,7 +160,19 @@ pub struct Graph {
     /// predecessors (in-links `δ(v)`) of `v`.
     in_offsets: Vec<u64>,
     in_sources: Vec<VertexId>,
+    /// Per-vertex reverse-step descriptor (one word per vertex; see
+    /// [`ReverseStep`]). Derived from the in-CSR at construction, so it is
+    /// ignored for equality.
+    reverse_desc: Vec<u64>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.out_offsets == other.out_offsets && self.out_targets == other.out_targets
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds from an already sorted, deduplicated `(u, v)` edge slice.
@@ -161,7 +203,8 @@ impl Graph {
             in_sources[*c as usize] = u; // edges sorted by u: sources land ascending per v
             *c += 1;
         }
-        Graph { n, out_offsets, out_targets, in_offsets, in_sources }
+        let reverse_desc = build_reverse_desc(&in_offsets, &in_sources);
+        Graph { n, out_offsets, out_targets, in_offsets, in_sources, reverse_desc }
     }
 
     /// Convenience constructor from an edge iterator (drop self-loops).
@@ -234,13 +277,73 @@ impl Graph {
 
     /// Returns the transposed graph (every edge reversed).
     pub fn transpose(&self) -> Graph {
+        let reverse_desc = build_reverse_desc(&self.out_offsets, &self.out_targets);
         Graph {
             n: self.n,
             out_offsets: self.in_offsets.clone(),
             out_targets: self.in_sources.clone(),
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
+            reverse_desc,
         }
+    }
+
+    /// The reverse-step fast path of `v`, decoded from one descriptor
+    /// load. This is the walk kernels' replacement for
+    /// [`Graph::in_neighbors`]: degree 0 and 1 resolve with no CSR touch,
+    /// and the branch case hands back the slice coordinates for a single
+    /// gather from [`Graph::in_source_at`].
+    #[inline]
+    pub fn reverse_step(&self, v: VertexId) -> ReverseStep {
+        let d = self.reverse_desc[v as usize];
+        let len = d >> DESC_LEN_SHIFT;
+        match len {
+            0 => ReverseStep::Dead,
+            1 => ReverseStep::Unique(d as VertexId),
+            DESC_LEN_SAT => {
+                // Saturated descriptor: fall back to the exact offsets.
+                let lo = self.in_offsets[v as usize];
+                let hi = self.in_offsets[v as usize + 1];
+                ReverseStep::Branch { offset: lo, len: (hi - lo) as u32 }
+            }
+            _ => ReverseStep::Branch { offset: d & DESC_OFFSET_MASK, len: len as u32 },
+        }
+    }
+
+    /// Entry `idx` of the flat in-sources array (pair of
+    /// [`ReverseStep::Branch`]).
+    #[inline]
+    pub fn in_source_at(&self, idx: u64) -> VertexId {
+        self.in_sources[idx as usize]
+    }
+
+    /// Hints the hardware to pull `v`'s reverse-step descriptor into
+    /// cache. No-op on architectures without a stable prefetch intrinsic.
+    #[inline]
+    pub fn prefetch_reverse_step(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch has no memory effects and tolerates any
+        // address; `v < n` keeps it in-bounds anyway.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.reverse_desc.as_ptr().add(v as usize) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
+    /// Hints the hardware to pull in-sources entry `idx` into cache (the
+    /// gather target of a pending [`ReverseStep::Branch`] draw).
+    #[inline]
+    pub fn prefetch_in_source(&self, idx: u64) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `prefetch_reverse_step`.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.in_sources.as_ptr().add(idx as usize) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
     }
 
     /// Estimated resident memory of the CSR arrays in bytes. Used by the
@@ -259,6 +362,24 @@ impl Graph {
         let p = if nb.is_empty() { 0.0 } else { 1.0 / nb.len() as f64 };
         nb.iter().map(move |&w| (w, p))
     }
+}
+
+/// Builds the per-vertex reverse-step descriptor array from an in-CSR
+/// (see [`ReverseStep`] for the encoding).
+fn build_reverse_desc(in_offsets: &[u64], in_sources: &[VertexId]) -> Vec<u64> {
+    let n = in_offsets.len() - 1;
+    let mut desc = Vec::with_capacity(n);
+    for v in 0..n {
+        let lo = in_offsets[v];
+        let len = in_offsets[v + 1] - lo;
+        desc.push(match len {
+            0 => 0,
+            1 => (1 << DESC_LEN_SHIFT) | in_sources[lo as usize] as u64,
+            _ if len >= DESC_LEN_SAT || lo > DESC_OFFSET_MASK => DESC_LEN_SAT << DESC_LEN_SHIFT,
+            _ => (len << DESC_LEN_SHIFT) | lo,
+        });
+    }
+    desc
 }
 
 impl std::fmt::Debug for Graph {
@@ -351,6 +472,48 @@ mod tests {
         let s: f64 = g.reverse_step_distribution(0).map(|(_, p)| p).sum();
         assert!((s - 1.0).abs() < 1e-12);
         assert_eq!(g.reverse_step_distribution(1).count(), 0);
+    }
+
+    #[test]
+    fn reverse_step_descriptors_match_in_csr() {
+        let g = Graph::from_edges(6, vec![(0, 1), (2, 1), (3, 1), (1, 2), (4, 5)]).unwrap();
+        assert_eq!(g.reverse_step(0), ReverseStep::Dead);
+        assert_eq!(g.reverse_step(2), ReverseStep::Unique(1));
+        assert_eq!(g.reverse_step(5), ReverseStep::Unique(4));
+        match g.reverse_step(1) {
+            ReverseStep::Branch { offset, len } => {
+                assert_eq!(len, 3);
+                let nb: Vec<VertexId> = (0..len).map(|i| g.in_source_at(offset + i as u64)).collect();
+                assert_eq!(nb, g.in_neighbors(1));
+            }
+            other => panic!("expected Branch, got {other:?}"),
+        }
+        // Prefetch hints must be callable on any vertex without effect.
+        g.prefetch_reverse_step(3);
+        g.prefetch_in_source(0);
+    }
+
+    #[test]
+    fn reverse_step_survives_transpose() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let t = g.transpose();
+        for v in 0..4u32 {
+            let expect = match t.in_neighbors(v) {
+                [] => ReverseStep::Dead,
+                [w] => ReverseStep::Unique(*w),
+                nb => match t.reverse_step(v) {
+                    ReverseStep::Branch { offset, len } => {
+                        assert_eq!(len as usize, nb.len());
+                        for (i, &w) in nb.iter().enumerate() {
+                            assert_eq!(t.in_source_at(offset + i as u64), w);
+                        }
+                        continue;
+                    }
+                    other => panic!("expected Branch for {v}, got {other:?}"),
+                },
+            };
+            assert_eq!(t.reverse_step(v), expect, "v={v}");
+        }
     }
 
     #[test]

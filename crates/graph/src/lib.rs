@@ -33,7 +33,7 @@ pub mod order;
 pub mod stats;
 pub mod subgraph;
 
-pub use csr::{Graph, GraphBuilder, SelfLoopPolicy};
+pub use csr::{Graph, GraphBuilder, ReverseStep, SelfLoopPolicy};
 
 /// Vertex identifier. `u32` keeps adjacency arrays and walk states compact;
 /// graphs of up to ~4.2 billion vertices are representable, far beyond the

@@ -23,4 +23,4 @@ pub mod stats;
 pub mod walker;
 
 pub use rng::Pcg32;
-pub use walker::{WalkEngine, WalkMatrix, WalkPositions, DEAD};
+pub use walker::{WalkEngine, WalkMatrix, WalkPositions, DEAD, PREFETCH_DIST};

@@ -34,6 +34,19 @@ impl PositionCounter {
         }
     }
 
+    /// Removes all counts (keeps capacity).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Increments the count of one live position — the fused-stepping
+    /// kernel calls this once per surviving walk per step.
+    #[inline]
+    pub fn add(&mut self, w: VertexId) {
+        *self.counts.entry(w).or_insert(0) += 1;
+    }
+
     /// Count of walks at vertex `w`.
     #[inline]
     pub fn count(&self, w: VertexId) -> u32 {

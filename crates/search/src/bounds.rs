@@ -85,14 +85,20 @@ impl GammaTable {
                         pos.clear();
                         pos.resize(r, u);
                         for step in 0..t {
-                            counter.fill(&pos);
+                            if step > 0 {
+                                engine.step_frontier_count(&mut pos, &mut rng, &mut counter);
+                            } else {
+                                counter.fill(&pos);
+                            }
                             let mu: f64 = counter
                                 .iter()
                                 .map(|(w, c)| diag.weight(w) * (c as f64 / r as f64).powi(2))
                                 .sum();
                             chunk[i * t + step] = mu.sqrt() as f32;
-                            if step + 1 < t {
-                                engine.step_all(&mut pos, &mut rng);
+                            if pos.is_empty() {
+                                // Every walk died: all later γ(u, ·) are
+                                // exactly 0, which the rows already hold.
+                                break;
                             }
                         }
                     }
@@ -226,7 +232,11 @@ impl AlphaBeta {
         let mut rng = Pcg32::from_parts(&[seed, 0xB0, u as u64]);
         walks.reset(u, r);
         for t in 0..t_steps {
-            counter.fill(walks.positions());
+            if t > 0 {
+                walks.step_count(&engine, &mut rng, counter);
+            } else {
+                counter.fill(walks.positions());
+            }
             for (w, cnt) in counter.iter() {
                 let d = dist(w);
                 if d == UNREACHED || d as usize > d_max {
@@ -238,8 +248,10 @@ impl AlphaBeta {
                     *slot = a;
                 }
             }
-            if t + 1 < t_steps {
-                walks.step(&engine, &mut rng);
+            if walks.is_empty() {
+                // All walks dead: every remaining α estimate is 0 (the
+                // freshly-zeroed table rows), so the scan can stop.
+                break;
             }
         }
         // β(u,d) = Σ_t cᵗ · max_{max(0,d−t) ≤ d' ≤ min(d_max, d+t)} α(d', t).

@@ -19,6 +19,13 @@ use crate::SimRankParams;
 use srs_graph::hash::FxHashSet;
 use srs_graph::{Graph, VertexId};
 use srs_mc::{Pcg32, WalkEngine, DEAD};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Vertices claimed per work-stealing grab during index construction.
+/// Small enough that a worker stuck on a few ultra-high-degree vertices
+/// does not strand a long tail behind it, large enough that the atomic
+/// cursor is uncontended.
+const BUILD_CHUNK: usize = 256;
 
 /// The candidate index: bipartite graph `H` in CSR form, both directions.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,63 +58,75 @@ impl CandidateIndex {
         assert!(threads >= 1);
         let n = g.num_vertices() as usize;
         assert!(mask.is_empty() || mask.len() == n, "mask length");
-        let per = n.div_ceil(threads.max(1)).max(1);
-        let mut partials: Vec<Vec<Vec<VertexId>>> = Vec::new();
+        // Self-scheduling work-stealing: workers grab [`BUILD_CHUNK`]-sized
+        // vertex ranges off a shared atomic cursor, so degree-skewed graphs
+        // (where a static split strands whole workers behind a few hub-heavy
+        // ranges) stay load-balanced. Determinism is unaffected: each vertex
+        // draws from its own `(seed, vertex)` stream, and the per-chunk
+        // results are reassembled in vertex order regardless of which worker
+        // produced them.
+        let cursor = AtomicUsize::new(0);
+        let collected: parking_lot::Mutex<Vec<(usize, Vec<Vec<VertexId>>)>> =
+            parking_lot::Mutex::new(Vec::with_capacity(n.div_ceil(BUILD_CHUNK.max(1))));
         crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_start in (0..n).step_by(per) {
-                let chunk_end = (chunk_start + per).min(n);
-                handles.push(scope.spawn(move |_| {
-                    let mut local: Vec<Vec<VertexId>> = Vec::with_capacity(chunk_end - chunk_start);
+            for _ in 0..threads {
+                scope.spawn(|_| {
                     let engine = WalkEngine::new(g);
                     let q = params.index_walks as usize;
                     let t_max = params.t as usize;
-                    let mut probe: Vec<VertexId> = Vec::new();
+                    let mut probe: Vec<VertexId> = vec![DEAD; t_max];
                     let mut aux: Vec<VertexId> = vec![DEAD; q];
                     let mut sig: FxHashSet<VertexId> = FxHashSet::default();
-                    for u in chunk_start..chunk_end {
-                        if !mask.is_empty() && !mask[u] {
-                            local.push(Vec::new());
-                            continue;
+                    loop {
+                        let chunk_start = cursor.fetch_add(BUILD_CHUNK, Ordering::Relaxed);
+                        if chunk_start >= n {
+                            break;
                         }
-                        sig.clear();
-                        let u = u as VertexId;
-                        let mut rng = Pcg32::from_parts(&[seed, 0xC4, u as u64]);
-                        for _rep in 0..params.index_reps {
-                            engine.walk(u, t_max.saturating_sub(1), &mut rng, &mut probe);
-                            aux.iter_mut().for_each(|a| *a = u);
-                            for t in 1..t_max {
-                                engine.step_all(&mut aux, &mut rng);
-                                let v = probe[t];
-                                if v == DEAD {
-                                    break;
-                                }
-                                // Any coincidence among {W0[t], W1[t], ..,
-                                // WQ[t]} indexes the probe position. Q ≤ a
-                                // handful, so the quadratic check is free.
-                                let coincidence = aux.contains(&v)
-                                    || aux
-                                        .iter()
-                                        .enumerate()
-                                        .any(|(j, &a)| a != DEAD && aux[j + 1..].contains(&a));
-                                if coincidence {
-                                    sig.insert(v);
+                        let chunk_end = (chunk_start + BUILD_CHUNK).min(n);
+                        let mut local: Vec<Vec<VertexId>> = Vec::with_capacity(chunk_end - chunk_start);
+                        for u in chunk_start..chunk_end {
+                            if !mask.is_empty() && !mask[u] {
+                                local.push(Vec::new());
+                                continue;
+                            }
+                            sig.clear();
+                            let u = u as VertexId;
+                            let mut rng = Pcg32::from_parts(&[seed, 0xC4, u as u64]);
+                            for _rep in 0..params.index_reps {
+                                engine.walk_fill(u, &mut rng, &mut probe);
+                                aux.iter_mut().for_each(|a| *a = u);
+                                for t in 1..t_max {
+                                    engine.step_all(&mut aux, &mut rng);
+                                    let v = probe[t];
+                                    if v == DEAD {
+                                        break;
+                                    }
+                                    // Any coincidence among {W0[t], W1[t], ..,
+                                    // WQ[t]} indexes the probe position. Q ≤ a
+                                    // handful, so the quadratic check is free.
+                                    let coincidence = aux.contains(&v)
+                                        || aux
+                                            .iter()
+                                            .enumerate()
+                                            .any(|(j, &a)| a != DEAD && aux[j + 1..].contains(&a));
+                                    if coincidence {
+                                        sig.insert(v);
+                                    }
                                 }
                             }
+                            let mut s: Vec<VertexId> = sig.iter().copied().collect();
+                            s.sort_unstable();
+                            local.push(s);
                         }
-                        let mut s: Vec<VertexId> = sig.iter().copied().collect();
-                        s.sort_unstable();
-                        local.push(s);
+                        collected.lock().push((chunk_start, local));
                     }
-                    (chunk_start, local)
-                }));
+                });
             }
-            let mut collected: Vec<(usize, Vec<Vec<VertexId>>)> =
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-            collected.sort_by_key(|(s, _)| *s);
-            partials = collected.into_iter().map(|(_, l)| l).collect();
         })
         .expect("worker thread panicked");
+        let mut collected = collected.into_inner();
+        collected.sort_by_key(|(s, _)| *s);
+        let partials: Vec<Vec<Vec<VertexId>>> = collected.into_iter().map(|(_, l)| l).collect();
 
         // Assemble forward CSR.
         let mut offsets = Vec::with_capacity(n + 1);
@@ -156,6 +175,25 @@ impl CandidateIndex {
         }
     }
 
+    /// [`CandidateIndex::candidates_into`] with an epoch-stamped seen
+    /// buffer: duplicates across signature holder lists are filtered in
+    /// O(1) per entry instead of via sort-the-multiset + `dedup`, so only
+    /// the *unique* candidates are ever sorted. Output is identical to
+    /// `candidates_into` (sorted ascending, deduplicated, `u` excluded).
+    pub fn candidates_into_stamped(&self, u: VertexId, out: &mut Vec<VertexId>, seen: &mut SeenStamps) {
+        out.clear();
+        seen.begin(self.n as usize);
+        seen.insert(u); // excludes u from the output
+        for &w in self.signatures(u) {
+            for &v in self.holders(w) {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
     /// Number of vertices indexed.
     pub fn num_vertices(&self) -> u32 {
         self.n
@@ -182,6 +220,55 @@ impl CandidateIndex {
         assert_eq!(offsets.len(), n as usize + 1, "offsets length");
         let (inv_offsets, inv_entries) = invert(n as usize, &offsets, &entries);
         CandidateIndex { n, offsets, entries, inv_offsets, inv_entries }
+    }
+}
+
+/// An epoch-stamped membership buffer over dense vertex ids: `O(n)` bytes
+/// once, then each generation ([`SeenStamps::begin`]) resets in O(1) by
+/// bumping the epoch instead of clearing. Replaces per-query hash sets /
+/// sort-dedup passes on the candidate enumeration hot path.
+#[derive(Debug, Default, Clone)]
+pub struct SeenStamps {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenStamps {
+    /// An empty buffer; it sizes itself on first [`SeenStamps::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new generation covering ids `0..n`: all ids become unseen.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps from 2³²−1 generations ago could
+            // alias; one hard clear restores soundness.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `v` seen; returns `true` iff it was unseen this generation.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` has been seen this generation.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamps[v as usize] == self.epoch
     }
 }
 
@@ -276,6 +363,32 @@ mod tests {
         let g = fixtures::path(4);
         let idx = CandidateIndex::build(&g, &small_params(), 3, 1);
         assert!(idx.signatures(1).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn stamped_candidates_match_sort_dedup_path() {
+        let g = gen::copying_web(150, 4, 0.8, 21);
+        let idx = CandidateIndex::build(&g, &small_params(), 5, 2);
+        let mut seen = SeenStamps::new();
+        let mut via_sort = Vec::new();
+        let mut via_stamp = Vec::new();
+        for u in 0..150u32 {
+            idx.candidates_into(u, &mut via_sort);
+            idx.candidates_into_stamped(u, &mut via_stamp, &mut seen);
+            assert_eq!(via_sort, via_stamp, "u={u}");
+        }
+    }
+
+    #[test]
+    fn seen_stamps_generations_isolate() {
+        let mut s = SeenStamps::new();
+        s.begin(8);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3) && !s.contains(4));
+        s.begin(8);
+        assert!(!s.contains(3), "new generation forgets");
+        assert!(s.insert(3));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod topk;
 pub mod validate;
 
 pub use engine::{BatchResult, LatencySummary, QueryEngine};
+pub use index::SeenStamps;
 pub use single_pair::SinglePairEstimator;
 pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 

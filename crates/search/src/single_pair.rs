@@ -71,17 +71,16 @@ impl EstimatorBuffers {
         let r2 = (r * r) as f64;
         let mut sigma = 0.0;
         let mut ct = 1.0;
-        for t in 0..params.t {
-            if t > 0 {
-                // t = 0 contributes only when u == v (handled above).
-                self.count_u.fill(&self.pos_u);
-                self.count_v.fill(&self.pos_v);
-                sigma += ct * self.weighted_dot(diag) / r2;
-            }
+        // t = 0 contributes only when u == v (handled above). Each later
+        // term is produced by one fused step+count pass per frontier; once
+        // either frontier dies out every remaining term is zero.
+        for _t in 1..params.t {
             ct *= params.c;
-            if t + 1 < params.t {
-                engine.step_all(&mut self.pos_u, &mut rng);
-                engine.step_all(&mut self.pos_v, &mut rng);
+            engine.step_frontier_count(&mut self.pos_u, &mut rng, &mut self.count_u);
+            engine.step_frontier_count(&mut self.pos_v, &mut rng, &mut self.count_v);
+            sigma += ct * self.weighted_dot(diag) / r2;
+            if self.pos_u.is_empty() || self.pos_v.is_empty() {
+                break;
             }
         }
         sigma
@@ -116,14 +115,12 @@ impl EstimatorBuffers {
         let norm = (src.r as usize * r) as f64;
         let mut sigma = 0.0;
         let mut ct = 1.0;
-        for t in 0..params.t {
-            if t > 0 {
-                self.count_v.fill(&self.pos_v);
-                sigma += ct * self.weighted_dot_with(diag, &src.counters[t as usize]) / norm;
-            }
+        for t in 1..params.t {
             ct *= params.c;
-            if t + 1 < params.t {
-                engine.step_all(&mut self.pos_v, &mut rng);
+            engine.step_frontier_count(&mut self.pos_v, &mut rng, &mut self.count_v);
+            sigma += ct * self.weighted_dot_with(diag, &src.counters[t as usize]) / norm;
+            if self.pos_v.is_empty() {
+                break;
             }
         }
         sigma
@@ -239,12 +236,16 @@ impl SourceWalks {
         walks.reset(u, r as usize);
         let t_steps = params.t as usize;
         self.counters.resize_with(t_steps, PositionCounter::new);
-        for t in 0..params.t {
-            // `fill` clears first, so reused counters start fresh.
-            self.counters[t as usize].fill(walks.positions());
-            if t + 1 < params.t {
-                walks.step(&engine, &mut rng);
-            }
+        self.counters[0].fill(walks.positions());
+        let mut t = 1;
+        while t < t_steps && !walks.is_empty() {
+            walks.step_count(&engine, &mut rng, &mut self.counters[t]);
+            t += 1;
+        }
+        // If every walk died early, stale counts from a previous use of
+        // this storage must not leak into the (all-zero) remaining steps.
+        for counter in &mut self.counters[t..] {
+            counter.clear();
         }
         self.source = u;
         self.r = r;

@@ -17,11 +17,11 @@
 //! what the ablation benches sweep.
 
 use crate::bounds::{AlphaBeta, GammaTable};
-use crate::index::CandidateIndex;
+use crate::index::{CandidateIndex, SeenStamps};
 use crate::single_pair::{EstimatorBuffers, SourceWalks};
 use crate::{Diagonal, SimRankParams};
 use srs_graph::bfs::{BfsBuffers, Direction, UNREACHED};
-use srs_graph::hash::{mix_seed, FxHashSet};
+use srs_graph::hash::mix_seed;
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
 use srs_mc::{WalkEngine, WalkPositions};
@@ -209,8 +209,9 @@ pub struct QueryScratch {
     cand_ids: Vec<VertexId>,
     /// Candidates keyed for the ascending-distance scan.
     cands: Vec<(u32, VertexId)>,
-    /// Dedup set for the candidate-ball extension.
-    seen: FxHashSet<VertexId>,
+    /// Epoch-stamped dedup buffer for candidate enumeration and the
+    /// candidate-ball extension (O(1) reset per query).
+    seen: SeenStamps,
     /// Running top-k (min-heap on score).
     heap: BinaryHeap<Reverse<HeapHit>>,
 }
@@ -228,7 +229,7 @@ impl QueryScratch {
             source_walks: SourceWalks::new_empty(),
             cand_ids: Vec::new(),
             cands: Vec::new(),
-            seen: FxHashSet::default(),
+            seen: SeenStamps::new(),
             heap: BinaryHeap::new(),
         }
     }
@@ -274,12 +275,12 @@ impl QueryScratch {
         self.bfs.run(g, u, Direction::Undirected, index.params.d_max);
         stats.bfs_visited = self.bfs.visited().len() as u64;
 
-        index.candidates.candidates_into(u, &mut self.cand_ids);
+        // The stamp generation opened here (u and all index candidates
+        // marked seen) carries over to the candidate-ball extension below.
+        index.candidates.candidates_into_stamped(u, &mut self.cand_ids, &mut self.seen);
         if let Some(radius) = opts.candidate_ball {
-            self.seen.clear();
-            self.seen.extend(self.cand_ids.iter().copied());
             for &v in self.bfs.visited() {
-                if v != u && self.bfs.distance(v) <= radius && self.seen.insert(v) {
+                if self.bfs.distance(v) <= radius && self.seen.insert(v) {
                     self.cand_ids.push(v);
                 }
             }

@@ -13,6 +13,15 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Whether the bench binary was invoked in smoke mode
+/// (`cargo bench ... -- --test`): run every benchmark exactly once, as a
+/// harness regression check, without spending time on real measurement.
+/// Mirrors upstream criterion's `--test` flag. Bench targets can also
+/// consult this to shrink their fixtures and skip report emission.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Top-level driver handed to each `criterion_group!` target.
 pub struct Criterion {
     sample_size: usize,
@@ -20,7 +29,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion { sample_size: if smoke_mode() { 1 } else { 20 } }
     }
 }
 
@@ -111,11 +120,16 @@ impl Bencher {
     /// sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up and batch sizing: aim for samples of at least ~10ms or
-        // 1 iteration, whichever is larger.
+        // 1 iteration, whichever is larger. Smoke mode runs the routine
+        // exactly once per sample — the point is only that it runs.
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let per = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let per = if smoke_mode() {
+            1
+        } else {
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64
+        };
         self.iters_per_sample = per;
         for _ in 0..self.pending_samples {
             let t = Instant::now();
