@@ -5,22 +5,29 @@
 //! Two shapes per dataset: `top20` is the single-query latency through a
 //! sequential [`QueryContext`], `batch32` pushes the same workload through
 //! the parallel [`QueryEngine`] (pooled scratch state, all cores), i.e.
-//! the serving-layer throughput.
+//! the serving-layer throughput. The batch measurements are also written
+//! to `BENCH_query.json` at the repo root — QPS plus p50/p95/p99 per-query
+//! latency (skipped in `-- --test` smoke mode, which also shrinks the
+//! fixtures so CI just checks the harness).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srs_bench::cache;
+use srs_bench::querybench::{QueryBenchEntry, QueryBenchReport};
 use srs_search::topk::QueryContext;
 use srs_search::{QueryEngine, QueryOptions, SimRankParams, TopKIndex};
 
 fn bench_query(c: &mut Criterion) {
+    let smoke = criterion::smoke_mode();
     let mut group = c.benchmark_group("query");
     group.sample_size(20);
     let params = SimRankParams::default();
     let opts = QueryOptions::default();
+    let mut report = QueryBenchReport::new();
     // One web and one social analogue at comparable edge counts.
+    let scale_down = if smoke { 0.1 } else { 1.0 };
     for (name, scale) in [("web-BerkStan", 0.01), ("soc-Epinions1", 0.1), ("wiki-Vote", 0.5)] {
         let spec = srs_graph::datasets::by_name(name).unwrap();
-        let g = cache::graph(spec, scale, 5);
+        let g = cache::graph(spec, scale * scale_down, 5);
         let index = TopKIndex::build(&g, &params, 9);
         let queries = srs_graph::stats::sample_query_vertices(&g, 32, 13);
         let label = format!("{name}_m{}", g.num_edges());
@@ -40,9 +47,32 @@ fn bench_query(c: &mut Criterion) {
                 out.totals
             });
         });
+
+        // One measured batch for the JSON artifact: QPS + tail latency
+        // from the engine's own per-query latency summary.
+        let engine = QueryEngine::new(&g, &index);
+        let workload = srs_graph::stats::sample_query_vertices(&g, if smoke { 16 } else { 256 }, 13);
+        let batch = engine.query_batch(&workload, 20, &opts);
+        let entry = QueryBenchEntry {
+            dataset: format!("{name}(n={}, m={})", g.num_vertices(), g.num_edges()),
+            queries: workload.len() as u64,
+            threads: engine.threads(),
+            k: 20,
+            elapsed_secs: batch.elapsed.as_secs_f64(),
+            p50_us: batch.latency.p50.as_secs_f64() * 1e6,
+            p95_us: batch.latency.p95.as_secs_f64() * 1e6,
+            p99_us: batch.latency.p99.as_secs_f64() * 1e6,
+        };
+        println!("  batch256 {label}: {:.0} queries/s (p99 {:.0} µs)", entry.queries_per_sec(), entry.p99_us);
+        report.push(entry);
     }
     group.finish();
     cache::clear();
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+        report.write(path).expect("write BENCH_query.json");
+        println!("wrote {path}");
+    }
 }
 
 criterion_group!(benches, bench_query);

@@ -147,7 +147,7 @@ pub fn compute_one(cfg: &ReproConfig, name: &'static str) -> Vec<AblationRow> {
                 queries.iter().map(|&u| ctx.query(u, k, &variant.opts)).collect::<Vec<_>>()
             });
             for (res, truth) in results.iter().zip(&reference) {
-                refined += res.stats.refined;
+                refined += res.stats.refine_calls();
                 let got: Vec<VertexId> = res.hits.iter().map(|h| h.vertex).collect();
                 agreement.push(metrics::containment(truth, &got));
             }

@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod experiments;
 pub mod metrics;
+pub mod querybench;
 pub mod walkbench;
 
 /// Global experiment configuration.

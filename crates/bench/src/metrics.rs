@@ -93,6 +93,8 @@ pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
     if s >= 3600.0 {
         format!("{:.1} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
     } else if s >= 1.0 {
         format!("{s:.1} s")
     } else if s >= 1e-3 {
@@ -158,6 +160,11 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.5 s");
         assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5 ms");
         assert_eq!(fmt_duration(Duration::from_secs(7200)), "2.0 h");
+        // A 59-minute build must not render as "3540.0 s".
+        assert_eq!(fmt_duration(Duration::from_secs(3540)), "59.0 min");
+        assert_eq!(fmt_duration(Duration::from_secs(90)), "1.5 min");
+        assert_eq!(fmt_duration(Duration::from_secs(59)), "59.0 s");
+        assert_eq!(fmt_duration(Duration::from_secs(3600)), "1.0 h");
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl WalkBenchReport {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

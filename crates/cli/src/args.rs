@@ -3,6 +3,11 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value; their presence means `true`. Registered here
+/// so `--explain` never swallows the next token as its "value" while
+/// `query --graph` (a value flag with nothing after it) still errors.
+const BOOL_FLAGS: &[&str] = &["explain", "progress"];
+
 /// Parsed command line: subcommand plus `--flag value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -22,8 +27,12 @@ impl Args {
         let mut flags = BTreeMap::new();
         while let Some(flag) = it.next() {
             let name = flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, found {flag}"))?;
-            let value = it.next().ok_or_else(|| format!("missing value for --{name}"))?;
-            if flags.insert(name.to_string(), value.clone()).is_some() {
+            let value = if BOOL_FLAGS.contains(&name) {
+                "true".to_string()
+            } else {
+                it.next().ok_or_else(|| format!("missing value for --{name}"))?.clone()
+            };
+            if flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("duplicate flag --{name}"));
             }
         }
@@ -78,6 +87,12 @@ impl Args {
         }
     }
 
+    /// Presence of a registered boolean flag (e.g. `--explain`).
+    pub fn flag(&self, name: &str) -> bool {
+        debug_assert!(BOOL_FLAGS.contains(&name), "--{name} is not a registered boolean flag");
+        self.flags.contains_key(name)
+    }
+
     /// Rejects flags outside `allowed` (catches typos).
     pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
         for k in self.flags.keys() {
@@ -126,6 +141,20 @@ mod tests {
         let bad = parse("batch-query --vertices 1,banana").unwrap();
         let err = bad.get_list::<u32>("vertices").unwrap_err();
         assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse("query --graph g.bin --explain --vertex 7").unwrap();
+        assert!(a.flag("explain"));
+        assert_eq!(a.req("graph").unwrap(), "g.bin");
+        assert_eq!(a.get_req::<u32>("vertex").unwrap(), 7);
+        let b = parse("preprocess --progress --graph g.bin").unwrap();
+        assert!(b.flag("progress"));
+        assert!(!parse("query --graph g.bin").unwrap().flag("explain"));
+        // Trailing boolean flag is fine; trailing value flag still errors.
+        assert!(parse("query --explain").is_ok());
+        assert!(parse("query --graph").is_err());
     }
 
     #[test]

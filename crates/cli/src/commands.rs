@@ -3,7 +3,8 @@
 
 use crate::args::Args;
 use srs_graph::{datasets, gen, io, stats, Graph};
-use srs_search::{persist, QueryEngine, QueryOptions, SimRankParams, TopKIndex};
+use srs_obs::Progress;
+use srs_search::{persist, BuildObs, QueryEngine, QueryOptions, ServingMetrics, SimRankParams, TopKIndex};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -14,10 +15,10 @@ usage:
   srs generate   --family web|social|collab|er --n N [--deg D] --out FILE [--seed S]
   srs convert    --in FILE --out FILE
   srs stats      --graph FILE
-  srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S]
-  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X]
+  srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S] [--progress]
+  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X] [--explain]
   srs batch-query --graph FILE --index FILE [--vertices 1,2,3 | --queries N [--seed S]]
-                 [--k 20] [--threads T] [--ball R] [--theta X]
+                 [--k 20] [--threads T] [--ball R] [--theta X] [--metrics-out FILE]
   srs topk-all   --graph FILE --index FILE [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -140,23 +141,50 @@ fn params_from(args: &Args) -> Result<SimRankParams, String> {
 }
 
 fn preprocess(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "c", "t", "seed"])?;
+    args.ensure_known(&["graph", "index", "c", "t", "seed", "progress"])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let params = params_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
+    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let start = std::time::Instant::now();
-    let index = TopKIndex::build(&g, &params, seed);
+    let mut out = String::new();
+    let index = if args.flag("progress") {
+        // Instrumented build: a vertices/sec reporter on stderr plus
+        // per-stage duration totals (summed across workers) afterwards.
+        let metrics = ServingMetrics::new();
+        let progress = Progress::new("preprocess", "vertices", g.num_vertices() as u64);
+        let obs = BuildObs { metrics: Some(&metrics), progress: Some(&progress) };
+        let index = TopKIndex::build_observed(
+            &g,
+            &params,
+            srs_search::Diagonal::paper_default(params.c),
+            seed,
+            threads,
+            &obs,
+        );
+        progress.finish();
+        let _ = writeln!(out, "build stages (cpu time summed across {threads} workers):");
+        for (name, h) in srs_search::obs::BUILD_STAGES.iter().zip(&metrics.build_stages) {
+            let _ =
+                writeln!(out, "  {name:<18} {:>8.2} s ({} observations)", h.sum() as f64 / 1e9, h.count());
+        }
+        index
+    } else {
+        TopKIndex::build(&g, &params, seed)
+    };
     let elapsed = start.elapsed();
     let path = Path::new(args.req("index")?);
     let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
     persist::save(&index, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "preprocess done in {:.2?}: index {} bytes ({} candidate edges) -> {}\n",
+    let _ = writeln!(
+        out,
+        "preprocess done in {:.2?}: index {} bytes ({} candidate edges) -> {}",
         elapsed,
         index.memory_bytes(),
         index.candidate_index().num_edges(),
         path.display()
-    ))
+    );
+    Ok(out)
 }
 
 fn load_index(args: &Args) -> Result<TopKIndex, String> {
@@ -177,7 +205,7 @@ fn query_options(args: &Args) -> Result<QueryOptions, String> {
 }
 
 fn query(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta"])?;
+    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta", "explain"])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let index = load_index(args)?;
     let vertex: u32 = args.get_req("vertex")?;
@@ -185,15 +213,18 @@ fn query(args: &Args) -> Result<String, String> {
         return Err(format!("vertex {vertex} out of range (n = {})", g.num_vertices()));
     }
     let k: usize = args.get_or("k", 20)?;
-    let opts = query_options(args)?;
+    let mut opts = query_options(args)?;
+    opts.explain = args.flag("explain");
     let start = std::time::Instant::now();
     let res = index.query(&g, vertex, k, &opts);
     let elapsed = start.elapsed();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "top-{k} for vertex {vertex} ({:.2?}; {} candidates, {} refined):",
-        elapsed, res.stats.candidates, res.stats.refined
+        "top-{k} for vertex {vertex} ({:.2?}; {} candidates, {} refine calls):",
+        elapsed,
+        res.stats.candidates,
+        res.stats.refine_calls()
     );
     for hit in &res.hits {
         let _ = writeln!(out, "{}\t{:.6}", hit.vertex, hit.score);
@@ -201,11 +232,25 @@ fn query(args: &Args) -> Result<String, String> {
     if res.hits.is_empty() {
         let _ = writeln!(out, "(no vertex above threshold)");
     }
+    if let Some(trace) = &res.explain {
+        let _ = writeln!(out, "\n{}", trace.render());
+    }
     Ok(out)
 }
 
 fn batch_query(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "vertices", "queries", "seed", "k", "threads", "ball", "theta"])?;
+    args.ensure_known(&[
+        "graph",
+        "index",
+        "vertices",
+        "queries",
+        "seed",
+        "k",
+        "threads",
+        "ball",
+        "theta",
+        "metrics-out",
+    ])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let index = load_index(args)?;
     let k: usize = args.get_or("k", 20)?;
@@ -243,8 +288,15 @@ fn batch_query(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "pruned distance  {}", t.pruned_distance);
     let _ = writeln!(out, "pruned bounds    {}", t.pruned_bounds);
     let _ = writeln!(out, "pruned coarse    {}", t.pruned_coarse);
-    let _ = writeln!(out, "refined          {}", t.refined);
+    let _ = writeln!(
+        out,
+        "refine calls     {} ({} below θ, {} reported)",
+        t.refine_calls(),
+        t.refined,
+        t.reported
+    );
     let _ = writeln!(out, "bfs visited      {}", t.bfs_visited);
+    let _ = writeln!(out, "walk steps       {}", t.walk_steps);
     let _ = writeln!(
         out,
         "latency mean {:.2?} | p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
@@ -252,6 +304,16 @@ fn batch_query(args: &Args) -> Result<String, String> {
     );
     let hits: usize = batch.results.iter().map(|r| r.hits.len()).sum();
     let _ = writeln!(out, "hits             {} ({:.1} per query)", hits, hits as f64 / queries.len() as f64);
+    if let Some(path) = args.opt("metrics-out") {
+        let snap = engine.metrics().snapshot();
+        let text = if Path::new(path).extension().is_some_and(|e| e == "prom" || e == "txt") {
+            snap.to_prometheus()
+        } else {
+            snap.to_json()
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "metrics -> {path}");
+    }
     Ok(out)
 }
 
@@ -272,8 +334,10 @@ fn topk_all(args: &Args) -> Result<String, String> {
         }
     }
     let summary = format!(
-        "all-vertices top-{k} in {:.2?} ({} queries, {} refined estimates)\n",
-        elapsed, stats.queries, stats.totals.refined
+        "all-vertices top-{k} in {:.2?} ({} queries, {} refine calls)\n",
+        elapsed,
+        stats.queries,
+        stats.totals.refine_calls()
     );
     if let Some(path) = args.opt("out") {
         std::fs::write(path, csv).map_err(|e| format!("{path}: {e}"))?;
@@ -514,6 +578,101 @@ mod tests {
         assert!(err.contains("out of range"), "{err}");
         std::fs::remove_file(&g_path).ok();
         std::fs::remove_file(&i_path).ok();
+    }
+
+    #[test]
+    fn query_explain_prints_candidate_fates() {
+        let g_path = tmp("ex.bin");
+        let i_path = tmp("ex.idx");
+        run(&format!("generate --family web --n 300 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        let plain = run(&format!(
+            "query --graph {} --index {} --vertex 10 --k 5",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(!plain.contains("explain"), "{plain}");
+        let out = run(&format!(
+            "query --graph {} --index {} --vertex 10 --k 5 --explain",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("explain: source=10"), "{out}");
+        assert!(out.contains("reported"), "{out}");
+        // Same hits with and without the trace.
+        let hits = |s: &str| s.lines().filter(|l| l.contains('\t')).map(String::from).collect::<Vec<_>>();
+        assert_eq!(hits(&plain), hits(&out));
+        std::fs::remove_file(&g_path).ok();
+        std::fs::remove_file(&i_path).ok();
+    }
+
+    #[test]
+    fn batch_query_writes_metrics_files() {
+        let g_path = tmp("mq.bin");
+        let i_path = tmp("mq.idx");
+        let json = tmp("mq.json");
+        let prom = tmp("mq.prom");
+        run(&format!("generate --family web --n 200 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        let out = run(&format!(
+            "batch-query --graph {} --index {} --queries 6 --k 5 --threads 2 --metrics-out {}",
+            g_path.display(),
+            i_path.display(),
+            json.display()
+        ))
+        .unwrap();
+        assert!(out.contains("metrics ->"), "{out}");
+        assert!(out.contains("refine calls"), "{out}");
+        assert!(out.contains("walk steps"), "{out}");
+        let body = std::fs::read_to_string(&json).unwrap();
+        for family in [
+            "srs_queries_total",
+            "srs_query_candidate_fates_total",
+            "srs_walk_steps_total",
+            "srs_query_latency_ns",
+            "srs_query_stage_ns",
+        ] {
+            assert!(body.contains(family), "json missing {family}: {body}");
+        }
+        run(&format!(
+            "batch-query --graph {} --index {} --queries 6 --k 5 --metrics-out {}",
+            g_path.display(),
+            i_path.display(),
+            prom.display()
+        ))
+        .unwrap();
+        let body = std::fs::read_to_string(&prom).unwrap();
+        assert!(body.contains("# TYPE srs_queries_total counter"), "{body}");
+        assert!(body.contains("srs_query_latency_ns_bucket"), "{body}");
+        assert!(body.contains("le=\"+Inf\""), "{body}");
+        for f in [&g_path, &i_path, &json, &prom] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn preprocess_progress_reports_stages() {
+        let g_path = tmp("pp.bin");
+        let i_path = tmp("pp.idx");
+        run(&format!("generate --family web --n 250 --deg 4 --out {}", g_path.display())).unwrap();
+        let out =
+            run(&format!("preprocess --graph {} --index {} --progress", g_path.display(), i_path.display()))
+                .unwrap();
+        assert!(out.contains("build stages"), "{out}");
+        for stage in ["gamma", "walk_generation", "coincidence_probe", "assemble"] {
+            assert!(out.contains(stage), "missing stage {stage}: {out}");
+        }
+        assert!(out.contains("preprocess done"), "{out}");
+        // The instrumented build produces the same index bytes as the
+        // plain one (same seed, untouched RNG streams).
+        let plain = tmp("pp_plain.idx");
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), plain.display())).unwrap();
+        assert_eq!(std::fs::read(&i_path).unwrap(), std::fs::read(&plain).unwrap());
+        for f in [&g_path, &i_path, &plain] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

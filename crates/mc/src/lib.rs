@@ -15,12 +15,16 @@
 //! * [`hoeffding`] — the sample-size prescriptions of Corollaries 1–3.
 //! * [`stats`] — streaming mean/variance accumulators for estimator
 //!   dispersion reporting.
+//! * [`obs`] — thread-local walk-step counters, split by descriptor class
+//!   (dead/unique/branch), flushed once per kernel call.
 
 pub mod hoeffding;
 pub mod multiset;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod walker;
 
+pub use obs::WalkStepCounts;
 pub use rng::Pcg32;
 pub use walker::{WalkEngine, WalkMatrix, WalkPositions, DEAD, PREFETCH_DIST};

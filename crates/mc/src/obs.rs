@@ -1,0 +1,99 @@
+//! Walk-step accounting, split by reverse-step descriptor class.
+//!
+//! The kernels in [`crate::walker`] classify every live step as **dead**
+//! (in-degree 0, the walk dies), **unique** (in-degree 1, no RNG draw),
+//! or **branch** (in-degree ≥ 2, one draw + one in-CSR gather). The class
+//! mix is the single best predictor of kernel throughput — branch steps
+//! are the only ones that pay a random load — so the kernels count it.
+//!
+//! Counts accumulate in registers inside each kernel call and are flushed
+//! **once per call** into a thread-local [`WalkStepCounts`] cell: no
+//! atomics, no shared cache lines, and — the invariant everything above
+//! relies on — no effect whatsoever on the RNG stream or walk results.
+//! Consumers (the query engine, stats plumbing) read deltas around a unit
+//! of work via [`thread_counts`]; walks a worker thread performs are
+//! visible only on that thread.
+//!
+//! The scalar [`crate::WalkEngine::step_one`] entry point is deliberately
+//! *not* counted: it is the public single-step primitive used in tight
+//! caller loops, and per-call TLS flushes there would cost more than the
+//! signal is worth. All batched kernels (`step_all`, frontier stepping,
+//! `walk_fill`, tracked stepping) are counted.
+
+use std::cell::Cell;
+
+/// Steps performed on this thread, by descriptor class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStepCounts {
+    /// Steps that killed the walk (in-degree 0).
+    pub dead: u64,
+    /// Degree-1 steps (no RNG draw).
+    pub unique: u64,
+    /// Degree-≥2 steps (RNG draw + in-CSR gather).
+    pub branch: u64,
+}
+
+impl WalkStepCounts {
+    /// Total steps across all classes.
+    pub fn total(&self) -> u64 {
+        self.dead + self.unique + self.branch
+    }
+
+    /// Per-class difference vs. an earlier reading on the same thread.
+    pub fn since(&self, base: &WalkStepCounts) -> WalkStepCounts {
+        WalkStepCounts {
+            dead: self.dead - base.dead,
+            unique: self.unique - base.unique,
+            branch: self.branch - base.branch,
+        }
+    }
+}
+
+thread_local! {
+    static COUNTS: Cell<WalkStepCounts> =
+        const { Cell::new(WalkStepCounts { dead: 0, unique: 0, branch: 0 }) };
+}
+
+/// Flushes one kernel call's accumulated `[dead, unique, branch]` counts.
+#[inline]
+pub(crate) fn record(counts: [u64; 3]) {
+    if counts == [0, 0, 0] {
+        return;
+    }
+    COUNTS.with(|c| {
+        let mut v = c.get();
+        v.dead += counts[0];
+        v.unique += counts[1];
+        v.branch += counts[2];
+        c.set(v);
+    });
+}
+
+/// This thread's cumulative walk-step counts (monotone; read twice and
+/// [`WalkStepCounts::since`] to attribute steps to a unit of work).
+pub fn thread_counts() -> WalkStepCounts {
+    COUNTS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_thread() {
+        let base = thread_counts();
+        record([1, 2, 3]);
+        record([0, 0, 0]); // no-op fast path
+        record([4, 0, 1]);
+        let d = thread_counts().since(&base);
+        assert_eq!(d, WalkStepCounts { dead: 5, unique: 2, branch: 4 });
+        assert_eq!(d.total(), 11);
+    }
+
+    #[test]
+    fn counts_are_thread_local() {
+        record([10, 0, 0]);
+        let other = std::thread::spawn(|| thread_counts().total()).join().unwrap();
+        assert_eq!(other, 0, "fresh thread starts at zero");
+    }
+}

@@ -39,6 +39,7 @@
 //! simply stop contributing to any count.
 
 use crate::multiset::PositionCounter;
+use crate::obs;
 use crate::rng::Pcg32;
 use srs_graph::{Graph, ReverseStep, VertexId};
 
@@ -80,6 +81,10 @@ impl<'g> WalkEngine<'g> {
     }
 
     /// Advances a single position one reverse step (or kills it).
+    ///
+    /// Not included in the [`crate::obs`] walk-step counters — this is the
+    /// scalar primitive for caller-managed loops, and a TLS flush per step
+    /// would dominate its cost. The batched kernels all count.
     #[inline]
     pub fn step_one(&self, pos: VertexId, rng: &mut Pcg32) -> VertexId {
         if pos == DEAD {
@@ -89,6 +94,30 @@ impl<'g> WalkEngine<'g> {
             ReverseStep::Dead => DEAD,
             ReverseStep::Unique(w) => w,
             ReverseStep::Branch { offset, len } => self.g.in_source_at(offset + rng.gen_range(len) as u64),
+        }
+    }
+
+    /// [`WalkEngine::step_one`] with class accounting into a caller-held
+    /// `[dead, unique, branch]` register array (flushed to the
+    /// thread-local counters once per kernel call, never per step).
+    #[inline]
+    fn step_one_counted(&self, pos: VertexId, rng: &mut Pcg32, counts: &mut [u64; 3]) -> VertexId {
+        if pos == DEAD {
+            return DEAD;
+        }
+        match self.g.reverse_step(pos) {
+            ReverseStep::Dead => {
+                counts[0] += 1;
+                DEAD
+            }
+            ReverseStep::Unique(w) => {
+                counts[1] += 1;
+                w
+            }
+            ReverseStep::Branch { offset, len } => {
+                counts[2] += 1;
+                self.g.in_source_at(offset + rng.gen_range(len) as u64)
+            }
         }
     }
 
@@ -102,9 +131,11 @@ impl<'g> WalkEngine<'g> {
     /// the hidden latency is worth. The frontier kernel, whose slots are
     /// all live, is where the prefetch pipeline pays.
     pub fn step_all(&self, positions: &mut [VertexId], rng: &mut Pcg32) {
+        let mut counts = [0u64; 3];
         for p in positions {
-            *p = self.step_one(*p, rng);
+            *p = self.step_one_counted(*p, rng, &mut counts);
         }
+        obs::record(counts);
     }
 
     /// Advances a compacted live frontier one reverse step: every position
@@ -149,6 +180,10 @@ impl<'g> WalkEngine<'g> {
         let mut ring_head = 0usize; // oldest pending entry
         let mut ring_len = 0usize;
         let mut write = 0usize;
+        // Walk-step class accounting: branch steps are counted in their
+        // arm; deaths fall out as `n - write` and unique as the remainder,
+        // so the hot loop carries a single extra register increment.
+        let mut branches = 0u64;
         for read in 0..n {
             if let Some(&ahead) = positions.get(read + PREFETCH_DIST) {
                 self.g.prefetch_reverse_step(ahead);
@@ -164,6 +199,7 @@ impl<'g> WalkEngine<'g> {
                     write += 1;
                 }
                 ReverseStep::Branch { offset, len } => {
+                    branches += 1;
                     let src = offset + rng.gen_range(len) as u64;
                     self.g.prefetch_in_source(src);
                     if ring_len == GATHER_LANES {
@@ -189,6 +225,7 @@ impl<'g> WalkEngine<'g> {
             observe(w);
         }
         positions.truncate(write);
+        obs::record([(n - write) as u64, write as u64 - branches, branches]);
     }
 
     /// Records a single trajectory of `t_max` steps from `start`
@@ -217,18 +254,20 @@ impl<'g> WalkEngine<'g> {
     /// per-call length bookkeeping. `out` must be non-empty.
     pub fn walk_fill(&self, start: VertexId, rng: &mut Pcg32, out: &mut [VertexId]) {
         out[0] = start;
+        let mut counts = [0u64; 3];
         let mut cur = start;
         let mut i = 1;
         while i < out.len() {
-            cur = self.step_one(cur, rng);
+            cur = self.step_one_counted(cur, rng, &mut counts);
             if cur == DEAD {
                 // The tail stays dead; skip the per-step re-checks.
                 out[i..].fill(DEAD);
-                return;
+                break;
             }
             out[i] = cur;
             i += 1;
         }
+        obs::record(counts);
     }
 
     /// Records `r` independent trajectories of `t_max` steps from `start`.
@@ -358,9 +397,10 @@ impl WalkPositions {
     /// writes, not its slot *assignment*, so identities stay stable; the
     /// scalar form here keeps the two arrays trivially in lock-step.)
     fn step_tracked(&mut self, engine: &WalkEngine, rng: &mut Pcg32) {
+        let mut counts = [0u64; 3];
         let mut write = 0usize;
         for read in 0..self.pos.len() {
-            let next = engine.step_one(self.pos[read], rng);
+            let next = engine.step_one_counted(self.pos[read], rng, &mut counts);
             if next != DEAD {
                 self.pos[write] = next;
                 self.ids[write] = self.ids[read];
@@ -369,6 +409,7 @@ impl WalkPositions {
         }
         self.pos.truncate(write);
         self.ids.truncate(write);
+        obs::record(counts);
     }
 
     /// The current live positions (no [`DEAD`] entries).

@@ -1,0 +1,271 @@
+//! Metric cells: atomic counters, gauges, and log₂-bucketed histograms.
+//!
+//! All cells are plain `u64`s. Shared cells use `AtomicU64` with relaxed
+//! ordering — they are statistics, not synchronization. Hot paths should
+//! not touch the shared cells per event: they accumulate into a
+//! [`LocalHistogram`] (plain `u64`s, no atomics) and merge once per batch
+//! via [`LocalHistogram::drain_into`], which is a short sequence of
+//! `fetch_add`s — lock-free, so a worker merging can never block another.
+//!
+//! Histograms bucket by bit length: value `v` lands in bucket
+//! `64 - v.leading_zeros()` (bucket 0 holds only `v == 0`), clamped to
+//! [`HIST_BUCKETS`]`- 1`. Bucket `i ≥ 1` therefore covers the inclusive
+//! range `[2^(i-1), 2^i - 1]`, and the exact inclusive upper bound of
+//! bucket `i` is `2^i - 1` — that is the `le` label the Prometheus
+//! rendering emits. With 48 buckets the last finite bound is ~2^46 ns
+//! ≈ 19.5 h when the unit is nanoseconds; everything above clamps into
+//! the overflow bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets in every histogram (shared and local).
+pub const HIST_BUCKETS: usize = 48;
+
+/// Bucket index for a value: its bit length, clamped to the overflow bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`; `u64::MAX` marks the overflow
+/// bucket (rendered as `+Inf`).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared log₂-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation directly on the shared cells. Fine for
+    /// per-batch or per-build events; per-candidate paths should go
+    /// through [`LocalHistogram`] instead.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (individual cells are read
+    /// relaxed; concurrent writers may skew count vs. buckets by the few
+    /// in-flight observations).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-`u64` copy of a [`Histogram`], as read at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// Worker-local histogram mirror: plain `u64` cells, no atomics, merged
+/// into a shared [`Histogram`] at batch end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalHistogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    pub fn new() -> Self {
+        LocalHistogram { count: 0, sum: 0, buckets: [0; HIST_BUCKETS] }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Merges the accumulated observations into `target` and clears the
+    /// local cells. Only non-empty buckets issue a `fetch_add`, so an
+    /// unused local histogram costs two relaxed adds.
+    pub fn drain_into(&mut self, target: &Histogram) {
+        if self.count == 0 {
+            return;
+        }
+        target.count.fetch_add(self.count, Ordering::Relaxed);
+        target.sum.fetch_add(self.sum, Ordering::Relaxed);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b != 0 {
+                target.buckets[i].fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Bucket i covers [2^(i-1), 2^i - 1]: bounds are exact.
+        for i in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_bound(i)), i);
+            assert_eq!(bucket_index(bucket_bound(i) + 1), i + 1);
+        }
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_observe_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.buckets[bucket_index(0)], 1);
+        assert_eq!(s.buckets[bucket_index(1)], 2);
+        assert_eq!(s.buckets[bucket_index(5)], 1);
+        assert_eq!(s.buckets[bucket_index(1000)], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn local_drains_into_shared() {
+        let shared = Histogram::new();
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        for v in 0..100 {
+            a.record(v);
+        }
+        b.record(1 << 20);
+        a.drain_into(&shared);
+        b.drain_into(&shared);
+        assert_eq!(a, LocalHistogram::new());
+        let s = shared.snapshot();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.sum, (0..100u64).sum::<u64>() + (1 << 20));
+        assert_eq!(s.buckets.iter().sum::<u64>(), 101);
+        // Draining an empty local is a no-op.
+        let before = shared.snapshot();
+        LocalHistogram::new().drain_into(&shared);
+        assert_eq!(shared.snapshot(), before);
+    }
+}

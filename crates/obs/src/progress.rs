@@ -1,0 +1,118 @@
+//! Throttled progress reporting for long-running builds.
+//!
+//! [`Progress`] is shared by reference across build workers: `add` is a
+//! relaxed `fetch_add` plus a `try_lock` guard on the reporting interval,
+//! so contended workers skip the print rather than serialize on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Rate-limited counter that prints `done/total unit (pct, rate unit/s)`
+/// lines to stderr at most once per interval.
+pub struct Progress {
+    label: String,
+    unit: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    last_print: Mutex<Instant>,
+    interval: Duration,
+}
+
+impl Progress {
+    /// A reporter that prints at most once per second.
+    pub fn new(label: impl Into<String>, unit: impl Into<String>, total: u64) -> Self {
+        Self::with_interval(label, unit, total, Duration::from_secs(1))
+    }
+
+    pub fn with_interval(
+        label: impl Into<String>,
+        unit: impl Into<String>,
+        total: u64,
+        interval: Duration,
+    ) -> Self {
+        let now = Instant::now();
+        Progress {
+            label: label.into(),
+            unit: unit.into(),
+            total,
+            done: AtomicU64::new(0),
+            started: now,
+            last_print: Mutex::new(now),
+            interval,
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` completed units, printing a progress line if the
+    /// interval elapsed and no other worker is mid-print.
+    pub fn add(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if let Ok(mut last) = self.last_print.try_lock() {
+            if last.elapsed() >= self.interval && done < self.total {
+                *last = Instant::now();
+                eprintln!("{}", self.line(done));
+            }
+        }
+    }
+
+    /// Prints the final line with the overall rate.
+    pub fn finish(&self) {
+        eprintln!("{}", self.line(self.done()));
+    }
+
+    /// The progress line for a given completion count (split out so the
+    /// formatting is testable without capturing stderr).
+    pub fn line(&self, done: u64) -> String {
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / secs;
+        let pct = if self.total == 0 { 100.0 } else { 100.0 * done as f64 / self.total as f64 };
+        format!(
+            "{}: {}/{} {} ({:.1}%, {:.0} {}/s)",
+            self.label, done, self.total, self.unit, pct, rate, self.unit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let p = Progress::new("build", "vertices", 100);
+        p.add(30);
+        p.add(20);
+        assert_eq!(p.done(), 50);
+        let line = p.line(p.done());
+        assert!(line.contains("build: 50/100 vertices (50.0%"));
+        assert!(line.contains("vertices/s"));
+    }
+
+    #[test]
+    fn zero_total_does_not_divide_by_zero() {
+        let p = Progress::new("x", "u", 0);
+        p.add(0);
+        assert!(p.line(0).contains("(100.0%"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let p = Progress::with_interval("par", "items", 1000, Duration::from_secs(3600));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        p.add(10);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 1000);
+    }
+}

@@ -1,0 +1,458 @@
+//! Metric registry and snapshot rendering.
+//!
+//! A [`Registry`] owns named metric cells with optional static labels and
+//! hands out `Arc` handles. The interior `Mutex` is taken only at
+//! registration and snapshot time — never on the update path, which goes
+//! straight to the atomic cells through the handles. [`Snapshot`] renders
+//! as Prometheus text exposition format or as hand-rolled JSON (the
+//! workspace is offline, so no serde).
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{bucket_bound, Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
+
+/// What kind of cell a metric family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Cell {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Cell {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Cell::Counter(_) => MetricKind::Counter,
+            Cell::Gauge(_) => MetricKind::Gauge,
+            Cell::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// Named collection of metric cells.
+///
+/// Registration is get-or-create: asking twice for the same
+/// `(name, labels)` returns the same cell, so independent components can
+/// share a family without coordinating. Re-registering a name with a
+/// different kind panics — that is a programming error, not a runtime
+/// condition.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with static labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, MetricKind::Counter, || {
+            Cell::Counter(Arc::new(Counter::new()))
+        }) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, &[], MetricKind::Gauge, || Cell::Gauge(Arc::new(Gauge::new()))) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram with static labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, MetricKind::Histogram, || {
+            Cell::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            assert_eq!(e.cell.kind(), kind, "metric {name} re-registered with a different kind");
+        }
+        if let Some(e) = entries.iter().find(|e| e.name == name && labels_eq(&e.labels, labels)) {
+            return e.cell.clone();
+        }
+        let cell = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned_labels(labels),
+            cell: cell.clone(),
+        });
+        cell
+    }
+
+    /// Point-in-time copy of every registered cell, families sorted by
+    /// name, samples in registration order within a family.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().unwrap();
+        let mut families: Vec<Family> = Vec::new();
+        for e in entries.iter() {
+            let value = match &e.cell {
+                Cell::Counter(c) => SampleValue::Counter(c.get()),
+                Cell::Gauge(g) => SampleValue::Gauge(g.get()),
+                Cell::Histogram(h) => SampleValue::Histogram(Box::new(h.snapshot())),
+            };
+            let sample = Sample { labels: e.labels.clone(), value };
+            match families.iter_mut().find(|f| f.name == e.name) {
+                Some(f) => f.samples.push(sample),
+                None => families.push(Family {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    kind: e.cell.kind(),
+                    samples: vec![sample],
+                }),
+            }
+        }
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { families }
+    }
+}
+
+fn labels_eq(owned: &[(String, String)], borrowed: &[(&str, &str)]) -> bool {
+    owned.len() == borrowed.len() && owned.iter().zip(borrowed).all(|((k, v), (bk, bv))| k == bk && v == bv)
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+/// One metric family in a snapshot: every sample sharing a name.
+#[derive(Debug, Clone)]
+pub struct Family {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub samples: Vec<Sample>,
+}
+
+/// One labeled cell's value at snapshot time.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(u64),
+    // Boxed: a snapshot carries all 48 bucket cells (~400 bytes), far
+    // larger than the scalar variants.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Point-in-time copy of a [`Registry`], renderable as Prometheus text
+/// or JSON.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub families: Vec<Family>,
+}
+
+impl Snapshot {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sums the counter samples of a family (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.family(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .map(|s| match &s.value {
+                        SampleValue::Counter(v) => *v,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Prometheus text exposition format. Histograms emit sparse
+    /// cumulative `_bucket` lines (only buckets that changed the
+    /// cumulative count, plus `+Inf`), `_sum`, and `_count`; `le` bounds
+    /// are the exact inclusive bucket upper bounds `2^i - 1`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+            for s in &f.samples {
+                match &s.value {
+                    SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                        out.push_str(&format!("{}{} {}\n", f.name, prom_labels(&s.labels, None), v));
+                    }
+                    SampleValue::Histogram(h) => {
+                        // Finite buckets are sparse; the overflow bucket is
+                        // folded into the mandatory trailing `+Inf` line.
+                        let mut cum = 0u64;
+                        for (i, &b) in h.buckets.iter().take(HIST_BUCKETS - 1).enumerate() {
+                            if b == 0 {
+                                continue;
+                            }
+                            cum += b;
+                            let le = bucket_bound(i).to_string();
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                prom_labels(&s.labels, Some(&le)),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            prom_labels(&s.labels, Some("+Inf")),
+                            h.count
+                        ));
+                        out.push_str(&format!("{}_sum{} {}\n", f.name, prom_labels(&s.labels, None), h.sum));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            prom_labels(&s.labels, None),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pretty-printed JSON: a top-level object keyed by family name, each
+    /// family carrying kind/help and a list of samples. Histogram buckets
+    /// are sparse `[le, cumulative]` pairs mirroring the Prometheus form
+    /// (`le = -1` encodes `+Inf`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (fi, f) in self.families.iter().enumerate() {
+            out.push_str(&format!("  {}: {{\n", json_string(&f.name)));
+            out.push_str(&format!("    \"kind\": {},\n", json_string(f.kind.as_str())));
+            out.push_str(&format!("    \"help\": {},\n", json_string(&f.help)));
+            out.push_str("    \"samples\": [\n");
+            for (si, s) in f.samples.iter().enumerate() {
+                out.push_str("      {\"labels\": {");
+                for (li, (k, v)) in s.labels.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{}{}: {}",
+                        if li == 0 { "" } else { ", " },
+                        json_string(k),
+                        json_string(v)
+                    ));
+                }
+                out.push_str("}, ");
+                match &s.value {
+                    SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                        out.push_str(&format!("\"value\": {v}"));
+                    }
+                    SampleValue::Histogram(h) => {
+                        out.push_str(&format!("\"count\": {}, \"sum\": {}, ", h.count, h.sum));
+                        out.push_str("\"buckets\": [");
+                        let mut cum = 0u64;
+                        let mut first = true;
+                        for (i, &b) in h.buckets.iter().enumerate() {
+                            if b == 0 {
+                                continue;
+                            }
+                            cum += b;
+                            let le = if i == HIST_BUCKETS - 1 { -1i128 } else { bucket_bound(i) as i128 };
+                            if !first {
+                                out.push_str(", ");
+                            }
+                            first = false;
+                            out.push_str(&format!("[{le}, {cum}]"));
+                        }
+                        out.push(']');
+                    }
+                }
+                out.push('}');
+                if si + 1 < f.samples.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("    ]\n");
+            out.push_str(if fi + 1 < self.families.len() { "  },\n" } else { "  }\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", k, prom_escape(v)));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_cells() {
+        let r = Registry::new();
+        let a = r.counter("srs_test_total", "help");
+        let b = r.counter("srs_test_total", "help");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different labels under the same name are distinct cells.
+        let c = r.counter_with("srs_test_total", "help", &[("class", "dead")]);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        assert_eq!(a.get(), 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("srs_test_total"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("srs_x", "h");
+        let _ = r.gauge("srs_x", "h");
+    }
+
+    #[test]
+    fn prometheus_render() {
+        let r = Registry::new();
+        r.counter_with("srs_fates_total", "candidate fates", &[("fate", "refined")]).add(5);
+        r.counter_with("srs_fates_total", "candidate fates", &[("fate", "reported")]).add(2);
+        r.gauge("srs_threads", "worker threads").set(4);
+        let h = r.histogram("srs_latency_ns", "query latency");
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(u64::MAX);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE srs_fates_total counter"));
+        assert!(text.contains("srs_fates_total{fate=\"refined\"} 5"));
+        assert!(text.contains("srs_fates_total{fate=\"reported\"} 2"));
+        assert!(text.contains("srs_threads 4"));
+        assert!(text.contains("# TYPE srs_latency_ns histogram"));
+        // v=0 → bucket 0 (le="0"), two v=3 → cumulative 3 at le="3",
+        // overflow value only in +Inf.
+        assert!(text.contains("srs_latency_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("srs_latency_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("srs_latency_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("srs_latency_ns_sum"));
+        assert!(text.contains("srs_latency_ns_count 4"));
+        // Families render sorted by name.
+        let fates = text.find("srs_fates_total").unwrap();
+        let lat = text.find("srs_latency_ns").unwrap();
+        let thr = text.find("srs_threads").unwrap();
+        assert!(fates < lat && lat < thr);
+    }
+
+    #[test]
+    fn json_render_shape() {
+        let r = Registry::new();
+        r.counter("srs_a_total", "a").add(1);
+        let h = r.histogram_with("srs_h_ns", "h", &[("stage", "scan")]);
+        h.observe(7);
+        let j = r.snapshot().to_json();
+        assert!(j.contains("\"srs_a_total\": {"));
+        assert!(j.contains("\"kind\": \"counter\""));
+        assert!(j.contains("\"value\": 1"));
+        assert!(j.contains("\"labels\": {\"stage\": \"scan\"}"));
+        assert!(j.contains("\"buckets\": [[7, 1]]"));
+        // Balanced braces — cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -78,6 +78,7 @@ mod tests {
         let idx = small_index(&g);
         let (_, stats) = all_topk(&g, &idx, 3, &QueryOptions::default(), 2);
         let t = stats.totals;
-        assert_eq!(t.candidates, t.pruned_distance + t.pruned_bounds + t.pruned_coarse + t.refined);
+        assert!(t.fates_accounted(), "candidate fates must account for every candidate: {t:?}");
+        assert!(t.walk_steps > 0, "refinement must have taken walk steps");
     }
 }

@@ -15,9 +15,11 @@
 //! output buffers (`TopKResult` hit vectors, latency samples) of a
 //! previous batch.
 
+use crate::obs::ServingMetrics;
 use crate::topk::{QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 use parking_lot::Mutex;
 use srs_graph::{Graph, VertexId};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Nearest-rank latency percentiles over one batch.
@@ -106,6 +108,8 @@ pub struct QueryEngine<'g> {
     index: &'g TopKIndex,
     threads: usize,
     pool: Mutex<Vec<QueryScratch>>,
+    metrics: Arc<ServingMetrics>,
+    metrics_on: bool,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -115,14 +119,45 @@ impl<'g> QueryEngine<'g> {
         Self::with_threads(g, index, threads)
     }
 
-    /// An engine with an explicit worker count (≥ 1).
+    /// An engine with an explicit worker count (≥ 1). Metrics collection
+    /// is on by default (see [`QueryEngine::set_metrics_enabled`]).
     pub fn with_threads(g: &'g Graph, index: &'g TopKIndex, threads: usize) -> Self {
-        QueryEngine { g, index, threads: threads.max(1), pool: Mutex::new(Vec::new()) }
+        let threads = threads.max(1);
+        let metrics = Arc::new(ServingMetrics::new());
+        metrics.graph_vertices.set(g.num_vertices() as u64);
+        metrics.graph_edges.set(g.num_edges());
+        metrics.index_bytes.set(index.memory_bytes());
+        metrics.engine_threads.set(threads as u64);
+        QueryEngine { g, index, threads, pool: Mutex::new(Vec::new()), metrics, metrics_on: true }
     }
 
     /// The worker count batches are split across.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The engine's metric cells (snapshot for exposition via
+    /// [`ServingMetrics::snapshot`]).
+    pub fn metrics(&self) -> &ServingMetrics {
+        &self.metrics
+    }
+
+    /// A clonable handle to the metric cells (e.g. for a scrape endpoint
+    /// living longer than a borrow of the engine).
+    pub fn metrics_handle(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Enables or disables metric collection. Disabling skips the batch-end
+    /// merges (counters stop advancing); per-query results and stats are
+    /// bit-identical either way — instrumentation is pure observation.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics_on = on;
+    }
+
+    /// Whether metric collection is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_on
     }
 
     /// The graph this engine serves.
@@ -153,8 +188,26 @@ impl<'g> QueryEngine<'g> {
     pub fn query(&self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
         let mut out = TopKResult::default();
         let mut scratch = self.take_scratch();
+        let walk_base = srs_mc::obs::thread_counts();
+        let t0 = Instant::now();
         scratch.query_into(self.g, self.index, u, k, opts, &mut out);
+        let lat = t0.elapsed();
+        if self.metrics_on {
+            let m = &*self.metrics;
+            scratch.merge_obs_into(m);
+            m.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
+            m.queries.inc();
+            m.record_query_stats(&out.stats);
+            m.latency.observe(lat.as_nanos() as u64);
+            m.candidates_per_query.observe(out.stats.candidates);
+            m.hits_per_query.observe(out.hits.len() as u64);
+        } else {
+            scratch.clear_obs();
+        }
         self.put_scratch(scratch);
+        if self.metrics_on {
+            self.metrics.pooled_scratches.set(self.pooled_states() as u64);
+        }
         out
     }
 
@@ -199,12 +252,22 @@ impl<'g> QueryEngine<'g> {
             {
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = self.take_scratch();
+                    let walk_base = srs_mc::obs::thread_counts();
                     let mut local = QueryStats::default();
                     for ((&u, slot), lat) in q_chunk.iter().zip(r_chunk).zip(l_chunk) {
                         let t0 = Instant::now();
                         scratch.query_into(self.g, self.index, u, k, opts, slot);
                         *lat = t0.elapsed();
                         local.accumulate(&slot.stats);
+                    }
+                    // Batch-end merge: this worker's stage timings and
+                    // walk-step class delta fold into the shared cells in
+                    // one lock-free pass (per worker, not per query).
+                    if self.metrics_on {
+                        scratch.merge_obs_into(&self.metrics);
+                        self.metrics.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
+                    } else {
+                        scratch.clear_obs();
                     }
                     self.put_scratch(scratch);
                     local
@@ -220,6 +283,18 @@ impl<'g> QueryEngine<'g> {
         out.totals = totals;
         out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
         out.elapsed = started.elapsed();
+        if self.metrics_on {
+            let m = &*self.metrics;
+            m.batches.inc();
+            m.queries.add(n as u64);
+            m.record_query_stats(&out.totals);
+            for (res, lat) in out.results.iter().zip(&out.latencies) {
+                m.latency.observe(lat.as_nanos() as u64);
+                m.candidates_per_query.observe(res.stats.candidates);
+                m.hits_per_query.observe(res.hits.len() as u64);
+            }
+            m.pooled_scratches.set(self.pooled_states() as u64);
+        }
     }
 }
 
@@ -308,6 +383,80 @@ mod tests {
         let b = idx.query(&g, 7, 5, &QueryOptions::default());
         assert_eq!(a.hits, b.hits);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn metrics_do_not_change_results() {
+        // Instrumentation neutrality: with metrics on (the default) and
+        // explain off, every hit and every counter is bit-identical to the
+        // uninstrumented engine, at every thread count.
+        let (g, idx) = build();
+        let queries: Vec<VertexId> = (0..40).collect();
+        let opts = QueryOptions::default();
+        let mut off = QueryEngine::with_threads(&g, &idx, 1);
+        off.set_metrics_enabled(false);
+        assert!(!off.metrics_enabled());
+        let reference = off.query_batch(&queries, 8, &opts);
+        for threads in [1, 2, 4] {
+            let on = QueryEngine::with_threads(&g, &idx, threads);
+            assert!(on.metrics_enabled(), "metrics are on by default");
+            let batch = on.query_batch(&queries, 8, &opts);
+            for (a, b) in reference.results.iter().zip(&batch.results) {
+                assert_eq!(a.hits, b.hits, "threads={threads}");
+                assert_eq!(a.stats, b.stats, "threads={threads}");
+            }
+            assert_eq!(reference.totals, batch.totals, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn metrics_counters_match_batch_totals() {
+        let (g, idx) = build();
+        let engine = QueryEngine::with_threads(&g, &idx, 3);
+        let queries: Vec<VertexId> = (0..30).collect();
+        let batch = engine.query_batch(&queries, 5, &QueryOptions::default());
+        let t = &batch.totals;
+        assert!(t.fates_accounted(), "fate identity must hold: {t:?}");
+        let m = engine.metrics();
+        assert_eq!(m.queries.get(), queries.len() as u64);
+        assert_eq!(m.batches.get(), 1);
+        assert_eq!(m.candidates.get(), t.candidates);
+        let fates = [t.pruned_distance, t.pruned_bounds, t.pruned_coarse, t.refined, t.reported];
+        for (cell, want) in m.fates.iter().zip(fates) {
+            assert_eq!(cell.get(), want);
+        }
+        assert_eq!(m.bfs_visited.get(), t.bfs_visited);
+        // Worker-level walk-class deltas must sum to the per-query deltas:
+        // all walks in a batch happen inside some query.
+        let by_class: u64 = m.walk_steps.iter().map(|c| c.get()).sum();
+        assert_eq!(by_class, t.walk_steps);
+        assert_eq!(m.latency.count(), queries.len() as u64);
+        for h in &m.query_stages {
+            assert_eq!(h.count(), queries.len() as u64);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter_total("srs_queries_total"), queries.len() as u64);
+        assert_eq!(snap.counter_total("srs_query_candidates_total"), t.candidates);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let (g, idx) = build();
+        let mut engine = QueryEngine::with_threads(&g, &idx, 2);
+        engine.set_metrics_enabled(false);
+        engine.query_batch(&(0..10).collect::<Vec<_>>(), 5, &QueryOptions::default());
+        let m = engine.metrics();
+        assert_eq!(m.queries.get(), 0);
+        assert_eq!(m.latency.count(), 0);
+        // Re-enabling starts clean: stage timings from the disabled batch
+        // must not leak into the first instrumented one.
+        engine.set_metrics_enabled(true);
+        engine.query_batch(&(0..10).collect::<Vec<_>>(), 5, &QueryOptions::default());
+        let m = engine.metrics();
+        assert_eq!(m.queries.get(), 10);
+        for h in &m.query_stages {
+            assert_eq!(h.count(), 10);
+        }
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! the query-time **candidates**. The inverted (signature → vertices) map
 //! makes candidate enumeration a two-hop lookup.
 
+use crate::obs::BuildObs;
 use crate::SimRankParams;
 use srs_graph::hash::FxHashSet;
 use srs_graph::{Graph, VertexId};
 use srs_mc::{Pcg32, WalkEngine, DEAD};
+use srs_obs::LocalHistogram;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Vertices claimed per work-stealing grab during index construction.
 /// Small enough that a worker stuck on a few ultra-high-degree vertices
@@ -54,6 +57,24 @@ impl CandidateIndex {
     /// all vertices. Per-vertex `(seed, vertex)` streams make masked rows
     /// bit-identical to a full build's rows (incremental extension).
     pub fn build_for(g: &Graph, params: &SimRankParams, seed: u64, threads: usize, mask: &[bool]) -> Self {
+        Self::build_observed(g, params, seed, threads, mask, &BuildObs::default())
+    }
+
+    /// [`CandidateIndex::build_for`] with observation hooks: per-vertex
+    /// walk-generation and coincidence-probe durations
+    /// (`srs_build_stage_ns{stage=...}`, accumulated worker-locally and
+    /// merged once per worker), CSR assembly time, and per-chunk progress.
+    /// With hooks absent this takes no clock readings in the vertex loop;
+    /// either way the built index is bit-identical — the hooks never touch
+    /// an RNG stream.
+    pub fn build_observed(
+        g: &Graph,
+        params: &SimRankParams,
+        seed: u64,
+        threads: usize,
+        mask: &[bool],
+        obs: &BuildObs<'_>,
+    ) -> Self {
         params.validate();
         assert!(threads >= 1);
         let n = g.num_vertices() as usize;
@@ -77,6 +98,12 @@ impl CandidateIndex {
                     let mut probe: Vec<VertexId> = vec![DEAD; t_max];
                     let mut aux: Vec<VertexId> = vec![DEAD; q];
                     let mut sig: FxHashSet<VertexId> = FxHashSet::default();
+                    // Stage timing is worker-local (two clock reads per
+                    // repetition, only when metrics are attached) and
+                    // merged into the shared histograms once per worker.
+                    let timing = obs.metrics.is_some();
+                    let mut walk_hist = LocalHistogram::new();
+                    let mut probe_hist = LocalHistogram::new();
                     loop {
                         let chunk_start = cursor.fetch_add(BUILD_CHUNK, Ordering::Relaxed);
                         if chunk_start >= n {
@@ -92,8 +119,15 @@ impl CandidateIndex {
                             sig.clear();
                             let u = u as VertexId;
                             let mut rng = Pcg32::from_parts(&[seed, 0xC4, u as u64]);
+                            let mut walk_ns = 0u64;
+                            let mut probe_ns = 0u64;
                             for _rep in 0..params.index_reps {
+                                let t_walk = timing.then(Instant::now);
                                 engine.walk_fill(u, &mut rng, &mut probe);
+                                let t_probe = timing.then(Instant::now);
+                                if let (Some(a), Some(b)) = (t_walk, t_probe) {
+                                    walk_ns += b.duration_since(a).as_nanos() as u64;
+                                }
                                 aux.iter_mut().for_each(|a| *a = u);
                                 for t in 1..t_max {
                                     engine.step_all(&mut aux, &mut rng);
@@ -113,12 +147,26 @@ impl CandidateIndex {
                                         sig.insert(v);
                                     }
                                 }
+                                if let Some(b) = t_probe {
+                                    probe_ns += b.elapsed().as_nanos() as u64;
+                                }
+                            }
+                            if timing {
+                                walk_hist.record(walk_ns);
+                                probe_hist.record(probe_ns);
                             }
                             let mut s: Vec<VertexId> = sig.iter().copied().collect();
                             s.sort_unstable();
                             local.push(s);
                         }
                         collected.lock().push((chunk_start, local));
+                        if let Some(p) = obs.progress {
+                            p.add((chunk_end - chunk_start) as u64);
+                        }
+                    }
+                    if let Some(m) = obs.metrics {
+                        walk_hist.drain_into(&m.build_stages[1]);
+                        probe_hist.drain_into(&m.build_stages[2]);
                     }
                 });
             }
@@ -129,6 +177,7 @@ impl CandidateIndex {
         let partials: Vec<Vec<Vec<VertexId>>> = collected.into_iter().map(|(_, l)| l).collect();
 
         // Assemble forward CSR.
+        let t_asm = obs.metrics.is_some().then(Instant::now);
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u64);
         let total: usize = partials.iter().flat_map(|c| c.iter().map(Vec::len)).sum();
@@ -138,6 +187,9 @@ impl CandidateIndex {
             offsets.push(entries.len() as u64);
         }
         let (inv_offsets, inv_entries) = invert(n, &offsets, &entries);
+        if let (Some(m), Some(t)) = (obs.metrics, t_asm) {
+            m.build_stages[3].observe(t.elapsed().as_nanos() as u64);
+        }
         CandidateIndex { n: n as u32, offsets, entries, inv_offsets, inv_entries }
     }
 

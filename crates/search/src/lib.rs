@@ -17,6 +17,7 @@
 //! | §2.2 — similarity search for *all* vertices | [`all_vertices`] |
 //! | index persistence (`O(n)` preprocess artifacts) | [`persist`] |
 //! | validation against the deterministic solver | [`validate`] |
+//! | serving metrics, stage timers, explain traces | [`obs`] |
 //!
 //! The usual flow is [`topk::TopKIndex::build`] once per graph (the
 //! preprocess phase: Algorithms 3 + 4), then [`topk::TopKIndex::query`] per
@@ -29,6 +30,7 @@ pub mod bounds;
 pub mod engine;
 pub mod extend;
 pub mod index;
+pub mod obs;
 pub mod persist;
 pub mod single_pair;
 pub mod topk;
@@ -36,6 +38,7 @@ pub mod validate;
 
 pub use engine::{BatchResult, LatencySummary, QueryEngine};
 pub use index::SeenStamps;
+pub use obs::{BuildObs, ServingMetrics};
 pub use single_pair::SinglePairEstimator;
 pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 

@@ -1,0 +1,289 @@
+//! The serving pipeline's metric schema ([`ServingMetrics`]) and build
+//! observation hooks ([`BuildObs`]).
+//!
+//! One [`ServingMetrics`] instance owns a [`Registry`] with every metric
+//! family the engine, query path, walk kernels, and index build report
+//! into. The merge discipline follows the srs-obs design rule: per-event
+//! accounting stays in worker-local cells ([`QueryLocalObs`] inside each
+//! `QueryScratch`, register accumulators inside the walk kernels) and is
+//! folded into the shared atomic cells once per batch / kernel call, so
+//! enabling metrics never adds shared-cache-line traffic to the per-
+//! candidate hot loop and never touches an RNG stream.
+//!
+//! Metric families (all prefixed `srs_`):
+//!
+//! | family | kind | labels |
+//! |---|---|---|
+//! | `srs_queries_total` | counter | |
+//! | `srs_query_batches_total` | counter | |
+//! | `srs_query_candidates_total` | counter | |
+//! | `srs_query_candidate_fates_total` | counter | `fate` |
+//! | `srs_query_bfs_visited_total` | counter | |
+//! | `srs_walk_steps_total` | counter | `class` |
+//! | `srs_query_latency_ns` | histogram | |
+//! | `srs_query_stage_ns` | histogram | `stage` |
+//! | `srs_query_candidates` | histogram | |
+//! | `srs_query_hits` | histogram | |
+//! | `srs_build_stage_ns` | histogram | `stage` |
+//! | `srs_graph_vertices` / `srs_graph_edges` | gauge | |
+//! | `srs_index_bytes` / `srs_engine_threads` / `srs_engine_pooled_scratches` | gauge | |
+
+use crate::topk::QueryStats;
+use srs_mc::WalkStepCounts;
+use srs_obs::{Counter, Gauge, Histogram, LocalHistogram, Progress, Registry, Snapshot};
+use std::sync::Arc;
+
+/// Named stages of `QueryScratch::query_into`, in pipeline order. Indexes
+/// into [`ServingMetrics::query_stages`] and `QueryLocalObs::stages`.
+pub const QUERY_STAGES: [&str; 4] = ["enumerate", "bounds", "scan", "collect"];
+
+/// Named stages of the preprocess build, in pipeline order. Indexes into
+/// [`ServingMetrics::build_stages`].
+pub const BUILD_STAGES: [&str; 4] = ["gamma", "walk_generation", "coincidence_probe", "assemble"];
+
+/// Walk-step descriptor classes, aligned with
+/// [`srs_mc::WalkStepCounts`]'s `dead`/`unique`/`branch` fields.
+pub const WALK_CLASSES: [&str; 3] = ["dead", "unique", "branch"];
+
+/// `QueryStats` fate labels, aligned with the accounting identity
+/// `candidates == pruned_distance + pruned_bounds + pruned_coarse +
+/// refined + reported`.
+pub const FATES: [&str; 5] = ["pruned_distance", "pruned_bounds", "pruned_coarse", "refined", "reported"];
+
+/// All metric families of the serving pipeline, pre-registered on one
+/// [`Registry`]. Handles are public so hot paths update cells directly
+/// (no name lookups after construction).
+pub struct ServingMetrics {
+    registry: Registry,
+    /// `srs_queries_total`.
+    pub queries: Arc<Counter>,
+    /// `srs_query_batches_total`.
+    pub batches: Arc<Counter>,
+    /// `srs_query_candidates_total`.
+    pub candidates: Arc<Counter>,
+    /// `srs_query_candidate_fates_total{fate=...}`, indexed by [`FATES`].
+    pub fates: [Arc<Counter>; 5],
+    /// `srs_query_bfs_visited_total`.
+    pub bfs_visited: Arc<Counter>,
+    /// `srs_walk_steps_total{class=...}`, indexed by [`WALK_CLASSES`].
+    pub walk_steps: [Arc<Counter>; 3],
+    /// `srs_query_latency_ns`.
+    pub latency: Arc<Histogram>,
+    /// `srs_query_stage_ns{stage=...}`, indexed by [`QUERY_STAGES`].
+    pub query_stages: [Arc<Histogram>; 4],
+    /// `srs_query_candidates` (per-query candidate count distribution).
+    pub candidates_per_query: Arc<Histogram>,
+    /// `srs_query_hits` (per-query hit count distribution).
+    pub hits_per_query: Arc<Histogram>,
+    /// `srs_build_stage_ns{stage=...}`, indexed by [`BUILD_STAGES`].
+    pub build_stages: [Arc<Histogram>; 4],
+    /// `srs_graph_vertices`.
+    pub graph_vertices: Arc<Gauge>,
+    /// `srs_graph_edges`.
+    pub graph_edges: Arc<Gauge>,
+    /// `srs_index_bytes`.
+    pub index_bytes: Arc<Gauge>,
+    /// `srs_engine_threads`.
+    pub engine_threads: Arc<Gauge>,
+    /// `srs_engine_pooled_scratches`.
+    pub pooled_scratches: Arc<Gauge>,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServingMetrics {
+    /// Registers the full serving-pipeline schema on a fresh registry.
+    pub fn new() -> Self {
+        let r = Registry::new();
+        let fates = std::array::from_fn(|i| {
+            r.counter_with(
+                "srs_query_candidate_fates_total",
+                "Candidates by scan outcome",
+                &[("fate", FATES[i])],
+            )
+        });
+        let walk_steps = std::array::from_fn(|i| {
+            r.counter_with(
+                "srs_walk_steps_total",
+                "Reverse walk steps by descriptor class",
+                &[("class", WALK_CLASSES[i])],
+            )
+        });
+        let query_stages = std::array::from_fn(|i| {
+            r.histogram_with(
+                "srs_query_stage_ns",
+                "Per-stage query duration (ns)",
+                &[("stage", QUERY_STAGES[i])],
+            )
+        });
+        let build_stages = std::array::from_fn(|i| {
+            r.histogram_with(
+                "srs_build_stage_ns",
+                "Per-stage preprocess duration (ns)",
+                &[("stage", BUILD_STAGES[i])],
+            )
+        });
+        ServingMetrics {
+            queries: r.counter("srs_queries_total", "Top-k queries answered"),
+            batches: r.counter("srs_query_batches_total", "Query batches served"),
+            candidates: r.counter("srs_query_candidates_total", "Candidates enumerated"),
+            fates,
+            bfs_visited: r.counter("srs_query_bfs_visited_total", "Vertices visited by query BFS"),
+            walk_steps,
+            latency: r.histogram("srs_query_latency_ns", "Per-query wall latency (ns)"),
+            query_stages,
+            candidates_per_query: r.histogram("srs_query_candidates", "Candidates enumerated per query"),
+            hits_per_query: r.histogram("srs_query_hits", "Hits returned per query"),
+            build_stages,
+            graph_vertices: r.gauge("srs_graph_vertices", "Vertices in the served graph"),
+            graph_edges: r.gauge("srs_graph_edges", "Edges in the served graph"),
+            index_bytes: r.gauge("srs_index_bytes", "Preprocess artifact size in bytes"),
+            engine_threads: r.gauge("srs_engine_threads", "Engine worker thread count"),
+            pooled_scratches: r.gauge("srs_engine_pooled_scratches", "Scratch states currently pooled"),
+            registry: r,
+        }
+    }
+
+    /// The underlying registry (for registering extra app-level metrics
+    /// alongside the pipeline's).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshots every family for rendering.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Folds a query's (or an aggregated batch's) counters into the
+    /// shared cells.
+    pub fn record_query_stats(&self, s: &QueryStats) {
+        self.candidates.add(s.candidates);
+        self.fates[0].add(s.pruned_distance);
+        self.fates[1].add(s.pruned_bounds);
+        self.fates[2].add(s.pruned_coarse);
+        self.fates[3].add(s.refined);
+        self.fates[4].add(s.reported);
+        self.bfs_visited.add(s.bfs_visited);
+    }
+
+    /// Folds a worker's walk-step class delta into the shared cells.
+    pub fn record_walk_steps(&self, d: WalkStepCounts) {
+        self.walk_steps[0].add(d.dead);
+        self.walk_steps[1].add(d.unique);
+        self.walk_steps[2].add(d.branch);
+    }
+}
+
+/// Per-scratch stage-duration accumulators: each `QueryScratch` records
+/// its stage timings here (plain `u64` cells) and the engine drains them
+/// into [`ServingMetrics::query_stages`] once per batch.
+#[derive(Debug, Default)]
+pub struct QueryLocalObs {
+    /// Stage-duration cells, indexed by [`QUERY_STAGES`].
+    pub stages: [LocalHistogram; 4],
+}
+
+impl QueryLocalObs {
+    /// Fresh accumulators with every stage empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains every stage accumulator into the shared histograms.
+    pub fn merge_into(&mut self, m: &ServingMetrics) {
+        for (local, shared) in self.stages.iter_mut().zip(&m.query_stages) {
+            local.drain_into(shared);
+        }
+    }
+
+    /// Discards accumulated observations (used when metrics are disabled,
+    /// so a later enable starts from a clean scratch).
+    pub fn clear(&mut self) {
+        for s in &mut self.stages {
+            s.clear();
+        }
+    }
+}
+
+/// Optional observation hooks threaded through the preprocess build:
+/// stage-duration histograms and a vertices/sec progress reporter. The
+/// default (`BuildObs::default()`) observes nothing and adds no timing
+/// calls to the build loop.
+#[derive(Clone, Copy, Default)]
+pub struct BuildObs<'a> {
+    /// Destination for `srs_build_stage_ns` observations.
+    pub metrics: Option<&'a ServingMetrics>,
+    /// Per-vertex build progress (candidate-index vertices completed).
+    pub progress: Option<&'a Progress>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_registers_expected_families() {
+        let m = ServingMetrics::new();
+        m.queries.add(3);
+        m.record_query_stats(&QueryStats {
+            candidates: 10,
+            pruned_distance: 4,
+            pruned_bounds: 2,
+            pruned_coarse: 1,
+            refined: 1,
+            reported: 2,
+            bfs_visited: 50,
+            walk_steps: 123,
+        });
+        m.record_walk_steps(WalkStepCounts { dead: 1, unique: 2, branch: 3 });
+        let snap = m.snapshot();
+        for family in [
+            "srs_queries_total",
+            "srs_query_batches_total",
+            "srs_query_candidates_total",
+            "srs_query_candidate_fates_total",
+            "srs_query_bfs_visited_total",
+            "srs_walk_steps_total",
+            "srs_query_latency_ns",
+            "srs_query_stage_ns",
+            "srs_query_candidates",
+            "srs_query_hits",
+            "srs_build_stage_ns",
+            "srs_graph_vertices",
+            "srs_graph_edges",
+            "srs_index_bytes",
+            "srs_engine_threads",
+            "srs_engine_pooled_scratches",
+        ] {
+            assert!(snap.family(family).is_some(), "missing family {family}");
+        }
+        assert_eq!(snap.counter_total("srs_queries_total"), 3);
+        // The fate family sums to the candidate count (identity holds).
+        assert_eq!(snap.counter_total("srs_query_candidate_fates_total"), 10);
+        assert_eq!(snap.counter_total("srs_walk_steps_total"), 6);
+        assert_eq!(snap.family("srs_query_candidate_fates_total").unwrap().samples.len(), 5);
+        assert_eq!(snap.family("srs_query_stage_ns").unwrap().samples.len(), 4);
+    }
+
+    #[test]
+    fn local_obs_merges_and_clears() {
+        let m = ServingMetrics::new();
+        let mut local = QueryLocalObs::new();
+        local.stages[0].record(100);
+        local.stages[2].record(7);
+        local.merge_into(&m);
+        assert_eq!(m.query_stages[0].count(), 1);
+        assert_eq!(m.query_stages[0].sum(), 100);
+        assert_eq!(m.query_stages[2].count(), 1);
+        assert_eq!(local.stages[0].count(), 0, "drained");
+        local.stages[1].record(5);
+        local.clear();
+        local.merge_into(&m);
+        assert_eq!(m.query_stages[1].count(), 0, "cleared observations never merge");
+    }
+}

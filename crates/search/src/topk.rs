@@ -18,6 +18,7 @@
 
 use crate::bounds::{AlphaBeta, GammaTable};
 use crate::index::{CandidateIndex, SeenStamps};
+use crate::obs::{BuildObs, QueryLocalObs, ServingMetrics};
 use crate::single_pair::{EstimatorBuffers, SourceWalks};
 use crate::{Diagonal, SimRankParams};
 use srs_graph::bfs::{BfsBuffers, Direction, UNREACHED};
@@ -25,8 +26,10 @@ use srs_graph::hash::mix_seed;
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
 use srs_mc::{WalkEngine, WalkPositions};
+use srs_obs::{CandidateFate, CandidateRecord, ExplainTrace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// One result row: a vertex and its estimated SimRank score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +72,13 @@ pub struct QueryOptions {
     /// unbiased; estimates become correlated across candidates, which
     /// ranking tolerates). Roughly halves estimation work per candidate.
     pub share_source_walks: bool,
+    /// Record a per-candidate [`ExplainTrace`] into
+    /// [`TopKResult::explain`]: every enumerated candidate's fate (which
+    /// bound pruned it, or how its refinement scored) with the bound value
+    /// vs. the running threshold. Off by default — the trace allocates and
+    /// is meant for interactive debugging, not the serving path. Scores
+    /// and stats are unaffected either way.
+    pub explain: bool,
 }
 
 impl Default for QueryOptions {
@@ -83,12 +93,19 @@ impl Default for QueryOptions {
             candidate_ball: None,
             theta: None,
             share_source_walks: false,
+            explain: false,
         }
     }
 }
 
 /// Counters describing how a query was answered (pruning effectiveness —
 /// the quantities behind the paper's §8.1 discussion).
+///
+/// The five fate counters partition the enumerated candidates — the
+/// accounting identity `candidates == pruned_distance + pruned_bounds +
+/// pruned_coarse + refined + reported` ([`QueryStats::fates_accounted`])
+/// holds for every query and is `debug_assert`ed on the query path, so
+/// pruning counters can never silently drift.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Candidates enumerated from the index.
@@ -99,10 +116,17 @@ pub struct QueryStats {
     pub pruned_bounds: u64,
     /// Candidates discarded after the coarse pass.
     pub pruned_coarse: u64,
-    /// Candidates refined with the full walk budget.
+    /// Candidates refined with the full walk budget whose score landed
+    /// below θ (refinement work that produced no hit).
     pub refined: u64,
+    /// Candidates refined with the full walk budget whose score reached θ
+    /// (offered to the top-k heap; lower scorers may still be evicted).
+    pub reported: u64,
     /// Vertices visited by the query-time BFS.
     pub bfs_visited: u64,
+    /// Reverse walk steps performed answering the query (L1 table, coarse
+    /// and refine estimates — everything the walk kernels stepped).
+    pub walk_steps: u64,
 }
 
 impl QueryStats {
@@ -114,7 +138,22 @@ impl QueryStats {
         self.pruned_bounds += other.pruned_bounds;
         self.pruned_coarse += other.pruned_coarse;
         self.refined += other.refined;
+        self.reported += other.reported;
         self.bfs_visited += other.bfs_visited;
+        self.walk_steps += other.walk_steps;
+    }
+
+    /// The checked accounting identity: every enumerated candidate has
+    /// exactly one fate.
+    pub fn fates_accounted(&self) -> bool {
+        self.candidates
+            == self.pruned_distance + self.pruned_bounds + self.pruned_coarse + self.refined + self.reported
+    }
+
+    /// Candidates that paid the full refinement budget, regardless of
+    /// whether the score reached θ (the cost-side number callers report).
+    pub fn refine_calls(&self) -> u64 {
+        self.refined + self.reported
     }
 }
 
@@ -125,6 +164,8 @@ pub struct TopKResult {
     pub hits: Vec<Hit>,
     /// Pruning counters.
     pub stats: QueryStats,
+    /// Per-candidate trace, present iff [`QueryOptions::explain`] was set.
+    pub explain: Option<ExplainTrace>,
 }
 
 /// The preprocess artifact: γ table + candidate index (+ parameters and the
@@ -148,9 +189,29 @@ impl TopKIndex {
 
     /// Full-control preprocess: explicit diagonal and thread count.
     pub fn build_with(g: &Graph, params: &SimRankParams, diag: Diagonal, seed: u64, threads: usize) -> Self {
+        Self::build_observed(g, params, diag, seed, threads, &BuildObs::default())
+    }
+
+    /// [`TopKIndex::build_with`] with observation hooks: per-stage
+    /// duration histograms (`srs_build_stage_ns`) and a vertices/sec
+    /// progress reporter. The built index is bit-identical to the
+    /// unobserved build — the hooks only read clocks and bump counters,
+    /// never an RNG stream.
+    pub fn build_observed(
+        g: &Graph,
+        params: &SimRankParams,
+        diag: Diagonal,
+        seed: u64,
+        threads: usize,
+        obs: &BuildObs<'_>,
+    ) -> Self {
         params.validate();
+        let t0 = Instant::now();
         let gamma = GammaTable::build(g, params, &diag, mix_seed(&[seed, 1]), threads);
-        let candidates = CandidateIndex::build(g, params, mix_seed(&[seed, 2]), threads);
+        if let Some(m) = obs.metrics {
+            m.build_stages[0].observe(t0.elapsed().as_nanos() as u64);
+        }
+        let candidates = CandidateIndex::build_observed(g, params, mix_seed(&[seed, 2]), threads, &[], obs);
         TopKIndex { params: params.clone(), diag, gamma, candidates, seed }
     }
 
@@ -214,6 +275,8 @@ pub struct QueryScratch {
     seen: SeenStamps,
     /// Running top-k (min-heap on score).
     heap: BinaryHeap<Reverse<HeapHit>>,
+    /// Stage-duration accumulators, drained by the engine at batch end.
+    obs: QueryLocalObs,
 }
 
 impl QueryScratch {
@@ -231,7 +294,19 @@ impl QueryScratch {
             cands: Vec::new(),
             seen: SeenStamps::new(),
             heap: BinaryHeap::new(),
+            obs: QueryLocalObs::new(),
         }
+    }
+
+    /// Drains this scratch's stage-duration accumulators into `m` (called
+    /// by the engine once per batch, per worker).
+    pub(crate) fn merge_obs_into(&mut self, m: &ServingMetrics) {
+        self.obs.merge_into(m);
+    }
+
+    /// Discards accumulated stage observations (metrics disabled).
+    pub(crate) fn clear_obs(&mut self) {
+        self.obs.clear();
     }
 
     /// Algorithm 5 for query vertex `u`, writing into `out` (cleared
@@ -249,14 +324,30 @@ impl QueryScratch {
         let theta = opts.theta.unwrap_or(index.params.theta);
         out.hits.clear();
         out.stats = QueryStats::default();
+        out.explain = if opts.explain { Some(ExplainTrace::new(u, k, theta)) } else { None };
         self.heap.clear();
+        // Walk-step attribution: everything the kernels step between here
+        // and the end of the scan belongs to this query (scratches never
+        // migrate threads mid-query). Deterministic — the same query
+        // performs the same walks regardless of thread count.
+        let walk_base = srs_mc::obs::thread_counts().total();
+        let t = Instant::now();
         self.enumerate_candidates(g, index, u, opts, &mut out.stats);
+        self.obs.stages[0].record(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
         self.prepare_query_tables(g, index, u, opts);
-        self.scan_candidates(g, index, u, k, opts, theta, &mut out.stats);
+        self.obs.stages[1].record(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        self.scan_candidates(g, index, u, k, opts, theta, &mut out.stats, out.explain.as_mut());
+        self.obs.stages[2].record(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
         out.hits.extend(self.heap.drain().map(|h| Hit { vertex: h.0.vertex, score: h.0.score }));
         out.hits.sort_by(|a, b| {
             b.score.partial_cmp(&a.score).expect("scores are finite").then(a.vertex.cmp(&b.vertex))
         });
+        self.obs.stages[3].record(t.elapsed().as_nanos() as u64);
+        out.stats.walk_steps = srs_mc::obs::thread_counts().total() - walk_base;
+        debug_assert!(out.stats.fates_accounted(), "fate counters drifted: {:?}", out.stats);
     }
 
     /// Stage 1 — BFS to the horizon, then candidate enumeration (line 2 of
@@ -325,7 +416,10 @@ impl QueryScratch {
 
     /// Stage 3 — the bounded, adaptive candidate scan: distance bound →
     /// L1/L2 bounds → coarse pass → refine, maintaining the running top-k
-    /// heap.
+    /// heap. When `explain` is given, every candidate (including the bulk
+    /// tail skipped by the early-break) gets exactly one
+    /// [`CandidateRecord`] — fate counts in the trace reconcile with
+    /// `stats` by construction.
     #[allow(clippy::too_many_arguments)]
     fn scan_candidates(
         &mut self,
@@ -336,6 +430,7 @@ impl QueryScratch {
         opts: &QueryOptions,
         theta: f64,
         stats: &mut QueryStats,
+        mut explain: Option<&mut ExplainTrace>,
     ) {
         let params = &index.params;
         let engine = WalkEngine::new(g);
@@ -351,6 +446,9 @@ impl QueryScratch {
                 let cd = if d == UNREACHED { 0.0 } else { params.distance_bound(d) };
                 if cd < prune_at {
                     stats.pruned_distance += 1;
+                    if let Some(tr) = explain.as_deref_mut() {
+                        tr.push(record(v, d, CandidateFate::PrunedDistance, cd, prune_at));
+                    }
                     // Candidates are distance-sorted: every later candidate
                     // has an even smaller c^d, but their L1/L2 bounds could
                     // not save them either (bounds only prune further), so
@@ -360,20 +458,26 @@ impl QueryScratch {
                         // this distance, so its c^⌈d/2⌉ bound is no better;
                         // count by position so distance ties are included.
                         stats.pruned_distance += (cands.len() - ci - 1) as u64;
+                        if let Some(tr) = explain.as_deref_mut() {
+                            for &(d2, v2) in &cands[ci + 1..] {
+                                let cd2 = if d2 == UNREACHED { 0.0 } else { params.distance_bound(d2) };
+                                tr.push(record(v2, d2, CandidateFate::PrunedDistance, cd2, prune_at));
+                            }
+                        }
                         break;
                     }
                     continue;
                 }
             }
-            let mut bound = f64::INFINITY;
-            if opts.use_l1 && d != UNREACHED {
-                bound = bound.min(self.l1.beta(d));
-            }
-            if opts.use_l2 {
-                bound = bound.min(index.gamma.l2_bound(u, v, params.c));
-            }
+            let l1b = if opts.use_l1 && d != UNREACHED { self.l1.beta(d) } else { f64::INFINITY };
+            let l2b = if opts.use_l2 { index.gamma.l2_bound(u, v, params.c) } else { f64::INFINITY };
+            let bound = l1b.min(l2b);
             if bound < prune_at {
                 stats.pruned_bounds += 1;
+                if let Some(tr) = explain.as_deref_mut() {
+                    let fate = if l1b <= l2b { CandidateFate::PrunedL1 } else { CandidateFate::PrunedL2 };
+                    tr.push(record(v, d, fate, bound, prune_at));
+                }
                 continue;
             }
             // Adaptive sampling (§7.2).
@@ -392,8 +496,12 @@ impl QueryScratch {
                 } else {
                     self.estimator.estimate(&engine, &index.diag, u, v, params, params.r_coarse, seed)
                 };
-                if coarse < opts.coarse_fraction * prune_at {
+                let coarse_at = opts.coarse_fraction * prune_at;
+                if coarse < coarse_at {
                     stats.pruned_coarse += 1;
+                    if let Some(tr) = explain.as_deref_mut() {
+                        tr.push(record(v, d, CandidateFate::PrunedCoarse, coarse, coarse_at));
+                    }
                     continue;
                 }
             }
@@ -410,16 +518,29 @@ impl QueryScratch {
             } else {
                 self.estimator.estimate(&engine, &index.diag, u, v, params, params.r_refine, seed)
             };
-            stats.refined += 1;
             if score >= theta {
+                stats.reported += 1;
+                if let Some(tr) = explain.as_deref_mut() {
+                    tr.push(record(v, d, CandidateFate::Reported, score, theta));
+                }
                 self.heap.push(Reverse(HeapHit { score, vertex: v }));
                 if self.heap.len() > k {
                     self.heap.pop();
+                }
+            } else {
+                stats.refined += 1;
+                if let Some(tr) = explain.as_deref_mut() {
+                    tr.push(record(v, d, CandidateFate::RefinedBelowTheta, score, theta));
                 }
             }
         }
         self.cands = cands;
     }
+}
+
+/// Shorthand for a scan-loop explain record.
+fn record(v: VertexId, d: u32, fate: CandidateFate, value: f64, threshold: f64) -> CandidateRecord {
+    CandidateRecord { vertex: v, distance: d, fate, value, threshold }
 }
 
 /// Current k-th best score, or 0 while the heap is underfull.
@@ -612,8 +733,43 @@ mod tests {
         let mut ctx = QueryContext::new(&g, &idx);
         let res = ctx.query(0, 10, &QueryOptions::default());
         let s = res.stats;
-        assert_eq!(s.candidates, s.pruned_distance + s.pruned_bounds + s.pruned_coarse + s.refined, "{s:?}");
+        assert!(s.fates_accounted(), "{s:?}");
+        assert_eq!(s.refine_calls(), s.refined + s.reported);
         assert!(s.bfs_visited > 0);
+        assert!(s.walk_steps > 0, "L1 table + estimates must step walks: {s:?}");
+    }
+
+    #[test]
+    fn explain_trace_covers_every_candidate() {
+        let g = gen::copying_web(200, 4, 0.8, 8);
+        let params = fast_params();
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 3, 2);
+        let mut ctx = QueryContext::new(&g, &idx);
+        let plain = QueryOptions::default();
+        let explain = QueryOptions { explain: true, ..Default::default() };
+        for u in srs_graph::stats::sample_query_vertices(&g, 8, 14) {
+            let a = ctx.query(u, 10, &plain);
+            let b = ctx.query(u, 10, &explain);
+            // The trace is pure observation: hits and stats are identical.
+            assert_eq!(a.hits, b.hits, "u={u}");
+            assert_eq!(a.stats, b.stats, "u={u}");
+            assert!(a.explain.is_none());
+            let tr = b.explain.expect("explain requested");
+            // Every enumerated candidate appears exactly once.
+            assert_eq!(tr.records.len() as u64, b.stats.candidates, "u={u}");
+            let mut vertices: Vec<_> = tr.records.iter().map(|r| r.vertex).collect();
+            vertices.sort_unstable();
+            let before = vertices.len();
+            vertices.dedup();
+            assert_eq!(vertices.len(), before, "u={u}: duplicate candidate in trace");
+            // Trace fates reconcile with the stats counters.
+            use srs_obs::CandidateFate as F;
+            assert_eq!(tr.count(F::PrunedDistance), b.stats.pruned_distance, "u={u}");
+            assert_eq!(tr.count(F::PrunedL1) + tr.count(F::PrunedL2), b.stats.pruned_bounds, "u={u}");
+            assert_eq!(tr.count(F::PrunedCoarse), b.stats.pruned_coarse, "u={u}");
+            assert_eq!(tr.count(F::RefinedBelowTheta), b.stats.refined, "u={u}");
+            assert_eq!(tr.count(F::Reported), b.stats.reported, "u={u}");
+        }
     }
 
     #[test]
