@@ -16,9 +16,12 @@ usage:
   srs convert    --in FILE --out FILE
   srs stats      --graph FILE
   srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S] [--progress]
-  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X] [--explain]
+                 [--reorder bfs|degree --graph-out FILE [--map-out FILE]]
+  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X]
+                 [--wave-width W] [--explain]
   srs batch-query --graph FILE --index FILE [--vertices 1,2,3 | --queries N [--seed S]]
-                 [--k 20] [--threads T] [--ball R] [--theta X] [--metrics-out FILE]
+                 [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
+                 [--metrics-out FILE] [--hits-out FILE]
   srs topk-all   --graph FILE --index FILE [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -125,6 +128,7 @@ fn graph_stats(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "dangling in / out    {} / {}", s.dangling_in, s.dangling_out);
     let _ = writeln!(out, "weak components      {wcc}");
     let _ = writeln!(out, "avg distance (est.)  {avg_dist:.2}");
+    let _ = writeln!(out, "edge locality        {:.1}", srs_graph::order::edge_locality(&g));
     let _ = writeln!(out, "csr memory           {} bytes", g.memory_bytes());
     Ok(out)
 }
@@ -141,13 +145,44 @@ fn params_from(args: &Args) -> Result<SimRankParams, String> {
 }
 
 fn preprocess(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "c", "t", "seed", "progress"])?;
-    let g = load_graph(Path::new(args.req("graph")?))?;
+    args.ensure_known(&["graph", "index", "c", "t", "seed", "progress", "reorder", "graph-out", "map-out"])?;
+    let mut g = load_graph(Path::new(args.req("graph")?))?;
+    let mut out = String::new();
+    if let Some(by) = args.opt("reorder") {
+        // Cache-friendly relabelling before the build. The index speaks
+        // the *new* vertex ids, so the relabelled graph must be saved and
+        // used for every later query against this index.
+        let order = match by {
+            "bfs" => srs_graph::order::bfs_order(&g),
+            "degree" => srs_graph::order::degree_order(&g),
+            other => return Err(format!("unknown ordering `{other}` (bfs|degree)")),
+        };
+        let gout = args
+            .opt("graph-out")
+            .ok_or("--reorder needs --graph-out: the index refers to reordered vertex ids")?;
+        let before = srs_graph::order::edge_locality(&g);
+        let reordered = srs_graph::order::apply_order(&g, &order);
+        let after = srs_graph::order::edge_locality(&reordered.graph);
+        save_graph(&reordered.graph, Path::new(gout))?;
+        if let Some(map_path) = args.opt("map-out") {
+            let mut map = String::from("# old_id\tnew_id\n");
+            for (old, &new) in reordered.new_of.iter().enumerate() {
+                let _ = writeln!(map, "{old}\t{new}");
+            }
+            std::fs::write(map_path, map).map_err(|e| format!("{map_path}: {e}"))?;
+        }
+        let _ = writeln!(
+            out,
+            "reordered by {by}: edge locality {before:.1} -> {after:.1}; query graph -> {gout}"
+        );
+        g = reordered.graph;
+    } else if args.opt("graph-out").is_some() || args.opt("map-out").is_some() {
+        return Err("--graph-out/--map-out only make sense with --reorder".into());
+    }
     let params = params_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let start = std::time::Instant::now();
-    let mut out = String::new();
     let index = if args.flag("progress") {
         // Instrumented build: a vertices/sec reporter on stderr plus
         // per-stage duration totals (summed across workers) afterwards.
@@ -201,11 +236,14 @@ fn query_options(args: &Args) -> Result<QueryOptions, String> {
     if let Some(t) = args.opt("theta") {
         opts.theta = Some(t.parse::<f64>().map_err(|e| format!("--theta: {e}"))?);
     }
+    // Wave width only changes how the scan batches its walk work; results
+    // are bit-identical at every width (1 disables batching).
+    opts.wave_width = args.get_or("wave-width", opts.wave_width)?;
     Ok(opts)
 }
 
 fn query(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta", "explain"])?;
+    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta", "wave-width", "explain"])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let index = load_index(args)?;
     let vertex: u32 = args.get_req("vertex")?;
@@ -249,7 +287,9 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "threads",
         "ball",
         "theta",
+        "wave-width",
         "metrics-out",
+        "hits-out",
     ])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let index = load_index(args)?;
@@ -304,6 +344,26 @@ fn batch_query(args: &Args) -> Result<String, String> {
     );
     let hits: usize = batch.results.iter().map(|r| r.hits.len()).sum();
     let _ = writeln!(out, "hits             {} ({:.1} per query)", hits, hits as f64 / queries.len() as f64);
+    if batch.deduped > 0 {
+        let _ = writeln!(out, "deduped          {} (answered once, copied)", batch.deduped);
+    }
+    if let Some(path) = args.opt("hits-out") {
+        // One line per query, input order: `vertex<TAB>hit:score...`.
+        // Scores use shortest-roundtrip formatting, so two runs produce
+        // byte-identical files iff their results are bit-identical — the
+        // file is a determinism witness (CI diffs it across wave widths),
+        // not just a report.
+        let mut body = String::new();
+        for (u, res) in queries.iter().zip(&batch.results) {
+            let _ = write!(body, "{u}");
+            for h in &res.hits {
+                let _ = write!(body, "\t{}:{}", h.vertex, h.score);
+            }
+            body.push('\n');
+        }
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "hits -> {path}");
+    }
     if let Some(path) = args.opt("metrics-out") {
         let snap = engine.metrics().snapshot();
         let text = if Path::new(path).extension().is_some_and(|e| e == "prom" || e == "txt") {
@@ -648,6 +708,93 @@ mod tests {
         assert!(body.contains("srs_query_latency_ns_bucket"), "{body}");
         assert!(body.contains("le=\"+Inf\""), "{body}");
         for f in [&g_path, &i_path, &json, &prom] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn preprocess_reorder_builds_on_relabelled_graph() {
+        let g_path = tmp("pr.bin");
+        let g2_path = tmp("pr_re.bin");
+        let i_path = tmp("pr.idx");
+        let map = tmp("pr.map");
+        run(&format!("generate --family web --n 300 --deg 4 --out {}", g_path.display())).unwrap();
+        let out = run(&format!(
+            "preprocess --graph {} --index {} --reorder bfs --graph-out {} --map-out {}",
+            g_path.display(),
+            i_path.display(),
+            g2_path.display(),
+            map.display()
+        ))
+        .unwrap();
+        assert!(out.contains("reordered by bfs"), "{out}");
+        assert!(out.contains("edge locality"), "{out}");
+        assert!(out.contains("preprocess done"), "{out}");
+        // The index speaks the relabelled ids: querying the saved
+        // reordered graph works end to end.
+        let q = run(&format!(
+            "query --graph {} --index {} --vertex 10 --k 5",
+            g2_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(q.contains("top-5 for vertex 10"), "{q}");
+        let m = std::fs::read_to_string(&map).unwrap();
+        assert!(m.starts_with("# old_id\tnew_id"), "{m}");
+        assert_eq!(m.lines().count(), 301, "one mapping line per vertex");
+        // Reorder without a place to put the relabelled graph is an error,
+        // as is --graph-out without --reorder.
+        let err = run(&format!(
+            "preprocess --graph {} --index {} --reorder bfs",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("--graph-out"), "{err}");
+        let err = run(&format!(
+            "preprocess --graph {} --index {} --graph-out {}",
+            g_path.display(),
+            i_path.display(),
+            g2_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("--reorder"), "{err}");
+        for f in [&g_path, &g2_path, &i_path, &map] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn batch_query_wave_width_is_bit_identical() {
+        let g_path = tmp("wv.bin");
+        let i_path = tmp("wv.idx");
+        let h1 = tmp("wv_w1.tsv");
+        let h32 = tmp("wv_w32.tsv");
+        run(&format!("generate --family web --n 300 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        for (width, path) in [(1, &h1), (32, &h32)] {
+            run(&format!(
+                "batch-query --graph {} --index {} --queries 12 --k 5 --wave-width {width} --hits-out {}",
+                g_path.display(),
+                i_path.display(),
+                path.display()
+            ))
+            .unwrap();
+        }
+        let a = std::fs::read_to_string(&h1).unwrap();
+        let b = std::fs::read_to_string(&h32).unwrap();
+        assert_eq!(a, b, "wave width must not change any hit");
+        assert_eq!(a.lines().count(), 12, "one line per query");
+        assert!(a.contains(':'), "hits carry scores: {a}");
+        // Repeated vertices in a batch get answered once.
+        let out = run(&format!(
+            "batch-query --graph {} --index {} --vertices 1,5,1,5,9 --k 5",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("deduped          2"), "{out}");
+        for f in [&g_path, &i_path, &h1, &h32] {
             std::fs::remove_file(f).ok();
         }
     }

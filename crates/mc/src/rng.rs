@@ -13,7 +13,7 @@ use srs_graph::hash::mix_seed;
 /// PCG32 generator (`pcg32_oneseq` variant): 64-bit state LCG with XSH-RR
 /// output permutation. Small (16 bytes), fast, and statistically strong for
 /// simulation purposes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pcg32 {
     state: u64,
     inc: u64,

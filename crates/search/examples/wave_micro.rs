@@ -1,0 +1,96 @@
+//! Microbenchmark: wave estimator vs scalar estimates on one graph.
+//!
+//! Usage: `wave_micro <graph.bin> [width] [r] [passes]` — times
+//! `estimate_pairs_into` against the equivalent loop of scalar
+//! `estimate` calls over the same candidate sets (distance-3 balls of 16
+//! sampled queries, scanned in the real (distance, id) order), printing
+//! ns/estimate and ns/step for each and asserting the two paths produce
+//! bit-identical values. Timing is best-of-`passes` (default 5) because
+//! shared hosts swing ±20% run to run; the printed ratio is the
+//! kernel-only wave speedup, free of the enumerate/bounds stages that
+//! dilute it in end-to-end batch queries.
+
+use srs_graph::bfs::{BfsBuffers, Direction};
+use srs_mc::WalkEngine;
+use srs_search::single_pair::{EstimatorBuffers, WaveEstimator};
+use srs_search::{Diagonal, SimRankParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("usage: wave_micro <graph.bin> [width] [r]");
+    let width: usize = args.next().map(|w| w.parse().unwrap()).unwrap_or(32);
+    let bytes = std::fs::read(&path).unwrap();
+    let g = srs_graph::io::read_binary(&bytes[..]).unwrap();
+    let engine = WalkEngine::new(&g);
+    let params = SimRankParams::default();
+    let diag = Diagonal::paper_default(params.c);
+    let x = 1.0 - params.c;
+    let r: u32 = std::env::args().nth(3).map(|r| r.parse().unwrap()).unwrap_or(params.r_coarse);
+
+    // Realistic candidate sets: vertices within distance 3 of each query.
+    let queries = srs_graph::stats::sample_query_vertices(&g, 16, 13);
+    let mut bfs = BfsBuffers::new(g.num_vertices());
+    let mut sets: Vec<(u32, Vec<u32>, Vec<u64>)> = Vec::new();
+    for &u in &queries {
+        bfs.run(&g, u, Direction::Undirected, 3);
+        let mut cands: Vec<u32> = bfs.visited().iter().copied().filter(|&v| v != u).collect();
+        // Real scan order: (distance, vertex id) ascending.
+        cands.sort_unstable_by_key(|&v| (bfs.distance(v), v));
+        for chunk in cands.chunks(width).take(200) {
+            let seeds: Vec<u64> =
+                chunk.iter().map(|&v| srs_graph::hash::mix_seed(&[7, 4, u as u64, v as u64])).collect();
+            sets.push((u, chunk.to_vec(), seeds));
+        }
+    }
+    let total: usize = sets.iter().map(|(_, c, _)| c.len()).sum();
+    println!("{} waves, {} candidate estimates, width {}", sets.len(), total, width);
+
+    let passes: usize = std::env::args().nth(4).map(|p| p.parse().unwrap()).unwrap_or(5);
+    let mut scalar = EstimatorBuffers::new();
+    let mut svals = Vec::with_capacity(total);
+    let mut scalar_el = std::time::Duration::MAX;
+    for _ in 0..passes {
+        svals.clear();
+        let t0 = std::time::Instant::now();
+        for (u, cands, seeds) in &sets {
+            for (&v, &seed) in cands.iter().zip(seeds) {
+                svals.push(scalar.estimate(&engine, &diag, *u, v, &params, r, seed));
+            }
+        }
+        scalar_el = scalar_el.min(t0.elapsed());
+    }
+    let acc: f64 = svals.iter().sum();
+    let steps = srs_mc::obs::thread_counts().total() / passes as u64;
+    println!(
+        "scalar: {:?} best, {:.0} ns/estimate, {} steps/pass, {:.1} ns/step (sum {acc:.3})",
+        scalar_el,
+        scalar_el.as_nanos() as f64 / total as f64,
+        steps,
+        scalar_el.as_nanos() as f64 / steps as f64
+    );
+
+    let mut wave = WaveEstimator::new();
+    let mut out = Vec::new();
+    let mut wvals = Vec::with_capacity(total);
+    let mut wave_el = std::time::Duration::MAX;
+    for _ in 0..passes {
+        wvals.clear();
+        let t0 = std::time::Instant::now();
+        for (u, cands, seeds) in &sets {
+            wave.estimate_pairs_into(&engine, x, *u, cands, &params, r, seeds, &mut out);
+            wvals.extend_from_slice(&out);
+        }
+        wave_el = wave_el.min(t0.elapsed());
+    }
+    let acc2: f64 = wvals.iter().sum();
+    let wsteps = (srs_mc::obs::thread_counts().total() - steps * passes as u64) / passes as u64;
+    println!(
+        "wave:   {:?} best, {:.0} ns/estimate, {} steps/pass, {:.1} ns/step (sum {acc2:.3})",
+        wave_el,
+        wave_el.as_nanos() as f64 / total as f64,
+        wsteps,
+        wave_el.as_nanos() as f64 / wsteps as f64
+    );
+    assert_eq!(svals, wvals, "bit-identity violated");
+    println!("ratio scalar/wave = {:.2}x", scalar_el.as_secs_f64() / wave_el.as_secs_f64());
+}

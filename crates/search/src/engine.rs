@@ -18,6 +18,7 @@
 use crate::obs::ServingMetrics;
 use crate::topk::{QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 use parking_lot::Mutex;
+use srs_graph::hash::FxHashMap;
 use srs_graph::{Graph, VertexId};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -78,8 +79,19 @@ pub struct BatchResult {
     pub latency: LatencySummary,
     /// Wall-clock time for the whole batch (not the sum of latencies).
     pub elapsed: Duration,
+    /// Queries answered by copying an identical in-batch query's result
+    /// instead of recomputing it (in-batch dedup; results are
+    /// deterministic per vertex, so the copy is exact).
+    pub deduped: u64,
     /// Sorting storage for the percentile computation, kept for reuse.
     lat_scratch: Vec<Duration>,
+    /// Dedup scratch (all reused across batches): vertex → unique slot,
+    /// per-query unique index, and the unique-query working set.
+    dedup_index: FxHashMap<VertexId, u32>,
+    slot_of: Vec<u32>,
+    uniq_queries: Vec<VertexId>,
+    uniq_results: Vec<TopKResult>,
+    uniq_latencies: Vec<Duration>,
 }
 
 impl BatchResult {
@@ -222,6 +234,11 @@ impl<'g> QueryEngine<'g> {
 
     /// [`QueryEngine::query_batch`] into an existing [`BatchResult`],
     /// recycling its result and latency allocations.
+    ///
+    /// Repeated query vertices within the batch are answered once and the
+    /// result copied into every occurrence: answers are deterministic per
+    /// vertex, so the copy is exact, and `BatchResult::totals` still counts
+    /// every slot (bit-identical to answering each occurrence afresh).
     pub fn query_batch_into(
         &self,
         queries: &[VertexId],
@@ -235,20 +252,86 @@ impl<'g> QueryEngine<'g> {
         out.latencies.clear();
         out.latencies.resize(n, Duration::ZERO);
         out.totals = QueryStats::default();
+        out.deduped = 0;
         if n == 0 {
             out.latency = LatencySummary::default();
             out.elapsed = started.elapsed();
             return;
         }
+        out.dedup_index.clear();
+        out.slot_of.clear();
+        out.uniq_queries.clear();
+        for &q in queries {
+            let next = out.uniq_queries.len() as u32;
+            let slot = *out.dedup_index.entry(q).or_insert(next);
+            if slot == next {
+                out.uniq_queries.push(q);
+            }
+            out.slot_of.push(slot);
+        }
+        let uniq = out.uniq_queries.len();
+        if uniq == n {
+            out.totals = self.run_workers(queries, &mut out.results, &mut out.latencies, k, opts);
+        } else {
+            out.deduped = (n - uniq) as u64;
+            out.uniq_results.resize_with(uniq, TopKResult::default);
+            out.uniq_latencies.clear();
+            out.uniq_latencies.resize(uniq, Duration::ZERO);
+            self.run_workers(&out.uniq_queries, &mut out.uniq_results, &mut out.uniq_latencies, k, opts);
+            for (i, &slot) in out.slot_of.iter().enumerate() {
+                let src = &out.uniq_results[slot as usize];
+                let dst = &mut out.results[i];
+                dst.hits.clear();
+                dst.hits.extend_from_slice(&src.hits);
+                dst.stats = src.stats;
+                dst.explain = src.explain.clone();
+                // The copy's latency is the unique computation's latency:
+                // a deduped slot reports what answering it cost, not the
+                // (negligible) memcpy.
+                out.latencies[i] = out.uniq_latencies[slot as usize];
+            }
+            for res in &out.results {
+                out.totals.accumulate(&res.stats);
+            }
+        }
+        out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
+        out.elapsed = started.elapsed();
+        if self.metrics_on {
+            let m = &*self.metrics;
+            m.batches.inc();
+            m.queries.add(n as u64);
+            m.deduped.add(out.deduped);
+            m.record_query_stats(&out.totals);
+            for (res, lat) in out.results.iter().zip(&out.latencies) {
+                m.latency.observe(lat.as_nanos() as u64);
+                m.candidates_per_query.observe(res.stats.candidates);
+                m.hits_per_query.observe(res.hits.len() as u64);
+            }
+            m.pooled_scratches.set(self.pooled_states() as u64);
+        }
+    }
+
+    /// The parallel worker loop: answers `queries[i]` into `results[i]` /
+    /// `latencies[i]` across the engine's threads and returns the summed
+    /// stats. All three slices have the same length.
+    fn run_workers(
+        &self,
+        queries: &[VertexId],
+        results: &mut [TopKResult],
+        latencies: &mut [Duration],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> QueryStats {
+        let n = queries.len();
         // Contiguous chunks, ⌈n/threads⌉ queries each. The split only
         // assigns work to workers; per-query seeding keeps the answers
         // independent of it.
         let threads = self.threads.min(n);
         let per = n.div_ceil(threads);
-        let totals = crossbeam::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for ((q_chunk, r_chunk), l_chunk) in
-                queries.chunks(per).zip(out.results.chunks_mut(per)).zip(out.latencies.chunks_mut(per))
+                queries.chunks(per).zip(results.chunks_mut(per)).zip(latencies.chunks_mut(per))
             {
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = self.take_scratch();
@@ -279,22 +362,7 @@ impl<'g> QueryEngine<'g> {
             }
             totals
         })
-        .expect("query scope panicked");
-        out.totals = totals;
-        out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
-        out.elapsed = started.elapsed();
-        if self.metrics_on {
-            let m = &*self.metrics;
-            m.batches.inc();
-            m.queries.add(n as u64);
-            m.record_query_stats(&out.totals);
-            for (res, lat) in out.results.iter().zip(&out.latencies) {
-                m.latency.observe(lat.as_nanos() as u64);
-                m.candidates_per_query.observe(res.stats.candidates);
-                m.hits_per_query.observe(res.hits.len() as u64);
-            }
-            m.pooled_scratches.set(self.pooled_states() as u64);
-        }
+        .expect("query scope panicked")
     }
 }
 
@@ -363,6 +431,47 @@ mod tests {
         for (a, b) in first_hits.iter().zip(&out.results) {
             assert_eq!(a, &b.hits, "reused pool/result buffers changed answers");
         }
+    }
+
+    #[test]
+    fn batch_dedupes_repeated_queries_exactly() {
+        // Duplicated query vertices are answered once and copied; output
+        // (hits, stats, explain, totals) is bit-identical to answering
+        // every occurrence independently.
+        let (g, idx) = build();
+        let queries: Vec<VertexId> = vec![5, 7, 5, 5, 9, 7, 12, 9, 5];
+        let opts = QueryOptions { explain: true, ..Default::default() };
+        let engine = QueryEngine::with_threads(&g, &idx, 3);
+        let batch = engine.query_batch(&queries, 5, &opts);
+        assert_eq!(batch.deduped, 5, "9 queries, 4 unique → 4 computed, 5 copied");
+        let mut ctx = QueryContext::new(&g, &idx);
+        let mut expected_totals = QueryStats::default();
+        for (&u, got) in queries.iter().zip(&batch.results) {
+            let want = ctx.query(u, 5, &opts);
+            assert_eq!(want.hits, got.hits, "u={u}");
+            assert_eq!(want.stats, got.stats, "u={u}");
+            assert_eq!(want.explain, got.explain, "u={u}");
+            expected_totals.accumulate(&want.stats);
+        }
+        // Totals count every slot, duplicates included — same semantics as
+        // the non-deduped path.
+        assert_eq!(batch.totals, expected_totals);
+        assert_eq!(batch.latencies.len(), queries.len());
+        let m = engine.metrics();
+        assert_eq!(m.deduped.get(), 5);
+        assert_eq!(m.queries.get(), queries.len() as u64);
+        // Duplicate slots share the unique computation's latency.
+        assert_eq!(batch.latencies[0], batch.latencies[2]);
+        assert_eq!(batch.latencies[0], batch.latencies[3]);
+    }
+
+    #[test]
+    fn duplicate_free_batch_reports_no_dedup() {
+        let (g, idx) = build();
+        let engine = QueryEngine::with_threads(&g, &idx, 2);
+        let batch = engine.query_batch(&(0..20).collect::<Vec<_>>(), 5, &QueryOptions::default());
+        assert_eq!(batch.deduped, 0);
+        assert_eq!(engine.metrics().deduped.get(), 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod validate;
 pub use engine::{BatchResult, LatencySummary, QueryEngine};
 pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics};
-pub use single_pair::SinglePairEstimator;
+pub use single_pair::{SinglePairEstimator, WaveEstimator};
 pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 
 /// The diagonal correction matrix `D` used by the estimators.

@@ -19,6 +19,10 @@
 //! | `srs_query_candidates_total` | counter | |
 //! | `srs_query_candidate_fates_total` | counter | `fate` |
 //! | `srs_query_bfs_visited_total` | counter | |
+//! | `srs_query_waves_total` | counter | |
+//! | `srs_query_wave_wasted_total` | counter | |
+//! | `srs_query_wave_survivors` | histogram | |
+//! | `srs_queries_deduped_total` | counter | |
 //! | `srs_walk_steps_total` | counter | `class` |
 //! | `srs_query_latency_ns` | histogram | |
 //! | `srs_query_stage_ns` | histogram | `stage` |
@@ -65,6 +69,15 @@ pub struct ServingMetrics {
     pub fates: [Arc<Counter>; 5],
     /// `srs_query_bfs_visited_total`.
     pub bfs_visited: Arc<Counter>,
+    /// `srs_query_waves_total` (walk waves formed by the batched scan).
+    pub waves: Arc<Counter>,
+    /// `srs_query_wave_wasted_total` (precomputed estimates never used).
+    pub wave_wasted: Arc<Counter>,
+    /// `srs_query_wave_survivors` (per-wave survivor count distribution).
+    pub wave_survivors: Arc<Histogram>,
+    /// `srs_queries_deduped_total` (batch queries answered by copying an
+    /// identical query's result instead of recomputing it).
+    pub deduped: Arc<Counter>,
     /// `srs_walk_steps_total{class=...}`, indexed by [`WALK_CLASSES`].
     pub walk_steps: [Arc<Counter>; 3],
     /// `srs_query_latency_ns`.
@@ -133,6 +146,11 @@ impl ServingMetrics {
             candidates: r.counter("srs_query_candidates_total", "Candidates enumerated"),
             fates,
             bfs_visited: r.counter("srs_query_bfs_visited_total", "Vertices visited by query BFS"),
+            waves: r.counter("srs_query_waves_total", "Walk waves formed by the batched scan"),
+            wave_wasted: r
+                .counter("srs_query_wave_wasted_total", "Wave-precomputed estimates never consumed"),
+            wave_survivors: r.histogram("srs_query_wave_survivors", "Bound-surviving candidates per wave"),
+            deduped: r.counter("srs_queries_deduped_total", "Batch queries answered via in-batch dedup"),
             walk_steps,
             latency: r.histogram("srs_query_latency_ns", "Per-query wall latency (ns)"),
             query_stages,
@@ -169,6 +187,8 @@ impl ServingMetrics {
         self.fates[3].add(s.refined);
         self.fates[4].add(s.reported);
         self.bfs_visited.add(s.bfs_visited);
+        self.waves.add(s.waves);
+        self.wave_wasted.add(s.wave_wasted);
     }
 
     /// Folds a worker's walk-step class delta into the shared cells.
@@ -186,6 +206,8 @@ impl ServingMetrics {
 pub struct QueryLocalObs {
     /// Stage-duration cells, indexed by [`QUERY_STAGES`].
     pub stages: [LocalHistogram; 4],
+    /// Per-wave survivor counts from the batched scan.
+    pub wave_survivors: LocalHistogram,
 }
 
 impl QueryLocalObs {
@@ -199,6 +221,7 @@ impl QueryLocalObs {
         for (local, shared) in self.stages.iter_mut().zip(&m.query_stages) {
             local.drain_into(shared);
         }
+        self.wave_survivors.drain_into(&m.wave_survivors);
     }
 
     /// Discards accumulated observations (used when metrics are disabled,
@@ -207,6 +230,7 @@ impl QueryLocalObs {
         for s in &mut self.stages {
             s.clear();
         }
+        self.wave_survivors.clear();
     }
 }
 
@@ -239,6 +263,8 @@ mod tests {
             reported: 2,
             bfs_visited: 50,
             walk_steps: 123,
+            waves: 2,
+            wave_wasted: 4,
         });
         m.record_walk_steps(WalkStepCounts { dead: 1, unique: 2, branch: 3 });
         let snap = m.snapshot();
@@ -248,6 +274,10 @@ mod tests {
             "srs_query_candidates_total",
             "srs_query_candidate_fates_total",
             "srs_query_bfs_visited_total",
+            "srs_query_waves_total",
+            "srs_query_wave_wasted_total",
+            "srs_query_wave_survivors",
+            "srs_queries_deduped_total",
             "srs_walk_steps_total",
             "srs_query_latency_ns",
             "srs_query_stage_ns",
@@ -266,6 +296,8 @@ mod tests {
         // The fate family sums to the candidate count (identity holds).
         assert_eq!(snap.counter_total("srs_query_candidate_fates_total"), 10);
         assert_eq!(snap.counter_total("srs_walk_steps_total"), 6);
+        assert_eq!(snap.counter_total("srs_query_waves_total"), 2);
+        assert_eq!(snap.counter_total("srs_query_wave_wasted_total"), 4);
         assert_eq!(snap.family("srs_query_candidate_fates_total").unwrap().samples.len(), 5);
         assert_eq!(snap.family("srs_query_stage_ns").unwrap().samples.len(), 4);
     }

@@ -24,9 +24,10 @@
 //! the first call.
 
 use crate::{Diagonal, SimRankParams};
+use srs_graph::hash::FxHashMap;
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
-use srs_mc::{Pcg32, WalkEngine, WalkPositions};
+use srs_mc::{MultiFrontier, Pcg32, WalkEngine, WalkPositions};
 
 /// Lifetime-free Algorithm 1 scratch: two walk-position buffers and two
 /// position counters, reused across every estimate. The graph is passed
@@ -262,6 +263,227 @@ impl SourceWalks {
     }
 }
 
+/// Batched Algorithm 1: estimates `s(u, vᵢ)` for a whole **wave** of
+/// candidates at once, stepping every candidate's walks through one
+/// [`MultiFrontier`] instead of one narrow kernel call per candidate.
+///
+/// # Bit-identity contract
+///
+/// For a **uniform** diagonal, every estimate this produces is
+/// bit-identical to the corresponding scalar
+/// [`EstimatorBuffers::estimate`] / [`EstimatorBuffers::estimate_from_source`]
+/// call with the same `(u, vᵢ, params, r, seedᵢ)`:
+///
+/// * candidate `i` draws only from its own RNG, seeded exactly as the
+///   scalar path seeds it, and the fused frontier replays each
+///   candidate's draw sequence in scalar order (see [`MultiFrontier`]);
+/// * the per-step inner product `Σ_w α(w)β(w)` is a `u64` sum, so
+///   accumulating it walk-by-walk in whatever order the kernel emits
+///   positions yields the same integer the scalar hash-table dot does;
+/// * each step's floating-point term is then formed by the exact same
+///   expression (`ct * (x * dot as f64) / norm`) in the same order.
+///
+/// A *per-vertex* diagonal has no such guarantee (its dot is an `f64`
+/// sum over hash-table order), which is why the wave scan falls back to
+/// the scalar path for `Diagonal::PerVertex` — these entry points take
+/// the uniform weight `x` directly.
+#[derive(Default)]
+pub struct WaveEstimator {
+    front_u: MultiFrontier,
+    front_v: MultiFrontier,
+    rngs: Vec<Pcg32>,
+    dots: Vec<u64>,
+    sigma: Vec<f64>,
+    /// Pair mode, large `r`: this step's u-side position counts for the
+    /// whole wave, keyed by `(candidate id << 32) | vertex`. One flat
+    /// table keeps the hot per-walk inserts/lookups inside a single
+    /// cache-resident map instead of spreading them over `m` separate
+    /// ones.
+    counts: FxHashMap<u64, u32>,
+    /// Pair mode, small `r` (the coarse pass): this step's raw u-side
+    /// positions, `r`-strided per candidate (`u_pos[id*r..id*r+u_len[id]]`).
+    /// With `r ≤ 16` a linear scan of one or two cache lines beats any
+    /// hash lookup, and the whole wave's table is a few KB of contiguous
+    /// memory.
+    u_pos: Vec<VertexId>,
+    u_len: Vec<u32>,
+}
+
+/// Pair waves with `r` at or below this count positions in the strided
+/// [`WaveEstimator::u_pos`] table; wider waves use the hash table. Both
+/// produce the same exact integer co-location counts — the switch changes
+/// layout, never values.
+const FLAT_COUNT_MAX_R: usize = 16;
+
+/// Composite key for [`WaveEstimator::counts`]: candidate id in the high
+/// half, walk position in the low half.
+#[inline]
+fn pair_key(id: u32, w: VertexId) -> u64 {
+    ((id as u64) << 32) | w as u64
+}
+
+impl WaveEstimator {
+    /// Empty buffers; they grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimates `s(u, vᵢ)` for every candidate in `targets` with `r`
+    /// walks per endpoint, writing into `out` (cleared first; aligned
+    /// with `targets`). `seeds[i]` is candidate `i`'s scalar-path seed;
+    /// `x` the uniform diagonal weight. Bit-identical per candidate to
+    /// [`EstimatorBuffers::estimate`].
+    #[allow(clippy::too_many_arguments)] // graph state is per-call by design
+    pub fn estimate_pairs_into(
+        &mut self,
+        engine: &WalkEngine<'_>,
+        x: f64,
+        u: VertexId,
+        targets: &[VertexId],
+        params: &SimRankParams,
+        r: u32,
+        seeds: &[u64],
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(targets.len(), seeds.len());
+        let m = targets.len();
+        let rr = r as usize;
+        let r2 = (rr * rr) as f64;
+        self.reset(m);
+        let flat = rr <= FLAT_COUNT_MAX_R;
+        if flat {
+            self.u_pos.resize(m * rr, 0);
+            self.u_len.resize(m, 0);
+        }
+        for (i, (&v, &seed)) in targets.iter().zip(seeds).enumerate() {
+            // Same stream the scalar estimate draws from for this pair.
+            self.rngs.push(Pcg32::from_parts(&[seed, u as u64, v as u64]));
+            let walks = if v == u { 0 } else { rr };
+            self.front_u.push_source(u, walks);
+            self.front_v.push_source(v, walks);
+            if v == u {
+                self.sigma[i] = 1.0; // s(u,u) = 1 exactly, no walks spent
+            }
+        }
+        let mut ct = 1.0;
+        for _t in 1..params.t {
+            if self.front_u.is_empty() && self.front_v.is_empty() {
+                break;
+            }
+            ct *= params.c;
+            // u side first, then v side — the per-candidate draw order of
+            // the scalar loop. Either layout produces the exact integer
+            // co-location counts per pair that per-candidate counters
+            // would, so the estimates cannot differ.
+            if flat {
+                let rr_s = rr;
+                let u_pos = &mut self.u_pos;
+                let u_len = &mut self.u_len;
+                for l in u_len.iter_mut() {
+                    *l = 0;
+                }
+                self.front_u.step(engine, &mut self.rngs, |id, w| {
+                    let i = id as usize;
+                    u_pos[i * rr_s + u_len[i] as usize] = w;
+                    u_len[i] += 1;
+                });
+                let u_pos = &self.u_pos;
+                let u_len = &self.u_len;
+                let dots = &mut self.dots;
+                self.front_v.step(engine, &mut self.rngs, |id, w| {
+                    let i = id as usize;
+                    let side = &u_pos[i * rr_s..i * rr_s + u_len[i] as usize];
+                    dots[i] += side.iter().filter(|&&x| x == w).count() as u64;
+                });
+            } else {
+                let counts = &mut self.counts;
+                counts.clear();
+                self.front_u
+                    .step(engine, &mut self.rngs, |id, w| *counts.entry(pair_key(id, w)).or_insert(0) += 1);
+                let counts = &self.counts;
+                let dots = &mut self.dots;
+                self.front_v.step(engine, &mut self.rngs, |id, w| {
+                    if let Some(&c) = counts.get(&pair_key(id, w)) {
+                        dots[id as usize] += c as u64;
+                    }
+                });
+            }
+            for i in 0..m {
+                self.sigma[i] += ct * (x * self.dots[i] as f64) / r2;
+                self.dots[i] = 0;
+                // Mirror the scalar early-break: once either side of a pair
+                // dies out, all its later terms are zero — drop both sides
+                // so neither steps (or draws) again.
+                if self.front_u.live(i as u32) == 0 || self.front_v.live(i as u32) == 0 {
+                    self.front_u.deactivate(i as u32);
+                    self.front_v.deactivate(i as u32);
+                }
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&self.sigma[..m]);
+    }
+
+    /// Estimates `s(src.source, vᵢ)` for every candidate against one
+    /// prebuilt set of source walks. Bit-identical per candidate to
+    /// [`EstimatorBuffers::estimate_from_source`].
+    #[allow(clippy::too_many_arguments)] // graph state is per-call by design
+    pub fn estimate_from_source_into(
+        &mut self,
+        engine: &WalkEngine<'_>,
+        x: f64,
+        src: &SourceWalks,
+        targets: &[VertexId],
+        params: &SimRankParams,
+        r: u32,
+        seeds: &[u64],
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(targets.len(), seeds.len());
+        assert_eq!(src.counters.len(), params.t as usize, "source walks horizon mismatch");
+        let m = targets.len();
+        let rr = r as usize;
+        let norm = (src.r as usize * rr) as f64;
+        self.reset(m);
+        for (i, (&v, &seed)) in targets.iter().zip(seeds).enumerate() {
+            self.rngs.push(Pcg32::from_parts(&[seed, 0x55AA, v as u64]));
+            let walks = if v == src.source { 0 } else { rr };
+            self.front_v.push_source(v, walks);
+            if v == src.source {
+                self.sigma[i] = 1.0;
+            }
+        }
+        let mut ct = 1.0;
+        for t in 1..params.t {
+            if self.front_v.is_empty() {
+                break;
+            }
+            ct *= params.c;
+            let step_counts = &src.counters[t as usize];
+            let dots = &mut self.dots;
+            self.front_v
+                .step(engine, &mut self.rngs, |id, w| dots[id as usize] += step_counts.count(w) as u64);
+            for i in 0..m {
+                self.sigma[i] += ct * (x * self.dots[i] as f64) / norm;
+                self.dots[i] = 0;
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&self.sigma[..m]);
+    }
+
+    /// Clears per-wave state for `m` candidates, keeping allocations.
+    fn reset(&mut self, m: usize) {
+        self.front_u.clear();
+        self.front_v.clear();
+        self.rngs.clear();
+        self.dots.clear();
+        self.dots.resize(m, 0);
+        self.sigma.clear();
+        self.sigma.resize(m, 0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +618,64 @@ mod tests {
             let a = est.estimate_from_source(&fresh, v, &params, 100, 42);
             let b = est.estimate_from_source(&reused, v, &params, 100, 42);
             assert_eq!(a, b, "v={v}");
+        }
+    }
+
+    #[test]
+    fn wave_pair_estimates_bit_identical_to_scalar() {
+        // The wave estimator's whole value rests on this: for a uniform
+        // diagonal, each candidate's batched estimate equals the scalar
+        // estimate bit for bit, for any batch composition or width.
+        let g = gen::copying_web(250, 4, 0.8, 31);
+        let params = SimRankParams::default();
+        let engine = WalkEngine::new(&g);
+        let x = 1.0 - params.c;
+        let diag = Diagonal::Uniform(x);
+        let mut scalar = EstimatorBuffers::new();
+        let mut wave = WaveEstimator::new();
+        let u = 9u32;
+        // Mixed bag: far vertices, near vertices, a repeat, and u itself.
+        let targets: Vec<VertexId> = vec![3, 200, 41, 3, u, 118, 77, 14];
+        let seeds: Vec<u64> = targets.iter().map(|&v| 9000 + v as u64).collect();
+        for r in [10u32, 100] {
+            let mut got = Vec::new();
+            wave.estimate_pairs_into(&engine, x, u, &targets, &params, r, &seeds, &mut got);
+            assert_eq!(got.len(), targets.len());
+            for (i, (&v, &seed)) in targets.iter().zip(&seeds).enumerate() {
+                let want = scalar.estimate(&engine, &diag, u, v, &params, r, seed);
+                assert!(got[i] == want, "r={r} v={v}: wave {} != scalar {want}", got[i]);
+            }
+            // Splitting the same candidates across two waves changes nothing.
+            let (a, b) = targets.split_at(3);
+            let (sa, sb) = seeds.split_at(3);
+            let mut got_a = Vec::new();
+            let mut got_b = Vec::new();
+            wave.estimate_pairs_into(&engine, x, u, a, &params, r, sa, &mut got_a);
+            wave.estimate_pairs_into(&engine, x, u, b, &params, r, sb, &mut got_b);
+            got_a.extend_from_slice(&got_b);
+            assert_eq!(got_a, got, "r={r}: wave split changed estimates");
+        }
+    }
+
+    #[test]
+    fn wave_shared_source_estimates_bit_identical_to_scalar() {
+        let g = gen::copying_web(250, 4, 0.8, 31);
+        let params = SimRankParams::default();
+        let engine = WalkEngine::new(&g);
+        let x = 1.0 - params.c;
+        let diag = Diagonal::Uniform(x);
+        let src = SourceWalks::generate(&g, 9, &params, 100, 77);
+        let mut scalar = EstimatorBuffers::new();
+        let mut wave = WaveEstimator::new();
+        let targets: Vec<VertexId> = vec![3, 200, 41, 9, 118, 77];
+        let seeds: Vec<u64> = targets.iter().map(|&v| 4000 + v as u64).collect();
+        for r in [10u32, 100] {
+            let mut got = Vec::new();
+            wave.estimate_from_source_into(&engine, x, &src, &targets, &params, r, &seeds, &mut got);
+            for (i, (&v, &seed)) in targets.iter().zip(&seeds).enumerate() {
+                let want = scalar.estimate_from_source(&engine, &diag, &src, v, &params, r, seed);
+                assert!(got[i] == want, "r={r} v={v}: wave {} != scalar {want}", got[i]);
+            }
         }
     }
 

@@ -1,0 +1,92 @@
+//! The wave-batching semantics contract, pinned end to end: for every
+//! wave width and every engine thread count, a query's hits, fate
+//! counters, and full explain trace are bit-identical to the scalar
+//! (width-1) scan — which is the pre-wave code path, preserved verbatim
+//! as `scan_span` over the whole candidate list.
+//!
+//! `walk_steps`, `waves`, and `wave_wasted` are deliberately excluded:
+//! a wave may precompute estimates the consumer then prunes, so the
+//! *work* counters legitimately drift with width (see DESIGN.md §5g).
+//! The decision-side counters never may.
+
+use srs_graph::{gen, VertexId};
+use srs_search::{Diagonal, QueryEngine, QueryOptions, QueryStats, SimRankParams, TopKIndex};
+
+/// The decision-side fate counters — everything in `QueryStats` that the
+/// bit-identity contract covers.
+fn fates(s: &QueryStats) -> [u64; 7] {
+    [s.candidates, s.pruned_distance, s.pruned_bounds, s.pruned_coarse, s.refined, s.reported, s.bfs_visited]
+}
+
+fn assert_wave_invariant(opts_base: QueryOptions, label: &str) {
+    let g = gen::copying_web(800, 5, 0.8, 51);
+    let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+    let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 7, 2);
+    let queries: Vec<VertexId> = srs_graph::stats::sample_query_vertices(&g, 24, 19);
+    // Width 1 is the scalar scan — the pre-wave reference.
+    let scalar_opts = QueryOptions { wave_width: 1, explain: true, ..opts_base.clone() };
+    let reference = QueryEngine::with_threads(&g, &idx, 1).query_batch(&queries, 10, &scalar_opts);
+    assert!(reference.results.iter().any(|r| !r.hits.is_empty()), "{label}: degenerate fixture");
+    for width in [1u32, 4, 32] {
+        for threads in [1usize, 2, 8] {
+            let opts = QueryOptions { wave_width: width, explain: true, ..opts_base.clone() };
+            let engine = QueryEngine::with_threads(&g, &idx, threads);
+            let batch = engine.query_batch(&queries, 10, &opts);
+            for (i, (a, b)) in reference.results.iter().zip(&batch.results).enumerate() {
+                let u = queries[i];
+                let ctx = format!("{label}: u={u} width={width} threads={threads}");
+                assert_eq!(a.hits, b.hits, "{ctx}: hits diverged");
+                assert_eq!(fates(&a.stats), fates(&b.stats), "{ctx}: fates diverged");
+                // The full trace — per-candidate fate, decision value, and
+                // the threshold in force at decision time — must replay
+                // exactly: a wave only precomputes work, it never decides.
+                assert_eq!(a.explain, b.explain, "{ctx}: explain trace diverged");
+                assert!(b.stats.fates_accounted(), "{ctx}: {:?}", b.stats);
+                if width == 1 {
+                    assert_eq!(b.stats.waves, 0, "{ctx}: scalar scan must not form waves");
+                    assert_eq!(a.stats.walk_steps, b.stats.walk_steps, "{ctx}: scalar walk_steps drifted");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hits_and_fates_identical_across_wave_widths_and_threads() {
+    assert_wave_invariant(QueryOptions::default(), "default");
+}
+
+#[test]
+fn wave_invariant_holds_with_shared_source_walks() {
+    assert_wave_invariant(
+        QueryOptions { share_source_walks: true, ..Default::default() },
+        "share_source_walks",
+    );
+}
+
+#[test]
+fn wave_invariant_holds_without_adaptive_sampling() {
+    assert_wave_invariant(QueryOptions { adaptive: false, ..Default::default() }, "non-adaptive");
+}
+
+#[test]
+fn wave_invariant_holds_with_candidate_ball() {
+    assert_wave_invariant(QueryOptions { candidate_ball: Some(2), ..Default::default() }, "candidate_ball");
+}
+
+#[test]
+fn per_vertex_diagonal_routes_to_scalar_scan() {
+    // The wave path is gated to uniform diagonals; a per-vertex diagonal
+    // must fall back to the scalar scan at any width (waves == 0) and
+    // stay width-invariant trivially.
+    let g = gen::copying_web(300, 4, 0.8, 33);
+    let params = SimRankParams { r_bounds: 1_000, ..Default::default() };
+    let d = vec![1.0 - params.c; g.num_vertices() as usize];
+    let diag = Diagonal::PerVertex(std::sync::Arc::new(d));
+    let idx = TopKIndex::build_with(&g, &params, diag, 3, 2);
+    let wide = idx.query(&g, 5, 10, &QueryOptions { wave_width: 32, ..Default::default() });
+    let narrow = idx.query(&g, 5, 10, &QueryOptions { wave_width: 1, ..Default::default() });
+    assert_eq!(wide.hits, narrow.hits);
+    assert_eq!(wide.stats, narrow.stats);
+    assert_eq!(wide.stats.waves, 0, "per-vertex diagonal must not take the wave path");
+}
