@@ -1,0 +1,112 @@
+//! Snapshot startup reporting: the `BENCH_snapshot.json` emitter.
+//!
+//! The point of the snapshot container is to replace the Monte-Carlo
+//! preprocess at serving startup with one bulk checksummed read, so the
+//! number that matters is the ratio between the two: how long a cold
+//! build takes versus loading the same dataset from a packed `.srs`
+//! bundle. The `snapshot` criterion bench measures both and writes this
+//! report at the repo root (JSON is hand-rolled; the workspace is
+//! offline, no serde).
+
+use crate::walkbench::json_string;
+use std::io::Write;
+use std::path::Path;
+
+/// One cold-build vs snapshot-load comparison on a single dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotBenchReport {
+    /// Description of the graph the dataset was built over.
+    pub graph: String,
+    /// Vertex count.
+    pub n: u32,
+    /// Edge count.
+    pub m: u64,
+    /// Size of the packed snapshot in bytes.
+    pub snapshot_bytes: u64,
+    /// Sections whose checksums the load verified.
+    pub sections_verified: u32,
+    /// Wall-clock seconds for the cold build (preprocess: Algorithms 3+4
+    /// plus index assembly).
+    pub preprocess_secs: f64,
+    /// Wall-clock seconds to load the packed snapshot into a ready
+    /// dataset (best of the measured repetitions: the steady-state cost,
+    /// not the page-cache warmup).
+    pub load_secs: f64,
+}
+
+impl SnapshotBenchReport {
+    /// How many times faster the snapshot load is than the cold build.
+    pub fn speedup(&self) -> f64 {
+        if self.load_secs <= 0.0 {
+            0.0
+        } else {
+            self.preprocess_secs / self.load_secs
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"graph\": {},\n  \"n\": {},\n  \"m\": {},\n  \"snapshot_bytes\": {},\n  \
+             \"sections_verified\": {},\n  \"preprocess_secs\": {:.6},\n  \"load_secs\": {:.6},\n  \
+             \"speedup\": {:.1}\n}}\n",
+            json_string(&self.graph),
+            self.n,
+            self.m,
+            self.snapshot_bytes,
+            self.sections_verified,
+            self.preprocess_secs,
+            self.load_secs,
+            self.speedup()
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SnapshotBenchReport {
+        SnapshotBenchReport {
+            graph: "copying_web(n=100)".into(),
+            n: 100,
+            m: 400,
+            snapshot_bytes: 12_345,
+            sections_verified: 10,
+            preprocess_secs: 2.0,
+            load_secs: 0.01,
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((report().speedup() - 200.0).abs() < 1e-9);
+        let degenerate = SnapshotBenchReport { load_secs: 0.0, ..report() };
+        assert_eq!(degenerate.speedup(), 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = report().to_json();
+        for key in
+            ["\"graph\"", "\"snapshot_bytes\": 12345", "\"speedup\": 200.0", "\"sections_verified\": 10"]
+        {
+            assert!(j.contains(key), "missing {key}: {j}");
+        }
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let r = report();
+        let path = std::env::temp_dir().join("srs_snapbench_test.json");
+        r.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

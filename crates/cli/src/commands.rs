@@ -4,7 +4,10 @@
 use crate::args::Args;
 use srs_graph::{datasets, gen, io, stats, Graph};
 use srs_obs::Progress;
-use srs_search::{persist, BuildObs, QueryEngine, QueryOptions, ServingMetrics, SimRankParams, TopKIndex};
+use srs_search::{
+    persist, snapshot, BuildObs, Dataset, QueryOptions, ServingEngine, ServingMetrics, SimRankParams,
+    SnapshotInfo, TopKIndex,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -17,12 +20,14 @@ usage:
   srs stats      --graph FILE
   srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S] [--progress]
                  [--reorder bfs|degree --graph-out FILE [--map-out FILE]]
-  srs query      --graph FILE --index FILE --vertex V [--k 20] [--ball R] [--theta X]
-                 [--wave-width W] [--explain]
-  srs batch-query --graph FILE --index FILE [--vertices 1,2,3 | --queries N [--seed S]]
+  srs pack       --graph FILE --index FILE --out FILE.srs
+  srs query      {--snapshot FILE.srs | --graph FILE --index FILE} --vertex V [--k 20]
+                 [--ball R] [--theta X] [--wave-width W] [--explain]
+  srs batch-query {--snapshot FILE.srs | --graph FILE --index FILE}
+                 [--vertices 1,2,3 | --queries N [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
                  [--metrics-out FILE] [--hits-out FILE]
-  srs topk-all   --graph FILE --index FILE [--k 20] [--out FILE]
+  srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
   srs reorder    --in FILE --out FILE [--by bfs|degree]
@@ -40,6 +45,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "convert" => convert(&args),
         "stats" => graph_stats(&args),
         "preprocess" => preprocess(&args),
+        "pack" => pack(&args),
         "query" => query(&args),
         "batch-query" => batch_query(&args),
         "topk-all" => topk_all(&args),
@@ -51,10 +57,11 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
     }
 }
 
-/// Loads a graph, auto-detecting binary CSR vs text edge list.
+/// Loads a graph, auto-detecting the format: section bundle (also how
+/// snapshots start), legacy binary CSR, or text edge list.
 pub fn load_graph(path: &Path) -> Result<Graph, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    if bytes.starts_with(b"SRSCSR01") {
+    if srs_graph::container::is_bundle(&bytes) || bytes.starts_with(io::LEGACY_MAGIC) {
         io::read_binary(&bytes[..]).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         io::read_edge_list(&bytes[..]).map_err(|e| format!("{}: {e}", path.display()))
@@ -228,6 +235,44 @@ fn load_index(args: &Args) -> Result<TopKIndex, String> {
     persist::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())
 }
 
+/// Loads the dataset a query command serves: either one `--snapshot`
+/// bundle (single bulk read, checksummed, zero-copy views) or a
+/// `--graph` + `--index` file pair. Results are bit-identical either
+/// way; the snapshot path additionally reports load statistics.
+fn load_dataset(args: &Args) -> Result<(Dataset, Option<SnapshotInfo>), String> {
+    if let Some(path) = args.opt("snapshot") {
+        if args.opt("graph").is_some() || args.opt("index").is_some() {
+            return Err("--snapshot already carries graph and index; drop --graph/--index".into());
+        }
+        let (ds, info) = Dataset::load(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok((ds, Some(info)))
+    } else {
+        let g = load_graph(Path::new(args.req("graph")?))?;
+        let index = load_index(args)?;
+        Ok((Dataset::new(g, index).map_err(|e| e.to_string())?, None))
+    }
+}
+
+fn pack(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["graph", "index", "out"])?;
+    let g = load_graph(Path::new(args.req("graph")?))?;
+    let index = load_index(args)?;
+    // Dataset::new checks the pair actually belongs together before the
+    // mismatch gets baked into an artifact.
+    let ds = Dataset::new(g, index).map_err(|e| e.to_string())?;
+    let out = Path::new(args.req("out")?);
+    let f = std::fs::File::create(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    snapshot::pack(ds.graph(), ds.index(), std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "packed snapshot: n={} m={} index {} bytes -> {} ({bytes} bytes)\n",
+        ds.graph().num_vertices(),
+        ds.graph().num_edges(),
+        ds.index().memory_bytes(),
+        out.display()
+    ))
+}
+
 fn query_options(args: &Args) -> Result<QueryOptions, String> {
     let mut opts = QueryOptions::default();
     if let Some(r) = args.opt("ball") {
@@ -243,9 +288,19 @@ fn query_options(args: &Args) -> Result<QueryOptions, String> {
 }
 
 fn query(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "vertex", "k", "ball", "theta", "wave-width", "explain"])?;
-    let g = load_graph(Path::new(args.req("graph")?))?;
-    let index = load_index(args)?;
+    args.ensure_known(&[
+        "graph",
+        "index",
+        "snapshot",
+        "vertex",
+        "k",
+        "ball",
+        "theta",
+        "wave-width",
+        "explain",
+    ])?;
+    let (ds, _) = load_dataset(args)?;
+    let (g, index) = (ds.graph(), ds.index());
     let vertex: u32 = args.get_req("vertex")?;
     if vertex >= g.num_vertices() {
         return Err(format!("vertex {vertex} out of range (n = {})", g.num_vertices()));
@@ -254,7 +309,7 @@ fn query(args: &Args) -> Result<String, String> {
     let mut opts = query_options(args)?;
     opts.explain = args.flag("explain");
     let start = std::time::Instant::now();
-    let res = index.query(&g, vertex, k, &opts);
+    let res = index.query(g, vertex, k, &opts);
     let elapsed = start.elapsed();
     let mut out = String::new();
     let _ = writeln!(
@@ -280,6 +335,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
         "graph",
         "index",
+        "snapshot",
         "vertices",
         "queries",
         "seed",
@@ -291,12 +347,12 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "metrics-out",
         "hits-out",
     ])?;
-    let g = load_graph(Path::new(args.req("graph")?))?;
-    let index = load_index(args)?;
+    let (ds, snap_info) = load_dataset(args)?;
     let k: usize = args.get_or("k", 20)?;
     let threads: usize =
         args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
     let opts = query_options(args)?;
+    let n = ds.graph().num_vertices();
     let queries: Vec<u32> = match args.get_list::<u32>("vertices")? {
         Some(v) if v.is_empty() => return Err("--vertices names no vertices".into()),
         Some(v) => v,
@@ -305,13 +361,16 @@ fn batch_query(args: &Args) -> Result<String, String> {
             // way the validation and experiment harnesses pick queries.
             let count: usize = args.get_or("queries", 100)?;
             let seed: u64 = args.get_or("seed", 1)?;
-            stats::sample_query_vertices(&g, count, seed)
+            stats::sample_query_vertices(ds.graph(), count, seed)
         }
     };
-    if let Some(&bad) = queries.iter().find(|&&u| u >= g.num_vertices()) {
-        return Err(format!("vertex {bad} out of range (n = {})", g.num_vertices()));
+    if let Some(&bad) = queries.iter().find(|&&u| u >= n) {
+        return Err(format!("vertex {bad} out of range (n = {n})"));
     }
-    let engine = QueryEngine::with_threads(&g, &index, threads);
+    let engine = ServingEngine::with_threads(ds, threads);
+    if let Some(info) = &snap_info {
+        engine.metrics().record_snapshot_load(info);
+    }
     let batch = engine.query_batch(&queries, k, &opts);
     let t = &batch.totals;
     let l = &batch.latency;
@@ -324,6 +383,13 @@ fn batch_query(args: &Args) -> Result<String, String> {
         batch.elapsed,
         batch.queries_per_second()
     );
+    if let Some(info) = &snap_info {
+        let _ = writeln!(
+            out,
+            "snapshot         {} bytes, {} sections verified, loaded in {:.2?}",
+            info.bytes, info.sections_verified, info.load_time
+        );
+    }
     let _ = writeln!(out, "candidates       {}", t.candidates);
     let _ = writeln!(out, "pruned distance  {}", t.pruned_distance);
     let _ = writeln!(out, "pruned bounds    {}", t.pruned_bounds);
@@ -378,14 +444,14 @@ fn batch_query(args: &Args) -> Result<String, String> {
 }
 
 fn topk_all(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "k", "out", "threads"])?;
-    let g = load_graph(Path::new(args.req("graph")?))?;
-    let index = load_index(args)?;
+    args.ensure_known(&["graph", "index", "snapshot", "k", "out", "threads"])?;
+    let (ds, _) = load_dataset(args)?;
     let k: usize = args.get_or("k", 20)?;
     let threads: usize =
         args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
     let start = std::time::Instant::now();
-    let (all, stats) = srs_search::all_vertices::all_topk(&g, &index, k, &QueryOptions::default(), threads);
+    let (all, stats) =
+        srs_search::all_vertices::all_topk(ds.graph(), ds.index(), k, &QueryOptions::default(), threads);
     let elapsed = start.elapsed();
     let mut csv = String::from("vertex,rank,similar,score\n");
     for (u, hits) in all.iter().enumerate() {
@@ -869,6 +935,110 @@ mod tests {
         let err = run(&format!("walk-bench --graph {} --walks 0", g_path.display())).unwrap_err();
         assert!(err.contains("positive"), "{err}");
         std::fs::remove_file(&g_path).ok();
+    }
+
+    #[test]
+    fn pack_and_snapshot_serving_match_file_pair() {
+        let g_path = tmp("sn.bin");
+        let i_path = tmp("sn.idx");
+        let snap = tmp("sn.srs");
+        let h_files = tmp("sn_files.tsv");
+        let h_snap = tmp("sn_snap.tsv");
+        run(&format!("generate --family web --n 300 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        let out = run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            snap.display()
+        ))
+        .unwrap();
+        assert!(out.contains("packed snapshot: n=300"), "{out}");
+
+        // The same batch through the file pair and through the snapshot
+        // writes byte-identical hits files — the determinism witness the
+        // CI job diffs.
+        run(&format!(
+            "batch-query --graph {} --index {} --queries 12 --k 5 --hits-out {}",
+            g_path.display(),
+            i_path.display(),
+            h_files.display()
+        ))
+        .unwrap();
+        let out = run(&format!(
+            "batch-query --snapshot {} --queries 12 --k 5 --hits-out {}",
+            snap.display(),
+            h_snap.display()
+        ))
+        .unwrap();
+        assert!(out.contains("snapshot         "), "{out}");
+        assert!(out.contains("sections verified"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&h_files).unwrap(),
+            std::fs::read_to_string(&h_snap).unwrap(),
+            "snapshot serving must be bit-identical to the file pair"
+        );
+
+        // Single queries and explain traces match too.
+        let a = run(&format!(
+            "query --graph {} --index {} --vertex 10 --k 5 --explain",
+            g_path.display(),
+            i_path.display()
+        ))
+        .unwrap();
+        let b = run(&format!("query --snapshot {} --vertex 10 --k 5 --explain", snap.display())).unwrap();
+        // First line carries wall-clock timing; everything after (hits +
+        // full explain trace) must match byte for byte.
+        let tail = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap();
+        assert_eq!(tail(&a), tail(&b), "explain trace must not depend on the load path");
+
+        // topk-all accepts snapshots as well.
+        let out = run(&format!("topk-all --snapshot {} --k 3 --threads 2", snap.display())).unwrap();
+        assert!(out.contains("300 queries"), "{out}");
+
+        // A snapshot is also a valid graph file (section readers skip
+        // index sections).
+        let out = run(&format!("stats --graph {}", snap.display())).unwrap();
+        assert!(out.contains("vertices             300"), "{out}");
+
+        // Mixing --snapshot with --graph/--index is ambiguous.
+        let err =
+            run(&format!("query --snapshot {} --graph {} --vertex 1", snap.display(), g_path.display()))
+                .unwrap_err();
+        assert!(err.contains("drop --graph"), "{err}");
+        for f in [&g_path, &i_path, &snap, &h_files, &h_snap] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn snapshot_metrics_include_load_gauges() {
+        let g_path = tmp("sg.bin");
+        let i_path = tmp("sg.idx");
+        let snap = tmp("sg.srs");
+        let json = tmp("sg.json");
+        run(&format!("generate --family web --n 200 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            snap.display()
+        ))
+        .unwrap();
+        run(&format!(
+            "batch-query --snapshot {} --queries 5 --k 5 --metrics-out {}",
+            snap.display(),
+            json.display()
+        ))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        for family in ["srs_snapshot_load_ns", "srs_snapshot_bytes", "srs_snapshot_sections_verified"] {
+            assert!(body.contains(family), "metrics missing {family}: {body}");
+        }
+        for f in [&g_path, &i_path, &snap, &json] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Versioned single-file snapshot container.
+//!
+//! A **bundle** is the one on-disk artifact for every persistent object
+//! in the system: a graph, a candidate index, or a full serving snapshot
+//! (graph + index in one file). The format is deliberately dumb — a
+//! magic, a section table, and raw little-endian section payloads — so
+//! loading is a handful of bulk reads and readers can borrow sections
+//! zero-copy via [`crate::storage::SharedSlice`].
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "SRSBNDL1"
+//! 8       4     format version (currently 1)
+//! 12      4     section count k
+//! 16      48·k  section table, one entry per section:
+//!                 tag       [u8; 16]  zero-padded ASCII name
+//!                 offset    u64       payload start (from file start)
+//!                 len       u64       payload length in bytes
+//!                 align     u64       required alignment of `offset`
+//!                 checksum  u64       FNV-1a 64 of the payload bytes
+//! ...           section payloads at their offsets, zero-padded between
+//! ```
+//!
+//! Sections are identified by tag, not position; consumers take what
+//! they need and ignore the rest. That is what lets a full snapshot
+//! double as a graph file: a graph reader finds its `g.*` sections and
+//! never looks at the `i.*` ones. Compatibility rule: readers reject
+//! unknown *versions*, never unknown *sections*.
+//!
+//! [`BundleReader::open`] verifies the magic, version, table bounds,
+//! alignment, and every section checksum up front, so a corrupted or
+//! truncated file fails loudly at load time — after `open` succeeds,
+//! section access cannot fail structurally.
+
+use crate::storage::{encode_pod, Pod, SharedSlice};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Bundle file magic.
+pub const MAGIC: &[u8; 8] = b"SRSBNDL1";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_LEN: usize = 16;
+const ENTRY_LEN: usize = TAG_LEN + 8 * 4;
+const HEADER_LEN: usize = 8 + 4 + 4;
+
+/// Errors produced while writing or reading a bundle.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Structural problem: bad magic, unsupported version, corrupt table,
+    /// checksum mismatch, missing or malformed section.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Format(m) => write!(f, "bundle format error: {m}"),
+            BundleError::Io(e) => write!(f, "bundle I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BundleError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit checksum (the same cheap, dependency-free hash family
+/// the `hash` module uses for maps; here with the reference offset
+/// basis so checksums are stable across builds).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `true` iff `bytes` starts with the bundle magic.
+pub fn is_bundle(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && &bytes[..8] == MAGIC
+}
+
+struct PendingSection {
+    tag: [u8; TAG_LEN],
+    align: usize,
+    payload: Vec<u8>,
+}
+
+/// Accumulates tagged sections and writes them as one bundle.
+#[derive(Default)]
+pub struct BundleWriter {
+    sections: Vec<PendingSection>,
+}
+
+impl BundleWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a raw byte section. `align` must be a power of two and is
+    /// the alignment the payload offset will receive in the file (use
+    /// the element size for typed arrays so zero-copy views succeed).
+    /// Tags must be unique, 1–16 bytes. Panics on writer misuse — these
+    /// are programming errors, not data errors.
+    pub fn add_bytes(&mut self, tag: &str, align: usize, payload: Vec<u8>) -> &mut Self {
+        assert!(
+            !tag.is_empty() && tag.len() <= TAG_LEN,
+            "section tag must be 1..={TAG_LEN} bytes, got {tag:?}"
+        );
+        assert!(align.is_power_of_two(), "section alignment must be a power of two");
+        assert!(
+            !self
+                .sections
+                .iter()
+                .any(|s| s.tag[..tag.len()] == *tag.as_bytes() && s.tag[tag.len()..].iter().all(|&b| b == 0)),
+            "duplicate section tag {tag:?}"
+        );
+        let mut t = [0u8; TAG_LEN];
+        t[..tag.len()].copy_from_slice(tag.as_bytes());
+        self.sections.push(PendingSection { tag: t, align, payload });
+        self
+    }
+
+    /// Adds a typed array section, encoded little-endian with alignment
+    /// `size_of::<T>()`.
+    pub fn add_pod<T: Pod>(&mut self, tag: &str, data: &[T]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(data.len() * T::SIZE);
+        encode_pod(data, &mut bytes);
+        self.add_bytes(tag, T::SIZE.max(1), bytes)
+    }
+
+    /// Serializes the bundle to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = HEADER_LEN + self.sections.len() * ENTRY_LEN;
+        // Lay out payload offsets with alignment padding.
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = table_end;
+        for s in &self.sections {
+            cursor = cursor.div_ceil(s.align) * s.align;
+            offsets.push(cursor);
+            cursor += s.payload.len();
+        }
+        let mut out = Vec::with_capacity(cursor);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (s, &off) in self.sections.iter().zip(&offsets) {
+            out.extend_from_slice(&s.tag);
+            out.extend_from_slice(&(off as u64).to_le_bytes());
+            out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(s.align as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64(&s.payload).to_le_bytes());
+        }
+        for (s, &off) in self.sections.iter().zip(&offsets) {
+            out.resize(off, 0); // alignment padding
+            out.extend_from_slice(&s.payload);
+        }
+        out
+    }
+
+    /// Writes the bundle to `w`.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), BundleError> {
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SectionEntry {
+    tag: [u8; TAG_LEN],
+    offset: usize,
+    len: usize,
+}
+
+/// A fully validated, in-memory bundle. Sections are borrowed zero-copy
+/// from the one shared buffer.
+pub struct BundleReader {
+    buf: Arc<Vec<u8>>,
+    sections: Vec<SectionEntry>,
+}
+
+impl BundleReader {
+    /// Opens a bundle from an owned byte buffer, validating the magic,
+    /// version, section table, and every section checksum.
+    pub fn open(bytes: Vec<u8>) -> Result<Self, BundleError> {
+        Self::open_shared(Arc::new(bytes))
+    }
+
+    /// Opens a bundle from an already shared buffer (see [`BundleReader::open`]).
+    pub fn open_shared(buf: Arc<Vec<u8>>) -> Result<Self, BundleError> {
+        let b: &[u8] = &buf;
+        if b.len() < HEADER_LEN {
+            return Err(BundleError::Format("truncated header".into()));
+        }
+        if &b[..8] != MAGIC {
+            return Err(BundleError::Format("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(b[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(BundleError::Format(format!(
+                "unsupported bundle version {version} (reader supports {VERSION})"
+            )));
+        }
+        let count = u32::from_le_bytes(b[12..16].try_into().unwrap()) as usize;
+        let table_len = count
+            .checked_mul(ENTRY_LEN)
+            .and_then(|t| t.checked_add(HEADER_LEN))
+            .ok_or_else(|| BundleError::Format("section count overflow".into()))?;
+        if b.len() < table_len {
+            return Err(BundleError::Format(format!(
+                "truncated section table: {count} sections need {table_len} bytes, file has {}",
+                b.len()
+            )));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let e = &b[HEADER_LEN + i * ENTRY_LEN..HEADER_LEN + (i + 1) * ENTRY_LEN];
+            let mut tag = [0u8; TAG_LEN];
+            tag.copy_from_slice(&e[..TAG_LEN]);
+            let offset = u64::from_le_bytes(e[16..24].try_into().unwrap());
+            let len = u64::from_le_bytes(e[24..32].try_into().unwrap());
+            let align = u64::from_le_bytes(e[32..40].try_into().unwrap());
+            let checksum = u64::from_le_bytes(e[40..48].try_into().unwrap());
+            let name = tag_str(&tag);
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| BundleError::Format(format!("section {name:?}: range overflow")))?;
+            if end > b.len() as u64 || offset < table_len as u64 && len > 0 {
+                return Err(BundleError::Format(format!(
+                    "section {name:?}: range {offset}..{end} outside payload area of {}-byte file",
+                    b.len()
+                )));
+            }
+            if !align.is_power_of_two() || align > 4096 {
+                return Err(BundleError::Format(format!("section {name:?}: bad alignment {align}")));
+            }
+            if offset % align != 0 {
+                return Err(BundleError::Format(format!(
+                    "section {name:?}: offset {offset} not aligned to {align}"
+                )));
+            }
+            let (offset, len) = (offset as usize, len as usize);
+            let got = fnv1a64(&b[offset..offset + len]);
+            if got != checksum {
+                return Err(BundleError::Format(format!(
+                    "section {name:?}: checksum mismatch (stored {checksum:#018x}, computed {got:#018x})"
+                )));
+            }
+            if sections.iter().any(|s: &SectionEntry| s.tag == tag) {
+                return Err(BundleError::Format(format!("duplicate section tag {name:?}")));
+            }
+            sections.push(SectionEntry { tag, offset, len });
+        }
+        Ok(BundleReader { buf, sections })
+    }
+
+    /// The shared underlying buffer.
+    pub fn buffer(&self) -> &Arc<Vec<u8>> {
+        &self.buf
+    }
+
+    /// Total size of the bundle in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Number of (checksum-verified) sections.
+    pub fn num_sections(&self) -> u32 {
+        self.sections.len() as u32
+    }
+
+    /// `true` iff a section with this tag is present.
+    pub fn has(&self, tag: &str) -> bool {
+        self.find(tag).is_some()
+    }
+
+    /// Byte extent `(offset, len)` of section `i` in table order, for
+    /// tooling that walks the layout (e.g. corruption sweeps cutting at
+    /// every boundary).
+    pub fn section_extent(&self, i: u32) -> Option<(u64, u64)> {
+        self.sections.get(i as usize).map(|s| (s.offset as u64, s.len as u64))
+    }
+
+    fn find(&self, tag: &str) -> Option<&SectionEntry> {
+        self.sections.iter().find(|s| tag_str(&s.tag) == tag)
+    }
+
+    /// The raw bytes of section `tag`.
+    pub fn bytes(&self, tag: &str) -> Result<&[u8], BundleError> {
+        let s = self.find(tag).ok_or_else(|| BundleError::Format(format!("missing section {tag:?}")))?;
+        Ok(&self.buf[s.offset..s.offset + s.len])
+    }
+
+    /// Section `tag` as a typed array — zero-copy on little-endian hosts
+    /// when the section is aligned for `T`, decoded otherwise.
+    pub fn pod_slice<T: Pod>(&self, tag: &str) -> Result<SharedSlice<T>, BundleError> {
+        let s = self.find(tag).ok_or_else(|| BundleError::Format(format!("missing section {tag:?}")))?;
+        SharedSlice::view(&self.buf, s.offset, s.len)
+            .map_err(|e| BundleError::Format(format!("section {tag:?}: {e}")))
+    }
+}
+
+impl std::fmt::Debug for BundleReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tags: Vec<String> = self.sections.iter().map(|s| tag_str(&s.tag).to_string()).collect();
+        f.debug_struct("BundleReader").field("bytes", &self.buf.len()).field("sections", &tags).finish()
+    }
+}
+
+fn tag_str(tag: &[u8; TAG_LEN]) -> &str {
+    let end = tag.iter().position(|&b| b == 0).unwrap_or(TAG_LEN);
+    std::str::from_utf8(&tag[..end]).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = BundleWriter::new();
+        w.add_pod("nums64", &[1u64, 2, 3]);
+        w.add_bytes("meta", 1, vec![9, 8, 7]);
+        w.add_pod("nums32", &[10u32, 20]);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn roundtrip_sections() {
+        let r = BundleReader::open(sample()).unwrap();
+        assert_eq!(r.num_sections(), 3);
+        assert!(r.has("meta") && !r.has("nope"));
+        assert_eq!(r.bytes("meta").unwrap(), &[9, 8, 7]);
+        assert_eq!(&r.pod_slice::<u64>("nums64").unwrap()[..], &[1, 2, 3]);
+        assert_eq!(&r.pod_slice::<u32>("nums32").unwrap()[..], &[10, 20]);
+        assert!(matches!(r.bytes("nope"), Err(BundleError::Format(_))));
+    }
+
+    #[test]
+    fn sections_are_aligned_for_zero_copy() {
+        let r = BundleReader::open(sample()).unwrap();
+        let s = r.pod_slice::<u64>("nums64").unwrap();
+        #[cfg(target_endian = "little")]
+        assert!(s.is_view(), "aligned section should not be copied");
+        let _ = s;
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut b = sample();
+        b[0] = b'X';
+        assert!(matches!(BundleReader::open(b), Err(BundleError::Format(_))));
+        let mut b = sample();
+        b[8] = 99; // version
+        let err = BundleReader::open(b).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_payload_corruption() {
+        let mut b = sample();
+        let last = b.len() - 1;
+        b[last] ^= 0x40; // flip a payload bit -> checksum mismatch
+        let err = BundleReader::open(b).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let full = sample();
+        for cut in 0..full.len() {
+            let res = BundleReader::open(full[..cut].to_vec());
+            assert!(
+                matches!(res, Err(BundleError::Format(_))),
+                "truncation to {cut} bytes must be a Format error"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_bundle_is_valid() {
+        let b = BundleWriter::new().to_bytes();
+        let r = BundleReader::open(b).unwrap();
+        assert_eq!(r.num_sections(), 0);
+    }
+
+    #[test]
+    fn empty_sections_roundtrip() {
+        let mut w = BundleWriter::new();
+        w.add_pod::<u64>("empty", &[]);
+        let r = BundleReader::open(w.to_bytes()).unwrap();
+        assert_eq!(r.pod_slice::<u64>("empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate section tag")]
+    fn writer_rejects_duplicate_tags() {
+        let mut w = BundleWriter::new();
+        w.add_bytes("a", 1, vec![]);
+        w.add_bytes("a", 1, vec![]);
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

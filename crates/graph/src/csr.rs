@@ -11,6 +11,8 @@
 //! makes membership tests binary-searchable and the representation canonical
 //! (two graphs with the same edge set compare equal).
 
+use crate::container::{BundleReader, BundleWriter};
+use crate::storage::SharedSlice;
 use crate::{GraphError, VertexId};
 
 /// Decoded reverse-step fast path of one vertex (see
@@ -149,21 +151,26 @@ impl GraphBuilder {
 }
 
 /// Immutable directed graph in CSR form with both adjacency directions.
+///
+/// Every array is a [`SharedSlice`]: owned when the graph is built in
+/// memory, a zero-copy view when loaded from a snapshot bundle (see
+/// [`crate::container`]). The accessors below are byte-for-byte the same
+/// hot path either way.
 #[derive(Clone)]
 pub struct Graph {
     n: u32,
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` with the
     /// sorted successors of `u`.
-    out_offsets: Vec<u64>,
-    out_targets: Vec<VertexId>,
+    out_offsets: SharedSlice<u64>,
+    out_targets: SharedSlice<VertexId>,
     /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` with the sorted
     /// predecessors (in-links `δ(v)`) of `v`.
-    in_offsets: Vec<u64>,
-    in_sources: Vec<VertexId>,
+    in_offsets: SharedSlice<u64>,
+    in_sources: SharedSlice<VertexId>,
     /// Per-vertex reverse-step descriptor (one word per vertex; see
     /// [`ReverseStep`]). Derived from the in-CSR at construction, so it is
     /// ignored for equality.
-    reverse_desc: Vec<u64>,
+    reverse_desc: SharedSlice<u64>,
 }
 
 impl PartialEq for Graph {
@@ -204,7 +211,14 @@ impl Graph {
             *c += 1;
         }
         let reverse_desc = build_reverse_desc(&in_offsets, &in_sources);
-        Graph { n, out_offsets, out_targets, in_offsets, in_sources, reverse_desc }
+        Graph {
+            n,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            reverse_desc: reverse_desc.into(),
+        }
     }
 
     /// Convenience constructor from an edge iterator (drop self-loops).
@@ -284,7 +298,7 @@ impl Graph {
             out_targets: self.in_sources.clone(),
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
-            reverse_desc,
+            reverse_desc: reverse_desc.into(),
         }
     }
 
@@ -352,6 +366,7 @@ impl Graph {
     pub fn memory_bytes(&self) -> u64 {
         (self.out_offsets.len() as u64 + self.in_offsets.len() as u64) * 8
             + (self.out_targets.len() as u64 + self.in_sources.len() as u64) * 4
+            + self.reverse_desc.len() as u64 * 8
     }
 
     /// Entries of the column `P e_u` of the paper's transition matrix:
@@ -362,6 +377,104 @@ impl Graph {
         let p = if nb.is_empty() { 0.0 } else { 1.0 / nb.len() as f64 };
         nb.iter().map(move |&w| (w, p))
     }
+
+    /// Appends this graph's sections (`g.*` tags) to a bundle under
+    /// construction. The inverse of [`Graph::from_bundle`].
+    pub fn add_bundle_sections(&self, w: &mut BundleWriter) {
+        let mut meta = Vec::with_capacity(GRAPH_META_LEN);
+        meta.extend_from_slice(&self.n.to_le_bytes());
+        meta.extend_from_slice(&self.num_edges().to_le_bytes());
+        w.add_bytes(SEC_GRAPH_META, 8, meta);
+        w.add_pod(SEC_OUT_OFFSETS, &self.out_offsets);
+        w.add_pod(SEC_OUT_TARGETS, &self.out_targets);
+        w.add_pod(SEC_IN_OFFSETS, &self.in_offsets);
+        w.add_pod(SEC_IN_SOURCES, &self.in_sources);
+        w.add_pod(SEC_REVERSE_DESC, &self.reverse_desc);
+    }
+
+    /// Reconstructs a graph from the `g.*` sections of an opened bundle,
+    /// borrowing the arrays zero-copy from the bundle's buffer. The
+    /// bundle may contain other sections (e.g. a serving snapshot's
+    /// index); they are ignored.
+    ///
+    /// Beyond the container's checksums this re-validates the structure
+    /// (offset monotonicity, id ranges, descriptor consistency), so even
+    /// a hand-crafted bundle yields a well-formed graph or a
+    /// [`GraphError::Format`] — never a panic downstream.
+    pub fn from_bundle(r: &BundleReader) -> Result<Graph, GraphError> {
+        let sect = |e: crate::container::BundleError| GraphError::Format(e.to_string());
+        let meta = r.bytes(SEC_GRAPH_META).map_err(sect)?;
+        if meta.len() != GRAPH_META_LEN {
+            return Err(GraphError::Format(format!(
+                "graph meta section has {} bytes, expected {GRAPH_META_LEN}",
+                meta.len()
+            )));
+        }
+        let n = u32::from_le_bytes(meta[..4].try_into().unwrap());
+        let m = u64::from_le_bytes(meta[4..12].try_into().unwrap());
+        let out_offsets: SharedSlice<u64> = r.pod_slice(SEC_OUT_OFFSETS).map_err(sect)?;
+        let out_targets: SharedSlice<VertexId> = r.pod_slice(SEC_OUT_TARGETS).map_err(sect)?;
+        let in_offsets: SharedSlice<u64> = r.pod_slice(SEC_IN_OFFSETS).map_err(sect)?;
+        let in_sources: SharedSlice<VertexId> = r.pod_slice(SEC_IN_SOURCES).map_err(sect)?;
+        let reverse_desc: SharedSlice<u64> = r.pod_slice(SEC_REVERSE_DESC).map_err(sect)?;
+        validate_csr_side("out", n, m, &out_offsets, &out_targets)?;
+        validate_csr_side("in", n, m, &in_offsets, &in_sources)?;
+        if reverse_desc.len() != n as usize {
+            return Err(GraphError::Format(format!(
+                "reverse-step descriptors: {} entries for {n} vertices",
+                reverse_desc.len()
+            )));
+        }
+        // Descriptors are derived data; verify them against the in-CSR so
+        // a consistent graph is the only thing this function can return.
+        let expect = build_reverse_desc(&in_offsets, &in_sources);
+        if expect[..] != reverse_desc[..] {
+            return Err(GraphError::Format("reverse-step descriptors inconsistent with in-adjacency".into()));
+        }
+        Ok(Graph { n, out_offsets, out_targets, in_offsets, in_sources, reverse_desc })
+    }
+}
+
+/// Bundle section tags for graph payloads (see [`crate::container`]).
+pub(crate) const SEC_GRAPH_META: &str = "g.meta";
+const SEC_OUT_OFFSETS: &str = "g.out_off";
+const SEC_OUT_TARGETS: &str = "g.out_tgt";
+const SEC_IN_OFFSETS: &str = "g.in_off";
+const SEC_IN_SOURCES: &str = "g.in_src";
+const SEC_REVERSE_DESC: &str = "g.rdesc";
+const GRAPH_META_LEN: usize = 4 + 8;
+
+/// Structural validation of one CSR side loaded from untrusted bytes.
+fn validate_csr_side(
+    side: &str,
+    n: u32,
+    m: u64,
+    offsets: &[u64],
+    entries: &[VertexId],
+) -> Result<(), GraphError> {
+    if offsets.len() != n as usize + 1 {
+        return Err(GraphError::Format(format!(
+            "{side}-offsets: {} entries for {n} vertices",
+            offsets.len()
+        )));
+    }
+    if offsets[0] != 0 {
+        return Err(GraphError::Format(format!("{side}-offsets: first offset {} != 0", offsets[0])));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Format(format!("{side}-offsets: not monotone")));
+    }
+    if offsets[n as usize] != m || entries.len() as u64 != m {
+        return Err(GraphError::Format(format!(
+            "{side}-adjacency: header promises {m} edges, offsets end at {}, array has {}",
+            offsets[n as usize],
+            entries.len()
+        )));
+    }
+    if entries.iter().any(|&v| v >= n) {
+        return Err(GraphError::Format(format!("{side}-adjacency: vertex id out of range")));
+    }
+    Ok(())
 }
 
 /// Builds the per-vertex reverse-step descriptor array from an in-CSR
@@ -522,5 +635,47 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_counts_all_arrays() {
+        // n=4, m=3: two (n+1)-entry u64 offset arrays, two m-entry u32
+        // adjacency arrays, and the n-entry u64 reverse-step descriptors.
+        let g = claw();
+        let expect = 2 * 5 * 8 + 2 * 3 * 4 + 4 * 8;
+        assert_eq!(g.memory_bytes(), expect);
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_everything() {
+        let g = Graph::from_edges(6, vec![(0, 1), (2, 1), (3, 1), (1, 2), (4, 5), (5, 4)]).unwrap();
+        let mut w = BundleWriter::new();
+        g.add_bundle_sections(&mut w);
+        let r = BundleReader::open(w.to_bytes()).unwrap();
+        let g2 = Graph::from_bundle(&r).unwrap();
+        assert_eq!(g, g2);
+        for v in 0..6u32 {
+            assert_eq!(g.in_neighbors(v), g2.in_neighbors(v));
+            assert_eq!(g.reverse_step(v), g2.reverse_step(v));
+        }
+        assert_eq!(g.memory_bytes(), g2.memory_bytes());
+    }
+
+    #[test]
+    fn bundle_rejects_inconsistent_descriptors() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut w = BundleWriter::new();
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&3u32.to_le_bytes());
+        meta.extend_from_slice(&2u64.to_le_bytes());
+        w.add_bytes("g.meta", 8, meta);
+        w.add_pod("g.out_off", &g.out_offsets[..]);
+        w.add_pod("g.out_tgt", &g.out_targets[..]);
+        w.add_pod("g.in_off", &g.in_offsets[..]);
+        w.add_pod("g.in_src", &g.in_sources[..]);
+        // Descriptors claiming vertex 0 has a unique in-link: inconsistent.
+        w.add_pod("g.rdesc", &[(1u64 << 40) | 2, g.reverse_desc[1], g.reverse_desc[2]]);
+        let r = BundleReader::open(w.to_bytes()).unwrap();
+        assert!(matches!(Graph::from_bundle(&r), Err(GraphError::Format(_))));
     }
 }

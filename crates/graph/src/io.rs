@@ -6,10 +6,12 @@
 //!   SNAP distribution format: one `u v` pair per line, `#` comments,
 //!   arbitrary whitespace. Vertex ids are remapped densely in first-seen
 //!   order, so raw SNAP downloads load directly.
-//! * **Binary CSR** ([`read_binary`] / [`write_binary`]) — a compact
-//!   little-endian snapshot of the CSR arrays with a magic header and
-//!   length validation, for fast reloading of generated datasets between
-//!   benchmark runs.
+//! * **Binary CSR** ([`read_binary`] / [`write_binary`]) — the CSR
+//!   arrays as bulk little-endian sections in a checksummed `SRSBNDL1`
+//!   bundle (see [`crate::container`]), for fast reloading of generated
+//!   datasets between benchmark runs. The legacy per-edge `SRSCSR01`
+//!   stream (deprecated) remains loadable: [`read_binary`] switches on
+//!   the magic.
 
 use crate::{Graph, GraphBuilder, GraphError, VertexId};
 use bytes::{Buf, BufMut};
@@ -75,14 +77,32 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> 
     Ok(())
 }
 
-const MAGIC: &[u8; 8] = b"SRSCSR01";
+/// Magic of the legacy per-edge binary format (pre-bundle). Readable
+/// forever via [`read_binary`]'s version switch; no longer written by
+/// [`write_binary`].
+pub const LEGACY_MAGIC: &[u8; 8] = b"SRSCSR01";
 
-/// Writes the compact binary CSR snapshot.
-pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
+/// Writes the graph as a `SRSBNDL1` section bundle (bulk little-endian
+/// CSR arrays with per-section checksums; see [`crate::container`]).
+pub fn write_binary<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
+    let mut bundle = crate::container::BundleWriter::new();
+    g.add_bundle_sections(&mut bundle);
+    bundle.write_to(w).map_err(|e| match e {
+        crate::container::BundleError::Io(io) => GraphError::Io(io),
+        other => GraphError::Format(other.to_string()),
+    })
+}
+
+/// Writes the **legacy** `SRSCSR01` per-edge stream.
+///
+/// Deprecated in favour of the bundle format emitted by
+/// [`write_binary`]; retained so the legacy read path stays exercised
+/// by tests and old artifacts can be regenerated if needed.
+pub fn write_binary_legacy<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
     let n = g.num_vertices();
     let m = g.num_edges();
     let mut header = Vec::with_capacity(8 + 4 + 8);
-    header.put_slice(MAGIC);
+    header.put_slice(LEGACY_MAGIC);
     header.put_u32_le(n);
     header.put_u64_le(m);
     w.write_all(&header)?;
@@ -95,32 +115,49 @@ pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
     Ok(())
 }
 
-/// Reads the binary CSR snapshot, validating magic and lengths.
+/// Reads a binary graph, sniffing the format from the magic: `SRSBNDL1`
+/// bundles load as bulk sections (zero-copy), legacy `SRSCSR01` streams
+/// decode through the original per-edge path.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Graph, GraphError> {
-    let mut header = [0u8; 20];
-    r.read_exact(&mut header).map_err(|_| GraphError::Format("truncated header".into()))?;
-    let mut buf = &header[..];
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(GraphError::Format("bad magic".into()));
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    if crate::container::is_bundle(&raw) {
+        return graph_from_bundle_bytes(raw);
     }
+    if raw.len() >= 8 && &raw[..8] == LEGACY_MAGIC {
+        return read_binary_legacy(&raw);
+    }
+    Err(GraphError::Format("bad magic".into()))
+}
+
+/// Loads a graph from bundle bytes (a graph bundle or a full serving
+/// snapshot — any bundle carrying the `g.*` sections).
+pub fn graph_from_bundle_bytes(raw: Vec<u8>) -> Result<Graph, GraphError> {
+    let reader = crate::container::BundleReader::open(raw).map_err(|e| GraphError::Format(e.to_string()))?;
+    Graph::from_bundle(&reader)
+}
+
+/// Decodes the legacy `SRSCSR01` per-edge stream.
+fn read_binary_legacy(raw: &[u8]) -> Result<Graph, GraphError> {
+    if raw.len() < 20 {
+        return Err(GraphError::Format("truncated header".into()));
+    }
+    let mut buf = &raw[8..20];
     let n = buf.get_u32_le();
     let m = buf.get_u64_le();
     let body_len =
         (m as usize).checked_mul(8).ok_or_else(|| GraphError::Format("edge count overflow".into()))?;
-    // Read what is actually there before trusting the header's edge count:
-    // allocating `m * 8` up front would let a corrupted count abort on
-    // allocation instead of returning a Format error.
-    let mut body = Vec::new();
-    r.read_to_end(&mut body)?;
+    // Check what is actually there before trusting the header's edge
+    // count: allocating `m * 8` up front would let a corrupted count
+    // abort on allocation instead of returning a Format error.
+    let body = &raw[20..];
     if body.len() != body_len {
         return Err(GraphError::Format(format!(
             "body length mismatch: header promises {body_len} bytes, stream has {}",
             body.len()
         )));
     }
-    let mut cur = &body[..];
+    let mut cur = body;
     let mut b = GraphBuilder::with_capacity(n, m as usize).self_loop_policy(crate::SelfLoopPolicy::Keep);
     for _ in 0..m {
         let u = cur.get_u32_le();
@@ -210,5 +247,30 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         assert_eq!(read_binary(&buf[..]).unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn legacy_stream_still_loads() {
+        let g = gen::erdos_renyi(50, 160, 3);
+        let mut legacy = Vec::new();
+        write_binary_legacy(&g, &mut legacy).unwrap();
+        assert_eq!(&legacy[..8], LEGACY_MAGIC);
+        assert_eq!(read_binary(&legacy[..]).unwrap(), g);
+
+        // And the two formats agree on the loaded graph.
+        let mut bundle = Vec::new();
+        write_binary(&g, &mut bundle).unwrap();
+        assert_eq!(&bundle[..8], crate::container::MAGIC);
+        assert_eq!(read_binary(&bundle[..]).unwrap(), read_binary(&legacy[..]).unwrap());
+    }
+
+    #[test]
+    fn legacy_truncation_still_rejected() {
+        let g = gen::erdos_renyi(10, 20, 1);
+        let mut buf = Vec::new();
+        write_binary_legacy(&g, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() - 3];
+        assert!(matches!(read_binary(truncated), Err(GraphError::Format(_))));
+        assert!(matches!(read_binary(&buf[..10]), Err(GraphError::Format(_))));
     }
 }

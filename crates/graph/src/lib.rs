@@ -19,11 +19,17 @@
 //!   closed-form fixtures) substituting for the paper's SNAP/LAW datasets.
 //! * [`datasets`] — a registry mirroring Table 2 of the paper at a
 //!   configurable scale factor.
-//! * [`io`] — SNAP-style edge-list text I/O and a compact binary CSR format.
+//! * [`io`] — SNAP-style edge-list text I/O and the binary CSR bundle
+//!   (with a legacy per-element format kept loadable).
+//! * [`storage`] — [`storage::SharedSlice`], the owned-or-zero-copy
+//!   backing for every hot array.
+//! * [`container`] — the `SRSBNDL1` section container all persistent
+//!   artifacts (graphs, indexes, serving snapshots) are stored in.
 //! * [`hash`] — an FxHash-style fast hasher for integer-keyed maps.
 //! * [`stats`] — degree and distance statistics.
 
 pub mod bfs;
+pub mod container;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
@@ -31,6 +37,7 @@ pub mod hash;
 pub mod io;
 pub mod order;
 pub mod stats;
+pub mod storage;
 pub mod subgraph;
 
 pub use csr::{Graph, GraphBuilder, ReverseStep, SelfLoopPolicy};

@@ -1,0 +1,318 @@
+//! Shared hot-array storage: owned vectors or zero-copy views into one
+//! loaded snapshot buffer.
+//!
+//! Every large array in the serving path (`Graph`'s CSR arrays, the γ
+//! table, the candidate index) is a [`SharedSlice`]: either an owned
+//! `Vec<T>` (built in memory) or a typed view into a single reference-
+//! counted byte buffer loaded from a snapshot bundle. The hot path is
+//! identical in both cases — a raw pointer + length pair dereferenced as
+//! `&[T]` — so query kernels pay nothing for the indirection, and loading
+//! a snapshot costs one bulk read instead of per-element decoding.
+//!
+//! Zero-copy views require the host to be little-endian (the on-disk
+//! byte order) and the section to be aligned for `T`; both are checked
+//! at view construction. Big-endian hosts transparently fall back to a
+//! decoded owned vector, so correctness never depends on endianness.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Plain-old-data element types storable in a [`SharedSlice`]. Sealed:
+/// implemented only for fixed-width primitives with no padding and no
+/// invalid bit patterns, which is what makes the byte-level
+/// reinterpretation in [`SharedSlice::view`] sound.
+pub trait Pod: Copy + Send + Sync + 'static + sealed::Sealed {
+    /// Size of one element in bytes (`size_of::<Self>()`, usable in
+    /// const-free trait code).
+    const SIZE: usize;
+    /// Decodes one element from little-endian bytes (`bytes.len() == SIZE`).
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Appends this element to `out` in little-endian byte order.
+    fn write_le(self, out: &mut Vec<u8>);
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("read_le: wrong byte count"))
+            }
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_pod!(u32, u64, f32, f64);
+
+/// Why a zero-copy view could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// `offset + len * size` exceeds the buffer.
+    OutOfBounds,
+    /// The byte length is not a multiple of the element size.
+    Misaligned,
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::OutOfBounds => write!(f, "view range exceeds buffer"),
+            ViewError::Misaligned => write!(f, "view range not a multiple of the element size"),
+        }
+    }
+}
+
+enum Backing<T: Pod> {
+    Owned(Vec<T>),
+    View(Arc<Vec<u8>>),
+}
+
+/// An immutable `[T]` that is either an owned `Vec<T>` or a zero-copy
+/// view into a shared snapshot buffer. Dereferences to `&[T]` with no
+/// branch on the hot path; clones are cheap for views (one `Arc` bump)
+/// and deep for owned data.
+pub struct SharedSlice<T: Pod> {
+    ptr: *const T,
+    len: usize,
+    backing: Backing<T>,
+}
+
+// SAFETY: the pointer always targets memory owned (and kept alive) by
+// `backing` — an immutable `Vec<T>` or an `Arc<Vec<u8>>` — and the data
+// is never mutated after construction, so sharing across threads is as
+// safe as sharing `&[T]`.
+unsafe impl<T: Pod> Send for SharedSlice<T> {}
+unsafe impl<T: Pod> Sync for SharedSlice<T> {}
+
+impl<T: Pod> SharedSlice<T> {
+    /// Wraps an owned vector (the in-memory construction path).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let ptr = v.as_ptr();
+        let len = v.len();
+        SharedSlice { ptr, len, backing: Backing::Owned(v) }
+    }
+
+    /// Creates a typed view of `buf[offset..offset + byte_len]` without
+    /// copying. The range must lie within the buffer and `byte_len` must
+    /// be a whole number of elements. On big-endian hosts (where the
+    /// little-endian on-disk layout cannot be reinterpreted) the bytes
+    /// are decoded into an owned vector instead — same result, one copy.
+    pub fn view(buf: &Arc<Vec<u8>>, offset: usize, byte_len: usize) -> Result<Self, ViewError> {
+        let end = offset.checked_add(byte_len).ok_or(ViewError::OutOfBounds)?;
+        if end > buf.len() {
+            return Err(ViewError::OutOfBounds);
+        }
+        if !byte_len.is_multiple_of(T::SIZE) {
+            return Err(ViewError::Misaligned);
+        }
+        let len = byte_len / T::SIZE;
+        let base = buf.as_ptr().wrapping_add(offset);
+        if cfg!(target_endian = "little") && (base as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            let ptr = base as *const T;
+            Ok(SharedSlice { ptr, len, backing: Backing::View(Arc::clone(buf)) })
+        } else {
+            // Unaligned section or big-endian host: decode a copy.
+            let bytes = &buf[offset..end];
+            let mut v = Vec::with_capacity(len);
+            for chunk in bytes.chunks_exact(T::SIZE) {
+                v.push(T::read_le(chunk));
+            }
+            Ok(Self::from_vec(v))
+        }
+    }
+
+    /// The elements as a plain slice (also available via `Deref`).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: `ptr`/`len` were derived from memory owned by
+        // `self.backing`, which is immutable and lives as long as `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the slice holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` iff this slice is a zero-copy view into a shared buffer
+    /// (as opposed to an owned vector).
+    pub fn is_view(&self) -> bool {
+        matches!(self.backing, Backing::View(_))
+    }
+
+    /// Copies the elements into a fresh `Vec<T>`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Pod> Deref for SharedSlice<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            Backing::Owned(v) => Self::from_vec(v.clone()),
+            Backing::View(buf) => {
+                SharedSlice { ptr: self.ptr, len: self.len, backing: Backing::View(Arc::clone(buf)) }
+            }
+        }
+    }
+}
+
+impl<T: Pod> Default for SharedSlice<T> {
+    fn default() -> Self {
+        Self::from_vec(Vec::new())
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for SharedSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSlice").field("len", &self.len).field("view", &self.is_view()).finish()
+    }
+}
+
+/// Appends `data` to `out` as little-endian bytes. On little-endian
+/// hosts this is one bulk `memcpy`; elsewhere it encodes per element.
+pub fn encode_pod<T: Pod>(data: &[T], out: &mut Vec<u8>) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: `T` is a sealed primitive with no padding, so its
+        // in-memory representation on a little-endian host is exactly
+        // the on-disk byte sequence.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) };
+        out.extend_from_slice(bytes);
+    } else {
+        out.reserve(data.len() * T::SIZE);
+        for &x in data {
+            x.write_le(out);
+        }
+    }
+}
+
+/// Decodes a little-endian byte buffer into an owned vector. Errors if
+/// the length is not a whole number of elements.
+pub fn decode_pod_vec<T: Pod>(bytes: &[u8]) -> Result<Vec<T>, ViewError> {
+    if !bytes.len().is_multiple_of(T::SIZE) {
+        return Err(ViewError::Misaligned);
+    }
+    let mut v = Vec::with_capacity(bytes.len() / T::SIZE);
+    for chunk in bytes.chunks_exact(T::SIZE) {
+        v.push(T::read_le(chunk));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip_and_deref() {
+        let s = SharedSlice::from_vec(vec![1u64, 2, 3]);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_view());
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        let c = s.clone();
+        assert_eq!(c, s);
+    }
+
+    #[test]
+    fn view_is_zero_copy_and_correct() {
+        let mut bytes = Vec::new();
+        encode_pod(&[10u32, 20, 30, 40], &mut bytes);
+        let buf = Arc::new(bytes);
+        let s = SharedSlice::<u32>::view(&buf, 0, 16).unwrap();
+        assert_eq!(&s[..], &[10, 20, 30, 40]);
+        #[cfg(target_endian = "little")]
+        assert!(s.is_view());
+        // Sub-view at an element boundary.
+        let tail = SharedSlice::<u32>::view(&buf, 8, 8).unwrap();
+        assert_eq!(&tail[..], &[30, 40]);
+    }
+
+    #[test]
+    fn view_rejects_bad_ranges() {
+        let buf = Arc::new(vec![0u8; 16]);
+        assert_eq!(SharedSlice::<u64>::view(&buf, 8, 16), Err(ViewError::OutOfBounds));
+        assert_eq!(SharedSlice::<u64>::view(&buf, 0, 12), Err(ViewError::Misaligned));
+        assert_eq!(SharedSlice::<u64>::view(&buf, usize::MAX, 8), Err(ViewError::OutOfBounds));
+    }
+
+    #[test]
+    fn unaligned_view_falls_back_to_owned() {
+        // Offset 2 is misaligned for u64 on essentially every allocator
+        // layout; the view must still decode correctly via the copy path.
+        let mut bytes = vec![0u8; 2];
+        encode_pod(&[7u64, 9], &mut bytes);
+        let buf = Arc::new(bytes);
+        let s = SharedSlice::<u64>::view(&buf, 2, 16).unwrap();
+        assert_eq!(&s[..], &[7, 9]);
+    }
+
+    #[test]
+    fn float_views_preserve_bits() {
+        let vals = [1.5f64, -0.0, f64::INFINITY, 1.0e-300];
+        let mut bytes = Vec::new();
+        encode_pod(&vals, &mut bytes);
+        let buf = Arc::new(bytes);
+        let s = SharedSlice::<f64>::view(&buf, 0, 32).unwrap();
+        for (a, b) in vals.iter().zip(s.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_pod_vec_validates_length() {
+        let bytes = vec![0u8; 10];
+        assert!(decode_pod_vec::<u32>(&bytes).is_err());
+        let mut ok = Vec::new();
+        encode_pod(&[3.5f32, -2.0], &mut ok);
+        assert_eq!(decode_pod_vec::<f32>(&ok).unwrap(), vec![3.5, -2.0]);
+    }
+
+    #[test]
+    fn empty_slice_default() {
+        let s: SharedSlice<u32> = SharedSlice::default();
+        assert!(s.is_empty());
+        assert_eq!(&s[..], &[] as &[u32]);
+    }
+}

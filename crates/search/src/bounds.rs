@@ -31,12 +31,14 @@ use srs_mc::multiset::PositionCounter;
 use srs_mc::{Pcg32, WalkEngine, WalkPositions};
 
 /// Precomputed `γ(u, t)` for all vertices (Algorithm 3 output). Stored as
-/// `f32` — `4 n T` bytes, part of the `O(n)` preprocess artifact.
+/// `f32` — `4 n T` bytes, part of the `O(n)` preprocess artifact. The
+/// storage is a [`srs_graph::storage::SharedSlice`]: owned when built,
+/// a zero-copy view when loaded from a snapshot bundle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GammaTable {
     t: u32,
     /// Row-major: `gamma[u * t + step]`.
-    gamma: Vec<f32>,
+    gamma: srs_graph::storage::SharedSlice<f32>,
 }
 
 impl GammaTable {
@@ -106,7 +108,7 @@ impl GammaTable {
             }
         })
         .expect("worker thread panicked");
-        GammaTable { t: params.t, gamma }
+        GammaTable { t: params.t, gamma: gamma.into() }
     }
 
     /// The stored row of `γ(u, ·)` values (length `T`).
@@ -154,8 +156,10 @@ impl GammaTable {
         &self.gamma
     }
 
-    /// Rebuilds from raw parts (for persistence).
-    pub(crate) fn from_raw(t: u32, gamma: Vec<f32>) -> Self {
+    /// Rebuilds from raw parts (for persistence). The storage may be an
+    /// owned vector or a zero-copy snapshot view.
+    pub(crate) fn from_raw(t: u32, gamma: impl Into<srs_graph::storage::SharedSlice<f32>>) -> Self {
+        let gamma = gamma.into();
         assert_eq!(gamma.len() % t as usize, 0, "raw gamma length");
         GammaTable { t, gamma }
     }

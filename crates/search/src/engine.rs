@@ -14,8 +14,16 @@
 //! pool, and [`QueryEngine::query_batch_into`] additionally recycles the
 //! output buffers (`TopKResult` hit vectors, latency samples) of a
 //! previous batch.
+//!
+//! [`ServingEngine`] is the owned form of the same machinery: it holds a
+//! [`Dataset`] (`Arc<Graph>` + `Arc<TopKIndex>`, e.g. loaded from a
+//! snapshot) instead of borrows, so it has no lifetime parameter, and it
+//! supports atomic hot swaps to a new dataset while in-flight batches
+//! drain against the old one. Both engines answer through one shared
+//! serving core, so their results are bit-identical.
 
 use crate::obs::ServingMetrics;
+use crate::snapshot::Dataset;
 use crate::topk::{QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 use parking_lot::Mutex;
 use srs_graph::hash::FxHashMap;
@@ -112,6 +120,187 @@ impl BatchResult {
     }
 }
 
+/// The shared serving core: everything one query or batch needs —
+/// dataset, scratch pool, worker count, optional metrics. Both
+/// [`QueryEngine`] (borrowed dataset) and [`ServingEngine`] (owned,
+/// swappable dataset) serve through these functions, so their answers
+/// are bit-identical by construction.
+struct ServeCtx<'a> {
+    g: &'a Graph,
+    index: &'a TopKIndex,
+    pool: &'a Mutex<Vec<QueryScratch>>,
+    threads: usize,
+    /// `None` = metrics disabled (no batch-end merges).
+    metrics: Option<&'a ServingMetrics>,
+}
+
+impl ServeCtx<'_> {
+    fn take_scratch(&self) -> QueryScratch {
+        self.pool.lock().pop().unwrap_or_else(|| QueryScratch::new(self.g))
+    }
+
+    fn put_scratch(&self, scratch: QueryScratch) {
+        self.pool.lock().push(scratch);
+    }
+
+    fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+}
+
+/// Answers one query through the pool (no worker threads spawned).
+fn serve_query(ctx: &ServeCtx<'_>, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+    let mut out = TopKResult::default();
+    let mut scratch = ctx.take_scratch();
+    let walk_base = srs_mc::obs::thread_counts();
+    let t0 = Instant::now();
+    scratch.query_into(ctx.g, ctx.index, u, k, opts, &mut out);
+    let lat = t0.elapsed();
+    if let Some(m) = ctx.metrics {
+        scratch.merge_obs_into(m);
+        m.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
+        m.queries.inc();
+        m.record_query_stats(&out.stats);
+        m.latency.observe(lat.as_nanos() as u64);
+        m.candidates_per_query.observe(out.stats.candidates);
+        m.hits_per_query.observe(out.hits.len() as u64);
+    } else {
+        scratch.clear_obs();
+    }
+    ctx.put_scratch(scratch);
+    if let Some(m) = ctx.metrics {
+        m.pooled_scratches.set(ctx.pooled() as u64);
+    }
+    out
+}
+
+/// Answers a batch into an existing [`BatchResult`], recycling its
+/// allocations; see [`QueryEngine::query_batch_into`] for semantics.
+fn serve_batch_into(
+    ctx: &ServeCtx<'_>,
+    queries: &[VertexId],
+    k: usize,
+    opts: &QueryOptions,
+    out: &mut BatchResult,
+) {
+    let started = Instant::now();
+    let n = queries.len();
+    out.results.resize_with(n, TopKResult::default);
+    out.latencies.clear();
+    out.latencies.resize(n, Duration::ZERO);
+    out.totals = QueryStats::default();
+    out.deduped = 0;
+    if n == 0 {
+        out.latency = LatencySummary::default();
+        out.elapsed = started.elapsed();
+        return;
+    }
+    out.dedup_index.clear();
+    out.slot_of.clear();
+    out.uniq_queries.clear();
+    for &q in queries {
+        let next = out.uniq_queries.len() as u32;
+        let slot = *out.dedup_index.entry(q).or_insert(next);
+        if slot == next {
+            out.uniq_queries.push(q);
+        }
+        out.slot_of.push(slot);
+    }
+    let uniq = out.uniq_queries.len();
+    if uniq == n {
+        out.totals = run_workers(ctx, queries, &mut out.results, &mut out.latencies, k, opts);
+    } else {
+        out.deduped = (n - uniq) as u64;
+        out.uniq_results.resize_with(uniq, TopKResult::default);
+        out.uniq_latencies.clear();
+        out.uniq_latencies.resize(uniq, Duration::ZERO);
+        run_workers(ctx, &out.uniq_queries, &mut out.uniq_results, &mut out.uniq_latencies, k, opts);
+        for (i, &slot) in out.slot_of.iter().enumerate() {
+            let src = &out.uniq_results[slot as usize];
+            let dst = &mut out.results[i];
+            dst.hits.clear();
+            dst.hits.extend_from_slice(&src.hits);
+            dst.stats = src.stats;
+            dst.explain = src.explain.clone();
+            // The copy's latency is the unique computation's latency:
+            // a deduped slot reports what answering it cost, not the
+            // (negligible) memcpy.
+            out.latencies[i] = out.uniq_latencies[slot as usize];
+        }
+        for res in &out.results {
+            out.totals.accumulate(&res.stats);
+        }
+    }
+    out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
+    out.elapsed = started.elapsed();
+    if let Some(m) = ctx.metrics {
+        m.batches.inc();
+        m.queries.add(n as u64);
+        m.deduped.add(out.deduped);
+        m.record_query_stats(&out.totals);
+        for (res, lat) in out.results.iter().zip(&out.latencies) {
+            m.latency.observe(lat.as_nanos() as u64);
+            m.candidates_per_query.observe(res.stats.candidates);
+            m.hits_per_query.observe(res.hits.len() as u64);
+        }
+        m.pooled_scratches.set(ctx.pooled() as u64);
+    }
+}
+
+/// The parallel worker loop: answers `queries[i]` into `results[i]` /
+/// `latencies[i]` across the context's threads and returns the summed
+/// stats. All three slices have the same length.
+fn run_workers(
+    ctx: &ServeCtx<'_>,
+    queries: &[VertexId],
+    results: &mut [TopKResult],
+    latencies: &mut [Duration],
+    k: usize,
+    opts: &QueryOptions,
+) -> QueryStats {
+    let n = queries.len();
+    // Contiguous chunks, ⌈n/threads⌉ queries each. The split only
+    // assigns work to workers; per-query seeding keeps the answers
+    // independent of it.
+    let threads = ctx.threads.min(n);
+    let per = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for ((q_chunk, r_chunk), l_chunk) in
+            queries.chunks(per).zip(results.chunks_mut(per)).zip(latencies.chunks_mut(per))
+        {
+            handles.push(scope.spawn(move |_| {
+                let mut scratch = ctx.take_scratch();
+                let walk_base = srs_mc::obs::thread_counts();
+                let mut local = QueryStats::default();
+                for ((&u, slot), lat) in q_chunk.iter().zip(r_chunk).zip(l_chunk) {
+                    let t0 = Instant::now();
+                    scratch.query_into(ctx.g, ctx.index, u, k, opts, slot);
+                    *lat = t0.elapsed();
+                    local.accumulate(&slot.stats);
+                }
+                // Batch-end merge: this worker's stage timings and
+                // walk-step class delta fold into the shared cells in
+                // one lock-free pass (per worker, not per query).
+                if let Some(m) = ctx.metrics {
+                    scratch.merge_obs_into(m);
+                    m.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
+                } else {
+                    scratch.clear_obs();
+                }
+                ctx.put_scratch(scratch);
+                local
+            }));
+        }
+        let mut totals = QueryStats::default();
+        for h in handles {
+            totals.accumulate(&h.join().expect("query worker panicked"));
+        }
+        totals
+    })
+    .expect("query scope panicked")
+}
+
 /// A parallel serving layer for Algorithm 5 queries over one graph +
 /// index pair. See the module docs for the determinism and allocation
 /// guarantees.
@@ -188,39 +377,19 @@ impl<'g> QueryEngine<'g> {
         self.pool.lock().len()
     }
 
-    fn take_scratch(&self) -> QueryScratch {
-        self.pool.lock().pop().unwrap_or_else(|| QueryScratch::new(self.g))
-    }
-
-    fn put_scratch(&self, scratch: QueryScratch) {
-        self.pool.lock().push(scratch);
+    fn ctx(&self) -> ServeCtx<'_> {
+        ServeCtx {
+            g: self.g,
+            index: self.index,
+            pool: &self.pool,
+            threads: self.threads,
+            metrics: self.metrics_on.then_some(&*self.metrics),
+        }
     }
 
     /// Answers one query through the pool (no worker threads spawned).
     pub fn query(&self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
-        let mut out = TopKResult::default();
-        let mut scratch = self.take_scratch();
-        let walk_base = srs_mc::obs::thread_counts();
-        let t0 = Instant::now();
-        scratch.query_into(self.g, self.index, u, k, opts, &mut out);
-        let lat = t0.elapsed();
-        if self.metrics_on {
-            let m = &*self.metrics;
-            scratch.merge_obs_into(m);
-            m.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
-            m.queries.inc();
-            m.record_query_stats(&out.stats);
-            m.latency.observe(lat.as_nanos() as u64);
-            m.candidates_per_query.observe(out.stats.candidates);
-            m.hits_per_query.observe(out.hits.len() as u64);
-        } else {
-            scratch.clear_obs();
-        }
-        self.put_scratch(scratch);
-        if self.metrics_on {
-            self.metrics.pooled_scratches.set(self.pooled_states() as u64);
-        }
-        out
+        serve_query(&self.ctx(), u, k, opts)
     }
 
     /// Answers a batch of queries in parallel. Results come back in input
@@ -246,123 +415,165 @@ impl<'g> QueryEngine<'g> {
         opts: &QueryOptions,
         out: &mut BatchResult,
     ) {
-        let started = Instant::now();
-        let n = queries.len();
-        out.results.resize_with(n, TopKResult::default);
-        out.latencies.clear();
-        out.latencies.resize(n, Duration::ZERO);
-        out.totals = QueryStats::default();
-        out.deduped = 0;
-        if n == 0 {
-            out.latency = LatencySummary::default();
-            out.elapsed = started.elapsed();
-            return;
-        }
-        out.dedup_index.clear();
-        out.slot_of.clear();
-        out.uniq_queries.clear();
-        for &q in queries {
-            let next = out.uniq_queries.len() as u32;
-            let slot = *out.dedup_index.entry(q).or_insert(next);
-            if slot == next {
-                out.uniq_queries.push(q);
-            }
-            out.slot_of.push(slot);
-        }
-        let uniq = out.uniq_queries.len();
-        if uniq == n {
-            out.totals = self.run_workers(queries, &mut out.results, &mut out.latencies, k, opts);
-        } else {
-            out.deduped = (n - uniq) as u64;
-            out.uniq_results.resize_with(uniq, TopKResult::default);
-            out.uniq_latencies.clear();
-            out.uniq_latencies.resize(uniq, Duration::ZERO);
-            self.run_workers(&out.uniq_queries, &mut out.uniq_results, &mut out.uniq_latencies, k, opts);
-            for (i, &slot) in out.slot_of.iter().enumerate() {
-                let src = &out.uniq_results[slot as usize];
-                let dst = &mut out.results[i];
-                dst.hits.clear();
-                dst.hits.extend_from_slice(&src.hits);
-                dst.stats = src.stats;
-                dst.explain = src.explain.clone();
-                // The copy's latency is the unique computation's latency:
-                // a deduped slot reports what answering it cost, not the
-                // (negligible) memcpy.
-                out.latencies[i] = out.uniq_latencies[slot as usize];
-            }
-            for res in &out.results {
-                out.totals.accumulate(&res.stats);
-            }
-        }
-        out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
-        out.elapsed = started.elapsed();
-        if self.metrics_on {
-            let m = &*self.metrics;
-            m.batches.inc();
-            m.queries.add(n as u64);
-            m.deduped.add(out.deduped);
-            m.record_query_stats(&out.totals);
-            for (res, lat) in out.results.iter().zip(&out.latencies) {
-                m.latency.observe(lat.as_nanos() as u64);
-                m.candidates_per_query.observe(res.stats.candidates);
-                m.hits_per_query.observe(res.hits.len() as u64);
-            }
-            m.pooled_scratches.set(self.pooled_states() as u64);
-        }
+        serve_batch_into(&self.ctx(), queries, k, opts, out);
+    }
+}
+
+/// One dataset generation inside a [`ServingEngine`]: the dataset plus the
+/// scratch pool sized for *its* graph. The pool travels with the dataset —
+/// scratches are allocated per vertex count, so they must never cross
+/// generations during a hot swap.
+struct EngineState {
+    dataset: Dataset,
+    pool: Mutex<Vec<QueryScratch>>,
+}
+
+impl EngineState {
+    fn new(dataset: Dataset) -> Arc<Self> {
+        Arc::new(EngineState { dataset, pool: Mutex::new(Vec::new()) })
+    }
+}
+
+/// An *owned*, hot-swappable serving engine over a [`Dataset`].
+///
+/// Unlike [`QueryEngine`] (which borrows its graph and index for `'g`),
+/// a `ServingEngine` holds `Arc`s and therefore has no lifetime — it can
+/// live in a server struct, move across threads, and outlive the code
+/// that loaded the snapshot it serves.
+///
+/// [`ServingEngine::swap`] atomically replaces the dataset: every batch
+/// clones the current generation's `Arc` once at entry, so in-flight
+/// batches finish against the dataset they started with while new calls
+/// see the new one. There is no torn state — a query never observes a
+/// graph from one generation and an index from another, because both
+/// travel inside one [`Dataset`]. Scratch pools are per-generation
+/// (scratches are sized to a graph's vertex count), so after a swap the
+/// new generation warms its own pool and the old one is freed when its
+/// last in-flight batch drains.
+///
+/// Answers are produced by the same serving core as [`QueryEngine`], so
+/// results are bit-identical between the two for the same dataset.
+pub struct ServingEngine {
+    current: Mutex<Arc<EngineState>>,
+    threads: usize,
+    metrics: Arc<ServingMetrics>,
+    metrics_on: bool,
+}
+
+impl ServingEngine {
+    /// An engine using all available parallelism.
+    pub fn new(dataset: Dataset) -> Self {
+        let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        Self::with_threads(dataset, threads)
     }
 
-    /// The parallel worker loop: answers `queries[i]` into `results[i]` /
-    /// `latencies[i]` across the engine's threads and returns the summed
-    /// stats. All three slices have the same length.
-    fn run_workers(
+    /// An engine with an explicit worker count (≥ 1). Metrics collection
+    /// is on by default.
+    pub fn with_threads(dataset: Dataset, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let metrics = Arc::new(ServingMetrics::new());
+        metrics.engine_threads.set(threads as u64);
+        Self::set_dataset_gauges(&metrics, &dataset);
+        ServingEngine { current: Mutex::new(EngineState::new(dataset)), threads, metrics, metrics_on: true }
+    }
+
+    fn set_dataset_gauges(metrics: &ServingMetrics, dataset: &Dataset) {
+        metrics.graph_vertices.set(dataset.graph().num_vertices() as u64);
+        metrics.graph_edges.set(dataset.graph().num_edges());
+        metrics.index_bytes.set(dataset.index().memory_bytes());
+    }
+
+    /// The current generation (cloned `Arc`, so the borrow ends here and
+    /// swaps never wait on queries).
+    fn state(&self) -> Arc<EngineState> {
+        self.current.lock().clone()
+    }
+
+    /// The worker count batches are split across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The dataset new queries will be answered against.
+    pub fn dataset(&self) -> Dataset {
+        self.state().dataset.clone()
+    }
+
+    /// The engine's metric cells.
+    pub fn metrics(&self) -> &ServingMetrics {
+        &self.metrics
+    }
+
+    /// A clonable handle to the metric cells (e.g. for a scrape endpoint).
+    pub fn metrics_handle(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Enables or disables metric collection (see
+    /// [`QueryEngine::set_metrics_enabled`]).
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics_on = on;
+    }
+
+    /// Whether metric collection is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_on
+    }
+
+    /// How many scratch states the current generation's pool holds.
+    pub fn pooled_states(&self) -> usize {
+        self.state().pool.lock().len()
+    }
+
+    /// Atomically replaces the served dataset and returns the previous
+    /// one. Batches already in flight complete against the old dataset
+    /// (their entry-time `Arc` keeps it alive); calls arriving after
+    /// `swap` returns see only the new one. Nothing is ever torn: graph
+    /// and index swap as one unit.
+    pub fn swap(&self, dataset: Dataset) -> Dataset {
+        Self::set_dataset_gauges(&self.metrics, &dataset);
+        let old = std::mem::replace(&mut *self.current.lock(), EngineState::new(dataset));
+        self.metrics.dataset_swaps.inc();
+        old.dataset.clone()
+    }
+
+    /// Answers one query through the pool (no worker threads spawned).
+    pub fn query(&self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
+        let state = self.state();
+        serve_query(&self.ctx_for(&state), u, k, opts)
+    }
+
+    /// Answers a batch of queries in parallel; see
+    /// [`QueryEngine::query_batch`].
+    pub fn query_batch(&self, queries: &[VertexId], k: usize, opts: &QueryOptions) -> BatchResult {
+        let mut out = BatchResult::new();
+        self.query_batch_into(queries, k, opts, &mut out);
+        out
+    }
+
+    /// [`ServingEngine::query_batch`] into an existing [`BatchResult`],
+    /// recycling its allocations; see [`QueryEngine::query_batch_into`].
+    /// The whole batch runs against one dataset generation, pinned at
+    /// entry.
+    pub fn query_batch_into(
         &self,
         queries: &[VertexId],
-        results: &mut [TopKResult],
-        latencies: &mut [Duration],
         k: usize,
         opts: &QueryOptions,
-    ) -> QueryStats {
-        let n = queries.len();
-        // Contiguous chunks, ⌈n/threads⌉ queries each. The split only
-        // assigns work to workers; per-query seeding keeps the answers
-        // independent of it.
-        let threads = self.threads.min(n);
-        let per = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for ((q_chunk, r_chunk), l_chunk) in
-                queries.chunks(per).zip(results.chunks_mut(per)).zip(latencies.chunks_mut(per))
-            {
-                handles.push(scope.spawn(move |_| {
-                    let mut scratch = self.take_scratch();
-                    let walk_base = srs_mc::obs::thread_counts();
-                    let mut local = QueryStats::default();
-                    for ((&u, slot), lat) in q_chunk.iter().zip(r_chunk).zip(l_chunk) {
-                        let t0 = Instant::now();
-                        scratch.query_into(self.g, self.index, u, k, opts, slot);
-                        *lat = t0.elapsed();
-                        local.accumulate(&slot.stats);
-                    }
-                    // Batch-end merge: this worker's stage timings and
-                    // walk-step class delta fold into the shared cells in
-                    // one lock-free pass (per worker, not per query).
-                    if self.metrics_on {
-                        scratch.merge_obs_into(&self.metrics);
-                        self.metrics.record_walk_steps(srs_mc::obs::thread_counts().since(&walk_base));
-                    } else {
-                        scratch.clear_obs();
-                    }
-                    self.put_scratch(scratch);
-                    local
-                }));
-            }
-            let mut totals = QueryStats::default();
-            for h in handles {
-                totals.accumulate(&h.join().expect("query worker panicked"));
-            }
-            totals
-        })
-        .expect("query scope panicked")
+        out: &mut BatchResult,
+    ) {
+        let state = self.state();
+        serve_batch_into(&self.ctx_for(&state), queries, k, opts, out);
+    }
+
+    fn ctx_for<'a>(&'a self, state: &'a EngineState) -> ServeCtx<'a> {
+        ServeCtx {
+            g: state.dataset.graph(),
+            index: state.dataset.index(),
+            pool: &state.pool,
+            threads: self.threads,
+            metrics: self.metrics_on.then_some(&*self.metrics),
+        }
     }
 }
 
@@ -565,6 +776,74 @@ mod tests {
         assert_eq!(m.queries.get(), 10);
         for h in &m.query_stages {
             assert_eq!(h.count(), 10);
+        }
+    }
+
+    #[test]
+    fn serving_engine_matches_query_engine() {
+        // The owned engine serves through the same core as the borrowed
+        // one: identical hits, stats, and totals for the same dataset.
+        let (g, idx) = build();
+        let queries: Vec<VertexId> = (0..40).collect();
+        let opts = QueryOptions { explain: true, ..Default::default() };
+        let reference = QueryEngine::with_threads(&g, &idx, 3).query_batch(&queries, 6, &opts);
+        let owned = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 3);
+        let batch = owned.query_batch(&queries, 6, &opts);
+        for (a, b) in reference.results.iter().zip(&batch.results) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.explain, b.explain);
+        }
+        assert_eq!(reference.totals, batch.totals);
+        let single = owned.query(7, 6, &opts);
+        assert_eq!(single.hits, reference.results[7].hits);
+        let m = owned.metrics();
+        assert_eq!(m.queries.get(), queries.len() as u64 + 1);
+        assert_eq!(m.graph_vertices.get(), 200);
+    }
+
+    #[test]
+    fn swap_switches_datasets_atomically() {
+        let (g1, idx1) = build();
+        let g2 = gen::copying_web(150, 4, 0.8, 21);
+        let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+        let idx2 = TopKIndex::build_with(&g2, &params, Diagonal::paper_default(params.c), 9, 2);
+        let want1 = idx1.query(&g1, 5, 4, &QueryOptions::default());
+        let want2 = idx2.query(&g2, 5, 4, &QueryOptions::default());
+
+        let engine = ServingEngine::with_threads(Dataset::new(g1, idx1).unwrap(), 2);
+        assert_eq!(engine.query(5, 4, &QueryOptions::default()).hits, want1.hits);
+        // Warm the pool, then swap: the new generation must not reuse
+        // scratches sized for the old graph.
+        engine.query_batch(&(0..20).collect::<Vec<_>>(), 4, &QueryOptions::default());
+        assert!(engine.pooled_states() >= 1);
+
+        let old = engine.swap(Dataset::new(g2, idx2).unwrap());
+        assert_eq!(old.graph().num_vertices(), 200, "swap returns the replaced dataset");
+        assert_eq!(engine.dataset().graph().num_vertices(), 150);
+        assert_eq!(engine.pooled_states(), 0, "fresh generation starts with an empty pool");
+        assert_eq!(engine.query(5, 4, &QueryOptions::default()).hits, want2.hits);
+        assert_eq!(engine.metrics().dataset_swaps.get(), 1);
+        assert_eq!(engine.metrics().graph_vertices.get(), 150);
+
+        // The old dataset is still usable by whoever holds it.
+        assert_eq!(old.index().query(old.graph(), 5, 4, &QueryOptions::default()).hits, want1.hits);
+    }
+
+    #[test]
+    fn serving_engine_pool_is_stable_after_warmup() {
+        // Zero steady-state allocation proxy: once the pool reaches the
+        // worker count, repeated batches neither grow nor shrink it.
+        let (g, idx) = build();
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 4);
+        let queries: Vec<VertexId> = (0..32).collect();
+        let mut out = BatchResult::new();
+        engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
+        let warm = engine.pooled_states();
+        assert!(warm >= 1 && warm <= 4, "pool = {warm}");
+        for _ in 0..3 {
+            engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
+            assert_eq!(engine.pooled_states(), warm, "pool drifted in steady state");
         }
     }
 

@@ -31,12 +31,17 @@ use std::time::Instant;
 const BUILD_CHUNK: usize = 256;
 
 /// The candidate index: bipartite graph `H` in CSR form, both directions.
+///
+/// The forward side is a [`srs_graph::storage::SharedSlice`] — owned when
+/// built, a zero-copy view when loaded from a snapshot bundle. The
+/// inverted side is always re-derived on load (cheaper than storing it),
+/// so it stays owned.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateIndex {
     n: u32,
     /// Forward: `entries[offsets[u]..offsets[u+1]]` = sorted signatures of `u`.
-    offsets: Vec<u64>,
-    entries: Vec<VertexId>,
+    offsets: srs_graph::storage::SharedSlice<u64>,
+    entries: srs_graph::storage::SharedSlice<VertexId>,
     /// Inverted: `inv_entries[inv_offsets[w]..inv_offsets[w+1]]` = vertices
     /// having signature `w`.
     inv_offsets: Vec<u64>,
@@ -190,7 +195,13 @@ impl CandidateIndex {
         if let (Some(m), Some(t)) = (obs.metrics, t_asm) {
             m.build_stages[3].observe(t.elapsed().as_nanos() as u64);
         }
-        CandidateIndex { n: n as u32, offsets, entries, inv_offsets, inv_entries }
+        CandidateIndex {
+            n: n as u32,
+            offsets: offsets.into(),
+            entries: entries.into(),
+            inv_offsets,
+            inv_entries,
+        }
     }
 
     /// Sorted signatures of `u` (`Γ(u_left)` in `H`).
@@ -267,8 +278,15 @@ impl CandidateIndex {
         (self.n, &self.offsets, &self.entries)
     }
 
-    /// Rebuilds from persisted forward CSR (the inverted side is re-derived).
-    pub(crate) fn from_raw_parts(n: u32, offsets: Vec<u64>, entries: Vec<VertexId>) -> Self {
+    /// Rebuilds from persisted forward CSR (the inverted side is
+    /// re-derived). The forward arrays may be owned vectors or zero-copy
+    /// snapshot views.
+    pub(crate) fn from_raw_parts(
+        n: u32,
+        offsets: impl Into<srs_graph::storage::SharedSlice<u64>>,
+        entries: impl Into<srs_graph::storage::SharedSlice<VertexId>>,
+    ) -> Self {
+        let (offsets, entries) = (offsets.into(), entries.into());
         assert_eq!(offsets.len(), n as usize + 1, "offsets length");
         let (inv_offsets, inv_entries) = invert(n as usize, &offsets, &entries);
         CandidateIndex { n, offsets, entries, inv_offsets, inv_entries }

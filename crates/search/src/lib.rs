@@ -16,6 +16,7 @@
 //! | parallel batch serving over Algorithm 5 | [`engine`] |
 //! | §2.2 — similarity search for *all* vertices | [`all_vertices`] |
 //! | index persistence (`O(n)` preprocess artifacts) | [`persist`] |
+//! | snapshot bundles (graph + index, zero-copy) + hot-swap datasets | [`snapshot`], [`engine::ServingEngine`] |
 //! | validation against the deterministic solver | [`validate`] |
 //! | serving metrics, stage timers, explain traces | [`obs`] |
 //!
@@ -33,13 +34,15 @@ pub mod index;
 pub mod obs;
 pub mod persist;
 pub mod single_pair;
+pub mod snapshot;
 pub mod topk;
 pub mod validate;
 
-pub use engine::{BatchResult, LatencySummary, QueryEngine};
+pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine};
 pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics};
 pub use single_pair::{SinglePairEstimator, WaveEstimator};
+pub use snapshot::{Dataset, SnapshotInfo};
 pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 
 /// The diagonal correction matrix `D` used by the estimators.

@@ -31,6 +31,8 @@
 //! | `srs_build_stage_ns` | histogram | `stage` |
 //! | `srs_graph_vertices` / `srs_graph_edges` | gauge | |
 //! | `srs_index_bytes` / `srs_engine_threads` / `srs_engine_pooled_scratches` | gauge | |
+//! | `srs_dataset_swaps_total` | counter | |
+//! | `srs_snapshot_load_ns` / `srs_snapshot_bytes` / `srs_snapshot_sections_verified` | gauge | |
 
 use crate::topk::QueryStats;
 use srs_mc::WalkStepCounts;
@@ -100,6 +102,16 @@ pub struct ServingMetrics {
     pub engine_threads: Arc<Gauge>,
     /// `srs_engine_pooled_scratches`.
     pub pooled_scratches: Arc<Gauge>,
+    /// `srs_dataset_swaps_total` (hot swaps performed by a
+    /// [`crate::engine::ServingEngine`]).
+    pub dataset_swaps: Arc<Counter>,
+    /// `srs_snapshot_load_ns` (wall time of the last snapshot load).
+    pub snapshot_load_ns: Arc<Gauge>,
+    /// `srs_snapshot_bytes` (size of the last loaded snapshot).
+    pub snapshot_bytes: Arc<Gauge>,
+    /// `srs_snapshot_sections_verified` (checksum-verified sections of
+    /// the last loaded snapshot).
+    pub snapshot_sections: Arc<Gauge>,
 }
 
 impl Default for ServingMetrics {
@@ -162,8 +174,20 @@ impl ServingMetrics {
             index_bytes: r.gauge("srs_index_bytes", "Preprocess artifact size in bytes"),
             engine_threads: r.gauge("srs_engine_threads", "Engine worker thread count"),
             pooled_scratches: r.gauge("srs_engine_pooled_scratches", "Scratch states currently pooled"),
+            dataset_swaps: r.counter("srs_dataset_swaps_total", "Hot dataset swaps performed"),
+            snapshot_load_ns: r.gauge("srs_snapshot_load_ns", "Wall time of the last snapshot load (ns)"),
+            snapshot_bytes: r.gauge("srs_snapshot_bytes", "Bytes mapped by the last snapshot load"),
+            snapshot_sections: r
+                .gauge("srs_snapshot_sections_verified", "Checksum-verified sections of the last load"),
             registry: r,
         }
+    }
+
+    /// Records one snapshot load's statistics on the snapshot gauges.
+    pub fn record_snapshot_load(&self, info: &crate::snapshot::SnapshotInfo) {
+        self.snapshot_load_ns.set(info.load_time.as_nanos() as u64);
+        self.snapshot_bytes.set(info.bytes);
+        self.snapshot_sections.set(info.sections_verified as u64);
     }
 
     /// The underlying registry (for registering extra app-level metrics
@@ -289,6 +313,10 @@ mod tests {
             "srs_index_bytes",
             "srs_engine_threads",
             "srs_engine_pooled_scratches",
+            "srs_dataset_swaps_total",
+            "srs_snapshot_load_ns",
+            "srs_snapshot_bytes",
+            "srs_snapshot_sections_verified",
         ] {
             assert!(snap.family(family).is_some(), "missing family {family}");
         }
@@ -300,6 +328,19 @@ mod tests {
         assert_eq!(snap.counter_total("srs_query_wave_wasted_total"), 4);
         assert_eq!(snap.family("srs_query_candidate_fates_total").unwrap().samples.len(), 5);
         assert_eq!(snap.family("srs_query_stage_ns").unwrap().samples.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_gauges_record_load_info() {
+        let m = ServingMetrics::new();
+        m.record_snapshot_load(&crate::snapshot::SnapshotInfo {
+            bytes: 1234,
+            sections_verified: 11,
+            load_time: std::time::Duration::from_nanos(5678),
+        });
+        assert_eq!(m.snapshot_bytes.get(), 1234);
+        assert_eq!(m.snapshot_sections.get(), 11);
+        assert_eq!(m.snapshot_load_ns.get(), 5678);
     }
 
     #[test]

@@ -2,16 +2,26 @@
 //!
 //! The whole point of the paper's `O(n)` preprocess is to pay it once per
 //! graph; this module snapshots a [`TopKIndex`] (parameters, diagonal,
-//! γ table, candidate index) into a compact little-endian stream with a
-//! magic header and length validation, so the query phase can start
-//! instantly on reload. The inverted candidate map is re-derived on load
-//! (cheaper than storing it).
+//! γ table, candidate index) so the query phase can start instantly on
+//! reload. The artifact is a `SRSBNDL1` section bundle
+//! ([`srs_graph::container`]): the γ table and candidate CSR are bulk
+//! little-endian sections that load as zero-copy views, and every
+//! section is checksummed so corruption fails loudly at open time. The
+//! inverted candidate map is re-derived on load (cheaper than storing
+//! it).
+//!
+//! The legacy per-element `SRSIDX01` stream (deprecated) remains
+//! loadable: [`load`] switches on the magic. [`save`] always writes the
+//! bundle format.
 
 use crate::bounds::GammaTable;
 use crate::index::CandidateIndex;
 use crate::topk::TopKIndex;
 use crate::{Diagonal, SimRankParams};
 use bytes::{Buf, BufMut};
+use srs_graph::container::{is_bundle, BundleError, BundleReader, BundleWriter};
+use srs_graph::storage::SharedSlice;
+use srs_graph::VertexId;
 use std::io::{Read, Write};
 
 /// Persistence failures.
@@ -40,12 +50,191 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-const MAGIC: &[u8; 8] = b"SRSIDX01";
+impl From<BundleError> for PersistError {
+    fn from(e: BundleError) -> Self {
+        match e {
+            BundleError::Io(io) => PersistError::Io(io),
+            other => PersistError::Format(other.to_string()),
+        }
+    }
+}
 
-/// Serializes the index.
-pub fn save<W: Write>(index: &TopKIndex, mut w: W) -> Result<(), PersistError> {
+/// Magic of the legacy per-element stream (pre-bundle). Readable forever
+/// via [`load`]'s version switch; no longer written by [`save`].
+pub const LEGACY_MAGIC: &[u8; 8] = b"SRSIDX01";
+
+const SEC_INDEX_META: &str = "i.meta";
+const SEC_DIAG: &str = "i.diag";
+const SEC_GAMMA: &str = "i.gamma";
+const SEC_CAND_OFFSETS: &str = "i.cand_off";
+const SEC_CAND_ENTRIES: &str = "i.cand_ent";
+/// c, theta, seed, uniform-diag (f64/u64 × 4), eight u32 params, n,
+/// gamma steps, diagonal tag, padding (u32 × 4).
+const INDEX_META_LEN: usize = 8 * 4 + 4 * 8 + 4 * 4;
+
+const DIAG_UNIFORM: u32 = 0;
+const DIAG_PER_VERTEX: u32 = 1;
+
+/// Appends the index's sections (`i.*` tags) to a bundle under
+/// construction. The inverse of [`index_from_bundle`]. Composes with
+/// [`srs_graph::Graph::add_bundle_sections`] to form a full serving
+/// snapshot in one file.
+pub fn add_index_sections(index: &TopKIndex, w: &mut BundleWriter) {
+    let p = &index.params;
+    let (diag_tag, uniform) = match &index.diag {
+        Diagonal::Uniform(x) => (DIAG_UNIFORM, *x),
+        Diagonal::PerVertex(_) => (DIAG_PER_VERTEX, 0.0),
+    };
+    let mut meta = Vec::with_capacity(INDEX_META_LEN);
+    meta.put_f64_le(p.c);
+    meta.put_f64_le(p.theta);
+    meta.put_u64_le(index.seed);
+    meta.put_f64_le(uniform);
+    for v in [p.t, p.r_refine, p.r_coarse, p.r_bounds, p.r_gamma, p.index_reps, p.index_walks, p.d_max] {
+        meta.put_u32_le(v);
+    }
+    let (n, offsets, entries) = index.candidates.raw_parts();
+    meta.put_u32_le(n);
+    meta.put_u32_le(index.gamma.steps());
+    meta.put_u32_le(diag_tag);
+    meta.put_u32_le(0); // padding
+    w.add_bytes(SEC_INDEX_META, 8, meta);
+    if let Diagonal::PerVertex(d) = &index.diag {
+        w.add_pod(SEC_DIAG, d.as_slice());
+    }
+    w.add_pod(SEC_GAMMA, index.gamma.raw());
+    w.add_pod(SEC_CAND_OFFSETS, offsets);
+    w.add_pod(SEC_CAND_ENTRIES, entries);
+}
+
+/// Reconstructs an index from the `i.*` sections of an opened bundle,
+/// borrowing the γ table and candidate CSR zero-copy from the bundle's
+/// buffer. Other sections (e.g. a snapshot's graph) are ignored.
+pub fn index_from_bundle(r: &BundleReader) -> Result<TopKIndex, PersistError> {
+    let meta = r.bytes(SEC_INDEX_META)?;
+    if meta.len() != INDEX_META_LEN {
+        return Err(PersistError::Format(format!(
+            "index meta section has {} bytes, expected {INDEX_META_LEN}",
+            meta.len()
+        )));
+    }
+    let mut buf = meta;
+    let c = buf.get_f64_le();
+    let theta = buf.get_f64_le();
+    let seed = buf.get_u64_le();
+    let uniform = buf.get_f64_le();
+    let params = SimRankParams {
+        c,
+        t: buf.get_u32_le(),
+        r_refine: buf.get_u32_le(),
+        r_coarse: buf.get_u32_le(),
+        r_bounds: buf.get_u32_le(),
+        r_gamma: buf.get_u32_le(),
+        index_reps: buf.get_u32_le(),
+        index_walks: buf.get_u32_le(),
+        d_max: buf.get_u32_le(),
+        theta,
+    };
+    let n = buf.get_u32_le();
+    let steps = buf.get_u32_le();
+    let diag = match buf.get_u32_le() {
+        DIAG_UNIFORM => Diagonal::Uniform(uniform),
+        DIAG_PER_VERTEX => {
+            let d: SharedSlice<f64> = r.pod_slice(SEC_DIAG)?;
+            Diagonal::PerVertex(std::sync::Arc::new(d.to_vec()))
+        }
+        other => return Err(PersistError::Format(format!("unknown diagonal tag {other}"))),
+    };
+    let gamma: SharedSlice<f32> = r.pod_slice(SEC_GAMMA)?;
+    let offsets: SharedSlice<u64> = r.pod_slice(SEC_CAND_OFFSETS)?;
+    let entries: SharedSlice<VertexId> = r.pod_slice(SEC_CAND_ENTRIES)?;
+    assemble(params, seed, diag, steps, gamma, n, offsets, entries)
+}
+
+/// Serializes the index as a `SRSBNDL1` bundle.
+pub fn save<W: Write>(index: &TopKIndex, w: W) -> Result<(), PersistError> {
+    let mut bundle = BundleWriter::new();
+    add_index_sections(index, &mut bundle);
+    bundle.write_to(w).map_err(PersistError::from)
+}
+
+/// Deserializes an index, sniffing the format from the magic: `SRSBNDL1`
+/// bundles load as bulk sections (zero-copy), legacy `SRSIDX01` streams
+/// decode through the original per-element path.
+pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    if is_bundle(&raw) {
+        let reader = BundleReader::open(raw)?;
+        return index_from_bundle(&reader);
+    }
+    if raw.len() >= 8 && &raw[..8] == LEGACY_MAGIC {
+        return load_legacy(&raw);
+    }
+    Err(PersistError::Format("bad magic".into()))
+}
+
+/// Structural validation shared by the bundle and legacy load paths,
+/// then assembly. A corrupted artifact must error here, not panic later.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    params: SimRankParams,
+    seed: u64,
+    diag: Diagonal,
+    steps: u32,
+    gamma: SharedSlice<f32>,
+    n: u32,
+    offsets: SharedSlice<u64>,
+    entries: SharedSlice<VertexId>,
+) -> Result<TopKIndex, PersistError> {
+    if steps == 0 || !gamma.len().is_multiple_of(steps as usize) {
+        return Err(PersistError::Format("gamma shape mismatch".into()));
+    }
+    if gamma.len() / steps as usize != n as usize {
+        return Err(PersistError::Format(format!(
+            "gamma covers {} vertices, candidate index {n}",
+            gamma.len() / steps as usize
+        )));
+    }
+    if offsets.len() != n as usize + 1 {
+        return Err(PersistError::Format("offsets shape mismatch".into()));
+    }
+    if offsets.last().copied().unwrap_or(0) != entries.len() as u64 {
+        return Err(PersistError::Format("entry count mismatch".into()));
+    }
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Format("offsets not monotone".into()));
+    }
+    if entries.iter().any(|&e| e >= n) {
+        return Err(PersistError::Format("candidate entry out of range".into()));
+    }
+    if !params.is_valid() {
+        return Err(PersistError::Format("parameters out of range".into()));
+    }
+    match &diag {
+        Diagonal::PerVertex(v) if v.len() != n as usize => {
+            return Err(PersistError::Format(format!(
+                "per-vertex diagonal covers {} vertices, index {n}",
+                v.len()
+            )));
+        }
+        Diagonal::Uniform(x) if !x.is_finite() => {
+            return Err(PersistError::Format("non-finite diagonal".into()));
+        }
+        _ => {}
+    }
+    let gamma = GammaTable::from_raw(steps, gamma);
+    let candidates = CandidateIndex::from_raw_parts(n, offsets, entries);
+    Ok(TopKIndex { params, diag, gamma, candidates, seed })
+}
+
+/// Writes the **legacy** `SRSIDX01` per-element stream.
+///
+/// Deprecated in favour of the bundle format emitted by [`save`];
+/// retained so the legacy read path stays exercised by tests.
+pub fn save_legacy<W: Write>(index: &TopKIndex, mut w: W) -> Result<(), PersistError> {
     let mut buf = Vec::new();
-    buf.put_slice(MAGIC);
+    buf.put_slice(LEGACY_MAGIC);
     // Parameters.
     let p = &index.params;
     buf.put_f64_le(p.c);
@@ -95,11 +284,10 @@ pub fn save<W: Write>(index: &TopKIndex, mut w: W) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// Deserializes an index previously written by [`save`].
-pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
-    let mut raw = Vec::new();
-    r.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
+/// Decodes the legacy `SRSIDX01` per-element stream (magic already
+/// sniffed by [`load`]).
+fn load_legacy(raw: &[u8]) -> Result<TopKIndex, PersistError> {
+    let mut buf = raw;
     let need = |buf: &&[u8], n: usize| -> Result<(), PersistError> {
         if buf.remaining() < n {
             Err(PersistError::Format("truncated stream".into()))
@@ -113,12 +301,7 @@ pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
     let span = |count: usize, width: usize| -> Result<usize, PersistError> {
         count.checked_mul(width).ok_or_else(|| PersistError::Format("length overflow".into()))
     };
-    need(&buf, 8)?;
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(PersistError::Format("bad magic".into()));
-    }
+    buf.advance(8); // magic, validated by the caller
     need(&buf, 8 + 4 * 9 + 8 + 8 + 1)?;
     let params = SimRankParams {
         c: buf.get_f64_le(),
@@ -153,15 +336,11 @@ pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
     need(&buf, 12)?;
     let steps = buf.get_u32_le();
     let glen = buf.get_u64_le() as usize;
-    if steps == 0 || !glen.is_multiple_of(steps as usize) {
-        return Err(PersistError::Format("gamma shape mismatch".into()));
-    }
     need(&buf, span(glen, 4)?)?;
     let mut gamma = Vec::with_capacity(glen);
     for _ in 0..glen {
         gamma.push(buf.get_f32_le());
     }
-    let gamma = GammaTable::from_raw(steps, gamma);
     need(&buf, 12)?;
     let n = buf.get_u32_le();
     let olen = buf.get_u64_le() as usize;
@@ -175,46 +354,12 @@ pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
     }
     need(&buf, 8)?;
     let elen = buf.get_u64_le() as usize;
-    if offsets.last().copied().unwrap_or(0) != elen as u64 {
-        return Err(PersistError::Format("entry count mismatch".into()));
-    }
     need(&buf, span(elen, 4)?)?;
     let mut entries = Vec::with_capacity(elen);
     for _ in 0..elen {
         entries.push(buf.get_u32_le());
     }
-    // Structural validation before handing to the CSR inverter: offsets
-    // monotone, every entry a valid vertex id, gamma covering the same
-    // vertex set. A corrupted stream must error here, not panic later.
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(PersistError::Format("offsets not monotone".into()));
-    }
-    if entries.iter().any(|&e| e >= n) {
-        return Err(PersistError::Format("candidate entry out of range".into()));
-    }
-    if gamma.num_vertices() != n as usize {
-        return Err(PersistError::Format(format!(
-            "gamma covers {} vertices, candidate index {n}",
-            gamma.num_vertices()
-        )));
-    }
-    if !params.is_valid() {
-        return Err(PersistError::Format("parameters out of range".into()));
-    }
-    match &diag {
-        Diagonal::PerVertex(v) if v.len() != n as usize => {
-            return Err(PersistError::Format(format!(
-                "per-vertex diagonal covers {} vertices, index {n}",
-                v.len()
-            )));
-        }
-        Diagonal::Uniform(x) if !x.is_finite() => {
-            return Err(PersistError::Format("non-finite diagonal".into()));
-        }
-        _ => {}
-    }
-    let candidates = CandidateIndex::from_raw_parts(n, offsets, entries);
-    Ok(TopKIndex { params, diag, gamma, candidates, seed })
+    assemble(params, seed, diag, steps, gamma.into(), n, offsets.into(), entries.into())
 }
 
 #[cfg(test)]
@@ -234,6 +379,7 @@ mod tests {
         let idx = build_index(&g);
         let mut buf = Vec::new();
         save(&idx, &mut buf).unwrap();
+        assert!(is_bundle(&buf));
         let back = load(&buf[..]).unwrap();
         for u in [0u32, 33, 90] {
             let a = idx.query(&g, u, 5, &QueryOptions::default());
@@ -259,6 +405,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_stream_still_loads() {
+        let g = gen::copying_web(100, 4, 0.8, 7);
+        let idx = build_index(&g);
+        let mut legacy = Vec::new();
+        save_legacy(&idx, &mut legacy).unwrap();
+        assert_eq!(&legacy[..8], LEGACY_MAGIC);
+        let back = load(&legacy[..]).unwrap();
+        for u in [4u32, 55] {
+            let a = idx.query(&g, u, 5, &QueryOptions::default());
+            let b = back.query(&g, u, 5, &QueryOptions::default());
+            assert_eq!(a.hits, b.hits, "u={u}");
+        }
+        // Both formats reconstruct the same index.
+        let mut bundle = Vec::new();
+        save(&idx, &mut bundle).unwrap();
+        let via_bundle = load(&bundle[..]).unwrap();
+        assert_eq!(via_bundle.candidates, back.candidates);
+        assert_eq!(via_bundle.gamma, back.gamma);
+    }
+
+    #[test]
     fn rejects_corruption() {
         let g = gen::erdos_renyi(30, 90, 1);
         let idx = build_index(&g);
@@ -269,6 +436,17 @@ mod tests {
         bad[3] ^= 0xFF;
         assert!(matches!(load(&bad[..]), Err(PersistError::Format(_))));
         // Truncation at arbitrary points must error, never panic.
+        for cut in [10, 60, buf.len() / 2, buf.len() - 2] {
+            assert!(load(&buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn legacy_rejects_corruption() {
+        let g = gen::erdos_renyi(30, 90, 1);
+        let idx = build_index(&g);
+        let mut buf = Vec::new();
+        save_legacy(&idx, &mut buf).unwrap();
         for cut in [10, 60, buf.len() / 2, buf.len() - 2] {
             assert!(load(&buf[..cut]).is_err(), "cut={cut}");
         }

@@ -1,0 +1,177 @@
+//! Serving snapshots: graph + index as one zero-copy artifact.
+//!
+//! A snapshot is a single `SRSBNDL1` bundle ([`srs_graph::container`])
+//! carrying both the graph's `g.*` sections and the index's `i.*`
+//! sections. [`pack`] writes one from in-memory objects; [`Dataset::load`]
+//! reads one back with a single bulk read — every hot array becomes a
+//! zero-copy view into the one shared buffer, so startup cost is I/O plus
+//! checksums, not Monte-Carlo work. Because section readers ignore tags
+//! they don't know, a snapshot also loads anywhere a graph bundle does
+//! (e.g. `srs_graph::io::read_binary`).
+//!
+//! [`Dataset`] is the unit the serving layer owns and swaps: an
+//! `Arc<Graph>` + `Arc<TopKIndex>` pair that clones in O(1), so an
+//! engine can atomically replace its dataset while in-flight batches
+//! keep the old one alive (see [`crate::engine::ServingEngine`]).
+
+use crate::persist::{add_index_sections, index_from_bundle, PersistError};
+use crate::topk::TopKIndex;
+use srs_graph::container::{BundleReader, BundleWriter};
+use srs_graph::Graph;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An immutable graph + index pair, shared via `Arc` so clones are O(1)
+/// and a serving engine can hand the same dataset to many threads (or
+/// keep an old one alive through a hot swap).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    graph: Arc<Graph>,
+    index: Arc<TopKIndex>,
+}
+
+impl Dataset {
+    /// Pairs a graph with an index built for it. Errors if the two
+    /// disagree on the vertex count — a mismatched pair would panic deep
+    /// inside a query instead.
+    pub fn new(graph: Graph, index: TopKIndex) -> Result<Self, PersistError> {
+        Self::from_arcs(Arc::new(graph), Arc::new(index))
+    }
+
+    /// [`Dataset::new`] over already-shared parts.
+    pub fn from_arcs(graph: Arc<Graph>, index: Arc<TopKIndex>) -> Result<Self, PersistError> {
+        let (gn, inx) = (graph.num_vertices(), index.candidate_index().num_vertices());
+        if gn != inx {
+            return Err(PersistError::Format(format!("graph has {gn} vertices, index covers {inx}")));
+        }
+        Ok(Dataset { graph, index })
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The index.
+    pub fn index(&self) -> &TopKIndex {
+        &self.index
+    }
+
+    /// The graph's shared handle.
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The index's shared handle.
+    pub fn index_arc(&self) -> &Arc<TopKIndex> {
+        &self.index
+    }
+
+    /// Loads a snapshot from bundle bytes. Returns the dataset plus
+    /// [`SnapshotInfo`] load statistics (for `srs-obs` gauges).
+    pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<(Self, SnapshotInfo), PersistError> {
+        let started = std::time::Instant::now();
+        let reader = BundleReader::open(bytes)?;
+        let graph = Graph::from_bundle(&reader).map_err(|e| PersistError::Format(e.to_string()))?;
+        let index = index_from_bundle(&reader)?;
+        let info = SnapshotInfo {
+            bytes: reader.total_bytes(),
+            sections_verified: reader.num_sections(),
+            load_time: started.elapsed(),
+        };
+        Ok((Self::new(graph, index)?, info))
+    }
+
+    /// Loads a snapshot file written by [`pack`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<(Self, SnapshotInfo), PersistError> {
+        Self::from_snapshot_bytes(std::fs::read(path)?)
+    }
+}
+
+/// Statistics from one snapshot load, surfaced through
+/// [`crate::obs::ServingMetrics`] and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Total bundle size in bytes (everything mapped into memory).
+    pub bytes: u64,
+    /// Number of sections whose checksums were verified at open.
+    pub sections_verified: u32,
+    /// Wall-clock time from first byte to ready dataset.
+    pub load_time: Duration,
+}
+
+/// Writes graph + index as one snapshot bundle (the `srs pack` artifact).
+pub fn pack<W: Write>(graph: &Graph, index: &TopKIndex, w: W) -> Result<(), PersistError> {
+    let mut bundle = BundleWriter::new();
+    graph.add_bundle_sections(&mut bundle);
+    add_index_sections(index, &mut bundle);
+    bundle.write_to(w).map_err(PersistError::from)
+}
+
+/// [`pack`] to a byte vector.
+pub fn pack_to_bytes(graph: &Graph, index: &TopKIndex) -> Vec<u8> {
+    let mut bundle = BundleWriter::new();
+    graph.add_bundle_sections(&mut bundle);
+    add_index_sections(index, &mut bundle);
+    bundle.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::QueryOptions;
+    use crate::{Diagonal, SimRankParams};
+    use srs_graph::gen;
+
+    fn build(n: u32, seed: u64) -> (Graph, TopKIndex) {
+        let g = gen::copying_web(n, 4, 0.8, seed);
+        let params = SimRankParams { r_bounds: 200, r_gamma: 25, ..Default::default() };
+        let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), seed, 2);
+        (g, idx)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let (g, idx) = build(120, 5);
+        let bytes = pack_to_bytes(&g, &idx);
+        let (ds, info) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
+        assert_eq!(info.bytes, bytes.len() as u64);
+        // 6 graph sections + 4 index sections (uniform diagonal stores
+        // no `i.diag`).
+        assert_eq!(info.sections_verified, 10, "{info:?}");
+        assert_eq!(*ds.graph(), g);
+        for u in [0u32, 7, 64, 119] {
+            let a = idx.query(&g, u, 8, &QueryOptions::default());
+            let b = ds.index().query(ds.graph(), u, 8, &QueryOptions::default());
+            assert_eq!(a.hits, b.hits, "u={u}");
+            assert_eq!(a.stats, b.stats, "u={u}");
+        }
+    }
+
+    #[test]
+    fn snapshot_loads_as_plain_graph_too() {
+        let (g, idx) = build(60, 9);
+        let bytes = pack_to_bytes(&g, &idx);
+        let g2 = srs_graph::io::read_binary(&bytes[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn snapshot_loads_as_plain_index_too() {
+        let (g, idx) = build(60, 10);
+        let bytes = pack_to_bytes(&g, &idx);
+        let idx2 = crate::persist::load(&bytes[..]).unwrap();
+        let a = idx.query(&g, 3, 5, &QueryOptions::default());
+        let b = idx2.query(&g, 3, 5, &QueryOptions::default());
+        assert_eq!(a.hits, b.hits);
+    }
+
+    #[test]
+    fn mismatched_pair_rejected() {
+        let (g, _) = build(60, 11);
+        let (_, idx_small) = build(30, 11);
+        assert!(matches!(Dataset::new(g, idx_small), Err(PersistError::Format(_))));
+    }
+}
