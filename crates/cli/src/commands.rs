@@ -24,9 +24,13 @@ usage:
   srs query      {--snapshot FILE.srs | --graph FILE --index FILE} --vertex V [--k 20]
                  [--ball R] [--theta X] [--wave-width W] [--explain]
   srs batch-query {--snapshot FILE.srs | --graph FILE --index FILE}
-                 [--vertices 1,2,3 | --queries N [--seed S]]
+                 [--vertices 1,2,3 | --queries N|FILE|- [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
                  [--metrics-out FILE] [--hits-out FILE]
+  srs serve      --snapshot FILE.srs [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
+                 [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
+  srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
+                 [--zipf 1.0] [--connections 4] [--seed S]
   srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -48,6 +52,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "pack" => pack(&args),
         "query" => query(&args),
         "batch-query" => batch_query(&args),
+        "serve" => serve(&args),
+        "loadgen" => loadgen(&args),
         "topk-all" => topk_all(&args),
         "exact" => exact(&args),
         "validate" => validate(&args),
@@ -356,13 +362,30 @@ fn batch_query(args: &Args) -> Result<String, String> {
     let queries: Vec<u32> = match args.get_list::<u32>("vertices")? {
         Some(v) if v.is_empty() => return Err("--vertices names no vertices".into()),
         Some(v) => v,
-        None => {
-            // No explicit list: sample a degree-weighted workload, the same
-            // way the validation and experiment harnesses pick queries.
-            let count: usize = args.get_or("queries", 100)?;
-            let seed: u64 = args.get_or("seed", 1)?;
-            stats::sample_query_vertices(ds.graph(), count, seed)
-        }
+        // `--queries` is sniffed for back-compat: an integer samples that
+        // many degree-weighted vertices (the original meaning), `-` reads
+        // one vertex id per line from stdin, anything else is a workload
+        // file of one id per line.
+        None => match args.opt("queries") {
+            Some("-") => {
+                let mut text = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                parse_query_lines(&text, "<stdin>")?
+            }
+            Some(spec) if spec.parse::<usize>().is_err() => {
+                let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+                parse_query_lines(&text, spec)?
+            }
+            _ => {
+                // No explicit list: sample a degree-weighted workload, the
+                // same way the validation and experiment harnesses pick
+                // queries.
+                let count: usize = args.get_or("queries", 100)?;
+                let seed: u64 = args.get_or("seed", 1)?;
+                stats::sample_query_vertices(ds.graph(), count, seed)
+            }
+        },
     };
     if let Some(&bad) = queries.iter().find(|&&u| u >= n) {
         return Err(format!("vertex {bad} out of range (n = {n})"));
@@ -441,6 +464,271 @@ fn batch_query(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "metrics -> {path}");
     }
     Ok(out)
+}
+
+/// Parses a query-workload file: one vertex id per line, blank lines and
+/// `#` comments skipped.
+fn parse_query_lines(text: &str, source: &str) -> Result<Vec<u32>, String> {
+    let mut ids = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let id: u32 =
+            line.parse().map_err(|_| format!("{source}:{}: `{line}` is not a vertex id", lineno + 1))?;
+        ids.push(id);
+    }
+    if ids.is_empty() {
+        return Err(format!("{source}: no vertex ids"));
+    }
+    Ok(ids)
+}
+
+fn serve(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "snapshot",
+        "addr",
+        "threads",
+        "max-batch",
+        "batch-window-us",
+        "queue",
+        "cache",
+        "k",
+    ])?;
+    let defaults = srs_serve::ServerConfig::default();
+    let config = srs_serve::ServerConfig {
+        snapshot: Path::new(args.req("snapshot")?).to_path_buf(),
+        addr: args.opt("addr").unwrap_or(&defaults.addr).to_string(),
+        threads: args.get_or("threads", defaults.threads)?,
+        max_batch: args.get_or("max-batch", defaults.max_batch)?,
+        batch_window: std::time::Duration::from_micros(args.get_or("batch-window-us", 500)?),
+        queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+        cache_capacity: args.get_or("cache", defaults.cache_capacity)?,
+        default_k: args.get_or("k", defaults.default_k)?,
+    };
+    let server = srs_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    let engine = server.engine();
+    {
+        let ds = engine.dataset();
+        // The listen line goes to stderr immediately — stdout is the run
+        // summary, which only exists once the server has drained.
+        eprintln!(
+            "srs serve: listening on http://{} (n={} m={}, {} engine threads)",
+            server.local_addr(),
+            ds.graph().num_vertices(),
+            ds.graph().num_edges(),
+            engine.threads(),
+        );
+    }
+    let metrics = engine.metrics_handle();
+    server.run().map_err(|e| e.to_string())?;
+    let snap = metrics.snapshot();
+    Ok(format!(
+        "server stopped: {} connections, {} requests, {} waves, generation {}\n",
+        snap.counter_total("srs_server_connections_total"),
+        snap.counter_total("srs_server_requests_total"),
+        snap.counter_total("srs_server_waves_total"),
+        engine.generation()
+    ))
+}
+
+fn loadgen(args: &Args) -> Result<String, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+    args.ensure_known(&["addr", "rate", "duration-s", "requests", "k", "zipf", "connections", "seed"])?;
+    let addr = args.req("addr")?.to_string();
+    let rate: f64 = args.get_or("rate", 200.0)?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err("--rate must be a positive number".into());
+    }
+    let total: usize = match args.opt("requests") {
+        Some(_) => args.get_req("requests")?,
+        None => {
+            let secs: f64 = args.get_or("duration-s", 2.0)?;
+            if !(secs.is_finite() && secs > 0.0) {
+                return Err("--duration-s must be a positive number".into());
+            }
+            (rate * secs).ceil().max(1.0) as usize
+        }
+    };
+    if total == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let k: usize = args.get_or("k", 20)?;
+    let exponent: f64 = args.get_or("zipf", 1.0)?;
+    if !(exponent.is_finite() && exponent >= 0.0) {
+        return Err("--zipf must be >= 0 (0 = uniform)".into());
+    }
+    let connections: usize = args.get_or::<usize>("connections", 4)?.clamp(1, total);
+    let seed: u64 = args.get_or("seed", 7)?;
+
+    // The vertex universe comes from the server itself.
+    let mut probe = srs_serve::HttpClient::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let info = probe.get("/info").map_err(|e| format!("{addr}: GET /info: {e}"))?;
+    if info.status != 200 {
+        return Err(format!("{addr}: GET /info answered {}", info.status));
+    }
+    let n = json_u64_field(&info.body_str(), "vertices")
+        .ok_or_else(|| format!("{addr}: /info response had no vertex count"))? as usize;
+    if n == 0 {
+        return Err(format!("{addr}: server graph has no vertices"));
+    }
+    drop(probe);
+
+    // Pre-draw the whole workload so workers spend the measured window on
+    // network i/o only. Ranks map to vertex ids through a coprime stride,
+    // scattering the hot head of the distribution across the id space.
+    let cdf = zipf_cdf(n, exponent);
+    let stride = coprime_stride(n as u64);
+    let mut rng = srs_mc::Pcg32::new(seed, 0x10ad);
+    let targets: Vec<u32> = (0..total)
+        .map(|_| {
+            let x = rng.gen_f64();
+            let rank = cdf.partition_point(|&p| p <= x).min(n - 1);
+            ((rank as u64 * stride) % n as u64) as u32
+        })
+        .collect();
+
+    // Open loop: request i is *due* at start + i/rate no matter how fast
+    // earlier requests completed, and latency is measured from the due
+    // time — server-side queueing shows up as latency instead of silently
+    // stretching the run (the coordinated-omission trap of closed loops).
+    let start = Instant::now() + Duration::from_millis(20);
+    let errors = AtomicU64::new(0);
+    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let note = |msg: String| {
+        let mut f = failures.lock().unwrap();
+        if f.len() < 5 && !f.contains(&msg) {
+            f.push(msg);
+        }
+    };
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                let (addr, targets, errors, note) = (&addr, &targets, &errors, &note);
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    let mut client: Option<srs_serve::HttpClient> = None;
+                    for i in (w..total).step_by(connections) {
+                        let due = start + Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let c = match client.as_mut() {
+                            Some(c) => c,
+                            None => match srs_serve::HttpClient::connect(addr) {
+                                Ok(c) => client.insert(c),
+                                Err(e) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    note(format!("connect: {e}"));
+                                    continue;
+                                }
+                            },
+                        };
+                        match c.get(&format!("/query?u={}&k={k}", targets[i])) {
+                            Ok(r) if r.status == 200 => {
+                                lats.push(Instant::now().saturating_duration_since(due));
+                            }
+                            Ok(r) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                note(format!("http {}: {}", r.status, r.body_str()));
+                            }
+                            Err(e) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                note(format!("transport: {e}"));
+                                client = None;
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("loadgen worker panicked")).collect()
+    });
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let errs = errors.load(Ordering::Relaxed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadgen: {total} requests to {addr} at {rate:.0} rps target (zipf {exponent}, {connections} connections, k={k})"
+    );
+    let _ = writeln!(
+        out,
+        "completed {completed} ok, {errs} errors in {:.2?} -> achieved {:.0} queries/s",
+        wall,
+        completed as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if completed > 0 {
+        let pct = |p: f64| latencies[((p * completed as f64).ceil() as usize).clamp(1, completed) - 1];
+        let _ = writeln!(
+            out,
+            "latency (from scheduled send): p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            latencies[completed - 1]
+        );
+    }
+    for msg in failures.into_inner().unwrap() {
+        let _ = writeln!(out, "error: {msg}");
+    }
+    Ok(out)
+}
+
+/// Cumulative Zipf(`s`) distribution over `n` ranks (`s = 0` is uniform).
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 1..=n {
+        acc += (rank as f64).powf(-s);
+        cdf.push(acc);
+    }
+    let norm = 1.0 / acc;
+    for v in &mut cdf {
+        *v *= norm;
+    }
+    cdf
+}
+
+/// A multiplier coprime to `n`, used as the bijection `rank -> vertex id`
+/// so the hot head of the Zipf distribution is scattered over the id
+/// space instead of clustering at the low ids.
+fn coprime_stride(n: u64) -> u64 {
+    if n <= 2 {
+        return 1;
+    }
+    let mut stride = (0x9e37_79b9 % n).max(1); // golden-ratio scatter
+    while gcd(stride, n) != 1 {
+        stride = stride % n + 1;
+    }
+    stride
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Pulls an unsigned-integer field out of the server's (known-shape) JSON
+/// — all the parsing `loadgen` needs.
+fn json_u64_field(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let rest = body[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        rest[..end].parse().ok()
+    }
 }
 
 fn topk_all(args: &Args) -> Result<String, String> {
@@ -669,6 +957,149 @@ mod tests {
         assert!(out.contains("edges"), "{out}");
         std::fs::remove_file(&bin).ok();
         std::fs::remove_file(&txt).ok();
+    }
+
+    #[test]
+    fn batch_query_reads_workload_files() {
+        let g_path = tmp("qf.bin");
+        let i_path = tmp("qf.idx");
+        let q_path = tmp("qf.queries");
+        let hits_a = tmp("qf_a.hits");
+        let hits_b = tmp("qf_b.hits");
+        run(&format!("generate --family web --n 150 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        std::fs::write(&q_path, "# workload\n3\n17\n\n42\n").unwrap();
+        let out = run(&format!(
+            "batch-query --graph {} --index {} --queries {} --k 5 --hits-out {}",
+            g_path.display(),
+            i_path.display(),
+            q_path.display(),
+            hits_a.display()
+        ))
+        .unwrap();
+        assert!(out.contains("3 queries"), "{out}");
+        // The file form answers exactly like the same ids passed inline.
+        run(&format!(
+            "batch-query --graph {} --index {} --vertices 3,17,42 --k 5 --hits-out {}",
+            g_path.display(),
+            i_path.display(),
+            hits_b.display()
+        ))
+        .unwrap();
+        assert_eq!(std::fs::read(&hits_a).unwrap(), std::fs::read(&hits_b).unwrap());
+        // Junk lines are rejected with their location.
+        std::fs::write(&q_path, "7\nnot-a-vertex\n").unwrap();
+        let err = run(&format!(
+            "batch-query --graph {} --index {} --queries {}",
+            g_path.display(),
+            i_path.display(),
+            q_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+        for p in [&g_path, &i_path, &q_path, &hits_a, &hits_b] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_server() {
+        let g_path = tmp("lg.bin");
+        let i_path = tmp("lg.idx");
+        let s_path = tmp("lg.srs");
+        run(&format!("generate --family web --n 120 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            s_path.display()
+        ))
+        .unwrap();
+        let config = srs_serve::ServerConfig {
+            snapshot: s_path.clone(),
+            addr: "127.0.0.1:0".into(),
+            ..srs_serve::ServerConfig::default()
+        };
+        let server = srs_serve::Server::bind(config).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let out = run(&format!(
+            "loadgen --addr {addr} --requests 30 --rate 2000 --connections 3 --zipf 1.2 --seed 5 --k 5"
+        ))
+        .unwrap();
+        assert!(out.contains("completed 30 ok, 0 errors"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        let mut c = srs_serve::HttpClient::connect(addr.to_string()).unwrap();
+        assert_eq!(c.post("/admin/quit").unwrap().status, 200);
+        handle.join().unwrap().unwrap();
+        for p in [&g_path, &i_path, &s_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_command_runs_and_drains() {
+        let g_path = tmp("sv.bin");
+        let i_path = tmp("sv.idx");
+        let s_path = tmp("sv.srs");
+        run(&format!("generate --family web --n 100 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            s_path.display()
+        ))
+        .unwrap();
+        // Grab a free port, then hand it to the command (the tiny re-bind
+        // race is acceptable in a test).
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let cmd = format!(
+            "serve --snapshot {} --addr {addr} --max-batch 8 --batch-window-us 200",
+            s_path.display()
+        );
+        let handle = std::thread::spawn(move || run(&cmd));
+        let mut client = None;
+        for _ in 0..200 {
+            match srs_serve::HttpClient::connect(addr.clone()) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+            }
+        }
+        let mut client = client.expect("server never came up");
+        let resp = client.get("/query?u=1&k=3").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(client.post("/admin/quit").unwrap().status, 200);
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("server stopped:"), "{out}");
+        for p in [&g_path, &i_path, &s_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn loadgen_helpers() {
+        let cdf = zipf_cdf(4, 0.0);
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        let skewed = zipf_cdf(4, 2.0);
+        assert!(skewed[0] > 0.5, "rank 1 should dominate at s=2");
+        for n in [1u64, 2, 3, 10, 12, 97, 1 << 20] {
+            assert_eq!(gcd(coprime_stride(n), n), 1, "stride not coprime to {n}");
+        }
+        assert_eq!(json_u64_field("{\"vertices\":120,\"edges\":480}", "vertices"), Some(120));
+        assert_eq!(json_u64_field("{\"edges\":480}", "vertices"), None);
+        assert_eq!(parse_query_lines("# c\n1\n 2 \n\n3\n", "w").unwrap(), vec![1, 2, 3]);
+        assert!(parse_query_lines("", "w").is_err());
+        assert!(parse_query_lines("x\n", "w").unwrap_err().contains("w:1:"));
     }
 
     #[test]

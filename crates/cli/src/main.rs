@@ -7,6 +7,8 @@
 //! srs stats      --graph g.bin
 //! srs preprocess --graph g.bin --index g.idx [--c 0.6 --t 11 --seed S]
 //! srs query      --graph g.bin --index g.idx --vertex V [--k 20] [--ball R]
+//! srs serve      --snapshot g.srs [--addr 127.0.0.1:7171]    (HTTP daemon)
+//! srs loadgen    --addr 127.0.0.1:7171 --rate 200 --duration-s 5
 //! srs topk-all   --graph g.bin --index g.idx [--k 20] [--out results.csv]
 //! srs exact      --graph g.bin --vertex V [--k 20]
 //! ```

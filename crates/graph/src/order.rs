@@ -151,10 +151,7 @@ mod tests {
     fn degree_order_puts_hubs_first() {
         let g = gen::preferential_attachment(300, 4, 3);
         let r = apply_order(&g, &degree_order(&g));
-        for w in 0..20u32 {
-            // In-degrees must be non-increasing along the new ids.
-            assert!(r.graph.in_degree(w) >= r.graph.in_degree(w + 1).saturating_sub(0) || true);
-        }
+        // In-degrees must be non-increasing along the new ids.
         let degs: Vec<u32> = (0..300).map(|v| r.graph.in_degree(v)).collect();
         let mut sorted = degs.clone();
         sorted.sort_unstable_by_key(|&d| std::cmp::Reverse(d));

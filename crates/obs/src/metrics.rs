@@ -75,6 +75,20 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increments an up/down gauge (e.g. in-flight requests, active
+    /// connections). Pair every `inc` with a [`Gauge::dec`].
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements an up/down gauge. Callers keep inc/dec balanced; a
+    /// decrement below zero wraps (gauges are unsigned cells).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -229,6 +243,10 @@ mod tests {
         g.set(7);
         g.set(3);
         assert_eq!(g.get(), 3);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 4, "up/down gauge tracks balanced inc/dec");
     }
 
     #[test]

@@ -28,6 +28,8 @@ use crate::topk::{QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult}
 use parking_lot::Mutex;
 use srs_graph::hash::FxHashMap;
 use srs_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -100,6 +102,12 @@ pub struct BatchResult {
     uniq_queries: Vec<VertexId>,
     uniq_results: Vec<TopKResult>,
     uniq_latencies: Vec<Duration>,
+    /// Result-cache scratch (only used by [`ServingEngine`] batches with
+    /// caching enabled): miss positions, the miss sub-batch, and the inner
+    /// `BatchResult` the misses are computed into, all reused.
+    cache_miss_idx: Vec<usize>,
+    cache_miss_queries: Vec<VertexId>,
+    cache_inner: Option<Box<BatchResult>>,
 }
 
 impl BatchResult {
@@ -419,18 +427,116 @@ impl<'g> QueryEngine<'g> {
     }
 }
 
+/// Combines the per-query `k` with the options fingerprint into the
+/// options component of a cache key / coalescing group key.
+fn opts_key(k: usize, opts: &QueryOptions) -> u64 {
+    opts.fingerprint() ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A generation-keyed top-k result cache. The map lives inside an
+/// [`EngineState`], so a snapshot hot-swap invalidates every entry for
+/// free: the new generation starts with an empty cache and the old one is
+/// dropped when its last in-flight batch drains. Keys are
+/// `(vertex, opts_key(k, opts))`; on fingerprint match the stored options
+/// are compared with `==` before a hit is declared, so a hash collision
+/// can never return a result computed under different options. Eviction
+/// is FIFO — answers are immutable per generation, so recency tracking
+/// buys little over insertion order.
+#[derive(Default)]
+struct ResultCache {
+    map: FxHashMap<(VertexId, u64), CachedResult>,
+    order: VecDeque<(VertexId, u64)>,
+}
+
+struct CachedResult {
+    k: usize,
+    opts: QueryOptions,
+    result: TopKResult,
+}
+
+impl ResultCache {
+    fn get(&self, vertex: VertexId, key: u64, k: usize, opts: &QueryOptions) -> Option<TopKResult> {
+        let slot = self.map.get(&(vertex, key))?;
+        (slot.k == k && slot.opts == *opts).then(|| slot.result.clone())
+    }
+
+    fn insert(
+        &mut self,
+        vertex: VertexId,
+        key: u64,
+        k: usize,
+        opts: &QueryOptions,
+        result: &TopKResult,
+        capacity: usize,
+    ) {
+        if capacity == 0 || self.map.contains_key(&(vertex, key)) {
+            return;
+        }
+        while self.map.len() >= capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.map.insert((vertex, key), CachedResult { k, opts: opts.clone(), result: result.clone() });
+        self.order.push_back((vertex, key));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One request inside a coalesced wave: a query vertex plus the `k` and
+/// options it arrived with. Waves let a network front end funnel
+/// concurrent single queries into the engine's batch path (where the
+/// throughput lives) — see [`ServingEngine::query_wave`].
+#[derive(Debug, Clone)]
+pub struct WaveQuery {
+    /// The query vertex.
+    pub vertex: VertexId,
+    /// How many results the request wants.
+    pub k: usize,
+    /// The request's query options (shared — many concurrent requests
+    /// typically carry the same defaults).
+    pub opts: Arc<QueryOptions>,
+}
+
+/// The engine's answer to one coalesced wave: per-request results in
+/// input order plus how the wave split into engine batches.
+#[derive(Debug, Default)]
+pub struct WaveOutcome {
+    /// Per-request results, in the order of the input wave.
+    pub results: Vec<TopKResult>,
+    /// Per-request compute latencies, in input order (cache hits report
+    /// zero — the lookup is the work).
+    pub latencies: Vec<Duration>,
+    /// Size of each engine batch the wave was split into (one entry per
+    /// `query_batch` submission; requests sharing `(k, options)` land in
+    /// the same batch).
+    pub batch_sizes: Vec<u32>,
+}
+
 /// One dataset generation inside a [`ServingEngine`]: the dataset plus the
 /// scratch pool sized for *its* graph. The pool travels with the dataset —
 /// scratches are allocated per vertex count, so they must never cross
-/// generations during a hot swap.
+/// generations during a hot swap. The result cache travels the same way,
+/// which is what makes swap-time invalidation free.
 struct EngineState {
     dataset: Dataset,
     pool: Mutex<Vec<QueryScratch>>,
+    cache: Mutex<ResultCache>,
 }
 
 impl EngineState {
     fn new(dataset: Dataset) -> Arc<Self> {
-        Arc::new(EngineState { dataset, pool: Mutex::new(Vec::new()) })
+        Arc::new(EngineState {
+            dataset,
+            pool: Mutex::new(Vec::new()),
+            cache: Mutex::new(ResultCache::default()),
+        })
     }
 }
 
@@ -458,6 +564,12 @@ pub struct ServingEngine {
     threads: usize,
     metrics: Arc<ServingMetrics>,
     metrics_on: bool,
+    /// Dataset generation: 1 for the initial dataset, +1 per [`swap`].
+    ///
+    /// [`swap`]: ServingEngine::swap
+    generation: AtomicU64,
+    /// Result-cache capacity in entries; 0 (the default) disables caching.
+    cache_capacity: AtomicUsize,
 }
 
 impl ServingEngine {
@@ -468,13 +580,21 @@ impl ServingEngine {
     }
 
     /// An engine with an explicit worker count (≥ 1). Metrics collection
-    /// is on by default.
+    /// is on by default; result caching is off (see
+    /// [`ServingEngine::set_cache_capacity`]).
     pub fn with_threads(dataset: Dataset, threads: usize) -> Self {
         let threads = threads.max(1);
         let metrics = Arc::new(ServingMetrics::new());
         metrics.engine_threads.set(threads as u64);
         Self::set_dataset_gauges(&metrics, &dataset);
-        ServingEngine { current: Mutex::new(EngineState::new(dataset)), threads, metrics, metrics_on: true }
+        ServingEngine {
+            current: Mutex::new(EngineState::new(dataset)),
+            threads,
+            metrics,
+            metrics_on: true,
+            generation: AtomicU64::new(1),
+            cache_capacity: AtomicUsize::new(0),
+        }
     }
 
     fn set_dataset_gauges(metrics: &ServingMetrics, dataset: &Dataset) {
@@ -525,22 +645,76 @@ impl ServingEngine {
         self.state().pool.lock().len()
     }
 
+    /// The current dataset generation: 1 for the dataset the engine was
+    /// constructed with, incremented by every [`ServingEngine::swap`].
+    /// Result-cache keys are implicitly generation-scoped (the cache
+    /// lives and dies with its generation's [`EngineState`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Sets the result-cache capacity (entries). `0` disables caching.
+    /// Takes effect for subsequent queries; the current generation's
+    /// existing entries stay until evicted or swapped away. Cached
+    /// answers are exact copies of computed ones (queries are
+    /// deterministic per vertex), so enabling the cache never changes a
+    /// result — only where it comes from, observable via
+    /// `srs_cache_hits_total` / `srs_cache_misses_total`.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The configured result-cache capacity (entries; 0 = disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity.load(Ordering::Relaxed)
+    }
+
+    /// How many results the current generation's cache holds.
+    pub fn cached_results(&self) -> usize {
+        self.state().cache.lock().len()
+    }
+
     /// Atomically replaces the served dataset and returns the previous
     /// one. Batches already in flight complete against the old dataset
     /// (their entry-time `Arc` keeps it alive); calls arriving after
     /// `swap` returns see only the new one. Nothing is ever torn: graph
-    /// and index swap as one unit.
+    /// and index swap as one unit, and the result cache is invalidated
+    /// wholesale (it belongs to the replaced generation).
     pub fn swap(&self, dataset: Dataset) -> Dataset {
         Self::set_dataset_gauges(&self.metrics, &dataset);
         let old = std::mem::replace(&mut *self.current.lock(), EngineState::new(dataset));
+        self.generation.fetch_add(1, Ordering::Relaxed);
         self.metrics.dataset_swaps.inc();
         old.dataset.clone()
     }
 
     /// Answers one query through the pool (no worker threads spawned).
+    /// With caching enabled, a repeat of a `(vertex, k, options)` already
+    /// answered in this generation returns the cached copy.
     pub fn query(&self, u: VertexId, k: usize, opts: &QueryOptions) -> TopKResult {
         let state = self.state();
-        serve_query(&self.ctx_for(&state), u, k, opts)
+        let capacity = self.cache_capacity();
+        if capacity == 0 {
+            return serve_query(&self.ctx_for(&state), u, k, opts);
+        }
+        let key = opts_key(k, opts);
+        if let Some(hit) = state.cache.lock().get(u, key, k, opts) {
+            if let Some(m) = self.metrics_on.then_some(&*self.metrics) {
+                m.cache_hits.inc();
+                m.queries.inc();
+                m.record_query_stats(&hit.stats);
+                m.latency.observe(0);
+                m.candidates_per_query.observe(hit.stats.candidates);
+                m.hits_per_query.observe(hit.hits.len() as u64);
+            }
+            return hit;
+        }
+        let res = serve_query(&self.ctx_for(&state), u, k, opts);
+        if let Some(m) = self.metrics_on.then_some(&*self.metrics) {
+            m.cache_misses.inc();
+        }
+        state.cache.lock().insert(u, key, k, opts, &res, capacity);
+        res
     }
 
     /// Answers a batch of queries in parallel; see
@@ -554,7 +728,12 @@ impl ServingEngine {
     /// [`ServingEngine::query_batch`] into an existing [`BatchResult`],
     /// recycling its allocations; see [`QueryEngine::query_batch_into`].
     /// The whole batch runs against one dataset generation, pinned at
-    /// entry.
+    /// entry. With caching enabled, slots whose `(vertex, k, options)`
+    /// were already answered this generation are filled from the cache
+    /// and only the misses go through the engine (the copy is exact, so
+    /// results are bit-identical to an uncached run; cached slots report
+    /// zero latency). `BatchResult::totals` counts every slot either way,
+    /// the same accounting the in-batch dedup uses.
     pub fn query_batch_into(
         &self,
         queries: &[VertexId],
@@ -563,7 +742,130 @@ impl ServingEngine {
         out: &mut BatchResult,
     ) {
         let state = self.state();
-        serve_batch_into(&self.ctx_for(&state), queries, k, opts, out);
+        let capacity = self.cache_capacity();
+        if capacity == 0 {
+            serve_batch_into(&self.ctx_for(&state), queries, k, opts, out);
+        } else {
+            self.serve_batch_cached(&state, capacity, queries, k, opts, out);
+        }
+    }
+
+    /// The cached batch path: probe every slot, compute the misses as one
+    /// inner batch, insert them, and reassemble in input order.
+    fn serve_batch_cached(
+        &self,
+        state: &EngineState,
+        capacity: usize,
+        queries: &[VertexId],
+        k: usize,
+        opts: &QueryOptions,
+        out: &mut BatchResult,
+    ) {
+        let started = Instant::now();
+        let n = queries.len();
+        let key = opts_key(k, opts);
+        out.results.resize_with(n, TopKResult::default);
+        out.latencies.clear();
+        out.latencies.resize(n, Duration::ZERO);
+        out.totals = QueryStats::default();
+        out.deduped = 0;
+        out.cache_miss_idx.clear();
+        {
+            let cache = state.cache.lock();
+            for (i, &q) in queries.iter().enumerate() {
+                match cache.get(q, key, k, opts) {
+                    Some(hit) => out.results[i] = hit,
+                    None => out.cache_miss_idx.push(i),
+                }
+            }
+        }
+        let hits = (n - out.cache_miss_idx.len()) as u64;
+        if !out.cache_miss_idx.is_empty() {
+            out.cache_miss_queries.clear();
+            out.cache_miss_queries.extend(out.cache_miss_idx.iter().map(|&i| queries[i]));
+            let mut inner = out.cache_inner.take().unwrap_or_default();
+            serve_batch_into(&self.ctx_for(state), &out.cache_miss_queries, k, opts, &mut inner);
+            let mut cache = state.cache.lock();
+            for (j, &i) in out.cache_miss_idx.iter().enumerate() {
+                let res = std::mem::take(&mut inner.results[j]);
+                cache.insert(queries[i], key, k, opts, &res, capacity);
+                out.latencies[i] = inner.latencies[j];
+                out.results[i] = res;
+            }
+            out.deduped = inner.deduped;
+            out.cache_inner = Some(inner);
+        }
+        for res in &out.results {
+            out.totals.accumulate(&res.stats);
+        }
+        out.latency = LatencySummary::compute(&out.latencies, &mut out.lat_scratch);
+        out.elapsed = started.elapsed();
+        if let Some(m) = self.metrics_on.then_some(&*self.metrics) {
+            m.cache_hits.add(hits);
+            m.cache_misses.add(out.cache_miss_idx.len() as u64);
+            // The inner call already counted the missed slots; account the
+            // cached slots here with the same per-slot semantics the
+            // in-batch dedup uses (every slot counts, copies included).
+            m.queries.add(hits);
+            if out.cache_miss_idx.is_empty() && n > 0 {
+                m.batches.inc();
+            }
+            let mut miss = out.cache_miss_idx.iter().copied().peekable();
+            for (i, res) in out.results.iter().enumerate() {
+                if miss.peek() == Some(&i) {
+                    miss.next();
+                    continue; // already recorded by the inner batch
+                }
+                m.record_query_stats(&res.stats);
+                m.latency.observe(0);
+                m.candidates_per_query.observe(res.stats.candidates);
+                m.hits_per_query.observe(res.hits.len() as u64);
+            }
+        }
+    }
+
+    /// Answers one **coalesced wave** of heterogeneous requests: requests
+    /// sharing `(k, options)` are grouped into a single engine batch (the
+    /// batch path is where the throughput lives), and every request's
+    /// result comes back in input order. This is the submission surface a
+    /// network front end drains its request queue through — see
+    /// `srs-serve`'s dispatcher. Per-request answers are bit-identical to
+    /// calling [`ServingEngine::query`] for each request alone: batching
+    /// decides who computes together, never what the answer is.
+    pub fn query_wave(&self, wave: &[WaveQuery]) -> WaveOutcome {
+        let mut out = WaveOutcome {
+            results: Vec::with_capacity(wave.len()),
+            latencies: vec![Duration::ZERO; wave.len()],
+            batch_sizes: Vec::new(),
+        };
+        out.results.resize_with(wave.len(), TopKResult::default);
+        // Group request positions by (k, options) — fingerprint as the
+        // fast path, exact equality as the decider. Waves are small, so a
+        // linear scan over the groups beats hashing the options twice.
+        let mut groups: Vec<(u64, usize, Vec<usize>)> = Vec::new();
+        for (i, q) in wave.iter().enumerate() {
+            let key = opts_key(q.k, &q.opts);
+            match groups.iter_mut().find(|(gkey, first, _)| {
+                *gkey == key && wave[*first].k == q.k && *wave[*first].opts == *q.opts
+            }) {
+                Some((_, _, members)) => members.push(i),
+                None => groups.push((key, i, vec![i])),
+            }
+        }
+        let mut batch = BatchResult::new();
+        let mut queries = Vec::new();
+        for (_, first, members) in &groups {
+            queries.clear();
+            queries.extend(members.iter().map(|&i| wave[i].vertex));
+            let q = &wave[*first];
+            self.query_batch_into(&queries, q.k, &q.opts, &mut batch);
+            out.batch_sizes.push(members.len() as u32);
+            for (j, &i) in members.iter().enumerate() {
+                out.results[i] = std::mem::take(&mut batch.results[j]);
+                out.latencies[i] = batch.latencies[j];
+            }
+        }
+        out
     }
 
     fn ctx_for<'a>(&'a self, state: &'a EngineState) -> ServeCtx<'a> {
@@ -635,7 +937,7 @@ mod tests {
         let mut out = BatchResult::new();
         engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
         let after_first = engine.pooled_states();
-        assert!(after_first >= 1 && after_first <= 4, "pool = {after_first}");
+        assert!((1..=4).contains(&after_first), "pool = {after_first}");
         let first_hits: Vec<_> = out.results.iter().map(|r| r.hits.clone()).collect();
         engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
         assert!(engine.pooled_states() <= 4);
@@ -840,11 +1142,147 @@ mod tests {
         let mut out = BatchResult::new();
         engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
         let warm = engine.pooled_states();
-        assert!(warm >= 1 && warm <= 4, "pool = {warm}");
+        assert!((1..=4).contains(&warm), "pool = {warm}");
         for _ in 0..3 {
             engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
             assert_eq!(engine.pooled_states(), warm, "pool drifted in steady state");
         }
+    }
+
+    #[test]
+    fn result_cache_hits_are_exact_and_counted() {
+        let (g, idx) = build();
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 2);
+        assert_eq!(engine.cache_capacity(), 0, "caching is off by default");
+        engine.set_cache_capacity(64);
+        let opts = QueryOptions::default();
+        let cold = engine.query(7, 5, &opts);
+        let warm = engine.query(7, 5, &opts);
+        assert_eq!(cold.hits, warm.hits);
+        assert_eq!(cold.stats, warm.stats);
+        let m = engine.metrics();
+        assert_eq!(m.cache_misses.get(), 1);
+        assert_eq!(m.cache_hits.get(), 1);
+        assert_eq!(m.queries.get(), 2, "cached answers still count as queries");
+        assert_eq!(engine.cached_results(), 1);
+        // Different k or options are different cache entries.
+        let other_k = engine.query(7, 3, &opts);
+        assert!(other_k.hits.len() <= 3);
+        let other_opts = engine.query(7, 5, &QueryOptions { wave_width: 1, ..Default::default() });
+        assert_eq!(other_opts.hits, cold.hits, "wave width never changes answers");
+        assert_eq!(m.cache_misses.get(), 3);
+        assert_eq!(engine.cached_results(), 3);
+    }
+
+    #[test]
+    fn cached_batches_are_bit_identical_to_uncached() {
+        let (g, idx) = build();
+        let queries: Vec<VertexId> = (0..30).chain(5..15).collect();
+        let opts = QueryOptions::default();
+        let reference = ServingEngine::with_threads(Dataset::new(g.clone(), idx.clone()).unwrap(), 3)
+            .query_batch(&queries, 6, &opts);
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 3);
+        engine.set_cache_capacity(256);
+        // First pass computes everything, second pass is all cache hits —
+        // and both must match the uncached engine slot for slot.
+        for pass in 0..2 {
+            let batch = engine.query_batch(&queries, 6, &opts);
+            for (i, (a, b)) in reference.results.iter().zip(&batch.results).enumerate() {
+                assert_eq!(a.hits, b.hits, "pass {pass} slot {i}");
+                assert_eq!(a.stats, b.stats, "pass {pass} slot {i}");
+            }
+            assert_eq!(reference.totals, batch.totals, "pass {pass}");
+        }
+        let m = engine.metrics();
+        // Pass 1: 30 unique misses + 10 duplicate-slot misses (the dedup
+        // handles them); pass 2: all 40 slots hit.
+        assert_eq!(m.cache_misses.get(), 40);
+        assert_eq!(m.cache_hits.get(), 40);
+        assert_eq!(m.queries.get(), 80);
+        assert_eq!(engine.cached_results(), 30);
+    }
+
+    #[test]
+    fn cache_evicts_fifo_and_caps_memory() {
+        let (g, idx) = build();
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 2);
+        engine.set_cache_capacity(4);
+        let opts = QueryOptions::default();
+        for u in 0..10 {
+            engine.query(u, 5, &opts);
+        }
+        assert_eq!(engine.cached_results(), 4, "capacity bounds the cache");
+        // The most recent inserts survive; vertex 0 was evicted long ago.
+        engine.query(9, 5, &opts);
+        assert_eq!(engine.metrics().cache_hits.get(), 1);
+        engine.query(0, 5, &opts);
+        assert_eq!(engine.metrics().cache_misses.get(), 11);
+    }
+
+    #[test]
+    fn swap_invalidates_cache_for_free() {
+        let (g1, idx1) = build();
+        let g2 = gen::copying_web(150, 4, 0.8, 21);
+        let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+        let idx2 = TopKIndex::build_with(&g2, &params, Diagonal::paper_default(params.c), 9, 2);
+        let want2 = idx2.query(&g2, 5, 4, &QueryOptions::default());
+        let engine = ServingEngine::with_threads(Dataset::new(g1, idx1).unwrap(), 2);
+        engine.set_cache_capacity(64);
+        assert_eq!(engine.generation(), 1);
+        engine.query(5, 4, &QueryOptions::default());
+        engine.query(5, 4, &QueryOptions::default());
+        assert_eq!(engine.cached_results(), 1);
+        engine.swap(Dataset::new(g2, idx2).unwrap());
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.cached_results(), 0, "new generation starts cold");
+        // The same key now answers from the new dataset, not a stale entry.
+        assert_eq!(engine.query(5, 4, &QueryOptions::default()).hits, want2.hits);
+    }
+
+    #[test]
+    fn query_wave_groups_by_options_and_matches_singles() {
+        let (g, idx) = build();
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 2);
+        let defaults = Arc::new(QueryOptions::default());
+        let scalar = Arc::new(QueryOptions { wave_width: 1, ..Default::default() });
+        let wave: Vec<WaveQuery> = vec![
+            WaveQuery { vertex: 3, k: 5, opts: Arc::clone(&defaults) },
+            WaveQuery { vertex: 9, k: 5, opts: Arc::clone(&defaults) },
+            WaveQuery { vertex: 3, k: 2, opts: Arc::clone(&defaults) },
+            WaveQuery { vertex: 11, k: 5, opts: Arc::clone(&scalar) },
+            WaveQuery { vertex: 14, k: 5, opts: Arc::clone(&defaults) },
+        ];
+        let outcome = engine.query_wave(&wave);
+        assert_eq!(outcome.results.len(), wave.len());
+        // Three groups: (k=5, defaults) ×3, (k=2, defaults) ×1, (k=5, scalar) ×1.
+        let mut sizes = outcome.batch_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 3]);
+        for (q, got) in wave.iter().zip(&outcome.results) {
+            let want = engine.query(q.vertex, q.k, &q.opts);
+            assert_eq!(want.hits, got.hits, "vertex {} k {}", q.vertex, q.k);
+            assert_eq!(want.stats, got.stats, "vertex {} k {}", q.vertex, q.k);
+        }
+        assert_eq!(outcome.latencies.len(), wave.len());
+        // An empty wave is a no-op.
+        let empty = engine.query_wave(&[]);
+        assert!(empty.results.is_empty() && empty.batch_sizes.is_empty());
+    }
+
+    #[test]
+    fn opts_fingerprint_distinguishes_fields() {
+        let base = QueryOptions::default();
+        assert_eq!(base.fingerprint(), QueryOptions::default().fingerprint());
+        for changed in [
+            QueryOptions { wave_width: 1, ..Default::default() },
+            QueryOptions { theta: Some(0.05), ..Default::default() },
+            QueryOptions { candidate_ball: Some(2), ..Default::default() },
+            QueryOptions { explain: true, ..Default::default() },
+            QueryOptions { bound_slack: 0.03, ..Default::default() },
+        ] {
+            assert_ne!(base.fingerprint(), changed.fingerprint(), "{changed:?}");
+        }
+        assert_ne!(opts_key(5, &base), opts_key(6, &base), "k is part of the key");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod snapshot;
 pub mod topk;
 pub mod validate;
 
-pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine};
+pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine, WaveOutcome, WaveQuery};
 pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics};
 pub use single_pair::{SinglePairEstimator, WaveEstimator};

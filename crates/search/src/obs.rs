@@ -23,6 +23,7 @@
 //! | `srs_query_wave_wasted_total` | counter | |
 //! | `srs_query_wave_survivors` | histogram | |
 //! | `srs_queries_deduped_total` | counter | |
+//! | `srs_cache_hits_total` / `srs_cache_misses_total` | counter | |
 //! | `srs_walk_steps_total` | counter | `class` |
 //! | `srs_query_latency_ns` | histogram | |
 //! | `srs_query_stage_ns` | histogram | `stage` |
@@ -80,6 +81,12 @@ pub struct ServingMetrics {
     /// `srs_queries_deduped_total` (batch queries answered by copying an
     /// identical query's result instead of recomputing it).
     pub deduped: Arc<Counter>,
+    /// `srs_cache_hits_total` (requests answered from the generation-keyed
+    /// result cache; see `ServingEngine::set_cache_capacity`).
+    pub cache_hits: Arc<Counter>,
+    /// `srs_cache_misses_total` (cache probes that fell through to the
+    /// engine).
+    pub cache_misses: Arc<Counter>,
     /// `srs_walk_steps_total{class=...}`, indexed by [`WALK_CLASSES`].
     pub walk_steps: [Arc<Counter>; 3],
     /// `srs_query_latency_ns`.
@@ -163,6 +170,8 @@ impl ServingMetrics {
                 .counter("srs_query_wave_wasted_total", "Wave-precomputed estimates never consumed"),
             wave_survivors: r.histogram("srs_query_wave_survivors", "Bound-surviving candidates per wave"),
             deduped: r.counter("srs_queries_deduped_total", "Batch queries answered via in-batch dedup"),
+            cache_hits: r.counter("srs_cache_hits_total", "Queries answered from the result cache"),
+            cache_misses: r.counter("srs_cache_misses_total", "Result-cache probes that missed"),
             walk_steps,
             latency: r.histogram("srs_query_latency_ns", "Per-query wall latency (ns)"),
             query_stages,
@@ -302,6 +311,8 @@ mod tests {
             "srs_query_wave_wasted_total",
             "srs_query_wave_survivors",
             "srs_queries_deduped_total",
+            "srs_cache_hits_total",
+            "srs_cache_misses_total",
             "srs_walk_steps_total",
             "srs_query_latency_ns",
             "srs_query_stage_ns",

@@ -107,6 +107,32 @@ impl Default for QueryOptions {
     }
 }
 
+impl QueryOptions {
+    /// A stable 64-bit fingerprint over every field (floats hashed by bit
+    /// pattern), used as the options component of result-cache keys and as
+    /// a cheap pre-filter when coalescing requests into engine batches.
+    /// Equal options always fingerprint equal; callers that must never
+    /// confuse two option sets (the cache, the coalescer) additionally
+    /// compare with `==` on fingerprint match, so a collision can cost a
+    /// missed share but never a wrong answer.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = srs_graph::hash::FxHasher::default();
+        self.use_distance_bound.hash(&mut h);
+        self.use_l1.hash(&mut h);
+        self.use_l2.hash(&mut h);
+        self.adaptive.hash(&mut h);
+        self.bound_slack.to_bits().hash(&mut h);
+        self.coarse_fraction.to_bits().hash(&mut h);
+        self.candidate_ball.hash(&mut h);
+        self.theta.map(f64::to_bits).hash(&mut h);
+        self.share_source_walks.hash(&mut h);
+        self.explain.hash(&mut h);
+        self.wave_width.hash(&mut h);
+        h.finish()
+    }
+}
+
 /// Counters describing how a query was answered (pruning effectiveness —
 /// the quantities behind the paper's §8.1 discussion).
 ///

@@ -1,0 +1,170 @@
+//! A minimal blocking HTTP/1.1 client for `srs loadgen` and the server's
+//! own tests: keep-alive connection reuse, bodyless GET/POST, one
+//! transparent reconnect when a pooled connection has gone stale.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One decoded response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy — diagnostics only).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// A persistent connection to one server address.
+pub struct HttpClient {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    read_timeout: Option<Duration>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: impl Into<String>) -> io::Result<Self> {
+        let mut client =
+            HttpClient { addr: addr.into(), stream: None, read_timeout: Some(Duration::from_secs(60)) };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Sets the per-read timeout applied to (re)connected sockets.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(self.read_timeout)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Bodyless GET.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path)
+    }
+
+    /// Bodyless POST.
+    pub fn post(&mut self, path: &str) -> io::Result<Response> {
+        self.request("POST", path)
+    }
+
+    /// Sends one bodyless request and reads the response. A transport
+    /// error drops the pooled connection and retries once on a fresh one
+    /// (a stale keep-alive socket looks exactly like that).
+    pub fn request(&mut self, method: &str, path: &str) -> io::Result<Response> {
+        match self.request_once(method, path) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path)
+            }
+        }
+    }
+
+    fn request_once(&mut self, method: &str, path: &str) -> io::Result<Response> {
+        let reader = self.ensure_connected()?;
+        let msg = format!("{method} {path} HTTP/1.1\r\nHost: srs\r\nContent-Length: 0\r\n\r\n");
+        if let Err(e) = reader.get_mut().write_all(msg.as_bytes()) {
+            self.stream = None;
+            return Err(e);
+        }
+        match read_response(reader) {
+            Ok((resp, keep_alive)) => {
+                if !keep_alive {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn bad_data(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why.to_string())
+}
+
+/// Reads one response off the wire; the flag reports whether the server
+/// will keep the connection open.
+fn read_response(r: &mut impl BufRead) -> io::Result<(Response, bool)> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection"));
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    let status: u16 =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad_data("malformed status line"))?;
+    let mut keep_alive = !version.ends_with("/1.0");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated response headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok((Response { status, body }, keep_alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn decodes_a_response() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4\r\nConnection: keep-alive\r\n\r\n{\"\"}";
+        let (resp, keep) = read_response(&mut Cursor::new(raw.as_bytes().to_vec())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"\"}");
+        assert_eq!(resp.body_str(), "{\"\"}");
+        assert!(keep);
+    }
+
+    #[test]
+    fn connection_close_is_reported() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let (resp, keep) = read_response(&mut Cursor::new(raw.as_bytes().to_vec())).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(!keep);
+    }
+
+    #[test]
+    fn garbage_status_line_errors() {
+        let raw = "NOPE\r\n\r\n";
+        assert!(read_response(&mut Cursor::new(raw.as_bytes().to_vec())).is_err());
+        assert!(read_response(&mut Cursor::new(Vec::new())).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! The coalescing dispatcher: a bounded submit queue drained by one
+//! dispatcher thread into [`ServingEngine::query_wave`] waves.
+//!
+//! Request threads call [`Coalescer::submit`] and block on the returned
+//! reply channel; the dispatcher takes whatever is queued (up to
+//! `max_batch`), then lingers up to `batch_window` for more arrivals
+//! before handing the wave to the engine — so under concurrency the
+//! engine sees batches (where its throughput lives) and a lone request
+//! pays at most one window of added latency. Answers are bit-identical
+//! to serving each request alone: coalescing decides who computes
+//! together, never what the answer is (see `srs-search`'s determinism
+//! contract).
+//!
+//! Shutdown is a drain: [`Coalescer::close`] rejects new submissions but
+//! the dispatcher keeps serving until the queue is empty, so every
+//! request that was accepted gets its answer.
+
+use srs_search::engine::{ServingEngine, WaveQuery};
+use srs_search::TopKResult;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServerMetrics;
+
+/// Why a submission was rejected (the request answers 503).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — the server is overloaded.
+    Full,
+    /// The dispatcher is draining for shutdown.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "dispatch queue full"),
+            SubmitError::Closed => write!(f, "dispatcher is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Pending {
+    query: WaveQuery,
+    reply: mpsc::Sender<TopKResult>,
+}
+
+struct QueueInner {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The bounded submit queue plus the dispatcher's collection parameters.
+/// Shared between request threads (producers) and the one dispatcher
+/// thread (consumer) via `Arc`.
+pub struct Coalescer {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    window: Duration,
+}
+
+impl Coalescer {
+    /// A coalescer holding at most `capacity` queued queries, serving at
+    /// most `max_batch` per wave, lingering up to `window` per wave for
+    /// late arrivals.
+    pub fn new(capacity: usize, max_batch: usize, window: Duration) -> Self {
+        Coalescer {
+            inner: Mutex::new(QueueInner { queue: VecDeque::new(), closed: false }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+            max_batch: max_batch.max(1),
+            window,
+        }
+    }
+
+    /// Enqueues one query; the answer arrives on the returned channel
+    /// when its wave completes.
+    pub fn submit(&self, query: WaveQuery) -> Result<mpsc::Receiver<TopKResult>, SubmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        let (tx, rx) = mpsc::channel();
+        inner.queue.push_back(Pending { query, reply: tx });
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(rx)
+    }
+
+    /// Rejects all future submissions and wakes the dispatcher so it can
+    /// drain the queue and return. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Whether [`Coalescer::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Queries currently waiting for a wave.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// The dispatcher loop: collect a wave, serve it, fan the results
+    /// back, repeat. Returns once closed **and** drained — every accepted
+    /// query is answered before exit. Run this on a dedicated thread.
+    pub fn run(&self, engine: &ServingEngine, metrics: &ServerMetrics) {
+        let mut wave: Vec<WaveQuery> = Vec::with_capacity(self.max_batch);
+        let mut replies: Vec<mpsc::Sender<TopKResult>> = Vec::with_capacity(self.max_batch);
+        loop {
+            wave.clear();
+            replies.clear();
+            {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if !inner.queue.is_empty() {
+                        break;
+                    }
+                    if inner.closed {
+                        metrics.queue_depth.set(0);
+                        return;
+                    }
+                    inner = self.nonempty.wait(inner).unwrap();
+                }
+                take_queued(&mut inner, self.max_batch, &mut wave, &mut replies);
+                // Linger for late arrivals — the coalescing window. Skipped
+                // when already full or draining (drain wants latency, not
+                // batching).
+                if wave.len() < self.max_batch && !inner.closed && !self.window.is_zero() {
+                    let deadline = Instant::now() + self.window;
+                    while wave.len() < self.max_batch && !inner.closed {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, timeout) = self.nonempty.wait_timeout(inner, deadline - now).unwrap();
+                        inner = guard;
+                        take_queued(&mut inner, self.max_batch, &mut wave, &mut replies);
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                metrics.queue_depth.set(inner.queue.len() as u64);
+            }
+            metrics.waves.inc();
+            let outcome = engine.query_wave(&wave);
+            for &size in &outcome.batch_sizes {
+                metrics.wave_size.observe(size as u64);
+            }
+            // A dropped receiver (client hung up mid-wait) is fine — the
+            // answer just has nowhere to go.
+            for (reply, result) in replies.drain(..).zip(outcome.results) {
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+fn take_queued(
+    inner: &mut QueueInner,
+    max_batch: usize,
+    wave: &mut Vec<WaveQuery>,
+    replies: &mut Vec<mpsc::Sender<TopKResult>>,
+) {
+    while wave.len() < max_batch {
+        match inner.queue.pop_front() {
+            Some(p) => {
+                wave.push(p.query);
+                replies.push(p.reply);
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_search::QueryOptions;
+    use std::sync::Arc;
+
+    fn q(vertex: u32) -> WaveQuery {
+        WaveQuery { vertex, k: 5, opts: Arc::new(QueryOptions::default()) }
+    }
+
+    #[test]
+    fn queue_bounds_and_close_are_enforced() {
+        let c = Coalescer::new(2, 8, Duration::from_micros(100));
+        let _a = c.submit(q(1)).unwrap();
+        let _b = c.submit(q(2)).unwrap();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.submit(q(3)).unwrap_err(), SubmitError::Full);
+        c.close();
+        assert!(c.is_closed());
+        assert_eq!(c.submit(q(4)).unwrap_err(), SubmitError::Closed);
+        c.close(); // idempotent
+    }
+
+    #[test]
+    fn capacity_and_batch_floors() {
+        let c = Coalescer::new(0, 0, Duration::ZERO);
+        assert_eq!(c.capacity, 1);
+        assert_eq!(c.max_batch, 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Minimal HTTP/1.1 framing over any `BufRead`/`Write` pair.
+//!
+//! Just enough of RFC 9112 for a JSON query API: one request line, a
+//! handful of headers (`Content-Length` and `Connection` are the only two
+//! the server interprets), an optional body, and keep-alive by default.
+//! Chunked transfer encoding, trailers, and continuation lines are out of
+//! scope — a request using them parses as malformed and the connection
+//! answers 400 and closes, which is the server's blanket response to
+//! anything it does not understand. All limits are hard caps, so a
+//! misbehaving peer can never make the parser allocate without bound.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request or header line, in bytes.
+pub const MAX_LINE: usize = 8192;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 100;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path component of the target (`/query`).
+    pub path: String,
+    /// Percent-decoded query parameters, in target order.
+    pub params: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by a `Connection` header).
+    pub keep_alive: bool,
+}
+
+/// Why a request failed to parse. The connection answers 400 (when the
+/// failure is the peer's framing) and closes either way.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Transport error mid-request.
+    Io(io::Error),
+    /// Malformed framing, with a human-readable reason.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads one `\n`-terminated line (CR stripped) into `out`, enforcing
+/// [`MAX_LINE`]. `Ok(false)` means clean EOF before any byte — the peer
+/// closed between requests; EOF mid-line is malformed.
+fn read_line_limited(r: &mut impl BufRead, out: &mut Vec<u8>) -> Result<bool, ParseError> {
+    out.clear();
+    loop {
+        let buf = r.fill_buf().map_err(ParseError::Io)?;
+        if buf.is_empty() {
+            return if out.is_empty() { Ok(false) } else { Err(ParseError::Malformed("truncated line")) };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                out.extend_from_slice(&buf[..i]);
+                r.consume(i + 1);
+                if out.last() == Some(&b'\r') {
+                    out.pop();
+                }
+                if out.len() > MAX_LINE {
+                    return Err(ParseError::Malformed("line too long"));
+                }
+                return Ok(true);
+            }
+            None => {
+                let n = buf.len();
+                out.extend_from_slice(buf);
+                r.consume(n);
+                if out.len() > MAX_LINE {
+                    return Err(ParseError::Malformed("line too long"));
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses one request. `Ok(None)` is a clean connection close
+/// before any request byte (the keep-alive loop's exit).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    let mut line = Vec::new();
+    if !read_line_limited(r, &mut line)? {
+        return Ok(None);
+    }
+    let start = std::str::from_utf8(&line).map_err(|_| ParseError::Malformed("request line not UTF-8"))?;
+    let mut parts = start.split(' ');
+    let method = match parts.next() {
+        Some(m) if !m.is_empty() => m.to_string(),
+        _ => return Err(ParseError::Malformed("missing method")),
+    };
+    let target = parts.next().ok_or(ParseError::Malformed("missing target"))?.to_string();
+    let version = parts.next().ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("extra tokens in request line"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut headers = 0usize;
+    loop {
+        if !read_line_limited(r, &mut line)? {
+            return Err(ParseError::Malformed("truncated headers"));
+        }
+        if line.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers"));
+        }
+        let header = std::str::from_utf8(&line).map_err(|_| ParseError::Malformed("header not UTF-8"))?;
+        let (name, value) = header.split_once(':').ok_or(ParseError::Malformed("header without colon"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse::<usize>().map_err(|_| ParseError::Malformed("bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(ParseError::Malformed("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::Malformed("chunked bodies are not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(ParseError::Io)?;
+    let (path, params) = parse_target(&target)?;
+    Ok(Some(Request { method, path, params, body, keep_alive }))
+}
+
+/// Splits a request target into its decoded path and query parameters.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    let (raw_path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(ParseError::Malformed("target must be an absolute path"));
+    }
+    let path = percent_decode(raw_path)?;
+    let mut params = Vec::new();
+    if let Some(q) = query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            params.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, params))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(s: &str) -> Result<String, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).ok_or(ParseError::Malformed("truncated % escape"))?;
+                let hi = hex_value(hex[0]).ok_or(ParseError::Malformed("bad % escape"))?;
+                let lo = hex_value(hex[1]).ok_or(ParseError::Malformed("bad % escape"))?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::Malformed("escape decodes to invalid UTF-8"))
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response (status line, the three headers the
+/// protocol needs, body) and flushes.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, ParseError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query_params() {
+        let req = parse("GET /query?u=42&k=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.params, vec![("u".into(), "42".into()), ("k".into(), "5".into())]);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn reads_body_by_content_length() {
+        let req = parse("POST /admin/reload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding_in_params() {
+        let req = parse("GET /query?u=1%32&note=a+b%21 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.params, vec![("u".into(), "12".into()), ("note".into(), "a b!".into())]);
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%f").is_err());
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_error() {
+        assert!(parse("").unwrap().is_none());
+        assert!(matches!(parse("GET / HTTP/1.1\r\nHost: x"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET / HTTP/1.1\r\n"), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /query HTTP/2\r\n\r\n",
+            "GET /query HTTP/1.1 extra\r\n\r\n",
+            " /query HTTP/1.1\r\n\r\n",
+            "GET query HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        ] {
+            assert!(matches!(parse(raw), Err(ParseError::Malformed(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn line_limit_is_enforced() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed("line too long"))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "text/plain", b"busy", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_stream_yields_successive_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(raw.as_bytes().to_vec());
+        assert_eq!(read_request(&mut cur).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request(&mut cur).unwrap().unwrap().path, "/b");
+        assert!(read_request(&mut cur).unwrap().is_none());
+    }
+}

@@ -1,0 +1,490 @@
+#![warn(missing_docs)]
+//! # srs-serve — the batching network daemon over [`ServingEngine`]
+//!
+//! A long-lived process that loads one `.srs` snapshot, owns a
+//! [`ServingEngine`], and answers top-k SimRank queries over HTTP/1.1 +
+//! JSON. The design goal is to put the engine's *batch* path — where its
+//! throughput lives — behind a *single-query* network API without giving
+//! up either: concurrent requests are **coalesced** into engine waves by
+//! a bounded-queue dispatcher ([`dispatch::Coalescer`]), so N concurrent
+//! clients produce engine batches of ~N instead of N serialized
+//! single-vertex calls.
+//!
+//! Everything is `std` — no async runtime, no HTTP crate (the workspace
+//! is offline). Threads are cheap at this concurrency (hundreds, not
+//! millions, of connections), blocking I/O composes with the engine's
+//! blocking batch calls, and the absence of a runtime keeps the
+//! dependency closure empty; see DESIGN.md §5i for the full argument.
+//!
+//! Endpoints:
+//!
+//! | route | method | behavior |
+//! |---|---|---|
+//! | `/query?u=V[&k=K]` | GET | coalesced top-k query, JSON hits |
+//! | `/metrics` | GET | Prometheus text: engine + server families |
+//! | `/healthz` | GET | liveness probe |
+//! | `/info` | GET | snapshot + engine facts, JSON |
+//! | `/admin/reload` | POST | hot-swap the snapshot (also on SIGHUP) |
+//! | `/admin/quit` | POST | graceful drain and exit |
+//!
+//! Reload is zero-downtime: the new snapshot loads and verifies off to
+//! the side, then [`ServingEngine::swap`] switches generations atomically
+//! — in-flight waves finish on the old dataset, new waves see the new
+//! one, and no request ever fails because a reload happened. Quit is a
+//! drain: accepted queries are answered, new ones get 503.
+
+pub mod client;
+pub mod dispatch;
+pub mod http;
+pub mod metrics;
+mod signal;
+
+pub use client::{HttpClient, Response};
+pub use dispatch::{Coalescer, SubmitError};
+pub use metrics::ServerMetrics;
+
+use srs_graph::VertexId;
+use srs_search::engine::WaveQuery;
+use srs_search::persist::PersistError;
+use srs_search::{Dataset, QueryOptions, ServingEngine, TopKResult};
+use std::io;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Largest accepted `k` on the query API.
+pub const MAX_K: usize = 10_000;
+
+/// Everything `srs serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the `.srs` snapshot to serve (also the reload source).
+    pub snapshot: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
+    pub addr: String,
+    /// Engine worker threads (0 = all available parallelism).
+    pub threads: usize,
+    /// Most queries coalesced into one wave.
+    pub max_batch: usize,
+    /// How long the dispatcher lingers for late arrivals per wave.
+    pub batch_window: Duration,
+    /// Most queries waiting in the dispatch queue before 503.
+    pub queue_capacity: usize,
+    /// Result-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// `k` used when a query omits the parameter.
+    pub default_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            snapshot: PathBuf::new(),
+            addr: "127.0.0.1:7171".to_string(),
+            threads: 0,
+            max_batch: 64,
+            batch_window: Duration::from_micros(500),
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            default_k: 20,
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, address parse).
+    Io(io::Error),
+    /// The snapshot failed to load or verify.
+    Snapshot(PersistError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+/// State shared by the accept loop, connection threads, the dispatcher,
+/// and the SIGHUP watcher.
+struct Shared {
+    engine: Arc<ServingEngine>,
+    coalescer: Arc<Coalescer>,
+    metrics: ServerMetrics,
+    snapshot: PathBuf,
+    /// Serializes reloads (endpoint + SIGHUP can race).
+    reload_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    started: Instant,
+    default_k: usize,
+    default_opts: Arc<QueryOptions>,
+    /// The bound address, for the self-connect that wakes `accept`.
+    addr: SocketAddr,
+}
+
+/// The daemon: a bound listener plus everything the request path shares.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Loads the snapshot, builds the engine + dispatcher, and binds the
+    /// listen socket. Nothing runs until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
+        let (dataset, info) = Dataset::load(&config.snapshot)?;
+        let engine = if config.threads == 0 {
+            ServingEngine::new(dataset)
+        } else {
+            ServingEngine::with_threads(dataset, config.threads)
+        };
+        engine.metrics().record_snapshot_load(&info);
+        engine.set_cache_capacity(config.cache_capacity);
+        let metrics = ServerMetrics::register_on(engine.metrics().registry());
+        metrics.generation.set(engine.generation());
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let coalescer =
+            Arc::new(Coalescer::new(config.queue_capacity, config.max_batch, config.batch_window));
+        let shared = Arc::new(Shared {
+            engine: Arc::new(engine),
+            coalescer,
+            metrics,
+            snapshot: config.snapshot,
+            reload_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            default_k: config.default_k.clamp(1, MAX_K),
+            default_opts: Arc::new(QueryOptions::default()),
+            addr,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The address the server is listening on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The serving engine (tests compare served answers against direct
+    /// engine calls through this).
+    pub fn engine(&self) -> Arc<ServingEngine> {
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// Serves until `POST /admin/quit`: spawns the dispatcher and SIGHUP
+    /// watcher, then accepts connections (one thread each). On quit the
+    /// dispatcher drains every accepted query before this returns.
+    pub fn run(self) -> io::Result<()> {
+        signal::install();
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("srs-dispatch".to_string())
+                .spawn(move || shared.coalescer.run(&shared.engine, &shared.metrics))?
+        };
+        let watcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new().name("srs-sighup".to_string()).spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    if signal::take_pending() {
+                        let _ = reload(&shared);
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })?
+        };
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            self.shared.metrics.connections.inc();
+            self.shared.metrics.connections_active.inc();
+            let shared = Arc::clone(&self.shared);
+            let _ = std::thread::Builder::new()
+                .name("srs-conn".to_string())
+                .spawn(move || handle_connection(shared, stream));
+        }
+        self.shared.coalescer.close();
+        let _ = dispatcher.join();
+        let _ = watcher.join();
+        Ok(())
+    }
+}
+
+/// One computed response, plus whether it triggers the drain.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    quit: bool,
+}
+
+fn json_reply(status: u16, body: String) -> Reply {
+    Reply { status, content_type: "application/json", body, quit: false }
+}
+
+fn error_reply(status: u16, message: &str) -> Reply {
+    json_reply(status, format!("{{\"error\":{}}}", json_escape(message)))
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) | Err(http::ParseError::Io(_)) => break,
+            Err(http::ParseError::Malformed(reason)) => {
+                // Malformed framing: answer 400 and close — the stream
+                // position is unreliable after a parse failure.
+                let reply = error_reply(400, reason);
+                let _ = write_reply(&shared, reader.get_mut(), &reply, false);
+                break;
+            }
+            Ok(Some(req)) => {
+                let reply = route(&shared, &req);
+                let keep = req.keep_alive && !reply.quit && !shared.shutdown.load(Ordering::SeqCst);
+                let written = write_reply(&shared, reader.get_mut(), &reply, keep);
+                if reply.quit {
+                    begin_shutdown(&shared);
+                }
+                if written.is_err() || !keep {
+                    break;
+                }
+            }
+        }
+    }
+    shared.metrics.connections_active.dec();
+}
+
+fn write_reply(shared: &Shared, w: &mut TcpStream, reply: &Reply, keep_alive: bool) -> io::Result<()> {
+    shared.metrics.response(reply.status);
+    http::write_response(w, reply.status, reply.content_type, reply.body.as_bytes(), keep_alive)
+}
+
+/// Flags the drain and wakes the blocking `accept` with a self-connect
+/// so `run` can observe the flag. Idempotent.
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.coalescer.close();
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn route(shared: &Shared, req: &http::Request) -> Reply {
+    shared.metrics.requests.inc();
+    match req.path.as_str() {
+        "/query" => match req.method.as_str() {
+            "GET" => query_reply(shared, req),
+            _ => error_reply(405, "use GET /query"),
+        },
+        "/metrics" => match req.method.as_str() {
+            "GET" => {
+                shared.metrics.uptime.set(shared.started.elapsed().as_secs());
+                Reply {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    body: shared.engine.metrics().snapshot().to_prometheus(),
+                    quit: false,
+                }
+            }
+            _ => error_reply(405, "use GET /metrics"),
+        },
+        "/healthz" => match req.method.as_str() {
+            "GET" => Reply { status: 200, content_type: "text/plain", body: "ok\n".to_string(), quit: false },
+            _ => error_reply(405, "use GET /healthz"),
+        },
+        "/info" => match req.method.as_str() {
+            "GET" => json_reply(200, info_json(shared)),
+            _ => error_reply(405, "use GET /info"),
+        },
+        "/admin/reload" => match req.method.as_str() {
+            "POST" => match reload(shared) {
+                Ok(generation) => json_reply(200, format!("{{\"generation\":{generation}}}")),
+                Err(message) => error_reply(500, &message),
+            },
+            _ => error_reply(405, "use POST /admin/reload"),
+        },
+        "/admin/quit" => match req.method.as_str() {
+            "POST" => Reply {
+                status: 200,
+                content_type: "application/json",
+                body: "{\"draining\":true}".to_string(),
+                quit: true,
+            },
+            _ => error_reply(405, "use POST /admin/quit"),
+        },
+        _ => error_reply(404, "no such endpoint"),
+    }
+}
+
+fn query_reply(shared: &Shared, req: &http::Request) -> Reply {
+    let started = Instant::now();
+    let mut vertex: Option<u64> = None;
+    let mut k = shared.default_k;
+    for (key, value) in &req.params {
+        match key.as_str() {
+            "u" | "vertex" => match value.parse::<u64>() {
+                Ok(v) => vertex = Some(v),
+                Err(_) => return error_reply(400, "parameter u must be a non-negative vertex id"),
+            },
+            "k" => match value.parse::<usize>() {
+                Ok(v) if (1..=MAX_K).contains(&v) => k = v,
+                _ => return error_reply(400, "parameter k must be an integer in 1..=10000"),
+            },
+            other => return error_reply(400, &format!("unknown parameter: {other}")),
+        }
+    }
+    let Some(vertex) = vertex else {
+        return error_reply(400, "missing required parameter u");
+    };
+    let vertices = shared.engine.dataset().graph().num_vertices() as u64;
+    if vertex >= vertices {
+        return error_reply(400, &format!("vertex {vertex} out of range (graph has {vertices} vertices)"));
+    }
+    let m = &shared.metrics;
+    m.inflight.inc();
+    let submitted = shared.coalescer.submit(WaveQuery {
+        vertex: vertex as VertexId,
+        k,
+        opts: Arc::clone(&shared.default_opts),
+    });
+    let reply = match submitted {
+        Err(SubmitError::Full) => error_reply(503, "dispatch queue full"),
+        Err(SubmitError::Closed) => error_reply(503, "server is draining"),
+        Ok(rx) => match rx.recv() {
+            Ok(result) => json_reply(200, query_json(vertex, k, shared.engine.generation(), &result)),
+            Err(_) => error_reply(500, "dispatcher dropped the query"),
+        },
+    };
+    m.inflight.dec();
+    m.request_latency.observe(started.elapsed().as_nanos() as u64);
+    reply
+}
+
+/// Reloads the snapshot from disk and hot-swaps the engine. Serialized —
+/// concurrent reload requests (endpoint + SIGHUP) apply one at a time.
+/// On failure the old dataset keeps serving untouched.
+fn reload(shared: &Shared) -> Result<u64, String> {
+    let _guard = shared.reload_lock.lock().unwrap();
+    match Dataset::load(&shared.snapshot) {
+        Ok((dataset, info)) => {
+            shared.engine.metrics().record_snapshot_load(&info);
+            shared.engine.swap(dataset);
+            let generation = shared.engine.generation();
+            shared.metrics.generation.set(generation);
+            shared.metrics.reloads.inc();
+            Ok(generation)
+        }
+        Err(e) => {
+            shared.metrics.reload_failures.inc();
+            Err(format!("snapshot reload failed: {e}"))
+        }
+    }
+}
+
+fn query_json(vertex: u64, k: usize, generation: u64, result: &TopKResult) -> String {
+    let mut out = format!("{{\"vertex\":{vertex},\"k\":{k},\"generation\":{generation},\"hits\":[");
+    for (i, hit) in result.hits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"vertex\":{},\"score\":{}}}", hit.vertex, hit.score));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn info_json(shared: &Shared) -> String {
+    let dataset = shared.engine.dataset();
+    format!(
+        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"cache_capacity\":{},\"snapshot\":{}}}",
+        dataset.graph().num_vertices(),
+        dataset.graph().num_edges(),
+        shared.engine.generation(),
+        shared.engine.threads(),
+        shared.engine.cache_capacity(),
+        json_escape(&shared.snapshot.display().to_string()),
+    )
+}
+
+/// JSON string literal (quotes included) with minimal escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_search::Hit;
+
+    #[test]
+    fn query_json_shape() {
+        let result = TopKResult {
+            hits: vec![Hit { vertex: 3, score: 0.5 }, Hit { vertex: 9, score: 0.125 }],
+            ..Default::default()
+        };
+        let json = query_json(7, 2, 4, &result);
+        assert_eq!(
+            json,
+            "{\"vertex\":7,\"k\":2,\"generation\":4,\"hits\":[{\"vertex\":3,\"score\":0.5},{\"vertex\":9,\"score\":0.125}]}"
+        );
+        let empty = query_json(0, 5, 1, &TopKResult::default());
+        assert_eq!(empty, "{\"vertex\":0,\"k\":5,\"generation\":1,\"hits\":[]}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:7171");
+        assert_eq!(c.max_batch, 64);
+        assert!(c.queue_capacity >= c.max_batch);
+        assert!(c.cache_capacity > 0);
+        assert!((1..=MAX_K).contains(&c.default_k));
+    }
+}

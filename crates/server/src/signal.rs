@@ -1,0 +1,48 @@
+//! SIGHUP-triggered snapshot reload, with no libc crate.
+//!
+//! `std` already links the platform C library, so a one-line `extern`
+//! declaration of `signal(2)` is all the FFI needed. The handler only
+//! flips an atomic flag — everything async-signal-unsafe (locking,
+//! loading the snapshot, swapping the engine) happens on the watcher
+//! thread that polls [`take_pending`].
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+
+    /// POSIX `SIGHUP` (1 on every platform this repo targets).
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sighup(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGHUP handler (idempotent).
+    pub fn install() {
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    }
+
+    /// Consumes a pending SIGHUP, if one arrived since the last call.
+    pub fn take_pending() -> bool {
+        PENDING.swap(false, Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+
+    pub fn take_pending() -> bool {
+        false
+    }
+}
+
+pub use imp::{install, take_pending};

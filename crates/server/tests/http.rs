@@ -1,0 +1,266 @@
+//! End-to-end tests over a real listening socket: served answers must be
+//! bit-identical to direct engine calls, coalescing must be observable in
+//! the wave metrics, and a snapshot reload under sustained traffic must
+//! drop nothing.
+
+use srs_graph::gen;
+use srs_search::{snapshot, QueryOptions, ServingEngine, SimRankParams, TopKIndex};
+use srs_serve::{HttpClient, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn fixture_snapshot(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("srs_serve_{}_{name}.srs", std::process::id()));
+    let g = gen::copying_web(300, 4, 0.8, 8);
+    let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+    let idx = TopKIndex::build(&g, &params, 7);
+    let f = std::fs::File::create(&path).unwrap();
+    snapshot::pack(&g, &idx, std::io::BufWriter::new(f)).unwrap();
+    path
+}
+
+fn config(snapshot: &Path) -> ServerConfig {
+    ServerConfig { snapshot: snapshot.to_path_buf(), addr: "127.0.0.1:0".into(), ..ServerConfig::default() }
+}
+
+struct Running {
+    addr: SocketAddr,
+    engine: Arc<ServingEngine>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(config: ServerConfig) -> Running {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+    let engine = server.engine();
+    let handle = std::thread::spawn(move || server.run());
+    Running { addr, engine, handle }
+}
+
+fn quit(r: Running) {
+    let mut c = HttpClient::connect(r.addr.to_string()).unwrap();
+    assert_eq!(c.post("/admin/quit").unwrap().status, 200);
+    r.handle.join().unwrap().unwrap();
+}
+
+/// The exact body `/query` must answer, built from a direct engine call
+/// (the server adds nothing but JSON framing — same seeds, same walks).
+fn expected_body(engine: &ServingEngine, u: u32, k: usize) -> String {
+    let result = engine.query(u, k, &QueryOptions::default());
+    let mut body = format!("{{\"vertex\":{u},\"k\":{k},\"generation\":{},\"hits\":[", engine.generation());
+    for (i, h) in result.hits.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{{\"vertex\":{},\"score\":{}}}", h.vertex, h.score));
+    }
+    body.push_str("]}");
+    body
+}
+
+#[test]
+fn concurrent_clients_match_direct_engine_calls() {
+    let snap = fixture_snapshot("identical");
+    let r = start(config(&snap));
+    let engine = Arc::clone(&r.engine);
+    let addr = r.addr;
+    // 6 clients, each querying its own slice concurrently over keep-alive
+    // connections; every body must equal the direct engine answer.
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    std::thread::scope(|scope| {
+        for w in 0..clients {
+            let (engine, barrier) = (Arc::clone(&engine), Arc::clone(&barrier));
+            scope.spawn(move || {
+                let mut c = HttpClient::connect(addr.to_string()).unwrap();
+                barrier.wait();
+                for i in 0..20u32 {
+                    let u = (w as u32 * 41 + i * 7) % 300;
+                    let k = 3 + (i as usize % 3) * 4;
+                    let resp = c.get(&format!("/query?u={u}&k={k}")).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body_str());
+                    assert_eq!(resp.body_str(), expected_body(&engine, u, k), "u={u} k={k}");
+                }
+            });
+        }
+    });
+    // The same vertex was asked repeatedly across clients, so the
+    // generation-keyed result cache must have hits by now.
+    let m = engine.metrics().snapshot();
+    assert!(m.counter_total("srs_cache_hits_total") > 0, "cache never hit");
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn concurrent_requests_coalesce_into_waves() {
+    let snap = fixture_snapshot("coalesce");
+    // A long window, so simultaneous arrivals are guaranteed to share a
+    // wave rather than racing the dispatcher.
+    let mut cfg = config(&snap);
+    cfg.batch_window = Duration::from_millis(150);
+    cfg.max_batch = 64;
+    let r = start(cfg);
+    let addr = r.addr;
+    let clients = 8;
+    let rounds = 4u32;
+    let barrier = Arc::new(Barrier::new(clients));
+    std::thread::scope(|scope| {
+        for w in 0..clients {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut c = HttpClient::connect(addr.to_string()).unwrap();
+                for i in 0..rounds {
+                    barrier.wait();
+                    let u = (w as u32 * 37 + i * 11) % 300;
+                    let resp = c.get(&format!("/query?u={u}&k=5")).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body_str());
+                }
+            });
+        }
+    });
+    let total = (clients as u64) * (rounds as u64);
+    let m = r.engine.metrics().snapshot();
+    let waves = m.counter_total("srs_server_waves_total");
+    assert!(waves > 0);
+    assert!(
+        waves < total,
+        "{total} concurrent queries should coalesce into fewer than {total} waves, got {waves}"
+    );
+    // The wave-size histogram saw multi-query batches.
+    let prom = m.to_prometheus();
+    assert!(prom.contains("srs_server_wave_size"), "missing wave-size family:\n{prom}");
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn reload_under_traffic_drops_nothing() {
+    let snap = fixture_snapshot("reload");
+    let r = start(config(&snap));
+    let addr = r.addr;
+    let generation_before = r.engine.generation();
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let reloads = 3u64;
+    std::thread::scope(|scope| {
+        // 4 clients hammer /query until told to stop; every response must
+        // be a 200 — a reload may never surface as an error.
+        for w in 0..4u32 {
+            let (stop, served) = (&stop, &served);
+            scope.spawn(move || {
+                let mut c = HttpClient::connect(addr.to_string()).unwrap();
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (w * 53 + i * 13) % 300;
+                    let resp = c.get(&format!("/query?u={u}&k=5")).unwrap();
+                    assert_eq!(resp.status, 200, "query failed during reload: {}", resp.body_str());
+                    i += 1;
+                }
+                served.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        // Meanwhile: repeated hot reloads of the same snapshot file.
+        let mut admin = HttpClient::connect(addr.to_string()).unwrap();
+        for _ in 0..reloads {
+            std::thread::sleep(Duration::from_millis(40));
+            let resp = admin.post("/admin/reload").unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(served.load(Ordering::Relaxed) > 0, "traffic threads never got a query through");
+    assert_eq!(r.engine.generation(), generation_before + reloads, "each reload advances the generation");
+    let m = r.engine.metrics().snapshot();
+    assert_eq!(m.counter_total("srs_server_reloads_total"), reloads);
+    assert_eq!(m.counter_total("srs_server_responses_total"), {
+        // Every recorded response so far is a 200 (traffic + admin).
+        m.to_prometheus()
+            .lines()
+            .filter_map(|l| l.strip_prefix("srs_server_responses_total{code=\"200\"} "))
+            .map(|v| v.parse::<u64>().unwrap())
+            .sum()
+    });
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn bad_requests_answer_4xx_and_admin_surface_works() {
+    let snap = fixture_snapshot("errors");
+    let r = start(config(&snap));
+    let addr = r.addr;
+    let mut c = HttpClient::connect(addr.to_string()).unwrap();
+
+    // Parameter validation.
+    for (path, needle) in [
+        ("/query", "missing required parameter u"),
+        ("/query?u=abc", "non-negative vertex id"),
+        ("/query?u=999999", "out of range"),
+        ("/query?u=1&k=0", "1..=10000"),
+        ("/query?u=1&bogus=1", "unknown parameter"),
+    ] {
+        let resp = c.get(path).unwrap();
+        assert_eq!(resp.status, 400, "{path}");
+        assert!(resp.body_str().contains(needle), "{path} -> {}", resp.body_str());
+    }
+    // Routing.
+    assert_eq!(c.get("/nope").unwrap().status, 404);
+    assert_eq!(c.post("/query?u=1").unwrap().status, 405);
+    assert_eq!(c.get("/admin/reload").unwrap().status, 405);
+    assert_eq!(c.get("/healthz").unwrap().body_str(), "ok\n");
+    let info = c.get("/info").unwrap();
+    assert_eq!(info.status, 200);
+    assert!(info.body_str().contains("\"vertices\":300"), "{}", info.body_str());
+
+    // A metrics scrape exposes engine and server families side by side.
+    let prom = c.get("/metrics").unwrap();
+    assert_eq!(prom.status, 200);
+    let text = prom.body_str().to_string();
+    for family in [
+        "srs_server_requests_total",
+        "srs_server_responses_total",
+        "srs_server_connections_total",
+        "srs_server_snapshot_generation",
+        "srs_queries_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in scrape");
+    }
+
+    // Malformed framing on a raw socket: one 400, then the connection is
+    // closed (the server never panics).
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET /query?u=1 HTTP/4.2\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 400 "), "{buf}");
+    assert!(buf.contains("Connection: close"), "{buf}");
+
+    // The server is still healthy afterwards.
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn quit_drains_and_rejects_new_work() {
+    let snap = fixture_snapshot("drain");
+    let r = start(config(&snap));
+    let addr = r.addr;
+    let mut c = HttpClient::connect(addr.to_string()).unwrap();
+    assert_eq!(c.get("/query?u=5&k=3").unwrap().status, 200);
+    // quit() asserts the 200 handshake and that run() returns Ok — i.e.
+    // the accept loop, dispatcher, and watcher all wound down.
+    quit(r);
+    // New work is refused: the pooled connection (if its thread is still
+    // winding down) answers 503 draining, a fresh connect is refused.
+    if let Ok(resp) = c.get("/query?u=5&k=3") {
+        assert_eq!(resp.status, 503, "{}", resp.body_str());
+    }
+    std::fs::remove_file(&snap).ok();
+}
