@@ -29,6 +29,7 @@ usage:
                  [--metrics-out FILE] [--hits-out FILE]
   srs serve      --snapshot FILE.srs [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
                  [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
+                 [--read-timeout-s 60] [--max-conns 1024]
   srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
                  [--zipf 1.0] [--connections 4] [--seed S]
   srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
@@ -495,6 +496,8 @@ fn serve(args: &Args) -> Result<String, String> {
         "queue",
         "cache",
         "k",
+        "read-timeout-s",
+        "max-conns",
     ])?;
     let defaults = srs_serve::ServerConfig::default();
     let config = srs_serve::ServerConfig {
@@ -506,6 +509,12 @@ fn serve(args: &Args) -> Result<String, String> {
         queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
         cache_capacity: args.get_or("cache", defaults.cache_capacity)?,
         default_k: args.get_or("k", defaults.default_k)?,
+        // 0 disables the idle-read timeout.
+        read_timeout: std::time::Duration::from_secs(args.get_or(
+            "read-timeout-s",
+            defaults.read_timeout.as_secs(),
+        )?),
+        max_connections: args.get_or("max-conns", defaults.max_connections)?,
     };
     let server = srs_serve::Server::bind(config).map_err(|e| e.to_string())?;
     let engine = server.engine();

@@ -517,6 +517,15 @@ pub struct WaveOutcome {
     /// `query_batch` submission; requests sharing `(k, options)` land in
     /// the same batch).
     pub batch_sizes: Vec<u32>,
+    /// The dataset generation the whole wave ran against, pinned once at
+    /// entry — a hot swap mid-wave never splits a wave across datasets.
+    pub generation: u64,
+    /// Per-request flags, in input order: `true` when the request's
+    /// vertex does not exist in the pinned dataset (its result slot is
+    /// empty). Submitters validate against the dataset *they* saw, which
+    /// may be a generation older than the one the wave pins, so the wave
+    /// re-validates instead of indexing out of range.
+    pub out_of_range: Vec<bool>,
 }
 
 /// One dataset generation inside a [`ServingEngine`]: the dataset plus the
@@ -526,14 +535,19 @@ pub struct WaveOutcome {
 /// which is what makes swap-time invalidation free.
 struct EngineState {
     dataset: Dataset,
+    /// The generation this state was installed as — travels with the
+    /// dataset so a pinned state knows which generation it is without a
+    /// racy second read of the engine's counter.
+    generation: u64,
     pool: Mutex<Vec<QueryScratch>>,
     cache: Mutex<ResultCache>,
 }
 
 impl EngineState {
-    fn new(dataset: Dataset) -> Arc<Self> {
+    fn new(dataset: Dataset, generation: u64) -> Arc<Self> {
         Arc::new(EngineState {
             dataset,
+            generation,
             pool: Mutex::new(Vec::new()),
             cache: Mutex::new(ResultCache::default()),
         })
@@ -588,7 +602,7 @@ impl ServingEngine {
         metrics.engine_threads.set(threads as u64);
         Self::set_dataset_gauges(&metrics, &dataset);
         ServingEngine {
-            current: Mutex::new(EngineState::new(dataset)),
+            current: Mutex::new(EngineState::new(dataset, 1)),
             threads,
             metrics,
             metrics_on: true,
@@ -682,8 +696,14 @@ impl ServingEngine {
     /// wholesale (it belongs to the replaced generation).
     pub fn swap(&self, dataset: Dataset) -> Dataset {
         Self::set_dataset_gauges(&self.metrics, &dataset);
-        let old = std::mem::replace(&mut *self.current.lock(), EngineState::new(dataset));
-        self.generation.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.current.lock();
+        // The new state carries its generation number; storing the
+        // counter while still holding the lock keeps `generation()` and
+        // the installed state consistent with each other.
+        let generation = current.generation + 1;
+        let old = std::mem::replace(&mut *current, EngineState::new(dataset, generation));
+        self.generation.store(generation, Ordering::Relaxed);
+        drop(current);
         self.metrics.dataset_swaps.inc();
         old.dataset.clone()
     }
@@ -741,12 +761,24 @@ impl ServingEngine {
         opts: &QueryOptions,
         out: &mut BatchResult,
     ) {
-        let state = self.state();
+        self.query_batch_pinned(&self.state(), queries, k, opts, out);
+    }
+
+    /// The batch path against an explicitly pinned generation — the
+    /// caller decides how long the pin lasts (e.g. a whole wave).
+    fn query_batch_pinned(
+        &self,
+        state: &EngineState,
+        queries: &[VertexId],
+        k: usize,
+        opts: &QueryOptions,
+        out: &mut BatchResult,
+    ) {
         let capacity = self.cache_capacity();
         if capacity == 0 {
-            serve_batch_into(&self.ctx_for(&state), queries, k, opts, out);
+            serve_batch_into(&self.ctx_for(state), queries, k, opts, out);
         } else {
-            self.serve_batch_cached(&state, capacity, queries, k, opts, out);
+            self.serve_batch_cached(state, capacity, queries, k, opts, out);
         }
     }
 
@@ -832,11 +864,23 @@ impl ServingEngine {
     /// `srs-serve`'s dispatcher. Per-request answers are bit-identical to
     /// calling [`ServingEngine::query`] for each request alone: batching
     /// decides who computes together, never what the answer is.
+    ///
+    /// The whole wave runs against **one** dataset generation, pinned at
+    /// entry and reported in [`WaveOutcome::generation`]. Because the
+    /// submitters may have validated their vertices against an older
+    /// generation (a hot swap can land between submit and dispatch),
+    /// every vertex is re-validated against the pinned dataset here:
+    /// out-of-range requests are flagged in [`WaveOutcome::out_of_range`]
+    /// with an empty result slot instead of panicking the caller.
     pub fn query_wave(&self, wave: &[WaveQuery]) -> WaveOutcome {
+        let state = self.state();
+        let num_vertices = state.dataset.graph().num_vertices();
         let mut out = WaveOutcome {
             results: Vec::with_capacity(wave.len()),
             latencies: vec![Duration::ZERO; wave.len()],
             batch_sizes: Vec::new(),
+            generation: state.generation,
+            out_of_range: vec![false; wave.len()],
         };
         out.results.resize_with(wave.len(), TopKResult::default);
         // Group request positions by (k, options) — fingerprint as the
@@ -844,6 +888,10 @@ impl ServingEngine {
         // linear scan over the groups beats hashing the options twice.
         let mut groups: Vec<(u64, usize, Vec<usize>)> = Vec::new();
         for (i, q) in wave.iter().enumerate() {
+            if q.vertex >= num_vertices {
+                out.out_of_range[i] = true;
+                continue;
+            }
             let key = opts_key(q.k, &q.opts);
             match groups.iter_mut().find(|(gkey, first, _)| {
                 *gkey == key && wave[*first].k == q.k && *wave[*first].opts == *q.opts
@@ -858,7 +906,7 @@ impl ServingEngine {
             queries.clear();
             queries.extend(members.iter().map(|&i| wave[i].vertex));
             let q = &wave[*first];
-            self.query_batch_into(&queries, q.k, &q.opts, &mut batch);
+            self.query_batch_pinned(&state, &queries, q.k, &q.opts, &mut batch);
             out.batch_sizes.push(members.len() as u32);
             for (j, &i) in members.iter().enumerate() {
                 out.results[i] = std::mem::take(&mut batch.results[j]);
@@ -1264,9 +1312,46 @@ mod tests {
             assert_eq!(want.stats, got.stats, "vertex {} k {}", q.vertex, q.k);
         }
         assert_eq!(outcome.latencies.len(), wave.len());
+        assert_eq!(outcome.generation, 1, "wave reports the pinned generation");
+        assert!(outcome.out_of_range.iter().all(|&r| !r));
         // An empty wave is a no-op.
         let empty = engine.query_wave(&[]);
         assert!(empty.results.is_empty() && empty.batch_sizes.is_empty());
+    }
+
+    #[test]
+    fn query_wave_rejects_out_of_range_vertices_instead_of_panicking() {
+        let (g, idx) = build();
+        let n = g.num_vertices() as VertexId;
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 2);
+        let defaults = Arc::new(QueryOptions::default());
+        // A submitter may have validated against an older, larger
+        // generation — the wave must flag the stale vertex, not index out
+        // of range, and still answer the valid requests around it.
+        let wave = vec![
+            WaveQuery { vertex: 3, k: 5, opts: Arc::clone(&defaults) },
+            WaveQuery { vertex: n + 7, k: 5, opts: Arc::clone(&defaults) },
+            WaveQuery { vertex: 9, k: 5, opts: Arc::clone(&defaults) },
+        ];
+        let outcome = engine.query_wave(&wave);
+        assert_eq!(outcome.out_of_range, vec![false, true, false]);
+        assert!(outcome.results[1].hits.is_empty(), "rejected slot stays empty");
+        assert_eq!(outcome.results[0].hits, engine.query(3, 5, &defaults).hits);
+        assert_eq!(outcome.results[2].hits, engine.query(9, 5, &defaults).hits);
+        // The valid requests still coalesced into one engine batch.
+        assert_eq!(outcome.batch_sizes, vec![2]);
+    }
+
+    #[test]
+    fn wave_generation_tracks_swaps() {
+        let (g, idx) = build();
+        let (g2, idx2) = build();
+        let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 2);
+        let wave = vec![WaveQuery { vertex: 1, k: 3, opts: Arc::new(QueryOptions::default()) }];
+        assert_eq!(engine.query_wave(&wave).generation, 1);
+        engine.swap(Dataset::new(g2, idx2).unwrap());
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.query_wave(&wave).generation, 2);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! Shutdown is a drain: [`Coalescer::close`] rejects new submissions but
 //! the dispatcher keeps serving until the queue is empty, so every
 //! request that was accepted gets its answer.
+//!
+//! The dispatcher is also the server's single point of failure, so it
+//! defends itself twice: the engine re-validates every vertex against
+//! the generation the wave actually pins (a reload can shrink the graph
+//! between submit and dispatch — see [`QueryAnswer::out_of_range`]), and
+//! the wave call runs under `catch_unwind`, so an engine panic fails
+//! that wave's requests with errors instead of killing the dispatcher
+//! thread and hanging every future query.
 
 use srs_search::engine::{ServingEngine, WaveQuery};
 use srs_search::TopKResult;
@@ -23,6 +31,21 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::metrics::ServerMetrics;
+
+/// What the dispatcher sends back for one submitted query.
+#[derive(Debug)]
+pub struct QueryAnswer {
+    /// The top-k result (empty when `out_of_range`).
+    pub result: TopKResult,
+    /// The dataset generation the answering wave pinned — read under the
+    /// same pin as the computation, so it always names the snapshot that
+    /// actually produced `result`.
+    pub generation: u64,
+    /// The query's vertex did not exist in the pinned generation (it
+    /// passed submit-time validation against an older, larger snapshot,
+    /// then a hot reload shrank the graph).
+    pub out_of_range: bool,
+}
 
 /// Why a submission was rejected (the request answers 503).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +69,7 @@ impl std::error::Error for SubmitError {}
 
 struct Pending {
     query: WaveQuery,
-    reply: mpsc::Sender<TopKResult>,
+    reply: mpsc::Sender<QueryAnswer>,
 }
 
 struct QueueInner {
@@ -81,7 +104,7 @@ impl Coalescer {
 
     /// Enqueues one query; the answer arrives on the returned channel
     /// when its wave completes.
-    pub fn submit(&self, query: WaveQuery) -> Result<mpsc::Receiver<TopKResult>, SubmitError> {
+    pub fn submit(&self, query: WaveQuery) -> Result<mpsc::Receiver<QueryAnswer>, SubmitError> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(SubmitError::Closed);
@@ -118,7 +141,7 @@ impl Coalescer {
     /// query is answered before exit. Run this on a dedicated thread.
     pub fn run(&self, engine: &ServingEngine, metrics: &ServerMetrics) {
         let mut wave: Vec<WaveQuery> = Vec::with_capacity(self.max_batch);
-        let mut replies: Vec<mpsc::Sender<TopKResult>> = Vec::with_capacity(self.max_batch);
+        let mut replies: Vec<mpsc::Sender<QueryAnswer>> = Vec::with_capacity(self.max_batch);
         loop {
             wave.clear();
             replies.clear();
@@ -156,14 +179,34 @@ impl Coalescer {
                 metrics.queue_depth.set(inner.queue.len() as u64);
             }
             metrics.waves.inc();
-            let outcome = engine.query_wave(&wave);
+            // The dispatcher must survive anything the engine does: a
+            // panicking wave drops its reply senders, so each blocked
+            // request observes a closed channel and answers 500, while
+            // the dispatcher moves on to the next wave.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.query_wave(&wave)
+            }));
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    metrics.wave_panics.inc();
+                    replies.clear();
+                    continue;
+                }
+            };
             for &size in &outcome.batch_sizes {
                 metrics.wave_size.observe(size as u64);
             }
             // A dropped receiver (client hung up mid-wait) is fine — the
             // answer just has nowhere to go.
-            for (reply, result) in replies.drain(..).zip(outcome.results) {
-                let _ = reply.send(result);
+            let generation = outcome.generation;
+            let answers = outcome
+                .results
+                .into_iter()
+                .zip(outcome.out_of_range)
+                .map(|(result, out_of_range)| QueryAnswer { result, generation, out_of_range });
+            for (reply, answer) in replies.drain(..).zip(answers) {
+                let _ = reply.send(answer);
             }
         }
     }
@@ -173,7 +216,7 @@ fn take_queued(
     inner: &mut QueueInner,
     max_batch: usize,
     wave: &mut Vec<WaveQuery>,
-    replies: &mut Vec<mpsc::Sender<TopKResult>>,
+    replies: &mut Vec<mpsc::Sender<QueryAnswer>>,
 ) {
     while wave.len() < max_batch {
         match inner.queue.pop_front() {

@@ -136,9 +136,13 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(ParseError::Malformed("chunked bodies are not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
+            // The value is an RFC 7230 token list ("keep-alive, Upgrade");
+            // compare per token, and let `close` win over `keep-alive` if
+            // a confused peer sends both.
+            let tokens = value.split(',').map(str::trim);
+            if tokens.clone().any(|t| t.eq_ignore_ascii_case("close")) {
                 keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
+            } else if tokens.clone().any(|t| t.eq_ignore_ascii_case("keep-alive")) {
                 keep_alive = true;
             }
         }
@@ -158,19 +162,21 @@ fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseEr
     if !raw_path.starts_with('/') {
         return Err(ParseError::Malformed("target must be an absolute path"));
     }
-    let path = percent_decode(raw_path)?;
+    let path = percent_decode(raw_path, false)?;
     let mut params = Vec::new();
     if let Some(q) = query {
         for pair in q.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            params.push((percent_decode(k)?, percent_decode(v)?));
+            params.push((percent_decode(k, true)?, percent_decode(v, true)?));
         }
     }
     Ok((path, params))
 }
 
-/// Decodes `%XX` escapes and `+`-as-space.
-pub fn percent_decode(s: &str) -> Result<String, ParseError> {
+/// Decodes `%XX` escapes. `plus_is_space` additionally turns `+` into a
+/// space — that rule belongs to `x-www-form-urlencoded` query strings
+/// only; in a path component `+` is a literal plus (RFC 3986).
+pub fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, ParseError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -183,7 +189,7 @@ pub fn percent_decode(s: &str) -> Result<String, ParseError> {
                 out.push(hi * 16 + lo);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -270,6 +276,16 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_is_a_token_list() {
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive, Upgrade\r\n\r\n").unwrap().unwrap();
+        assert!(req.keep_alive, "keep-alive inside a list must count");
+        let req = parse("GET / HTTP/1.1\r\nConnection: Upgrade, Close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive, "close inside a list must count");
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive, "close wins when both appear");
+    }
+
+    #[test]
     fn reads_body_by_content_length() {
         let req = parse("POST /admin/reload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap().unwrap();
         assert_eq!(req.body, b"hello");
@@ -279,8 +295,17 @@ mod tests {
     fn percent_decoding_in_params() {
         let req = parse("GET /query?u=1%32&note=a+b%21 HTTP/1.1\r\n\r\n").unwrap().unwrap();
         assert_eq!(req.params, vec![("u".into(), "12".into()), ("note".into(), "a b!".into())]);
-        assert!(percent_decode("%zz").is_err());
-        assert!(percent_decode("%f").is_err());
+        assert!(percent_decode("%zz", true).is_err());
+        assert!(percent_decode("%f", true).is_err());
+    }
+
+    #[test]
+    fn plus_is_space_only_in_query_params() {
+        // RFC 3986: '+' in a path component is a literal plus; the
+        // plus-as-space rule is a form-encoding convention for queries.
+        let req = parse("GET /a+b?x=c+d HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path, "/a+b");
+        assert_eq!(req.params, vec![("x".into(), "c d".into())]);
     }
 
     #[test]

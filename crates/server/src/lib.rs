@@ -30,8 +30,12 @@
 //! Reload is zero-downtime: the new snapshot loads and verifies off to
 //! the side, then [`ServingEngine::swap`] switches generations atomically
 //! — in-flight waves finish on the old dataset, new waves see the new
-//! one, and no request ever fails because a reload happened. Quit is a
-//! drain: accepted queries are answered, new ones get 503.
+//! one, and no request ever fails *spuriously* because a reload happened
+//! (a request whose vertex no longer exists in a smaller snapshot gets a
+//! clean 400, re-validated against the generation its wave actually
+//! pinned — never a panic or a hang). Quit is a drain: accepted queries
+//! are answered, new ones get 503, and `run` waits for connection
+//! threads to finish writing before returning.
 
 pub mod client;
 pub mod dispatch;
@@ -40,19 +44,20 @@ pub mod metrics;
 mod signal;
 
 pub use client::{HttpClient, Response};
-pub use dispatch::{Coalescer, SubmitError};
+pub use dispatch::{Coalescer, QueryAnswer, SubmitError};
 pub use metrics::ServerMetrics;
 
 use srs_graph::VertexId;
 use srs_search::engine::WaveQuery;
 use srs_search::persist::PersistError;
 use srs_search::{Dataset, QueryOptions, ServingEngine, TopKResult};
+use std::collections::HashMap;
 use std::io;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Largest accepted `k` on the query API.
@@ -77,6 +82,13 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// `k` used when a query omits the parameter.
     pub default_k: usize,
+    /// Per-read socket timeout on accepted connections — an idle
+    /// keep-alive peer is closed after this long instead of pinning an
+    /// OS thread forever ([`Duration::ZERO`] disables the timeout).
+    pub read_timeout: Duration,
+    /// Most connections served concurrently; above this, new connections
+    /// answer 503 and close instead of spawning unbounded threads.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +102,8 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             cache_capacity: 4096,
             default_k: 20,
+            read_timeout: Duration::from_secs(60),
+            max_connections: 1024,
         }
     }
 }
@@ -126,6 +140,14 @@ impl From<PersistError> for ServeError {
     }
 }
 
+/// The open-connection registry: stream clones keyed by connection id,
+/// so shutdown can unblock idle readers and `run` can wait for writers.
+#[derive(Default)]
+struct ConnTable {
+    next_id: u64,
+    open: HashMap<u64, TcpStream>,
+}
+
 /// State shared by the accept loop, connection threads, the dispatcher,
 /// and the SIGHUP watcher.
 struct Shared {
@@ -141,6 +163,60 @@ struct Shared {
     default_opts: Arc<QueryOptions>,
     /// The bound address, for the self-connect that wakes `accept`.
     addr: SocketAddr,
+    /// Per-read socket timeout for accepted connections (ZERO = none).
+    read_timeout: Duration,
+    /// Concurrent-connection cap (see [`ServerConfig::max_connections`]).
+    max_connections: usize,
+    conns: Mutex<ConnTable>,
+    /// Signaled whenever a connection deregisters (drain waits on this).
+    conn_closed: Condvar,
+}
+
+impl Shared {
+    /// Registers an accepted connection, enforcing the cap. Returns the
+    /// connection id, or `None` when the server is at capacity (or the
+    /// stream handle cannot be duplicated for shutdown bookkeeping).
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let mut conns = self.conns.lock().unwrap();
+        if conns.open.len() >= self.max_connections {
+            return None;
+        }
+        let id = conns.next_id;
+        conns.next_id += 1;
+        conns.open.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister_conn(&self, id: u64) {
+        self.conns.lock().unwrap().open.remove(&id);
+        self.conn_closed.notify_all();
+    }
+
+    /// Unblocks every connection thread parked in a read: half-closing
+    /// the read side makes `fill_buf` return EOF, while responses still
+    /// in flight keep their intact write side.
+    fn shutdown_conn_reads(&self) {
+        for stream in self.conns.lock().unwrap().open.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Waits until every registered connection has deregistered, up to
+    /// `grace` — so a response being written when quit lands is flushed
+    /// before `run` returns, but a wedged peer cannot hold up exit.
+    fn await_connections(&self, grace: Duration) {
+        let deadline = Instant::now() + grace;
+        let mut conns = self.conns.lock().unwrap();
+        while !conns.open.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self.conn_closed.wait_timeout(conns, deadline - now).unwrap();
+            conns = guard;
+        }
+    }
 }
 
 /// The daemon: a bound listener plus everything the request path shares.
@@ -178,6 +254,10 @@ impl Server {
             default_k: config.default_k.clamp(1, MAX_K),
             default_opts: Arc::new(QueryOptions::default()),
             addr,
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections.max(1),
+            conns: Mutex::new(ConnTable::default()),
+            conn_closed: Condvar::new(),
         });
         Ok(Server { listener, shared })
     }
@@ -194,8 +274,10 @@ impl Server {
     }
 
     /// Serves until `POST /admin/quit`: spawns the dispatcher and SIGHUP
-    /// watcher, then accepts connections (one thread each). On quit the
-    /// dispatcher drains every accepted query before this returns.
+    /// watcher, then accepts connections (one thread each, up to the
+    /// configured cap). On quit the dispatcher drains every accepted
+    /// query, and `run` then waits (bounded grace) for connection threads
+    /// to finish writing their responses before returning.
     pub fn run(self) -> io::Result<()> {
         signal::install();
         let dispatcher = {
@@ -224,15 +306,37 @@ impl Server {
                 Err(_) => continue,
             };
             self.shared.metrics.connections.inc();
+            let Some(id) = self.shared.register_conn(&stream) else {
+                // At capacity (or the handle could not be duplicated):
+                // shed load with a one-shot 503 instead of spawning.
+                self.shared.metrics.response(503);
+                let mut stream = stream;
+                let _ = http::write_response(
+                    &mut stream,
+                    503,
+                    "application/json",
+                    b"{\"error\":\"too many connections\"}",
+                    false,
+                );
+                continue;
+            };
             self.shared.metrics.connections_active.inc();
             let shared = Arc::clone(&self.shared);
-            let _ = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("srs-conn".to_string())
-                .spawn(move || handle_connection(shared, stream));
+                .spawn(move || handle_connection(shared, stream, id));
+            if spawned.is_err() {
+                self.shared.deregister_conn(id);
+                self.shared.metrics.connections_active.dec();
+            }
         }
         self.shared.coalescer.close();
         let _ = dispatcher.join();
         let _ = watcher.join();
+        // Every accepted query has been answered by now; give the
+        // connection threads a bounded grace to flush those responses so
+        // process exit cannot truncate a drained query's answer.
+        self.shared.await_connections(Duration::from_secs(5));
         Ok(())
     }
 }
@@ -253,8 +357,14 @@ fn error_reply(status: u16, message: &str) -> Reply {
     json_reply(status, format!("{{\"error\":{}}}", json_escape(message)))
 }
 
-fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
     let _ = stream.set_nodelay(true);
+    if !shared.read_timeout.is_zero() {
+        // An idle keep-alive (or slowloris) peer hits this and the read
+        // errors out below, closing the connection — threads are only
+        // pinned by peers actually talking.
+        let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    }
     let mut reader = BufReader::new(stream);
     loop {
         match http::read_request(&mut reader) {
@@ -279,6 +389,7 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
             }
         }
     }
+    shared.deregister_conn(conn_id);
     shared.metrics.connections_active.dec();
 }
 
@@ -287,11 +398,15 @@ fn write_reply(shared: &Shared, w: &mut TcpStream, reply: &Reply, keep_alive: bo
     http::write_response(w, reply.status, reply.content_type, reply.body.as_bytes(), keep_alive)
 }
 
-/// Flags the drain and wakes the blocking `accept` with a self-connect
-/// so `run` can observe the flag. Idempotent.
+/// Flags the drain, wakes the blocking `accept` with a self-connect so
+/// `run` can observe the flag, and half-closes the read side of every
+/// open connection so threads parked on an idle keep-alive read exit
+/// promptly (their write sides stay intact for in-flight responses).
+/// Idempotent.
 fn begin_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.coalescer.close();
+    shared.shutdown_conn_reads();
     let _ = TcpStream::connect(shared.addr);
 }
 
@@ -362,6 +477,10 @@ fn query_reply(shared: &Shared, req: &http::Request) -> Reply {
     let Some(vertex) = vertex else {
         return error_reply(400, "missing required parameter u");
     };
+    // Fast-path validation against the current dataset. This check is
+    // advisory only — a reload can swap in a smaller snapshot between
+    // here and the wave — so the engine re-validates against the
+    // generation the wave actually pins (`QueryAnswer::out_of_range`).
     let vertices = shared.engine.dataset().graph().num_vertices() as u64;
     if vertex >= vertices {
         return error_reply(400, &format!("vertex {vertex} out of range (graph has {vertices} vertices)"));
@@ -377,7 +496,14 @@ fn query_reply(shared: &Shared, req: &http::Request) -> Reply {
         Err(SubmitError::Full) => error_reply(503, "dispatch queue full"),
         Err(SubmitError::Closed) => error_reply(503, "server is draining"),
         Ok(rx) => match rx.recv() {
-            Ok(result) => json_reply(200, query_json(vertex, k, shared.engine.generation(), &result)),
+            Ok(answer) if answer.out_of_range => error_reply(
+                400,
+                &format!("vertex {vertex} out of range (snapshot generation {})", answer.generation),
+            ),
+            // The generation is the one the answering wave pinned, so a
+            // reload landing mid-request can never mislabel old-dataset
+            // hits with the new generation number.
+            Ok(answer) => json_reply(200, query_json(vertex, k, answer.generation, &answer.result)),
             Err(_) => error_reply(500, "dispatcher dropped the query"),
         },
     };

@@ -14,6 +14,7 @@
 //! | `srs_server_inflight_queries` | gauge | |
 //! | `srs_server_queue_depth` | gauge | |
 //! | `srs_server_waves_total` | counter | |
+//! | `srs_server_wave_panics_total` | counter | |
 //! | `srs_server_wave_size` | histogram | |
 //! | `srs_server_request_latency_ns` | histogram | |
 //! | `srs_server_reloads_total` / `srs_server_reload_failures_total` | counter | |
@@ -50,6 +51,9 @@ pub struct ServerMetrics {
     pub queue_depth: Arc<Gauge>,
     /// `srs_server_waves_total` — coalesced waves the dispatcher served.
     pub waves: Arc<Counter>,
+    /// `srs_server_wave_panics_total` — waves whose engine call panicked
+    /// (caught by the dispatcher; the wave's requests answered 500).
+    pub wave_panics: Arc<Counter>,
     /// `srs_server_wave_size` — engine-batch size distribution: one
     /// observation per batch a wave split into, so a sample ≥ 2 proves
     /// concurrent requests were answered by a single engine batch.
@@ -88,6 +92,8 @@ impl ServerMetrics {
             inflight: r.gauge("srs_server_inflight_queries", "Queries between submit and response"),
             queue_depth: r.gauge("srs_server_queue_depth", "Queries waiting in the dispatcher queue"),
             waves: r.counter("srs_server_waves_total", "Coalesced request waves served"),
+            wave_panics: r
+                .counter("srs_server_wave_panics_total", "Engine waves that panicked (caught)"),
             wave_size: r.histogram("srs_server_wave_size", "Requests coalesced into one engine batch"),
             request_latency: r
                 .histogram("srs_server_request_latency_ns", "Per-request wall latency, queueing included"),
@@ -135,6 +141,7 @@ mod tests {
             "srs_server_inflight_queries",
             "srs_server_queue_depth",
             "srs_server_waves_total",
+            "srs_server_wave_panics_total",
             "srs_server_wave_size",
             "srs_server_request_latency_ns",
             "srs_server_reloads_total",

@@ -12,13 +12,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-fn fixture_snapshot(name: &str) -> PathBuf {
-    let path = std::env::temp_dir().join(format!("srs_serve_{}_{name}.srs", std::process::id()));
-    let g = gen::copying_web(300, 4, 0.8, 8);
+fn write_snapshot(path: &Path, n: u32) {
+    let g = gen::copying_web(n, 4, 0.8, 8);
     let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
     let idx = TopKIndex::build(&g, &params, 7);
-    let f = std::fs::File::create(&path).unwrap();
+    let f = std::fs::File::create(path).unwrap();
     snapshot::pack(&g, &idx, std::io::BufWriter::new(f)).unwrap();
+}
+
+fn fixture_snapshot(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("srs_serve_{}_{name}.srs", std::process::id()));
+    write_snapshot(&path, 300);
     path
 }
 
@@ -185,6 +189,103 @@ fn reload_under_traffic_drops_nothing() {
             .map(|v| v.parse::<u64>().unwrap())
             .sum()
     });
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+}
+
+/// The TOCTOU regression: a vertex validated against one generation can
+/// reach the dispatcher after a reload shrank the graph. The wave must
+/// flag it (never index out of range), and the dispatcher must stay
+/// alive for every later query.
+#[test]
+fn dispatcher_survives_stale_vertex_validation() {
+    use srs_search::engine::WaveQuery;
+    use srs_serve::{Coalescer, ServerMetrics};
+
+    let snap = fixture_snapshot("stale");
+    let (dataset, _info) = srs_search::Dataset::load(&snap).unwrap();
+    let engine = Arc::new(ServingEngine::new(dataset));
+    let metrics = ServerMetrics::register_on(engine.metrics().registry());
+    let coalescer = Arc::new(Coalescer::new(16, 8, Duration::ZERO));
+    let dispatcher = {
+        let (coalescer, engine) = (Arc::clone(&coalescer), Arc::clone(&engine));
+        std::thread::spawn(move || coalescer.run(&engine, &metrics))
+    };
+    let opts = Arc::new(QueryOptions::default());
+    // Simulates a submitter whose validation raced a shrinking reload:
+    // the vertex is far beyond the 300-vertex graph.
+    let stale = coalescer.submit(WaveQuery { vertex: 1_000_000, k: 5, opts: Arc::clone(&opts) }).unwrap();
+    let answer = stale.recv_timeout(Duration::from_secs(10)).expect("dispatcher must answer, not die");
+    assert!(answer.out_of_range);
+    assert!(answer.result.hits.is_empty());
+    // The dispatcher is still serving: a valid query answers normally.
+    let ok = coalescer.submit(WaveQuery { vertex: 7, k: 5, opts }).unwrap();
+    let answer = ok.recv_timeout(Duration::from_secs(10)).expect("dispatcher died after stale vertex");
+    assert!(!answer.out_of_range);
+    assert_eq!(answer.generation, 1);
+    assert_eq!(answer.result.hits, engine.query(7, 5, &QueryOptions::default()).hits);
+    coalescer.close();
+    dispatcher.join().unwrap();
+    std::fs::remove_file(&snap).ok();
+}
+
+/// A reload that swaps in a *smaller* snapshot under traffic targeting
+/// the old, larger vertex range: requests may answer 200 or 400, but the
+/// server must never 500, hang, or die — and it must keep serving
+/// afterwards.
+#[test]
+fn shrinking_reload_never_hangs_the_query_path() {
+    let snap = fixture_snapshot("shrink");
+    let r = start(config(&snap));
+    let addr = r.addr;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Traffic across the FULL old range 0..300, so after the shrink
+        // to 120 vertices many requests target ids that no longer exist —
+        // including ones already sitting in the dispatch queue.
+        for w in 0..4u32 {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut c = HttpClient::connect(addr.to_string()).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(10)));
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (w * 53 + i * 13) % 300;
+                    let resp = c.get(&format!("/query?u={u}&k=5")).expect("query hung or errored");
+                    assert!(
+                        resp.status == 200 || resp.status == 400,
+                        "u={u} answered {}: {}",
+                        resp.status,
+                        resp.body_str()
+                    );
+                    i += 1;
+                }
+            });
+        }
+        let mut admin = HttpClient::connect(addr.to_string()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        write_snapshot(&snap, 120);
+        assert_eq!(admin.post("/admin/reload").unwrap().status, 200);
+        std::thread::sleep(Duration::from_millis(60));
+        // Grow it back, still under traffic.
+        write_snapshot(&snap, 300);
+        assert_eq!(admin.post("/admin/reload").unwrap().status, 200);
+        std::thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::Relaxed);
+    });
+    // The query path survived both swaps: a fresh query still answers.
+    let mut c = HttpClient::connect(addr.to_string()).unwrap();
+    let resp = c.get("/query?u=250&k=5").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let m = r.engine.metrics().snapshot();
+    let prom = m.to_prometheus();
+    let fives: u64 = prom
+        .lines()
+        .filter_map(|l| l.strip_prefix("srs_server_responses_total{code=\"500\"} "))
+        .map(|v| v.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(fives, 0, "500s during shrinking reload:\n{prom}");
+    assert_eq!(m.counter_total("srs_server_wave_panics_total"), 0, "no wave may panic");
     quit(r);
     std::fs::remove_file(&snap).ok();
 }
