@@ -24,6 +24,7 @@ pub mod cache;
 pub mod experiments;
 pub mod metrics;
 pub mod querybench;
+pub mod servebench;
 pub mod snapbench;
 pub mod walkbench;
 

@@ -1,0 +1,222 @@
+//! Server load-sweep reporting: the `BENCH_serve.json` emitter.
+//!
+//! `srs loadgen --sweep` drives the network daemon at a ladder of request
+//! rates and records, per rung, the achieved throughput and the latency
+//! tail measured from each request's *scheduled* send time (open-loop, so
+//! server-side queueing shows up as latency instead of silently
+//! stretching the run). The report's headline is the **knee**: the first
+//! rate at which the server stops keeping up — either throughput falls
+//! measurably below the offered rate or the tail blows out relative to
+//! the lightest rung. Like `BENCH_query.json`, the JSON is hand-rolled
+//! because the workspace is offline (no serde).
+
+use crate::walkbench::json_string;
+use std::io::Write;
+use std::path::Path;
+
+/// Achieved throughput must reach this fraction of the offered rate for
+/// a rung to count as "keeping up".
+pub const KNEE_THROUGHPUT_FRACTION: f64 = 0.9;
+
+/// A rung whose p99 exceeds the first rung's p99 by this factor marks
+/// saturation even if throughput still tracks the offered rate.
+pub const KNEE_P99_BLOWUP: f64 = 10.0;
+
+/// One measured load-generation rung (a single offered request rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchEntry {
+    /// Offered (target) request rate, requests per second.
+    pub rate: f64,
+    /// Requests scheduled at this rung.
+    pub requests: u64,
+    /// Requests answered with HTTP 200.
+    pub completed: u64,
+    /// Requests that failed (transport or non-200).
+    pub errors: u64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Top-k requested per query.
+    pub k: usize,
+    /// Wall-clock seconds from the first scheduled send to the last
+    /// response.
+    pub elapsed_secs: f64,
+    /// Median latency from scheduled send, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+}
+
+impl ServeBenchEntry {
+    /// Achieved throughput in completed requests per second.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Whether this rung kept up with its offered rate (throughput within
+    /// [`KNEE_THROUGHPUT_FRACTION`] of target and no errors).
+    pub fn keeping_up(&self) -> bool {
+        self.errors == 0 && self.achieved_qps() >= KNEE_THROUGHPUT_FRACTION * self.rate
+    }
+}
+
+/// A full rate-sweep run against one server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeBenchReport {
+    /// Server address the sweep targeted.
+    pub addr: String,
+    /// Measured rungs, in ascending offered-rate order.
+    pub entries: Vec<ServeBenchEntry>,
+}
+
+impl ServeBenchReport {
+    /// An empty report for `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), entries: Vec::new() }
+    }
+
+    /// Records one rung.
+    pub fn push(&mut self, entry: ServeBenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The saturation knee: index of the first rung that either stopped
+    /// keeping up with its offered rate or whose p99 blew out by
+    /// [`KNEE_P99_BLOWUP`]× relative to the first rung. `None` while the
+    /// server tracks every offered rate.
+    pub fn knee(&self) -> Option<usize> {
+        let base_p99 = self.entries.first().map(|e| e.p99_us)?;
+        self.entries
+            .iter()
+            .position(|e| !e.keeping_up() || (base_p99 > 0.0 && e.p99_us > KNEE_P99_BLOWUP * base_p99))
+    }
+
+    /// The knee rung's offered rate, if saturation was reached.
+    pub fn knee_rate(&self) -> Option<f64> {
+        self.knee().map(|i| self.entries[i].rate)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"addr\": {},\n", json_string(&self.addr)));
+        match self.knee_rate() {
+            Some(rate) => out.push_str(&format!("  \"knee_rate\": {rate:.1},\n")),
+            None => out.push_str("  \"knee_rate\": null,\n"),
+        }
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rate\": {:.1}, \"requests\": {}, \"completed\": {}, \"errors\": {}, \
+                 \"connections\": {}, \"k\": {}, \"elapsed_secs\": {:.6}, \"achieved_qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}{}\n",
+                e.rate,
+                e.requests,
+                e.completed,
+                e.errors,
+                e.connections,
+                e.k,
+                e.elapsed_secs,
+                e.achieved_qps(),
+                e.p50_us,
+                e.p95_us,
+                e.p99_us,
+                e.max_us,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rung(rate: f64, completed: u64, elapsed: f64, p99: f64) -> ServeBenchEntry {
+        ServeBenchEntry {
+            rate,
+            requests: completed,
+            completed,
+            errors: 0,
+            connections: 4,
+            k: 20,
+            elapsed_secs: elapsed,
+            p50_us: p99 / 4.0,
+            p95_us: p99 / 2.0,
+            p99_us: p99,
+            max_us: p99 * 2.0,
+        }
+    }
+
+    #[test]
+    fn knee_on_throughput_collapse() {
+        let mut r = ServeBenchReport::new("127.0.0.1:7171");
+        r.push(rung(100.0, 200, 2.0, 800.0)); // 100 qps achieved
+        r.push(rung(200.0, 400, 2.0, 900.0)); // 200 qps achieved
+        r.push(rung(400.0, 500, 2.0, 1000.0)); // 250 qps — collapsed
+        assert_eq!(r.knee(), Some(2));
+        assert_eq!(r.knee_rate(), Some(400.0));
+    }
+
+    #[test]
+    fn knee_on_p99_blowup() {
+        let mut r = ServeBenchReport::new("x");
+        r.push(rung(100.0, 200, 2.0, 500.0));
+        r.push(rung(200.0, 400, 2.0, 900.0));
+        r.push(rung(300.0, 600, 2.0, 20_000.0)); // tail exploded, qps fine
+        assert_eq!(r.knee(), Some(2));
+    }
+
+    #[test]
+    fn no_knee_while_keeping_up() {
+        let mut r = ServeBenchReport::new("x");
+        r.push(rung(100.0, 200, 2.0, 500.0));
+        r.push(rung(200.0, 400, 2.0, 600.0));
+        assert_eq!(r.knee(), None);
+        assert!(r.to_json().contains("\"knee_rate\": null"));
+    }
+
+    #[test]
+    fn errors_break_keeping_up() {
+        let mut e = rung(100.0, 200, 2.0, 500.0);
+        e.errors = 1;
+        assert!(!e.keeping_up());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = ServeBenchReport::new("127.0.0.1:7171");
+        r.push(rung(100.0, 200, 2.0, 800.0));
+        r.push(rung(400.0, 500, 2.0, 1000.0));
+        let j = r.to_json();
+        assert!(j.contains("\"addr\": \"127.0.0.1:7171\""));
+        assert!(j.contains("\"knee_rate\": 400.0"));
+        assert!(j.contains("\"achieved_qps\": 100.0"));
+        assert_eq!(j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let mut r = ServeBenchReport::new("x");
+        r.push(rung(50.0, 100, 2.0, 300.0));
+        let path = std::env::temp_dir().join("srs_servebench_test.json");
+        r.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

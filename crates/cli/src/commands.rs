@@ -23,15 +23,17 @@ usage:
   srs pack       --graph FILE --index FILE --out FILE.srs
   srs query      {--snapshot FILE.srs | --graph FILE --index FILE} --vertex V [--k 20]
                  [--ball R] [--theta X] [--wave-width W] [--explain]
+                 [--fast-tier off|auto|always [--fast-tier-degree D] [--fast-tier-candidates C]]
   srs batch-query {--snapshot FILE.srs | --graph FILE --index FILE}
                  [--vertices 1,2,3 | --queries N|FILE|- [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
-                 [--metrics-out FILE] [--hits-out FILE]
+                 [--fast-tier off|auto|always] [--metrics-out FILE] [--hits-out FILE]
   srs serve      --snapshot FILE.srs [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
                  [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
-                 [--read-timeout-s 60] [--max-conns 1024]
+                 [--read-timeout-s 60] [--max-conns 1024] [--fast-tier off|auto|always]
   srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
                  [--zipf 1.0] [--connections 4] [--seed S]
+                 [--sweep R1,R2,... [--sweep-out FILE.json]]
   srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -291,6 +293,12 @@ fn query_options(args: &Args) -> Result<QueryOptions, String> {
     // Wave width only changes how the scan batches its walk work; results
     // are bit-identical at every width (1 disables batching).
     opts.wave_width = args.get_or("wave-width", opts.wave_width)?;
+    if let Some(ft) = args.opt("fast-tier") {
+        opts.fast_tier = srs_search::FastTier::parse(ft)
+            .ok_or_else(|| format!("--fast-tier `{ft}` (expected off|auto|always)"))?;
+    }
+    opts.fast_tier_min_degree = args.get_or("fast-tier-degree", opts.fast_tier_min_degree)?;
+    opts.fast_tier_min_candidates = args.get_or("fast-tier-candidates", opts.fast_tier_min_candidates)?;
     Ok(opts)
 }
 
@@ -304,6 +312,9 @@ fn query(args: &Args) -> Result<String, String> {
         "ball",
         "theta",
         "wave-width",
+        "fast-tier",
+        "fast-tier-degree",
+        "fast-tier-candidates",
         "explain",
     ])?;
     let (ds, _) = load_dataset(args)?;
@@ -351,6 +362,9 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "ball",
         "theta",
         "wave-width",
+        "fast-tier",
+        "fast-tier-degree",
+        "fast-tier-candidates",
         "metrics-out",
         "hits-out",
     ])?;
@@ -498,6 +512,7 @@ fn serve(args: &Args) -> Result<String, String> {
         "k",
         "read-timeout-s",
         "max-conns",
+        "fast-tier",
     ])?;
     let defaults = srs_serve::ServerConfig::default();
     let config = srs_serve::ServerConfig {
@@ -510,11 +525,15 @@ fn serve(args: &Args) -> Result<String, String> {
         cache_capacity: args.get_or("cache", defaults.cache_capacity)?,
         default_k: args.get_or("k", defaults.default_k)?,
         // 0 disables the idle-read timeout.
-        read_timeout: std::time::Duration::from_secs(args.get_or(
-            "read-timeout-s",
-            defaults.read_timeout.as_secs(),
-        )?),
+        read_timeout: std::time::Duration::from_secs(
+            args.get_or("read-timeout-s", defaults.read_timeout.as_secs())?,
+        ),
         max_connections: args.get_or("max-conns", defaults.max_connections)?,
+        fast_tier: match args.opt("fast-tier") {
+            Some(ft) => srs_search::FastTier::parse(ft)
+                .ok_or_else(|| format!("--fast-tier `{ft}` (expected off|auto|always)"))?,
+            None => defaults.fast_tier,
+        },
     };
     let server = srs_serve::Server::bind(config).map_err(|e| e.to_string())?;
     let engine = server.engine();
@@ -542,49 +561,54 @@ fn serve(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn loadgen(args: &Args) -> Result<String, String> {
+/// One finished open-loop load run: sorted latencies (from each request's
+/// *scheduled* send time), error count, and a sample of failure messages.
+struct LoadOutcome {
+    total: usize,
+    latencies: Vec<std::time::Duration>,
+    errors: u64,
+    wall: std::time::Duration,
+    failures: Vec<String>,
+}
+
+impl LoadOutcome {
+    fn completed(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Latency at percentile `p` (0 < p <= 1); zero when nothing completed.
+    fn pct(&self, p: f64) -> std::time::Duration {
+        let c = self.completed();
+        if c == 0 {
+            return std::time::Duration::ZERO;
+        }
+        self.latencies[((p * c as f64).ceil() as usize).clamp(1, c) - 1]
+    }
+
+    fn achieved_qps(&self) -> f64 {
+        self.completed() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drives `total` open-loop requests at `rate` against a running server:
+/// request `i` is *due* at `start + i/rate` no matter how fast earlier
+/// requests completed, and latency is measured from the due time —
+/// server-side queueing shows up as latency instead of silently
+/// stretching the run (the coordinated-omission trap of closed loops).
+#[allow(clippy::too_many_arguments)]
+fn run_load(
+    addr: &str,
+    n: usize,
+    rate: f64,
+    total: usize,
+    k: usize,
+    exponent: f64,
+    connections: usize,
+    seed: u64,
+) -> LoadOutcome {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::{Duration, Instant};
-    args.ensure_known(&["addr", "rate", "duration-s", "requests", "k", "zipf", "connections", "seed"])?;
-    let addr = args.req("addr")?.to_string();
-    let rate: f64 = args.get_or("rate", 200.0)?;
-    if !(rate.is_finite() && rate > 0.0) {
-        return Err("--rate must be a positive number".into());
-    }
-    let total: usize = match args.opt("requests") {
-        Some(_) => args.get_req("requests")?,
-        None => {
-            let secs: f64 = args.get_or("duration-s", 2.0)?;
-            if !(secs.is_finite() && secs > 0.0) {
-                return Err("--duration-s must be a positive number".into());
-            }
-            (rate * secs).ceil().max(1.0) as usize
-        }
-    };
-    if total == 0 {
-        return Err("--requests must be positive".into());
-    }
-    let k: usize = args.get_or("k", 20)?;
-    let exponent: f64 = args.get_or("zipf", 1.0)?;
-    if !(exponent.is_finite() && exponent >= 0.0) {
-        return Err("--zipf must be >= 0 (0 = uniform)".into());
-    }
-    let connections: usize = args.get_or::<usize>("connections", 4)?.clamp(1, total);
-    let seed: u64 = args.get_or("seed", 7)?;
-
-    // The vertex universe comes from the server itself.
-    let mut probe = srs_serve::HttpClient::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
-    let info = probe.get("/info").map_err(|e| format!("{addr}: GET /info: {e}"))?;
-    if info.status != 200 {
-        return Err(format!("{addr}: GET /info answered {}", info.status));
-    }
-    let n = json_u64_field(&info.body_str(), "vertices")
-        .ok_or_else(|| format!("{addr}: /info response had no vertex count"))? as usize;
-    if n == 0 {
-        return Err(format!("{addr}: server graph has no vertices"));
-    }
-    drop(probe);
-
+    let connections = connections.clamp(1, total);
     // Pre-draw the whole workload so workers spend the measured window on
     // network i/o only. Ranks map to vertex ids through a coprime stride,
     // scattering the hot head of the distribution across the id space.
@@ -599,10 +623,6 @@ fn loadgen(args: &Args) -> Result<String, String> {
         })
         .collect();
 
-    // Open loop: request i is *due* at start + i/rate no matter how fast
-    // earlier requests completed, and latency is measured from the due
-    // time — server-side queueing shows up as latency instead of silently
-    // stretching the run (the coordinated-omission trap of closed loops).
     let start = Instant::now() + Duration::from_millis(20);
     let errors = AtomicU64::new(0);
     let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
@@ -615,7 +635,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
     let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|w| {
-                let (addr, targets, errors, note) = (&addr, &targets, &errors, &note);
+                let (targets, errors, note) = (&targets, &errors, &note);
                 scope.spawn(move || {
                     let mut lats = Vec::new();
                     let mut client: Option<srs_serve::HttpClient> = None;
@@ -658,31 +678,157 @@ fn loadgen(args: &Args) -> Result<String, String> {
     });
     let wall = start.elapsed();
     latencies.sort_unstable();
-    let completed = latencies.len();
-    let errs = errors.load(Ordering::Relaxed);
+    LoadOutcome {
+        total,
+        latencies,
+        errors: errors.load(Ordering::Relaxed),
+        wall,
+        failures: failures.into_inner().unwrap(),
+    }
+}
+
+fn loadgen(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "addr",
+        "rate",
+        "duration-s",
+        "requests",
+        "k",
+        "zipf",
+        "connections",
+        "seed",
+        "sweep",
+        "sweep-out",
+    ])?;
+    let addr = args.req("addr")?.to_string();
+    let k: usize = args.get_or("k", 20)?;
+    let exponent: f64 = args.get_or("zipf", 1.0)?;
+    if !(exponent.is_finite() && exponent >= 0.0) {
+        return Err("--zipf must be >= 0 (0 = uniform)".into());
+    }
+    let connections: usize = args.get_or("connections", 4)?;
+    if connections == 0 {
+        return Err("--connections must be positive".into());
+    }
+    let seed: u64 = args.get_or("seed", 7)?;
+    let secs: f64 = args.get_or("duration-s", 2.0)?;
+    if !(secs.is_finite() && secs > 0.0) {
+        return Err("--duration-s must be a positive number".into());
+    }
+
+    // The vertex universe comes from the server itself.
+    let mut probe = srs_serve::HttpClient::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let info = probe.get("/info").map_err(|e| format!("{addr}: GET /info: {e}"))?;
+    if info.status != 200 {
+        return Err(format!("{addr}: GET /info answered {}", info.status));
+    }
+    let n = json_u64_field(&info.body_str(), "vertices")
+        .ok_or_else(|| format!("{addr}: /info response had no vertex count"))? as usize;
+    if n == 0 {
+        return Err(format!("{addr}: server graph has no vertices"));
+    }
+    drop(probe);
+
+    if let Some(spec) = args.opt("sweep") {
+        // Rate ladder: each rung runs `--duration-s` at its offered rate;
+        // the report's knee is the first rung the server can't track.
+        let mut rates = Vec::new();
+        for part in spec.split(',') {
+            let r: f64 = part.trim().parse().map_err(|e| format!("--sweep `{part}`: {e}"))?;
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("--sweep rate `{part}` must be positive"));
+            }
+            rates.push(r);
+        }
+        let mut report = srs_bench::servebench::ServeBenchReport::new(addr.clone());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen sweep: {} rungs x {secs}s against {addr} (zipf {exponent}, {connections} connections, k={k})",
+            rates.len()
+        );
+        for (rung, &rate) in rates.iter().enumerate() {
+            let total = (rate * secs).ceil().max(1.0) as usize;
+            let r = run_load(&addr, n, rate, total, k, exponent, connections, seed + rung as u64);
+            let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+            let _ = writeln!(
+                out,
+                "  rate {rate:>7.0} -> {:.0} qps, {} errors, p50 {:.2?} | p95 {:.2?} | p99 {:.2?}",
+                r.achieved_qps(),
+                r.errors,
+                r.pct(0.50),
+                r.pct(0.95),
+                r.pct(0.99),
+            );
+            for msg in &r.failures {
+                let _ = writeln!(out, "  error: {msg}");
+            }
+            report.push(srs_bench::servebench::ServeBenchEntry {
+                rate,
+                requests: r.total as u64,
+                completed: r.completed() as u64,
+                errors: r.errors,
+                connections,
+                k,
+                elapsed_secs: r.wall.as_secs_f64(),
+                p50_us: us(r.pct(0.50)),
+                p95_us: us(r.pct(0.95)),
+                p99_us: us(r.pct(0.99)),
+                max_us: us(r.pct(1.0)),
+            });
+        }
+        match report.knee_rate() {
+            Some(rate) => {
+                let _ = writeln!(out, "knee: server stops keeping up at {rate:.0} rps offered");
+            }
+            None => {
+                let _ = writeln!(out, "knee: not reached (server tracked every offered rate)");
+            }
+        }
+        if let Some(path) = args.opt("sweep-out") {
+            report.write(path).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(out, "sweep -> {path}");
+        }
+        return Ok(out);
+    }
+
+    let rate: f64 = args.get_or("rate", 200.0)?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err("--rate must be a positive number".into());
+    }
+    let total: usize = match args.opt("requests") {
+        Some(_) => args.get_req("requests")?,
+        None => (rate * secs).ceil().max(1.0) as usize,
+    };
+    if total == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let r = run_load(&addr, n, rate, total, k, exponent, connections, seed);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "loadgen: {total} requests to {addr} at {rate:.0} rps target (zipf {exponent}, {connections} connections, k={k})"
+        "loadgen: {total} requests to {addr} at {rate:.0} rps target (zipf {exponent}, {} connections, k={k})",
+        connections.min(total)
     );
     let _ = writeln!(
         out,
-        "completed {completed} ok, {errs} errors in {:.2?} -> achieved {:.0} queries/s",
-        wall,
-        completed as f64 / wall.as_secs_f64().max(1e-9)
+        "completed {} ok, {} errors in {:.2?} -> achieved {:.0} queries/s",
+        r.completed(),
+        r.errors,
+        r.wall,
+        r.achieved_qps()
     );
-    if completed > 0 {
-        let pct = |p: f64| latencies[((p * completed as f64).ceil() as usize).clamp(1, completed) - 1];
+    if r.completed() > 0 {
         let _ = writeln!(
             out,
             "latency (from scheduled send): p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
-            pct(0.50),
-            pct(0.95),
-            pct(0.99),
-            latencies[completed - 1]
+            r.pct(0.50),
+            r.pct(0.95),
+            r.pct(0.99),
+            r.pct(1.0)
         );
     }
-    for msg in failures.into_inner().unwrap() {
+    for msg in &r.failures {
         let _ = writeln!(out, "error: {msg}");
     }
     Ok(out)

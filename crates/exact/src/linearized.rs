@@ -72,33 +72,75 @@ pub fn single_pair(g: &Graph, u: VertexId, v: VertexId, params: &ExactParams, d:
 /// assert!(s[0] < 1e-9);               // hub and leaf never meet
 /// ```
 pub fn single_source(g: &Graph, u: VertexId, params: &ExactParams, d: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    single_source_into(g, u, params, d, &mut SingleSourceScratch::new(), &mut out);
+    out
+}
+
+/// Reusable working memory for [`single_source_into`]: the `T`
+/// forward-pass vectors plus the backward accumulator. A serving tier
+/// answering many single-source queries holds one of these per worker
+/// (`T · n` doubles — about 8.8 MB for `T = 11`, `n = 100 000`) so the
+/// O(Tm) pass allocates nothing in steady state.
+#[derive(Default)]
+pub struct SingleSourceScratch {
+    z: Vec<Vec<f64>>,
+    buf: Vec<f64>,
+}
+
+impl SingleSourceScratch {
+    /// Empty scratch; buffers are sized on first use and reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently retained.
+    pub fn memory_bytes(&self) -> usize {
+        let doubles = self.z.iter().map(Vec::capacity).sum::<usize>() + self.buf.capacity();
+        doubles * std::mem::size_of::<f64>()
+    }
+}
+
+/// [`single_source`] into caller-provided scratch and output storage —
+/// bit-identical results, zero allocation once the buffers are warm.
+pub fn single_source_into(
+    g: &Graph,
+    u: VertexId,
+    params: &ExactParams,
+    d: &[f64],
+    scratch: &mut SingleSourceScratch,
+    out: &mut Vec<f64>,
+) {
     let n = g.num_vertices() as usize;
     assert_eq!(d.len(), n, "diagonal length");
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let t_terms = params.t as usize;
     // Forward pass: z_t = Pᵗ e_u for t = 0..T-1.
-    let mut z: Vec<Vec<f64>> = Vec::with_capacity(t_terms);
-    let mut z0 = vec![0.0; n];
-    z0[u as usize] = 1.0;
-    z.push(z0);
+    scratch.z.resize_with(t_terms, Vec::new);
+    let z = &mut scratch.z;
+    z[0].clear();
+    z[0].resize(n, 0.0);
+    z[0][u as usize] = 1.0;
     for t in 1..t_terms {
-        let mut next = vec![0.0; n];
-        apply_p(g, &z[t - 1], &mut next);
-        z.push(next);
+        let (prev, next) = z.split_at_mut(t);
+        next[0].clear();
+        next[0].resize(n, 0.0);
+        apply_p(g, &prev[t - 1], &mut next[0]);
     }
     // Backward pass: acc = D z_{T-1}; acc = D z_t + c Pᵀ acc.
-    let mut acc: Vec<f64> = z[t_terms - 1].iter().zip(d).map(|(&zt, &dw)| zt * dw).collect();
-    let mut buf = vec![0.0; n];
+    out.extend(z[t_terms - 1].iter().zip(d).map(|(&zt, &dw)| zt * dw));
+    scratch.buf.clear();
+    scratch.buf.resize(n, 0.0);
     for t in (0..t_terms - 1).rev() {
-        apply_pt(g, &acc, &mut buf);
+        apply_pt(g, out, &mut scratch.buf);
         for w in 0..n {
-            acc[w] = d[w] * z[t][w] + params.c * buf[w];
+            out[w] = d[w] * z[t][w] + params.c * scratch.buf[w];
         }
     }
-    acc[u as usize] = 1.0;
-    acc
+    out[u as usize] = 1.0;
 }
 
 /// All-pairs scores via `n` single-source evaluations, split across

@@ -617,6 +617,31 @@ impl MultiFrontier {
         self.ids.truncate(write);
         obs::record([(n - write - dropped) as u64, write as u64 - branches, branches]);
     }
+
+    /// [`MultiFrontier::step`] with the wave kernels' strided emit
+    /// layout: each surviving walk of source `id` lands at
+    /// `rows[id * stride + lens[id]]` (then `lens[id]` is bumped), so a
+    /// source's positions this step form the contiguous row
+    /// `rows[id*stride .. id*stride + lens[id]]`. Callers size `rows` to
+    /// `sources * stride` with `stride >=` the source's pushed walk
+    /// count and zero `lens` beforehand; slots past `lens[id]` are never
+    /// written, so pre-filling rows with [`DEAD`] (which no walk can
+    /// occupy) yields fixed-width rows a SIMD comparator can scan
+    /// without length checks.
+    pub fn step_strided(
+        &mut self,
+        engine: &WalkEngine,
+        rngs: &mut [Pcg32],
+        rows: &mut [VertexId],
+        stride: usize,
+        lens: &mut [u32],
+    ) {
+        self.step(engine, rngs, |id, w| {
+            let i = id as usize;
+            rows[i * stride + lens[i] as usize] = w;
+            lens[i] += 1;
+        });
+    }
 }
 
 /// `R` recorded reverse-walk trajectories of length `T` from one source.

@@ -1,31 +1,183 @@
-//! Microbenchmark: wave estimator vs scalar estimates on one graph.
+//! Microbenchmark: the co-location counting kernel and the wave
+//! estimator, against their pre-vectorization layouts.
 //!
-//! Usage: `wave_micro <graph.bin> [width] [r] [passes]` — times
-//! `estimate_pairs_into` against the equivalent loop of scalar
-//! `estimate` calls over the same candidate sets (distance-3 balls of 16
-//! sampled queries, scanned in the real (distance, id) order), printing
-//! ns/estimate and ns/step for each and asserting the two paths produce
-//! bit-identical values. Timing is best-of-`passes` (default 5) because
-//! shared hosts swing ±20% run to run; the printed ratio is the
-//! kernel-only wave speedup, free of the enumerate/bounds stages that
-//! dilute it in end-to-end batch queries.
+//! Usage: `wave_micro <graph.bin> [width] [r] [passes] [--min-ratio X]`.
+//!
+//! Two sections:
+//!
+//! 1. **Kernel-only** — times the dispatched co-location kernel
+//!    ([`srs_search::colocate`]) against the two layouts it replaced, on
+//!    identical walk-position rows: the per-emission scalar prefix scan
+//!    (the old small-`r` flat path) and the FxHashMap build+probe (the
+//!    old large-`r` path). All three produce identical exact counts; the
+//!    printed ratio is pure counting work, free of walk stepping.
+//! 2. **End-to-end** — times `estimate_pairs_into` against the
+//!    equivalent loop of scalar `estimate` calls over the same candidate
+//!    sets (distance-3 balls of 16 sampled queries, scanned in the real
+//!    (distance, id) order), asserting bit-identical estimates. Stepping
+//!    dominates here, so the ratio is structurally smaller than the
+//!    kernel-only one.
+//!
+//! Timing is best-of-`passes` (default 5) because shared hosts swing
+//! ±20% run to run. With `--min-ratio X` the process exits non-zero if
+//! the kernel-only speedup (old-path layout vs dispatched kernel at this
+//! `r`) falls below `X` — the CI regression gate.
 
 use srs_graph::bfs::{BfsBuffers, Direction};
+use srs_graph::hash::FxHashMap;
 use srs_mc::WalkEngine;
+use srs_search::colocate::{self, DEAD};
 use srs_search::single_pair::{EstimatorBuffers, WaveEstimator};
 use srs_search::{Diagonal, SimRankParams};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let path = args.next().expect("usage: wave_micro <graph.bin> [width] [r]");
-    let width: usize = args.next().map(|w| w.parse().unwrap()).unwrap_or(32);
-    let bytes = std::fs::read(&path).unwrap();
+    let mut min_ratio: Option<f64> = None;
+    let mut positional = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        if a == "--min-ratio" {
+            let v = argv.next().expect("--min-ratio needs a value");
+            min_ratio = Some(v.parse().expect("--min-ratio value"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let path =
+        positional.first().expect("usage: wave_micro <graph.bin> [width] [r] [passes] [--min-ratio X]");
+    let width: usize = positional.get(1).map(|w| w.parse().unwrap()).unwrap_or(32);
+    let r: u32 = positional.get(2).map(|r| r.parse().unwrap()).unwrap_or(SimRankParams::default().r_coarse);
+    let passes: usize = positional.get(3).map(|p| p.parse().unwrap()).unwrap_or(5);
+
+    let kernel_ratio = kernel_only(r as usize, passes);
+    end_to_end(path, width, r, passes);
+
+    if let Some(floor) = min_ratio {
+        if kernel_ratio < floor {
+            eprintln!("FAIL: kernel-only ratio {kernel_ratio:.2}x below --min-ratio {floor}");
+            std::process::exit(1);
+        }
+        println!("kernel-only ratio {kernel_ratio:.2}x >= {floor} (gate passed)");
+    }
+}
+
+/// Times the three counting layouts on identical synthetic position rows
+/// and returns old-path/kernel speedup at this `r` (the old path is the
+/// prefix scan for `r <= 16`, the hash table above).
+fn kernel_only(rk: usize, passes: usize) -> f64 {
+    let rows = 2048usize;
+    let stride = colocate::pad_stride(rk);
+    // Position values collide like a real wave's: walks from nearby
+    // vertices land in a shared neighborhood a few times `r` wide.
+    let universe = (4 * rk).max(32) as u64;
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut u_rows = vec![DEAD; rows * stride];
+    let mut v_rows = vec![0u32; rows * rk];
+    let mut u_lens = vec![0usize; rows];
+    let mut v_lens = vec![0usize; rows];
+    for i in 0..rows {
+        // Most walks alive, some rows decayed — the mid-wave shape.
+        let ul = rk - (next() as usize % (rk / 2 + 1)).min(rk - 1);
+        let vl = rk - (next() as usize % (rk / 2 + 1)).min(rk - 1);
+        for s in 0..ul {
+            u_rows[i * stride + s] = (next() % universe) as u32;
+        }
+        for s in 0..vl {
+            v_rows[i * rk + s] = (next() % universe) as u32;
+        }
+        u_lens[i] = ul;
+        v_lens[i] = vl;
+    }
+
+    let kernel = colocate::dispatch();
+    let mut best = [Duration::MAX; 4]; // scan, hash, kernel, merge
+    let mut sums = [0u64; 4];
+    let (mut mu, mut mv) = (Vec::new(), Vec::new());
+    for _ in 0..passes {
+        // Old flat path: per emitted v position, branchy scan of the
+        // alive u prefix.
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..rows {
+            let side = &u_rows[i * stride..i * stride + u_lens[i]];
+            for &w in &v_rows[i * rk..i * rk + v_lens[i]] {
+                acc += side.iter().filter(|&&x| x == w).count() as u64;
+            }
+        }
+        sums[0] = black_box(acc);
+        best[0] = best[0].min(t0.elapsed());
+
+        // Old large-r path: count the u side into a hash table, probe
+        // each v position.
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..rows {
+            counts.clear();
+            for &p in &u_rows[i * stride..i * stride + u_lens[i]] {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+            for &w in &v_rows[i * rk..i * rk + v_lens[i]] {
+                if let Some(&c) = counts.get(&w) {
+                    acc += c as u64;
+                }
+            }
+        }
+        sums[1] = black_box(acc);
+        best[1] = best[1].min(t0.elapsed());
+
+        // New path: DEAD-padded full-stride compare via the dispatched
+        // kernel (matches production up to r = 256; above that the wave
+        // switches to sort-and-merge, which this section doesn't model).
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..rows {
+            let row = &u_rows[i * stride..(i + 1) * stride];
+            acc += colocate::count_matches_padded(kernel, row, &v_rows[i * rk..i * rk + v_lens[i]]);
+        }
+        sums[2] = black_box(acc);
+        best[2] = best[2].min(t0.elapsed());
+
+        // New path above SIMD_COUNT_MAX_R: sort both sides, merge runs.
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..rows {
+            mu.clear();
+            mu.extend_from_slice(&u_rows[i * stride..i * stride + u_lens[i]]);
+            mv.clear();
+            mv.extend_from_slice(&v_rows[i * rk..i * rk + v_lens[i]]);
+            acc += colocate::count_matches_sorted(&mut mu, &mut mv);
+        }
+        sums[3] = black_box(acc);
+        best[3] = best[3].min(t0.elapsed());
+    }
+    assert_eq!(sums[0], sums[1], "hash layout counts diverged");
+    assert_eq!(sums[0], sums[2], "kernel counts diverged");
+    assert_eq!(sums[0], sums[3], "merge counts diverged");
+    let per = |d: Duration| d.as_nanos() as f64 / rows as f64;
+    println!("kernel-only: r={rk}, {rows} rows, {} matches, kernel {kernel:?}", sums[0]);
+    println!("  scan (old flat layout):  {:?} best, {:.0} ns/row", best[0], per(best[0]));
+    println!("  hash (old large-r):      {:?} best, {:.0} ns/row", best[1], per(best[1]));
+    println!("  simd (dispatched):       {:?} best, {:.0} ns/row", best[2], per(best[2]));
+    println!("  merge (sort both sides): {:?} best, {:.0} ns/row", best[3], per(best[3]));
+    let old = if rk <= 16 { best[0] } else { best[1] };
+    let ratio = old.as_secs_f64() / best[2].as_secs_f64();
+    println!("  ratio old-path/simd = {ratio:.2}x");
+    ratio
+}
+
+fn end_to_end(path: &str, width: usize, r: u32, passes: usize) {
+    let bytes = std::fs::read(path).unwrap();
     let g = srs_graph::io::read_binary(&bytes[..]).unwrap();
     let engine = WalkEngine::new(&g);
     let params = SimRankParams::default();
     let diag = Diagonal::paper_default(params.c);
     let x = 1.0 - params.c;
-    let r: u32 = std::env::args().nth(3).map(|r| r.parse().unwrap()).unwrap_or(params.r_coarse);
 
     // Realistic candidate sets: vertices within distance 3 of each query.
     let queries = srs_graph::stats::sample_query_vertices(&g, 16, 13);
@@ -43,15 +195,14 @@ fn main() {
         }
     }
     let total: usize = sets.iter().map(|(_, c, _)| c.len()).sum();
-    println!("{} waves, {} candidate estimates, width {}", sets.len(), total, width);
+    println!("end-to-end: {} waves, {} candidate estimates, width {}", sets.len(), total, width);
 
-    let passes: usize = std::env::args().nth(4).map(|p| p.parse().unwrap()).unwrap_or(5);
     let mut scalar = EstimatorBuffers::new();
     let mut svals = Vec::with_capacity(total);
-    let mut scalar_el = std::time::Duration::MAX;
+    let mut scalar_el = Duration::MAX;
     for _ in 0..passes {
         svals.clear();
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         for (u, cands, seeds) in &sets {
             for (&v, &seed) in cands.iter().zip(seeds) {
                 svals.push(scalar.estimate(&engine, &diag, *u, v, &params, r, seed));
@@ -72,10 +223,10 @@ fn main() {
     let mut wave = WaveEstimator::new();
     let mut out = Vec::new();
     let mut wvals = Vec::with_capacity(total);
-    let mut wave_el = std::time::Duration::MAX;
+    let mut wave_el = Duration::MAX;
     for _ in 0..passes {
         wvals.clear();
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         for (u, cands, seeds) in &sets {
             wave.estimate_pairs_into(&engine, x, *u, cands, &params, r, seeds, &mut out);
             wvals.extend_from_slice(&out);

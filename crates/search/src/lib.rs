@@ -28,6 +28,7 @@
 
 pub mod all_vertices;
 pub mod bounds;
+pub mod colocate;
 pub mod engine;
 pub mod extend;
 pub mod index;
@@ -43,7 +44,7 @@ pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics};
 pub use single_pair::{SinglePairEstimator, WaveEstimator};
 pub use snapshot::{Dataset, SnapshotInfo};
-pub use topk::{Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
+pub use topk::{FastTier, Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 
 /// The diagonal correction matrix `D` used by the estimators.
 ///

@@ -25,6 +25,9 @@
 //! | `srs_queries_deduped_total` | counter | |
 //! | `srs_cache_hits_total` / `srs_cache_misses_total` | counter | |
 //! | `srs_walk_steps_total` | counter | `class` |
+//! | `srs_query_fast_tier_queries_total` | counter | |
+//! | `srs_query_fast_tier_fallback_total` | counter | |
+//! | `srs_query_fast_tier_ns` | histogram | |
 //! | `srs_query_latency_ns` | histogram | |
 //! | `srs_query_stage_ns` | histogram | `stage` |
 //! | `srs_query_candidates` | histogram | |
@@ -89,6 +92,14 @@ pub struct ServingMetrics {
     pub cache_misses: Arc<Counter>,
     /// `srs_walk_steps_total{class=...}`, indexed by [`WALK_CLASSES`].
     pub walk_steps: [Arc<Counter>; 3],
+    /// `srs_query_fast_tier_queries_total` (queries answered by the
+    /// deterministic linearized tier instead of the MC pipeline).
+    pub fast_tier_queries: Arc<Counter>,
+    /// `srs_query_fast_tier_fallback_total` (queries the `Auto` policy
+    /// examined but routed to the MC pipeline).
+    pub fast_tier_fallbacks: Arc<Counter>,
+    /// `srs_query_fast_tier_ns` (wall time of linearized-tier answers).
+    pub fast_tier_ns: Arc<Histogram>,
     /// `srs_query_latency_ns`.
     pub latency: Arc<Histogram>,
     /// `srs_query_stage_ns{stage=...}`, indexed by [`QUERY_STAGES`].
@@ -173,6 +184,13 @@ impl ServingMetrics {
             cache_hits: r.counter("srs_cache_hits_total", "Queries answered from the result cache"),
             cache_misses: r.counter("srs_cache_misses_total", "Result-cache probes that missed"),
             walk_steps,
+            fast_tier_queries: r
+                .counter("srs_query_fast_tier_queries_total", "Queries answered by the linearized fast tier"),
+            fast_tier_fallbacks: r.counter(
+                "srs_query_fast_tier_fallback_total",
+                "Auto-policy queries routed back to the MC pipeline",
+            ),
+            fast_tier_ns: r.histogram("srs_query_fast_tier_ns", "Linearized fast-tier answer duration (ns)"),
             latency: r.histogram("srs_query_latency_ns", "Per-query wall latency (ns)"),
             query_stages,
             candidates_per_query: r.histogram("srs_query_candidates", "Candidates enumerated per query"),
@@ -222,6 +240,8 @@ impl ServingMetrics {
         self.bfs_visited.add(s.bfs_visited);
         self.waves.add(s.waves);
         self.wave_wasted.add(s.wave_wasted);
+        self.fast_tier_queries.add(s.fast_tier_queries);
+        self.fast_tier_fallbacks.add(s.fast_tier_fallbacks);
     }
 
     /// Folds a worker's walk-step class delta into the shared cells.
@@ -241,6 +261,8 @@ pub struct QueryLocalObs {
     pub stages: [LocalHistogram; 4],
     /// Per-wave survivor counts from the batched scan.
     pub wave_survivors: LocalHistogram,
+    /// Linearized fast-tier answer durations.
+    pub fast_tier: LocalHistogram,
 }
 
 impl QueryLocalObs {
@@ -255,6 +277,7 @@ impl QueryLocalObs {
             local.drain_into(shared);
         }
         self.wave_survivors.drain_into(&m.wave_survivors);
+        self.fast_tier.drain_into(&m.fast_tier_ns);
     }
 
     /// Discards accumulated observations (used when metrics are disabled,
@@ -264,6 +287,7 @@ impl QueryLocalObs {
             s.clear();
         }
         self.wave_survivors.clear();
+        self.fast_tier.clear();
     }
 }
 
@@ -298,6 +322,8 @@ mod tests {
             walk_steps: 123,
             waves: 2,
             wave_wasted: 4,
+            fast_tier_queries: 1,
+            fast_tier_fallbacks: 2,
         });
         m.record_walk_steps(WalkStepCounts { dead: 1, unique: 2, branch: 3 });
         let snap = m.snapshot();
@@ -314,6 +340,9 @@ mod tests {
             "srs_cache_hits_total",
             "srs_cache_misses_total",
             "srs_walk_steps_total",
+            "srs_query_fast_tier_queries_total",
+            "srs_query_fast_tier_fallback_total",
+            "srs_query_fast_tier_ns",
             "srs_query_latency_ns",
             "srs_query_stage_ns",
             "srs_query_candidates",
@@ -337,6 +366,8 @@ mod tests {
         assert_eq!(snap.counter_total("srs_walk_steps_total"), 6);
         assert_eq!(snap.counter_total("srs_query_waves_total"), 2);
         assert_eq!(snap.counter_total("srs_query_wave_wasted_total"), 4);
+        assert_eq!(snap.counter_total("srs_query_fast_tier_queries_total"), 1);
+        assert_eq!(snap.counter_total("srs_query_fast_tier_fallback_total"), 2);
         assert_eq!(snap.family("srs_query_candidate_fates_total").unwrap().samples.len(), 5);
         assert_eq!(snap.family("srs_query_stage_ns").unwrap().samples.len(), 4);
     }

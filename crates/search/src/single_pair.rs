@@ -23,11 +23,11 @@
 //! way, a query evaluating hundreds of candidates allocates nothing after
 //! the first call.
 
+use crate::colocate;
 use crate::{Diagonal, SimRankParams};
-use srs_graph::hash::FxHashMap;
 use srs_graph::{Graph, VertexId};
 use srs_mc::multiset::PositionCounter;
-use srs_mc::{MultiFrontier, Pcg32, WalkEngine, WalkPositions};
+use srs_mc::{MultiFrontier, Pcg32, WalkEngine, WalkPositions, DEAD};
 
 /// Lifetime-free Algorithm 1 scratch: two walk-position buffers and two
 /// position counters, reused across every estimate. The graph is passed
@@ -201,6 +201,11 @@ pub struct SourceWalks {
     r: u32,
     /// One aggregated counter per step `t ∈ 0..T`.
     counters: Vec<PositionCounter>,
+    /// The same per-step counts as `(vertex, count)` runs sorted by
+    /// vertex, built once at generation time so the wave estimator can
+    /// merge candidate positions against them instead of hash-probing
+    /// per walk ([`colocate::count_weighted_sorted`]).
+    sorted: Vec<Vec<(VertexId, u32)>>,
 }
 
 impl SourceWalks {
@@ -208,7 +213,7 @@ impl SourceWalks {
     /// [`SourceWalks::generate_into`]. Its source is the `DEAD` sentinel,
     /// which never equals a real vertex id.
     pub fn new_empty() -> Self {
-        SourceWalks { source: srs_mc::DEAD, r: 0, counters: Vec::new() }
+        SourceWalks { source: srs_mc::DEAD, r: 0, counters: Vec::new(), sorted: Vec::new() }
     }
 
     /// Simulates `r` reverse walks from `u` and aggregates their positions
@@ -247,6 +252,12 @@ impl SourceWalks {
         // this storage must not leak into the (all-zero) remaining steps.
         for counter in &mut self.counters[t..] {
             counter.clear();
+        }
+        self.sorted.resize_with(t_steps, Vec::new);
+        for (counter, runs) in self.counters.iter().zip(&mut self.sorted) {
+            runs.clear();
+            runs.extend(counter.iter());
+            runs.sort_unstable_by_key(|&(w, _)| w);
         }
         self.source = u;
         self.r = r;
@@ -294,33 +305,40 @@ pub struct WaveEstimator {
     rngs: Vec<Pcg32>,
     dots: Vec<u64>,
     sigma: Vec<f64>,
-    /// Pair mode, large `r`: this step's u-side position counts for the
-    /// whole wave, keyed by `(candidate id << 32) | vertex`. One flat
-    /// table keeps the hot per-walk inserts/lookups inside a single
-    /// cache-resident map instead of spreading them over `m` separate
-    /// ones.
-    counts: FxHashMap<u64, u32>,
-    /// Pair mode, small `r` (the coarse pass): this step's raw u-side
-    /// positions, `r`-strided per candidate (`u_pos[id*r..id*r+u_len[id]]`).
-    /// With `r ≤ 16` a linear scan of one or two cache lines beats any
-    /// hash lookup, and the whole wave's table is a few KB of contiguous
-    /// memory.
+    /// This step's raw walk positions, one strided row per candidate
+    /// (see [`MultiFrontier::step_strided`]). For small `r` the u-side
+    /// rows are padded to a lane multiple with [`DEAD`] and compared by
+    /// the SIMD kernel ([`colocate::count_matches_padded`]); for large
+    /// `r` both sides are sorted and run-merged
+    /// ([`colocate::count_matches_sorted`]). Either way the whole
+    /// wave's positions are a few KB of contiguous memory and the exact
+    /// integer counts match any other layout.
     u_pos: Vec<VertexId>,
+    v_pos: Vec<VertexId>,
     u_len: Vec<u32>,
+    v_len: Vec<u32>,
 }
 
-/// Pair waves with `r` at or below this count positions in the strided
-/// [`WaveEstimator::u_pos`] table; wider waves use the hash table. Both
-/// produce the same exact integer co-location counts — the switch changes
-/// layout, never values.
-const FLAT_COUNT_MAX_R: usize = 16;
+/// Pair waves with `r` at or below this compare [`DEAD`]-padded u-side
+/// rows against each v position with the splat-and-compare SIMD kernel;
+/// wider waves sort both rows and merge equal-value runs. The compare
+/// is quadratic in `r` but runs 8 lanes per instruction over rows that
+/// stay cache-resident, so it beats the two `O(r log r)` sorts (and the
+/// hash table it replaced) up to about this width — `wave_micro`'s
+/// kernel-only section puts the AVX2 crossover near `r = 128`, with the
+/// SIMD compare 2–4× ahead in the `r ≤ 48` band (which contains the
+/// coarse pass, `r = 10`) and still ~1.2× ahead at the refine width
+/// (`r = 100`). Both paths produce the same exact integer
+/// co-location counts — the switch changes layout, never values.
+const SIMD_COUNT_MAX_R: usize = 128;
 
-/// Composite key for [`WaveEstimator::counts`]: candidate id in the high
-/// half, walk position in the low half.
-#[inline]
-fn pair_key(id: u32, w: VertexId) -> u64 {
-    ((id as u64) << 32) | w as u64
-}
+/// Position/RNG scratch above these many elements is released again
+/// after any wave that needed less than the current capacity — one
+/// oversized wave (huge `r·width`) must not pin memory for the life of
+/// a pooled scratch. Below the threshold, buffers keep their capacity
+/// forever (steady-state waves never reallocate).
+const POS_SCRATCH_RETAIN: usize = 1 << 15;
+const LANE_SCRATCH_RETAIN: usize = 1 << 10;
 
 impl WaveEstimator {
     /// Empty buffers; they grow on first use and are reused after.
@@ -350,11 +368,16 @@ impl WaveEstimator {
         let rr = r as usize;
         let r2 = (rr * rr) as f64;
         self.reset(m);
-        let flat = rr <= FLAT_COUNT_MAX_R;
-        if flat {
-            self.u_pos.resize(m * rr, 0);
-            self.u_len.resize(m, 0);
-        }
+        let flat = rr <= SIMD_COUNT_MAX_R;
+        // Flat rows are DEAD-padded to a lane multiple so the SIMD
+        // comparator scans full rows with no length checks; sorted rows
+        // need no padding (lengths bound the merge).
+        let stride = if flat { colocate::pad_stride(rr) } else { rr };
+        let kernel = colocate::dispatch();
+        self.u_pos.resize(m * stride, DEAD);
+        self.v_pos.resize(m * rr, DEAD);
+        self.u_len.resize(m, 0);
+        self.v_len.resize(m, 0);
         for (i, (&v, &seed)) in targets.iter().zip(seeds).enumerate() {
             // Same stream the scalar estimate draws from for this pair.
             self.rngs.push(Pcg32::from_parts(&[seed, u as u64, v as u64]));
@@ -372,41 +395,32 @@ impl WaveEstimator {
             }
             ct *= params.c;
             // u side first, then v side — the per-candidate draw order of
-            // the scalar loop. Either layout produces the exact integer
-            // co-location counts per pair that per-candidate counters
-            // would, so the estimates cannot differ.
+            // the scalar loop. Any counting layout produces the exact
+            // integer co-location counts per pair that per-candidate
+            // counters would, so the estimates cannot differ.
             if flat {
-                let rr_s = rr;
-                let u_pos = &mut self.u_pos;
-                let u_len = &mut self.u_len;
-                for l in u_len.iter_mut() {
-                    *l = 0;
-                }
-                self.front_u.step(engine, &mut self.rngs, |id, w| {
-                    let i = id as usize;
-                    u_pos[i * rr_s + u_len[i] as usize] = w;
-                    u_len[i] += 1;
-                });
-                let u_pos = &self.u_pos;
-                let u_len = &self.u_len;
-                let dots = &mut self.dots;
-                self.front_v.step(engine, &mut self.rngs, |id, w| {
-                    let i = id as usize;
-                    let side = &u_pos[i * rr_s..i * rr_s + u_len[i] as usize];
-                    dots[i] += side.iter().filter(|&&x| x == w).count() as u64;
-                });
-            } else {
-                let counts = &mut self.counts;
-                counts.clear();
-                self.front_u
-                    .step(engine, &mut self.rngs, |id, w| *counts.entry(pair_key(id, w)).or_insert(0) += 1);
-                let counts = &self.counts;
-                let dots = &mut self.dots;
-                self.front_v.step(engine, &mut self.rngs, |id, w| {
-                    if let Some(&c) = counts.get(&pair_key(id, w)) {
-                        dots[id as usize] += c as u64;
+                self.u_pos[..m * stride].fill(DEAD);
+            }
+            self.u_len[..m].fill(0);
+            self.front_u.step_strided(engine, &mut self.rngs, &mut self.u_pos, stride, &mut self.u_len);
+            self.v_len[..m].fill(0);
+            self.front_v.step_strided(engine, &mut self.rngs, &mut self.v_pos, rr, &mut self.v_len);
+            if flat {
+                for i in 0..m {
+                    let vs = &self.v_pos[i * rr..i * rr + self.v_len[i] as usize];
+                    if !vs.is_empty() {
+                        let row = &self.u_pos[i * stride..(i + 1) * stride];
+                        self.dots[i] += colocate::count_matches_padded(kernel, row, vs);
                     }
-                });
+                }
+            } else {
+                for i in 0..m {
+                    let (ul, vl) = (self.u_len[i] as usize, self.v_len[i] as usize);
+                    if ul > 0 && vl > 0 {
+                        let (us, vs) = (&mut self.u_pos[i * rr..], &mut self.v_pos[i * rr..]);
+                        self.dots[i] += colocate::count_matches_sorted(&mut us[..ul], &mut vs[..vl]);
+                    }
+                }
             }
             for i in 0..m {
                 self.sigma[i] += ct * (x * self.dots[i] as f64) / r2;
@@ -422,6 +436,7 @@ impl WaveEstimator {
         }
         out.clear();
         out.extend_from_slice(&self.sigma[..m]);
+        self.shrink_scratch();
     }
 
     /// Estimates `s(src.source, vᵢ)` for every candidate against one
@@ -445,6 +460,8 @@ impl WaveEstimator {
         let rr = r as usize;
         let norm = (src.r as usize * rr) as f64;
         self.reset(m);
+        self.v_pos.resize(m * rr, DEAD);
+        self.v_len.resize(m, 0);
         for (i, (&v, &seed)) in targets.iter().zip(seeds).enumerate() {
             self.rngs.push(Pcg32::from_parts(&[seed, 0x55AA, v as u64]));
             let walks = if v == src.source { 0 } else { rr };
@@ -459,10 +476,20 @@ impl WaveEstimator {
                 break;
             }
             ct *= params.c;
-            let step_counts = &src.counters[t as usize];
-            let dots = &mut self.dots;
-            self.front_v
-                .step(engine, &mut self.rngs, |id, w| dots[id as usize] += step_counts.count(w) as u64);
+            // Candidate positions are buffered per row, then each row is
+            // sorted and merged against the source side's prebuilt sorted
+            // (vertex, count) runs — the same integer Σ count(w)·β(w) the
+            // per-walk hash probes produced.
+            let table = &src.sorted[t as usize];
+            self.v_len[..m].fill(0);
+            self.front_v.step_strided(engine, &mut self.rngs, &mut self.v_pos, rr, &mut self.v_len);
+            for i in 0..m {
+                let vl = self.v_len[i] as usize;
+                if vl > 0 && !table.is_empty() {
+                    let row = &mut self.v_pos[i * rr..i * rr + vl];
+                    self.dots[i] += colocate::count_weighted_sorted(row, table);
+                }
+            }
             for i in 0..m {
                 self.sigma[i] += ct * (x * self.dots[i] as f64) / norm;
                 self.dots[i] = 0;
@@ -470,6 +497,7 @@ impl WaveEstimator {
         }
         out.clear();
         out.extend_from_slice(&self.sigma[..m]);
+        self.shrink_scratch();
     }
 
     /// Clears per-wave state for `m` candidates, keeping allocations.
@@ -481,6 +509,39 @@ impl WaveEstimator {
         self.dots.resize(m, 0);
         self.sigma.clear();
         self.sigma.resize(m, 0.0);
+    }
+
+    /// Releases scratch an oversized wave left behind: any buffer whose
+    /// capacity exceeds both its retain threshold and what the wave just
+    /// finished actually used is shrunk back to the larger of the two.
+    /// Steady-state waves sit under the thresholds and never touch the
+    /// allocator; one huge `r · width` wave gets its memory returned at
+    /// the end of the *next* call instead of pinning it for the life of
+    /// the pooled scratch.
+    fn shrink_scratch(&mut self) {
+        fn bound<T>(buf: &mut Vec<T>, retain: usize) {
+            let target = retain.max(buf.len());
+            if buf.capacity() > target {
+                buf.shrink_to(target);
+            }
+        }
+        bound(&mut self.u_pos, POS_SCRATCH_RETAIN);
+        bound(&mut self.v_pos, POS_SCRATCH_RETAIN);
+        bound(&mut self.rngs, LANE_SCRATCH_RETAIN);
+        bound(&mut self.dots, LANE_SCRATCH_RETAIN);
+        bound(&mut self.sigma, LANE_SCRATCH_RETAIN);
+        bound(&mut self.u_len, LANE_SCRATCH_RETAIN);
+        bound(&mut self.v_len, LANE_SCRATCH_RETAIN);
+    }
+
+    /// Bytes of scratch currently retained (position rows, RNG states,
+    /// per-candidate lanes) — the quantity the shrink policy bounds.
+    pub fn scratch_bytes(&self) -> usize {
+        (self.u_pos.capacity() + self.v_pos.capacity()) * std::mem::size_of::<VertexId>()
+            + self.rngs.capacity() * std::mem::size_of::<Pcg32>()
+            + self.dots.capacity() * std::mem::size_of::<u64>()
+            + self.sigma.capacity() * std::mem::size_of::<f64>()
+            + (self.u_len.capacity() + self.v_len.capacity()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -655,6 +716,63 @@ mod tests {
             got_a.extend_from_slice(&got_b);
             assert_eq!(got_a, got, "r={r}: wave split changed estimates");
         }
+    }
+
+    #[test]
+    fn wave_pair_bit_identity_across_r_regimes() {
+        // r values straddling every kernel regime: 1 (degenerate row),
+        // 4/16 (one padded chunk), 17/32 (multi-chunk SIMD), 128/129
+        // (the exact SIMD_COUNT_MAX_R edge), 300 (deep in the
+        // sort-and-merge path).
+        let g = gen::copying_web(250, 4, 0.8, 31);
+        let params = SimRankParams::default();
+        let engine = WalkEngine::new(&g);
+        let x = 1.0 - params.c;
+        let diag = Diagonal::Uniform(x);
+        let mut scalar = EstimatorBuffers::new();
+        let mut wave = WaveEstimator::new();
+        let u = 9u32;
+        let targets: Vec<VertexId> = vec![3, 200, 41, u, 118, 77, 14];
+        let seeds: Vec<u64> = targets.iter().map(|&v| 31_000 + v as u64).collect();
+        for r in [1u32, 4, 16, 17, 32, 128, 129, 300] {
+            let mut got = Vec::new();
+            wave.estimate_pairs_into(&engine, x, u, &targets, &params, r, &seeds, &mut got);
+            for (i, (&v, &seed)) in targets.iter().zip(&seeds).enumerate() {
+                let want = scalar.estimate(&engine, &diag, u, v, &params, r, seed);
+                assert!(got[i] == want, "r={r} v={v}: wave {} != scalar {want}", got[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_wave_scratch_is_released() {
+        let g = gen::copying_web(120, 4, 0.8, 9);
+        let params = SimRankParams::default();
+        let engine = WalkEngine::new(&g);
+        let x = 1.0 - params.c;
+        let mut wave = WaveEstimator::new();
+        let small: Vec<VertexId> = vec![3, 7, 11, 19];
+        let sseeds: Vec<u64> = small.iter().map(|&v| 100 + v as u64).collect();
+        let mut first = Vec::new();
+        wave.estimate_pairs_into(&engine, x, 5, &small, &params, 10, &sseeds, &mut first);
+        let steady = wave.scratch_bytes();
+        // One oversized wave (512 candidates × r = 300) blows the position
+        // buffers far past the retain threshold...
+        let big: Vec<VertexId> = (0..512).map(|i| (i % 120) as u32).collect();
+        let bseeds: Vec<u64> = (0..512u64).map(|i| 7 * i + 1).collect();
+        let mut out = Vec::new();
+        wave.estimate_pairs_into(&engine, x, 5, &big, &params, 300, &bseeds, &mut out);
+        let peak = wave.scratch_bytes();
+        assert!(peak > steady.max(1) * 4, "oversized wave should grow scratch: {steady} -> {peak}");
+        // ...and the next ordinary wave releases it (down to the retain
+        // threshold) without changing any result.
+        let mut again = Vec::new();
+        wave.estimate_pairs_into(&engine, x, 5, &small, &params, 10, &sseeds, &mut again);
+        assert_eq!(again, first, "shrink policy must not affect estimates");
+        let settled = wave.scratch_bytes();
+        assert!(settled < peak / 2, "scratch not released: peak {peak}, settled {settled}");
+        let floor = 2 * POS_SCRATCH_RETAIN * std::mem::size_of::<VertexId>();
+        assert!(settled <= floor + 64 * 1024, "settled {settled} above retain floor {floor}");
     }
 
     #[test]

@@ -19,15 +19,19 @@ fn fates(s: &QueryStats) -> [u64; 7] {
 }
 
 fn assert_wave_invariant(opts_base: QueryOptions, label: &str) {
-    let g = gen::copying_web(800, 5, 0.8, 51);
     let params = SimRankParams { r_bounds: 2_000, ..Default::default() };
+    assert_wave_invariant_with(opts_base, params, label);
+}
+
+fn assert_wave_invariant_with(opts_base: QueryOptions, params: SimRankParams, label: &str) {
+    let g = gen::copying_web(800, 5, 0.8, 51);
     let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), 7, 2);
     let queries: Vec<VertexId> = srs_graph::stats::sample_query_vertices(&g, 24, 19);
     // Width 1 is the scalar scan — the pre-wave reference.
     let scalar_opts = QueryOptions { wave_width: 1, explain: true, ..opts_base.clone() };
     let reference = QueryEngine::with_threads(&g, &idx, 1).query_batch(&queries, 10, &scalar_opts);
     assert!(reference.results.iter().any(|r| !r.hits.is_empty()), "{label}: degenerate fixture");
-    for width in [1u32, 4, 32] {
+    for width in [1u32, 4, 32, 128] {
         for threads in [1usize, 2, 8] {
             let opts = QueryOptions { wave_width: width, explain: true, ..opts_base.clone() };
             let engine = QueryEngine::with_threads(&g, &idx, threads);
@@ -72,6 +76,30 @@ fn wave_invariant_holds_without_adaptive_sampling() {
 #[test]
 fn wave_invariant_holds_with_candidate_ball() {
     assert_wave_invariant(QueryOptions { candidate_ball: Some(2), ..Default::default() }, "candidate_ball");
+}
+
+#[test]
+fn wave_invariant_holds_in_sort_merge_regime() {
+    // `r_refine` above the SIMD compare threshold drives the wave's
+    // refine steps through the sort-and-merge counting layout; the
+    // bit-identity contract must hold there too.
+    let params = SimRankParams { r_refine: 200, r_bounds: 1_000, ..Default::default() };
+    assert_wave_invariant_with(QueryOptions::default(), params, "sort-merge regime");
+}
+
+#[test]
+fn fast_tier_auto_fallback_keeps_wave_invariant() {
+    // An Auto policy whose thresholds never fire routes every query back
+    // to the MC pipeline; the routing check alone may not perturb the MC
+    // streams, so the width/thread bit-identity contract must still hold
+    // (Auto-fallback == Off is pinned separately in the topk unit tests).
+    let auto = QueryOptions {
+        fast_tier: srs_search::FastTier::Auto,
+        fast_tier_min_degree: u64::MAX,
+        fast_tier_min_candidates: u64::MAX,
+        ..Default::default()
+    };
+    assert_wave_invariant(auto, "fast-tier auto fallback");
 }
 
 #[test]

@@ -183,9 +183,7 @@ impl Coalescer {
             // panicking wave drops its reply senders, so each blocked
             // request observes a closed channel and answers 500, while
             // the dispatcher moves on to the next wave.
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                engine.query_wave(&wave)
-            }));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.query_wave(&wave)));
             let outcome = match outcome {
                 Ok(outcome) => outcome,
                 Err(_) => {

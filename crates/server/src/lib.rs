@@ -89,6 +89,10 @@ pub struct ServerConfig {
     /// Most connections served concurrently; above this, new connections
     /// answer 503 and close instead of spawning unbounded threads.
     pub max_connections: usize,
+    /// Fast-tier routing policy applied to every served query (see
+    /// [`srs_search::FastTier`]); thresholds keep their
+    /// [`QueryOptions`] defaults.
+    pub fast_tier: srs_search::FastTier,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +108,7 @@ impl Default for ServerConfig {
             default_k: 20,
             read_timeout: Duration::from_secs(60),
             max_connections: 1024,
+            fast_tier: srs_search::FastTier::Off,
         }
     }
 }
@@ -252,7 +257,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             default_k: config.default_k.clamp(1, MAX_K),
-            default_opts: Arc::new(QueryOptions::default()),
+            default_opts: Arc::new(QueryOptions { fast_tier: config.fast_tier, ..QueryOptions::default() }),
             addr,
             read_timeout: config.read_timeout,
             max_connections: config.max_connections.max(1),

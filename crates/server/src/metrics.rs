@@ -92,8 +92,7 @@ impl ServerMetrics {
             inflight: r.gauge("srs_server_inflight_queries", "Queries between submit and response"),
             queue_depth: r.gauge("srs_server_queue_depth", "Queries waiting in the dispatcher queue"),
             waves: r.counter("srs_server_waves_total", "Coalesced request waves served"),
-            wave_panics: r
-                .counter("srs_server_wave_panics_total", "Engine waves that panicked (caught)"),
+            wave_panics: r.counter("srs_server_wave_panics_total", "Engine waves that panicked (caught)"),
             wave_size: r.histogram("srs_server_wave_size", "Requests coalesced into one engine batch"),
             request_latency: r
                 .histogram("srs_server_request_latency_ns", "Per-request wall latency, queueing included"),
