@@ -6,7 +6,7 @@ use srs_graph::{datasets, gen, io, stats, Graph};
 use srs_obs::Progress;
 use srs_search::{
     persist, snapshot, BuildObs, Dataset, QueryOptions, ServingEngine, ServingMetrics, SimRankParams,
-    SnapshotInfo, TopKIndex,
+    SnapshotInfo, TopKIndex, TopKResult,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -28,11 +28,13 @@ usage:
                  [--vertices 1,2,3 | --queries N|FILE|- [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
                  [--fast-tier off|auto|always] [--metrics-out FILE] [--hits-out FILE]
+                 [--trace-out FILE.json]
   srs serve      --snapshot FILE.srs [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
                  [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
                  [--read-timeout-s 60] [--max-conns 1024] [--fast-tier off|auto|always]
+                 [--trace-sample N] [--slow-query-ms T]
   srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
-                 [--zipf 1.0] [--connections 4] [--seed S]
+                 [--zipf 1.0] [--connections 4] [--seed S] [--slow N]
                  [--sweep R1,R2,... [--sweep-out FILE.json]]
   srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
@@ -367,6 +369,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "fast-tier-candidates",
         "metrics-out",
         "hits-out",
+        "trace-out",
     ])?;
     let (ds, snap_info) = load_dataset(args)?;
     let k: usize = args.get_or("k", 20)?;
@@ -468,6 +471,11 @@ fn batch_query(args: &Args) -> Result<String, String> {
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "hits -> {path}");
     }
+    if let Some(path) = args.opt("trace-out") {
+        let json = chrome_trace_export(&queries, &batch.results, k, engine.threads());
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "chrome trace ({} queries) -> {path}", queries.len());
+    }
     if let Some(path) = args.opt("metrics-out") {
         let snap = engine.metrics().snapshot();
         let text = if Path::new(path).extension().is_some_and(|e| e == "prom" || e == "txt") {
@@ -479,6 +487,50 @@ fn batch_query(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "metrics -> {path}");
     }
     Ok(out)
+}
+
+/// Renders a batch's per-query stage timings as Chrome trace-event JSON
+/// (open with `chrome://tracing` or Perfetto). Each query becomes a root
+/// `query` slice with one child slice per engine stage; `tid` is the
+/// worker chunk that served it (`query_batch` splits the input into
+/// ⌈n/threads⌉ contiguous chunks), so lanes show the actual parallel
+/// layout. Slice *durations* are the measured stage timings; the offsets
+/// tile queries sequentially per lane, which loses inter-query idle gaps
+/// but keeps every slice visible and ordered.
+fn chrome_trace_export(queries: &[u32], results: &[TopKResult], k: usize, threads: usize) -> String {
+    // Child slice names, index-aligned with `srs_search::obs::QUERY_STAGES`
+    // and spelled like the server's span names, so one Perfetto query
+    // matches slices from both exporters.
+    const STAGE_SPANS: [&str; 4] = ["stage:enumerate", "stage:bounds", "stage:scan", "stage:collect"];
+    let per = queries.len().div_ceil(threads.max(1)).max(1);
+    let ids = srs_obs::TraceIdGen::with_seed(0x7472_6163);
+    let mut cursors = vec![0u64; threads.max(1)];
+    let mut traces: Vec<(srs_obs::Trace, u64)> = Vec::with_capacity(queries.len());
+    for (i, (&u, res)) in queries.iter().zip(results).enumerate() {
+        let tid = (i / per).min(cursors.len() - 1);
+        let at = cursors[tid];
+        let total = res.timings.total_ns().max(1);
+        let mut tr = srs_obs::Trace::new(ids.next_id());
+        let root = tr.push_span("query", at, total, None);
+        tr.attr(root, "vertex", srs_obs::AttrValue::U64(u as u64));
+        tr.attr(root, "k", srs_obs::AttrValue::U64(k as u64));
+        let mut child_at = at;
+        if res.timings.fast_tier_ns > 0 {
+            let s = tr.push_span("stage:fast_tier", child_at, res.timings.fast_tier_ns, Some(root));
+            tr.attr(s, "fast_tier_route", srs_obs::AttrValue::Str("linearized"));
+            child_at += res.timings.fast_tier_ns;
+        }
+        for (si, name) in STAGE_SPANS.iter().enumerate() {
+            let dur = res.timings.stages[si];
+            if dur > 0 {
+                tr.push_span(name, child_at, dur, Some(root));
+                child_at += dur;
+            }
+        }
+        cursors[tid] = at + total;
+        traces.push((tr, tid as u64));
+    }
+    srs_obs::chrome_trace_json(traces.iter().map(|(t, tid)| (t, *tid)), std::process::id() as u64)
 }
 
 /// Parses a query-workload file: one vertex id per line, blank lines and
@@ -513,6 +565,8 @@ fn serve(args: &Args) -> Result<String, String> {
         "read-timeout-s",
         "max-conns",
         "fast-tier",
+        "trace-sample",
+        "slow-query-ms",
     ])?;
     let defaults = srs_serve::ServerConfig::default();
     let config = srs_serve::ServerConfig {
@@ -534,6 +588,12 @@ fn serve(args: &Args) -> Result<String, String> {
                 .ok_or_else(|| format!("--fast-tier `{ft}` (expected off|auto|always)"))?,
             None => defaults.fast_tier,
         },
+        // `--trace-sample N` keeps 1-in-N requests' span trees (1 = all,
+        // 0 = tracing off); `--slow-query-ms T` always keeps requests
+        // slower than T. Either one being nonzero enables tracing.
+        trace_sample: args.get_or("trace-sample", defaults.trace_sample)?,
+        slow_query_ms: args.get_or("slow-query-ms", defaults.slow_query_ms)?,
+        ..defaults.clone()
     };
     let server = srs_serve::Server::bind(config).map_err(|e| e.to_string())?;
     let engine = server.engine();
@@ -569,6 +629,9 @@ struct LoadOutcome {
     errors: u64,
     wall: std::time::Duration,
     failures: Vec<String>,
+    /// `(latency, trace_id)` per completed request, sorted slowest-first —
+    /// only populated when the run sent client-assigned trace IDs.
+    traced: Vec<(std::time::Duration, u64)>,
 }
 
 impl LoadOutcome {
@@ -595,6 +658,10 @@ impl LoadOutcome {
 /// requests completed, and latency is measured from the due time —
 /// server-side queueing shows up as latency instead of silently
 /// stretching the run (the coordinated-omission trap of closed loops).
+/// With `trace: true` every request carries a client-assigned trace ID
+/// (`x-srs-trace-id`), and the outcome's `traced` list pairs each
+/// latency with its ID — so the slowest requests can be looked up in the
+/// server's `/debug/trace` after the run.
 #[allow(clippy::too_many_arguments)]
 fn run_load(
     addr: &str,
@@ -605,6 +672,7 @@ fn run_load(
     exponent: f64,
     connections: usize,
     seed: u64,
+    trace: bool,
 ) -> LoadOutcome {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::{Duration, Instant};
@@ -622,6 +690,14 @@ fn run_load(
             ((rank as u64 * stride) % n as u64) as u32
         })
         .collect();
+    // Pre-drawn per-request trace IDs (deterministic in `--seed`), so the
+    // report can name the slow ones.
+    let trace_ids: Vec<u64> = if trace {
+        let ids = srs_obs::TraceIdGen::with_seed(seed ^ 0x7472_6163_6564);
+        (0..total).map(|_| ids.next_id()).collect()
+    } else {
+        Vec::new()
+    };
 
     let start = Instant::now() + Duration::from_millis(20);
     let errors = AtomicU64::new(0);
@@ -632,12 +708,12 @@ fn run_load(
             f.push(msg);
         }
     };
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let mut completed: Vec<(Duration, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|w| {
-                let (targets, errors, note) = (&targets, &errors, &note);
+                let (targets, trace_ids, errors, note) = (&targets, &trace_ids, &errors, &note);
                 scope.spawn(move || {
-                    let mut lats = Vec::new();
+                    let mut lats: Vec<(Duration, u64)> = Vec::new();
                     let mut client: Option<srs_serve::HttpClient> = None;
                     for i in (w..total).step_by(connections) {
                         let due = start + Duration::from_secs_f64(i as f64 / rate);
@@ -655,9 +731,15 @@ fn run_load(
                                 }
                             },
                         };
-                        match c.get(&format!("/query?u={}&k={k}", targets[i])) {
+                        let path = format!("/query?u={}&k={k}", targets[i]);
+                        let resp = match trace_ids.get(i) {
+                            Some(&id) => c.get_traced(&path, id),
+                            None => c.get(&path),
+                        };
+                        match resp {
                             Ok(r) if r.status == 200 => {
-                                lats.push(Instant::now().saturating_duration_since(due));
+                                let lat = Instant::now().saturating_duration_since(due);
+                                lats.push((lat, trace_ids.get(i).copied().unwrap_or(0)));
                             }
                             Ok(r) => {
                                 errors.fetch_add(1, Ordering::Relaxed);
@@ -677,13 +759,16 @@ fn run_load(
         handles.into_iter().flat_map(|h| h.join().expect("loadgen worker panicked")).collect()
     });
     let wall = start.elapsed();
-    latencies.sort_unstable();
+    completed.sort_unstable();
+    let latencies: Vec<Duration> = completed.iter().map(|&(d, _)| d).collect();
+    let traced: Vec<(Duration, u64)> = if trace { completed.into_iter().rev().collect() } else { Vec::new() };
     LoadOutcome {
         total,
         latencies,
         errors: errors.load(Ordering::Relaxed),
         wall,
         failures: failures.into_inner().unwrap(),
+        traced,
     }
 }
 
@@ -697,6 +782,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
         "zipf",
         "connections",
         "seed",
+        "slow",
         "sweep",
         "sweep-out",
     ])?;
@@ -714,6 +800,12 @@ fn loadgen(args: &Args) -> Result<String, String> {
     let secs: f64 = args.get_or("duration-s", 2.0)?;
     if !(secs.is_finite() && secs > 0.0) {
         return Err("--duration-s must be a positive number".into());
+    }
+    // `--slow N`: send a client-assigned trace ID with every request and
+    // report the N slowest requests' IDs, ready for `/debug/trace?id=`.
+    let slow: usize = args.get_or("slow", 0)?;
+    if slow > 0 && args.opt("sweep").is_some() {
+        return Err("--slow and --sweep are mutually exclusive".into());
     }
 
     // The vertex universe comes from the server itself.
@@ -749,7 +841,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
         );
         for (rung, &rate) in rates.iter().enumerate() {
             let total = (rate * secs).ceil().max(1.0) as usize;
-            let r = run_load(&addr, n, rate, total, k, exponent, connections, seed + rung as u64);
+            let r = run_load(&addr, n, rate, total, k, exponent, connections, seed + rung as u64, false);
             let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
             let _ = writeln!(
                 out,
@@ -803,7 +895,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
     if total == 0 {
         return Err("--requests must be positive".into());
     }
-    let r = run_load(&addr, n, rate, total, k, exponent, connections, seed);
+    let r = run_load(&addr, n, rate, total, k, exponent, connections, seed, slow > 0);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -827,6 +919,13 @@ fn loadgen(args: &Args) -> Result<String, String> {
             r.pct(0.99),
             r.pct(1.0)
         );
+    }
+    if slow > 0 && !r.traced.is_empty() {
+        let _ = writeln!(out, "slowest {} (look up with GET /debug/trace?id=...):", slow.min(r.traced.len()));
+        for (rank, (lat, id)) in r.traced.iter().take(slow).enumerate() {
+            let _ =
+                writeln!(out, "  #{:<2} {:>10.2?}  trace {}", rank + 1, lat, srs_obs::format_trace_id(*id));
+        }
     }
     for msg in &r.failures {
         let _ = writeln!(out, "error: {msg}");
@@ -1194,6 +1293,94 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_slow_reports_trace_ids_that_resolve() {
+        let g_path = tmp("lgslow.bin");
+        let i_path = tmp("lgslow.idx");
+        let s_path = tmp("lgslow.srs");
+        run(&format!("generate --family web --n 120 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            s_path.display()
+        ))
+        .unwrap();
+        let config = srs_serve::ServerConfig {
+            snapshot: s_path.clone(),
+            addr: "127.0.0.1:0".into(),
+            trace_sample: 1,
+            ..srs_serve::ServerConfig::default()
+        };
+        let server = srs_serve::Server::bind(config).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let out = run(&format!(
+            "loadgen --addr {addr} --requests 20 --rate 2000 --connections 2 --seed 5 --k 5 --slow 3"
+        ))
+        .unwrap();
+        assert!(out.contains("completed 20 ok, 0 errors"), "{out}");
+        assert!(out.contains("slowest 3"), "{out}");
+        // Every reported trace ID must resolve on the server.
+        let mut c = srs_serve::HttpClient::connect(addr.to_string()).unwrap();
+        let ids: Vec<&str> = out.lines().filter_map(|l| l.split("trace ").nth(1)).map(str::trim).collect();
+        assert_eq!(ids.len(), 3, "{out}");
+        for id in ids {
+            assert_eq!(id.len(), 16, "{id}");
+            let resp = c.get(&format!("/debug/trace?id={id}")).unwrap();
+            assert_eq!(resp.status, 200, "trace {id} did not resolve: {}", resp.body_str());
+        }
+        // --slow and --sweep don't compose.
+        let err = run(&format!("loadgen --addr {addr} --sweep 100 --slow 2")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert_eq!(c.post("/admin/quit").unwrap().status, 200);
+        handle.join().unwrap().unwrap();
+        for p in [&g_path, &i_path, &s_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn batch_query_trace_out_is_valid_and_result_neutral() {
+        let g_path = tmp("bqtr.bin");
+        let i_path = tmp("bqtr.idx");
+        let trace = tmp("bqtr.trace.json");
+        let hits_plain = tmp("bqtr.plain.tsv");
+        let hits_traced = tmp("bqtr.traced.tsv");
+        run(&format!("generate --family web --n 200 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        let base = format!(
+            "batch-query --graph {} --index {} --vertices 1,5,9,40,77 --k 5 --threads 2",
+            g_path.display(),
+            i_path.display()
+        );
+        run(&format!("{base} --hits-out {}", hits_plain.display())).unwrap();
+        let out =
+            run(&format!("{base} --hits-out {} --trace-out {}", hits_traced.display(), trace.display()))
+                .unwrap();
+        assert!(out.contains("chrome trace (5 queries)"), "{out}");
+        // Tracing is a pure observer: the hits witness is byte-identical.
+        assert_eq!(
+            std::fs::read(&hits_plain).unwrap(),
+            std::fs::read(&hits_traced).unwrap(),
+            "--trace-out changed the answers"
+        );
+        // The export is Chrome trace-event JSON: complete events with
+        // ts/dur/pid/tid, one root `query` slice per query plus stages.
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+        for key in ["\"ph\": \"X\"", "\"ts\": ", "\"dur\": ", "\"name\": ", "\"pid\": ", "\"tid\": "] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"name\": \"query\"").count(), 5, "{json}");
+        assert!(json.contains("\"name\": \"stage:"), "{json}");
+        assert!(json.contains("\"vertex\": "), "{json}");
+        for p in [&g_path, &i_path, &trace, &hits_plain, &hits_traced] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
     fn serve_command_runs_and_drains() {
         let g_path = tmp("sv.bin");
         let i_path = tmp("sv.idx");
@@ -1215,7 +1402,8 @@ mod tests {
         };
         let addr = format!("127.0.0.1:{port}");
         let cmd = format!(
-            "serve --snapshot {} --addr {addr} --max-batch 8 --batch-window-us 200",
+            "serve --snapshot {} --addr {addr} --max-batch 8 --batch-window-us 200 \
+             --trace-sample 1 --slow-query-ms 500",
             s_path.display()
         );
         let handle = std::thread::spawn(move || run(&cmd));
@@ -1232,6 +1420,13 @@ mod tests {
         let mut client = client.expect("server never came up");
         let resp = client.get("/query?u=1&k=3").unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body_str());
+        // The tracing flags reached the server config, and the traced
+        // request landed in the sampled ring.
+        let info = client.get("/info").unwrap().body_str().to_string();
+        assert!(info.contains("\"trace_sample\":1"), "{info}");
+        assert!(info.contains("\"slow_query_ms\":500"), "{info}");
+        assert!(resp.trace_id.is_some(), "tracing on: query response must carry a trace id");
+        assert_ne!(client.get("/debug/traces").unwrap().body_str().trim(), "[]");
         assert_eq!(client.post("/admin/quit").unwrap().status, 200);
         let out = handle.join().unwrap().unwrap();
         assert!(out.contains("server stopped:"), "{out}");

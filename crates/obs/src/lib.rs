@@ -14,6 +14,10 @@
 //!   against the running threshold.
 //! - [`progress`]: a throttled [`Progress`] reporter for long index
 //!   builds.
+//! - [`trace`]: request-scoped span tracing — 64-bit [`TraceIdGen`]
+//!   trace IDs, hierarchical [`Span`] trees, a deterministic hash
+//!   sampler ([`sampled`]), and the bounded [`TraceStore`] ring with a
+//!   separate always-keep slow-query log.
 //!
 //! Design rule: nothing in this crate may perturb the serving layer's
 //! determinism — no RNG, no allocation on the per-event path, and all
@@ -23,6 +27,7 @@ pub mod explain;
 pub mod metrics;
 pub mod progress;
 pub mod registry;
+pub mod trace;
 
 pub use explain::{CandidateFate, CandidateRecord, ExplainTrace};
 pub use metrics::{
@@ -30,3 +35,7 @@ pub use metrics::{
 };
 pub use progress::Progress;
 pub use registry::{Family, MetricKind, Registry, Sample, SampleValue, Snapshot};
+pub use trace::{
+    chrome_trace_json, format_trace_id, now_ns, parse_trace_id, sampled, splitmix64, AttrValue, Span, Trace,
+    TraceIdGen, TraceStore,
+};

@@ -100,6 +100,14 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; HIST_BUCKETS],
+    // Exemplar: the largest value observed so far and the trace ID that
+    // produced it, so a p99 outlier on the rendered histogram links
+    // straight to its trace. Two relaxed cells — a racing pair of
+    // observers can momentarily mismatch value and ID, which is
+    // acceptable for an exemplar (it is a debugging pointer, not a
+    // statistic).
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -114,6 +122,8 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -125,6 +135,31 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`Histogram::observe`], additionally updating the exemplar when
+    /// this observation is the new maximum. `trace_id == 0` (untraced
+    /// request) records the value without touching the exemplar.
+    #[inline]
+    pub fn observe_exemplar(&self, v: u64, trace_id: u64) {
+        self.observe(v);
+        if trace_id != 0 {
+            let prev = self.exemplar_value.fetch_max(v, Ordering::Relaxed);
+            if v >= prev {
+                self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The current `(value, trace_id)` exemplar, if any traced
+    /// observation has been recorded.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        let id = self.exemplar_trace.load(Ordering::Relaxed);
+        if id == 0 {
+            None
+        } else {
+            Some((self.exemplar_value.load(Ordering::Relaxed), id))
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -143,6 +178,7 @@ impl Histogram {
             count: self.count(),
             sum: self.sum(),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -153,6 +189,8 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     pub buckets: [u64; HIST_BUCKETS],
+    /// `(value, trace_id)` of the max-valued traced observation.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 /// Worker-local histogram mirror: plain `u64` cells, no atomics, merged
@@ -263,6 +301,25 @@ mod tests {
         assert_eq!(s.buckets[bucket_index(5)], 1);
         assert_eq!(s.buckets[bucket_index(1000)], 1);
         assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn exemplar_tracks_max_traced_observation() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.observe(1_000_000); // untraced: no exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_exemplar(500, 0xaaa);
+        assert_eq!(h.exemplar(), Some((500, 0xaaa)));
+        h.observe_exemplar(100, 0xbbb); // smaller: exemplar unchanged
+        assert_eq!(h.exemplar(), Some((500, 0xaaa)));
+        h.observe_exemplar(9_000, 0xccc); // new max takes over
+        assert_eq!(h.exemplar(), Some((9_000, 0xccc)));
+        h.observe_exemplar(10_000, 0); // untraced never claims the exemplar
+        assert_eq!(h.exemplar(), Some((9_000, 0xccc)));
+        let s = h.snapshot();
+        assert_eq!(s.exemplar, Some((9_000, 0xccc)));
+        assert_eq!(s.count, 5, "observe_exemplar still counts normally");
     }
 
     #[test]

@@ -252,11 +252,19 @@ impl Snapshot {
                                 cum
                             ));
                         }
+                        // The exemplar (max traced observation) rides on
+                        // the `+Inf` bucket line, OpenMetrics-style:
+                        // `... N # {trace_id="..."} value`.
+                        let exemplar = match h.exemplar {
+                            Some((v, id)) => format!(" # {{trace_id=\"{id:016x}\"}} {v}"),
+                            None => String::new(),
+                        };
                         out.push_str(&format!(
-                            "{}_bucket{} {}\n",
+                            "{}_bucket{} {}{}\n",
                             f.name,
                             prom_labels(&s.labels, Some("+Inf")),
-                            h.count
+                            h.count,
+                            exemplar
                         ));
                         out.push_str(&format!("{}_sum{} {}\n", f.name, prom_labels(&s.labels, None), h.sum));
                         out.push_str(&format!(
@@ -300,6 +308,11 @@ impl Snapshot {
                     }
                     SampleValue::Histogram(h) => {
                         out.push_str(&format!("\"count\": {}, \"sum\": {}, ", h.count, h.sum));
+                        if let Some((v, id)) = h.exemplar {
+                            out.push_str(&format!(
+                                "\"exemplar\": {{\"value\": {v}, \"trace_id\": \"{id:016x}\"}}, "
+                            ));
+                        }
                         out.push_str("\"buckets\": [");
                         let mut cum = 0u64;
                         let mut first = true;

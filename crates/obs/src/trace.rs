@@ -1,0 +1,562 @@
+//! Request-scoped span tracing: trace IDs, span trees, deterministic
+//! sampling, and the bounded in-memory [`TraceStore`].
+//!
+//! Everything here obeys the crate's determinism rule: trace IDs come
+//! from a private splitmix64 counter (never the query RNG), the sampler
+//! is a pure hash of the trace ID (`splitmix64(id) % n == 0`), and span
+//! timestamps are read from a process-wide monotonic epoch so spans from
+//! different threads share one timebase. Tracing therefore cannot
+//! perturb results: with tracing on or off, every query computes the
+//! same hits, fates, and scores — the only difference is whether
+//! durations that were *already measured* for metrics also get copied
+//! into a [`Trace`].
+//!
+//! Cost model: when tracing is disabled the per-request overhead is one
+//! relaxed atomic load plus one branch ([`TraceStore::enabled`]); no
+//! allocation, no lock. When enabled, span assembly happens on the
+//! request thread *after* the answer is computed, and the only shared
+//! state is a short critical section pushing one `Arc` into a ring.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::registry::json_string;
+
+/// SplitMix64 finalizer — the bijective mixer behind both trace-ID
+/// generation and the deterministic sampler. Public so other layers
+/// (e.g. the load generator) can derive the same sampling decision.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic 1-in-`n` sampler keyed on the trace ID. `n == 0`
+/// disables sampling entirely, `n == 1` keeps everything. The decision
+/// is a pure function of the ID — two processes (client and server)
+/// given the same ID agree on it, and replaying a workload reproduces
+/// the exact sample set.
+#[inline]
+pub fn sampled(trace_id: u64, n: u64) -> bool {
+    match n {
+        0 => false,
+        1 => true,
+        n => splitmix64(trace_id).is_multiple_of(n),
+    }
+}
+
+/// Monotone trace-ID source: a seeded counter pushed through
+/// [`splitmix64`], so IDs look random (good bucket spread for the
+/// sampler) while never touching any RNG the query path uses. IDs are
+/// never 0 — 0 is the "no trace" sentinel.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    seed: u64,
+    next: AtomicU64,
+}
+
+impl TraceIdGen {
+    /// A generator with an explicit seed (tests want reproducible IDs).
+    pub fn with_seed(seed: u64) -> Self {
+        TraceIdGen { seed, next: AtomicU64::new(1) }
+    }
+
+    /// A generator seeded from the wall clock, so two server processes
+    /// started at different times hand out disjoint-looking ID streams.
+    pub fn new() -> Self {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(1);
+        Self::with_seed(nanos)
+    }
+
+    /// The next trace ID (always nonzero).
+    pub fn next_id(&self) -> u64 {
+        loop {
+            let n = self.next.fetch_add(1, Ordering::Relaxed);
+            let id = splitmix64(self.seed ^ n);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+}
+
+impl Default for TraceIdGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a trace ID the way every surface shows it: 16 lowercase hex
+/// digits, no prefix.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses the wire form accepted on `x-srs-trace-id`: hex (with or
+/// without `0x`). Returns `None` for empty/invalid/zero.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (the first call in
+/// the process). All spans share this timebase, so spans recorded on
+/// different threads (request thread, dispatcher) line up on one
+/// timeline in the Chrome trace viewer.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// A span attribute value. `&'static str` for strings keeps attribute
+/// recording allocation-free — every attr key and string value in the
+/// pipeline is a literal (stage names, route names).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer attribute (counts, widths, generations).
+    U64(u64),
+    /// Floating-point attribute (scores, rates).
+    F64(f64),
+    /// Static string attribute (route taken, stage name).
+    Str(&'static str),
+}
+
+impl AttrValue {
+    fn to_json(self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            AttrValue::Str(s) => json_string(s),
+        }
+    }
+}
+
+/// One node of a trace's span tree: a named interval with attributes.
+/// `parent` indexes into the owning [`Trace::spans`]; span 0 is the
+/// root by convention.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Static span name (`request`, `queue_linger`, `stage:scan`, ...).
+    pub name: &'static str,
+    /// Start, in ns since the process trace epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Index of the parent span in the owning trace, `None` for roots.
+    pub parent: Option<usize>,
+    /// `key = value` attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// A finished trace: one request's span tree, assembled on the request
+/// thread after the answer was computed.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The nonzero 64-bit trace ID.
+    pub id: u64,
+    /// Spans in creation order; span 0 is the root.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// An empty trace for `id`.
+    pub fn new(id: u64) -> Self {
+        Trace { id, spans: Vec::with_capacity(12) }
+    }
+
+    /// Appends a span and returns its index (usable as a `parent` for
+    /// children).
+    pub fn push_span(
+        &mut self,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        parent: Option<usize>,
+    ) -> usize {
+        debug_assert!(parent.map(|p| p < self.spans.len()).unwrap_or(true));
+        self.spans.push(Span { name, start_ns, dur_ns, parent, attrs: Vec::new() });
+        self.spans.len() - 1
+    }
+
+    /// Attaches `key = value` to span `idx`.
+    pub fn attr(&mut self, idx: usize, key: &'static str, value: AttrValue) {
+        self.spans[idx].attrs.push((key, value));
+    }
+
+    /// The root span's duration (0 for an empty trace) — what the slow
+    /// log thresholds against.
+    pub fn duration_ns(&self) -> u64 {
+        self.spans.first().map(|s| s.dur_ns).unwrap_or(0)
+    }
+
+    /// JSON object for the `/debug/*` endpoints: the span list carries
+    /// explicit `parent` indices, so clients can rebuild the tree
+    /// without nested-JSON recursion limits.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"trace_id\": \"{}\", \"duration_ns\": {}, \"spans\": [",
+            format_trace_id(self.id),
+            self.duration_ns()
+        ));
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"start_ns\": {}, \"dur_ns\": {}, \"parent\": {}",
+                json_string(s.name),
+                s.start_ns,
+                s.dur_ns,
+                s.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".to_string())
+            ));
+            if !s.attrs.is_empty() {
+                out.push_str(", \"attrs\": {");
+                for (ai, (k, v)) in s.attrs.iter().enumerate() {
+                    if ai > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{}: {}", json_string(k), v.to_json()));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Appends this trace's spans as Chrome trace-event objects
+    /// (`"ph": "X"` complete events, microsecond timestamps) to a JSON
+    /// array under construction. `pid`/`tid` place the spans on a
+    /// process/thread row in `chrome://tracing` / Perfetto.
+    pub fn append_chrome_events(&self, pid: u64, tid: u64, out: &mut String, first: &mut bool) {
+        for s in &self.spans {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            let ts_us = s.start_ns as f64 / 1000.0;
+            let dur_us = s.dur_ns as f64 / 1000.0;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"ph\": \"X\", \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"trace_id\": \"{}\"",
+                json_string(s.name),
+                format_trace_id(self.id)
+            ));
+            for (k, v) in &s.attrs {
+                out.push_str(&format!(", {}: {}", json_string(k), v.to_json()));
+            }
+            out.push_str("}}");
+        }
+    }
+}
+
+/// Renders a set of traces as a complete Chrome trace JSON document
+/// (`{"traceEvents": [...]}`). `tid_of` maps each trace to the thread
+/// row it should render on.
+pub fn chrome_trace_json<'a>(traces: impl IntoIterator<Item = (&'a Trace, u64)>, pid: u64) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for (t, tid) in traces {
+        t.append_chrome_events(pid, tid, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+struct StoreInner {
+    ring: std::collections::VecDeque<Arc<Trace>>,
+    slow: std::collections::VecDeque<Arc<Trace>>,
+}
+
+/// Bounded in-memory trace sink: a fixed-capacity ring of sampled
+/// traces plus a separate always-keep ring of slow traces. The mutex is
+/// taken only when a trace is actually recorded (sampled or slow) or a
+/// `/debug/*` endpoint reads — never on the untraced request path,
+/// which pays exactly [`TraceStore::enabled`]: one relaxed atomic load
+/// and one branch.
+pub struct TraceStore {
+    inner: Mutex<StoreInner>,
+    enabled: AtomicBool,
+    capacity: usize,
+    slow_capacity: usize,
+    sample_n: u64,
+    slow_threshold_ns: u64,
+}
+
+impl TraceStore {
+    /// A store keeping up to `capacity` sampled traces and
+    /// `slow_capacity` slow traces. `sample_n` is the 1-in-N sampling
+    /// rate (0 = off, 1 = everything); `slow_threshold_ns` is the
+    /// always-keep threshold (0 = off).
+    pub fn new(capacity: usize, slow_capacity: usize, sample_n: u64, slow_threshold_ns: u64) -> Self {
+        TraceStore {
+            inner: Mutex::new(StoreInner {
+                ring: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+                slow: std::collections::VecDeque::with_capacity(slow_capacity.min(1024)),
+            }),
+            enabled: AtomicBool::new(sample_n > 0 || slow_threshold_ns > 0),
+            capacity: capacity.max(1),
+            slow_capacity: slow_capacity.max(1),
+            sample_n,
+            slow_threshold_ns,
+        }
+    }
+
+    /// A store with tracing fully off — the disabled-path singleton.
+    pub fn disabled() -> Self {
+        Self::new(1, 1, 0, 0)
+    }
+
+    /// The whole disabled-path cost: one relaxed load + the caller's
+    /// branch. When this is false, no span is ever assembled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The 1-in-N sampling rate (0 = sampling off).
+    pub fn sample_n(&self) -> u64 {
+        self.sample_n
+    }
+
+    /// The slow-log threshold in ns (0 = slow log off).
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns
+    }
+
+    /// Whether the deterministic sampler keeps this trace ID.
+    #[inline]
+    pub fn should_sample(&self, trace_id: u64) -> bool {
+        sampled(trace_id, self.sample_n)
+    }
+
+    /// Whether a finished trace needs recording at all — callers can
+    /// skip span assembly when neither ring would keep it. The slow
+    /// check needs the final duration, so callers that know only the
+    /// trace ID should assemble whenever `slow_threshold_ns() > 0`.
+    pub fn wants(&self, trace_id: u64, duration_ns: u64) -> bool {
+        self.should_sample(trace_id) || (self.slow_threshold_ns > 0 && duration_ns >= self.slow_threshold_ns)
+    }
+
+    /// Records a finished trace: into the sampled ring if its ID
+    /// samples, into the slow ring if its root duration crosses the
+    /// threshold (a slow sampled trace lands in both — they share the
+    /// `Arc`). Rings evict oldest-first.
+    pub fn record(&self, trace: Trace) {
+        let is_slow = self.slow_threshold_ns > 0 && trace.duration_ns() >= self.slow_threshold_ns;
+        let is_sampled = self.should_sample(trace.id);
+        if !is_slow && !is_sampled {
+            return;
+        }
+        let t = Arc::new(trace);
+        let mut inner = self.inner.lock().unwrap();
+        if is_sampled {
+            if inner.ring.len() >= self.capacity {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(Arc::clone(&t));
+        }
+        if is_slow {
+            if inner.slow.len() >= self.slow_capacity {
+                inner.slow.pop_front();
+            }
+            inner.slow.push_back(t);
+        }
+    }
+
+    /// The sampled ring, oldest first.
+    pub fn traces(&self) -> Vec<Arc<Trace>> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// The slow ring, oldest first.
+    pub fn slow(&self) -> Vec<Arc<Trace>> {
+        self.inner.lock().unwrap().slow.iter().cloned().collect()
+    }
+
+    /// Finds a trace by ID in either ring (slow ring first — it is the
+    /// one that never evicts under sampling pressure). Linear scan: the
+    /// rings are small and `/debug` reads are rare.
+    pub fn find(&self, trace_id: u64) -> Option<Arc<Trace>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .slow
+            .iter()
+            .find(|t| t.id == trace_id)
+            .or_else(|| inner.ring.iter().find(|t| t.id == trace_id))
+            .cloned()
+    }
+
+    /// Renders a list of traces as a JSON array of span trees.
+    pub fn render_json(traces: &[Arc<Trace>]) -> String {
+        let mut out = String::from("[");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n ");
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let g = TraceIdGen::with_seed(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = g.next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id");
+        }
+    }
+
+    #[test]
+    fn seeded_generator_is_reproducible() {
+        let a = TraceIdGen::with_seed(7);
+        let b = TraceIdGen::with_seed(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_id(), b.next_id());
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_rate_shaped() {
+        assert!(!sampled(123, 0), "n = 0 disables");
+        assert!(sampled(123, 1), "n = 1 keeps all");
+        let g = TraceIdGen::with_seed(99);
+        let ids: Vec<u64> = (0..10_000).map(|_| g.next_id()).collect();
+        let kept: Vec<u64> = ids.iter().copied().filter(|&id| sampled(id, 16)).collect();
+        // Same decision on replay.
+        for &id in &ids {
+            assert_eq!(sampled(id, 16), kept.contains(&id));
+        }
+        // 1/16 of 10k ± generous slack: the mixer spreads uniformly.
+        assert!(kept.len() > 400 && kept.len() < 900, "kept {} of 10000 at 1/16", kept.len());
+    }
+
+    #[test]
+    fn trace_id_wire_format_round_trips() {
+        assert_eq!(format_trace_id(0xdead_beef), "00000000deadbeef");
+        assert_eq!(parse_trace_id("00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_trace_id("0xDEADBEEF"), Some(0xdead_beef));
+        assert_eq!(parse_trace_id(" deadbeef "), Some(0xdead_beef));
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("0"), None, "0 is the no-trace sentinel");
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id("11112222333344445"), None, "17 digits overflows");
+    }
+
+    #[test]
+    fn span_tree_json_shape() {
+        let mut t = Trace::new(0xabc);
+        let root = t.push_span("request", 100, 900, None);
+        t.attr(root, "vertex", AttrValue::U64(7));
+        let child = t.push_span("wave_exec", 200, 700, Some(root));
+        t.attr(child, "wave_width", AttrValue::U64(3));
+        t.attr(child, "route", AttrValue::Str("mc_scan"));
+        let j = t.to_json();
+        assert!(j.contains("\"trace_id\": \"0000000000000abc\""));
+        assert!(j.contains("\"duration_ns\": 900"));
+        assert!(j.contains("\"name\": \"request\""));
+        assert!(j.contains("\"parent\": null"));
+        assert!(j.contains("\"parent\": 0"));
+        assert!(j.contains("\"wave_width\": 3"));
+        assert!(j.contains("\"route\": \"mc_scan\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_events_have_required_keys() {
+        let mut t = Trace::new(1);
+        let r = t.push_span("request", 1_000, 5_000, None);
+        t.push_span("stage:scan", 2_000, 1_500, Some(r));
+        let doc = chrome_trace_json([(&t, 3u64)], 1);
+        assert!(doc.starts_with("{\"traceEvents\": ["));
+        for key in ["\"ph\": \"X\"", "\"ts\": ", "\"dur\": ", "\"name\": ", "\"pid\": 1", "\"tid\": 3"] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        // µs conversion: 2000 ns → 2.000 µs.
+        assert!(doc.contains("\"ts\": 2.000"));
+        assert!(doc.contains("\"dur\": 1.500"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn store_rings_bound_and_find() {
+        let s = TraceStore::new(4, 2, 1, 1_000);
+        assert!(s.enabled());
+        for i in 1..=10u64 {
+            let mut t = Trace::new(i);
+            // Traces 9 and 10 are "slow" (dur ≥ 1000 ns).
+            t.push_span("request", 0, if i >= 9 { 5_000 } else { 10 }, None);
+            s.record(t);
+        }
+        let ring = s.traces();
+        assert_eq!(ring.len(), 4, "sampled ring capped at 4");
+        assert_eq!(ring.iter().map(|t| t.id).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        let slow = s.slow();
+        assert_eq!(slow.iter().map(|t| t.id).collect::<Vec<_>>(), vec![9, 10]);
+        assert!(s.find(10).is_some());
+        assert!(s.find(8).is_some());
+        assert!(s.find(1).is_none(), "evicted");
+        let json = TraceStore::render_json(&s.slow());
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"duration_ns\": 5000"));
+    }
+
+    #[test]
+    fn disabled_store_records_nothing() {
+        let s = TraceStore::disabled();
+        assert!(!s.enabled());
+        let mut t = Trace::new(5);
+        t.push_span("request", 0, u64::MAX / 2, None);
+        s.record(t);
+        assert!(s.traces().is_empty());
+        assert!(s.slow().is_empty());
+        assert!(!s.wants(5, u64::MAX / 2));
+    }
+
+    #[test]
+    fn slow_only_store_keeps_slow_queries() {
+        let s = TraceStore::new(8, 8, 0, 100);
+        assert!(s.enabled(), "slow log alone enables tracing");
+        let mut fast = Trace::new(1);
+        fast.push_span("request", 0, 50, None);
+        s.record(fast);
+        let mut slow = Trace::new(2);
+        slow.push_span("request", 0, 150, None);
+        s.record(slow);
+        assert!(s.traces().is_empty(), "sampling off: nothing in the sampled ring");
+        assert_eq!(s.slow().len(), 1);
+        assert_eq!(s.find(2).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Promtool-style lint of the Prometheus text exposition.
+//!
+//! `Snapshot::to_prometheus` is scraped by real collectors, so its
+//! format is a public contract. These tests re-parse the rendered text
+//! the way `promtool check metrics` would: every sample line must
+//! belong to a declared family, `# TYPE` must precede samples,
+//! histogram `_bucket` lines must be cumulative and end in `+Inf`
+//! agreeing with `_count`, label values must escape correctly, and the
+//! family order must be deterministic across renders.
+
+use srs_obs::Registry;
+
+/// Splits exposition text into (comment_lines, sample_lines).
+fn split_lines(text: &str) -> (Vec<&str>, Vec<&str>) {
+    let mut comments = Vec::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            comments.push(line);
+        } else {
+            samples.push(line);
+        }
+    }
+    (comments, samples)
+}
+
+/// The metric name of a sample line (everything before `{` or the first
+/// space), with histogram suffixes stripped back to the family name.
+fn family_of(line: &str) -> &str {
+    let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+    let name = &line[..name_end];
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+fn build_registry() -> Registry {
+    let r = Registry::new();
+    r.counter_with("srs_lint_fates_total", "fates", &[("fate", "refined")]).add(5);
+    r.counter_with("srs_lint_fates_total", "fates", &[("fate", "reported")]).add(2);
+    r.gauge("srs_lint_threads", "threads").set(4);
+    let h = r.histogram("srs_lint_latency_ns", "latency");
+    for v in [0u64, 3, 3, 900, 70_000, u64::MAX] {
+        h.observe(v);
+    }
+    let labeled = r.histogram_with("srs_lint_stage_ns", "per-stage latency", &[("stage", "scan")]);
+    labeled.observe(12);
+    // A label value exercising every escape: backslash, quote, newline.
+    r.counter_with("srs_lint_escaped_total", "escaping", &[("path", "a\\b\"c\nd")]).inc();
+    r
+}
+
+#[test]
+fn every_sample_has_a_declared_family_and_type_precedes_samples() {
+    let text = build_registry().snapshot().to_prometheus();
+    let (comments, samples) = split_lines(&text);
+    let mut typed: Vec<&str> = Vec::new();
+    for c in &comments {
+        if let Some(rest) = c.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(!typed.contains(&name), "duplicate TYPE for {name}");
+            typed.push(name);
+            assert!(
+                comments.iter().any(|h| {
+                    h.strip_prefix("# HELP ")
+                        .map(|r| r.split_whitespace().next() == Some(name))
+                        .unwrap_or(false)
+                }),
+                "TYPE without HELP for {name}"
+            );
+        }
+    }
+    for s in &samples {
+        let fam = family_of(s);
+        assert!(typed.contains(&fam), "sample line {s:?} has no # TYPE {fam}");
+        // TYPE must appear before the first sample of its family.
+        let type_pos = text.find(&format!("# TYPE {fam} ")).unwrap();
+        let sample_pos = text.find(s).unwrap();
+        assert!(type_pos < sample_pos, "TYPE after sample for {fam}");
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_close_with_inf() {
+    let text = build_registry().snapshot().to_prometheus();
+    for fam in ["srs_lint_latency_ns", "srs_lint_stage_ns"] {
+        let buckets: Vec<&str> = text.lines().filter(|l| l.starts_with(&format!("{fam}_bucket"))).collect();
+        assert!(!buckets.is_empty(), "no bucket lines for {fam}");
+        // Cumulative counts never decrease; last line is +Inf.
+        let mut prev = 0u64;
+        for b in &buckets {
+            let count: u64 = b.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= prev, "non-cumulative bucket line: {b}");
+            prev = count;
+        }
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\""), "buckets must end with +Inf");
+        // +Inf agrees with _count; _sum and _count lines exist.
+        let count_line = text.lines().find(|l| l.starts_with(&format!("{fam}_count"))).unwrap();
+        let total: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(prev, total, "+Inf bucket must equal _count for {fam}");
+        assert!(text.lines().any(|l| l.starts_with(&format!("{fam}_sum"))), "missing _sum for {fam}");
+        // `le` bounds strictly increase (finite ones).
+        let les: Vec<u64> = buckets
+            .iter()
+            .filter_map(|b| {
+                let le = b.split("le=\"").nth(1)?.split('"').next()?;
+                le.parse().ok()
+            })
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "le bounds not increasing: {les:?}");
+    }
+}
+
+#[test]
+fn label_values_escape_backslash_quote_newline() {
+    let text = build_registry().snapshot().to_prometheus();
+    let line = text.lines().find(|l| l.starts_with("srs_lint_escaped_total{")).unwrap();
+    // Raw value a\b"c<newline>d must render as a\\b\"c\nd — and the
+    // rendered sample must stay on one physical line.
+    assert!(line.contains(r#"path="a\\b\"c\nd""#), "bad escaping in {line:?}");
+    assert!(!line.contains('\n'));
+}
+
+#[test]
+fn family_ordering_is_deterministic_and_sorted() {
+    let r = build_registry();
+    let a = r.snapshot().to_prometheus();
+    let b = r.snapshot().to_prometheus();
+    assert_eq!(a, b, "two renders of the same registry must be byte-identical");
+    let names: Vec<String> = r.snapshot().families.iter().map(|f| f.name.clone()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "families must render sorted by name");
+    // Registration order must not leak into family order: a registry
+    // built in reverse renders the same family sequence.
+    let r2 = Registry::new();
+    r2.gauge("srs_lint_threads", "threads").set(4);
+    r2.counter_with("srs_lint_fates_total", "fates", &[("fate", "refined")]).add(5);
+    let names2: Vec<String> = r2.snapshot().families.iter().map(|f| f.name.clone()).collect();
+    assert_eq!(names2, vec!["srs_lint_fates_total", "srs_lint_threads"]);
+}
+
+#[test]
+fn exemplars_render_openmetrics_style_on_inf_bucket() {
+    let r = Registry::new();
+    let h = r.histogram("srs_lint_exemplar_ns", "latency with exemplar");
+    h.observe_exemplar(1_234, 0xdeadbeef);
+    let text = r.snapshot().to_prometheus();
+    let inf = text.lines().find(|l| l.contains("le=\"+Inf\"")).unwrap();
+    assert!(
+        inf.ends_with("1 # {trace_id=\"00000000deadbeef\"} 1234"),
+        "exemplar must trail the +Inf bucket line: {inf:?}"
+    );
+    // Exemplar never leaks onto _sum/_count lines.
+    for l in text.lines().filter(|l| l.contains("_sum") || l.contains("_count")) {
+        assert!(!l.contains("trace_id"), "exemplar leaked onto {l:?}");
+    }
+    // JSON snapshot carries the same exemplar.
+    let json = r.snapshot().to_json();
+    assert!(json.contains("\"exemplar\": {\"value\": 1234, \"trace_id\": \"00000000deadbeef\"}"));
+}

@@ -230,6 +230,7 @@ fn serve_batch_into(
             dst.hits.extend_from_slice(&src.hits);
             dst.stats = src.stats;
             dst.explain = src.explain.clone();
+            dst.timings = src.timings;
             // The copy's latency is the unique computation's latency:
             // a deduped slot reports what answering it cost, not the
             // (negligible) memcpy.

@@ -41,7 +41,7 @@ pub mod validate;
 
 pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine, WaveOutcome, WaveQuery};
 pub use index::SeenStamps;
-pub use obs::{BuildObs, ServingMetrics};
+pub use obs::{BuildObs, ServingMetrics, StageTimings};
 pub use single_pair::{SinglePairEstimator, WaveEstimator};
 pub use snapshot::{Dataset, SnapshotInfo};
 pub use topk::{FastTier, Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};

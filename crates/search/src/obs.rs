@@ -51,6 +51,30 @@ pub const QUERY_STAGES: [&str; 4] = ["enumerate", "bounds", "scan", "collect"];
 /// [`ServingMetrics::build_stages`].
 pub const BUILD_STAGES: [&str; 4] = ["gamma", "walk_generation", "coincidence_probe", "assemble"];
 
+/// Wall-clock stage durations measured for one query, copied from the
+/// same `Instant` reads that feed `srs_query_stage_ns` — so carrying
+/// them costs nothing the metrics path did not already pay. They ride
+/// on `TopKResult` for the serving layers to turn into trace spans.
+///
+/// Timings are *observations*, not results: they differ run to run and
+/// are never part of the determinism contract (no test may compare
+/// them; `TopKResult` deliberately does not derive `PartialEq`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Per-stage ns, indexed like [`QUERY_STAGES`]. All zero when the
+    /// query took the fast tier.
+    pub stages: [u64; QUERY_STAGES.len()],
+    /// Fast-tier pass ns (0 when the query took the MC scan).
+    pub fast_tier_ns: u64,
+}
+
+impl StageTimings {
+    /// Sum of everything measured (MC stages + fast tier).
+    pub fn total_ns(&self) -> u64 {
+        self.stages.iter().sum::<u64>() + self.fast_tier_ns
+    }
+}
+
 /// Walk-step descriptor classes, aligned with
 /// [`srs_mc::WalkStepCounts`]'s `dead`/`unique`/`branch` fields.
 pub const WALK_CLASSES: [&str; 3] = ["dead", "unique", "branch"];
@@ -379,6 +403,7 @@ mod tests {
             bytes: 1234,
             sections_verified: 11,
             load_time: std::time::Duration::from_nanos(5678),
+            fingerprint: 0xfeed,
         });
         assert_eq!(m.snapshot_bytes.get(), 1234);
         assert_eq!(m.snapshot_sections.get(), 11);

@@ -73,6 +73,10 @@ impl Dataset {
     /// [`SnapshotInfo`] load statistics (for `srs-obs` gauges).
     pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<(Self, SnapshotInfo), PersistError> {
         let started = std::time::Instant::now();
+        // Content fingerprint over the raw bundle — the git-describe-style
+        // identity `/info` reports, so two servers can be compared for
+        // "are we serving the same snapshot" without shipping the file.
+        let fingerprint = srs_graph::container::fnv1a64(&bytes);
         let reader = BundleReader::open(bytes)?;
         let graph = Graph::from_bundle(&reader).map_err(|e| PersistError::Format(e.to_string()))?;
         let index = index_from_bundle(&reader)?;
@@ -80,6 +84,7 @@ impl Dataset {
             bytes: reader.total_bytes(),
             sections_verified: reader.num_sections(),
             load_time: started.elapsed(),
+            fingerprint,
         };
         Ok((Self::new(graph, index)?, info))
     }
@@ -100,6 +105,9 @@ pub struct SnapshotInfo {
     pub sections_verified: u32,
     /// Wall-clock time from first byte to ready dataset.
     pub load_time: Duration,
+    /// FNV-1a 64 hash of the raw bundle bytes — a stable content
+    /// identity for the snapshot (rendered as 16 hex digits in `/info`).
+    pub fingerprint: u64,
 }
 
 /// Writes graph + index as one snapshot bundle (the `srs pack` artifact).
@@ -138,6 +146,11 @@ mod tests {
         let bytes = pack_to_bytes(&g, &idx);
         let (ds, info) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
         assert_eq!(info.bytes, bytes.len() as u64);
+        assert_eq!(info.fingerprint, srs_graph::container::fnv1a64(&bytes));
+        assert_ne!(info.fingerprint, 0);
+        // Same bytes → same fingerprint (the identity is content-derived).
+        let (_, info2) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
+        assert_eq!(info.fingerprint, info2.fingerprint);
         // 6 graph sections + 4 index sections (uniform diagonal stores
         // no `i.diag`).
         assert_eq!(info.sections_verified, 10, "{info:?}");

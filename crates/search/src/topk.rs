@@ -18,7 +18,7 @@
 
 use crate::bounds::{AlphaBeta, GammaTable};
 use crate::index::{CandidateIndex, SeenStamps};
-use crate::obs::{BuildObs, QueryLocalObs, ServingMetrics};
+use crate::obs::{BuildObs, QueryLocalObs, ServingMetrics, StageTimings};
 use crate::single_pair::{EstimatorBuffers, SourceWalks, WaveEstimator};
 use crate::{Diagonal, SimRankParams};
 use srs_graph::bfs::{BfsBuffers, Direction, UNREACHED};
@@ -281,6 +281,10 @@ pub struct TopKResult {
     pub stats: QueryStats,
     /// Per-candidate trace, present iff [`QueryOptions::explain`] was set.
     pub explain: Option<ExplainTrace>,
+    /// Wall-clock stage durations for this query (observations, not
+    /// results — see [`StageTimings`]). A cache-served answer carries
+    /// the timings of the query that originally computed it.
+    pub timings: StageTimings,
 }
 
 /// The preprocess artifact: γ table + candidate index (+ parameters and the
@@ -500,6 +504,7 @@ impl QueryScratch {
         out.hits.clear();
         out.stats = QueryStats::default();
         out.explain = if opts.explain { Some(ExplainTrace::new(u, k, theta)) } else { None };
+        out.timings = StageTimings::default();
         self.heap.clear();
         // Walk-step attribution: everything the kernels step between here
         // and the end of the scan belongs to this query (scratches never
@@ -512,25 +517,35 @@ impl QueryScratch {
             // fate counters stay 0), no RNG stream is consumed.
             let t = Instant::now();
             self.fast_tier_scores(g, index, u, k, theta);
-            self.obs.fast_tier.record(t.elapsed().as_nanos() as u64);
+            let dt = t.elapsed().as_nanos() as u64;
+            self.obs.fast_tier.record(dt);
+            out.timings.fast_tier_ns = dt;
             out.stats.fast_tier_queries = 1;
         } else {
             let t = Instant::now();
             self.enumerate_candidates(g, index, u, opts, &mut out.stats);
-            self.obs.stages[0].record(t.elapsed().as_nanos() as u64);
+            let dt = t.elapsed().as_nanos() as u64;
+            self.obs.stages[0].record(dt);
+            out.timings.stages[0] = dt;
             let t = Instant::now();
             self.prepare_query_tables(g, index, u, opts);
-            self.obs.stages[1].record(t.elapsed().as_nanos() as u64);
+            let dt = t.elapsed().as_nanos() as u64;
+            self.obs.stages[1].record(dt);
+            out.timings.stages[1] = dt;
             let t = Instant::now();
             self.scan_candidates(g, index, u, k, opts, theta, &mut out.stats, out.explain.as_mut());
-            self.obs.stages[2].record(t.elapsed().as_nanos() as u64);
+            let dt = t.elapsed().as_nanos() as u64;
+            self.obs.stages[2].record(dt);
+            out.timings.stages[2] = dt;
         }
         let t = Instant::now();
         out.hits.extend(self.heap.drain().map(|h| Hit { vertex: h.0.vertex, score: h.0.score }));
         out.hits.sort_by(|a, b| {
             b.score.partial_cmp(&a.score).expect("scores are finite").then(a.vertex.cmp(&b.vertex))
         });
-        self.obs.stages[3].record(t.elapsed().as_nanos() as u64);
+        let dt = t.elapsed().as_nanos() as u64;
+        self.obs.stages[3].record(dt);
+        out.timings.stages[3] = dt;
         out.stats.walk_steps = srs_mc::obs::thread_counts().total() - walk_base;
         debug_assert!(out.stats.fates_accounted(), "fate counters drifted: {:?}", out.stats);
     }

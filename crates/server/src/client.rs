@@ -13,6 +13,8 @@ pub struct Response {
     pub status: u16,
     /// Response body.
     pub body: Vec<u8>,
+    /// Trace ID echoed by the server (`x-srs-trace-id` header), if any.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
@@ -58,6 +60,13 @@ impl HttpClient {
         self.request("GET", path)
     }
 
+    /// Bodyless GET carrying a client-assigned trace ID, so the caller
+    /// can later look the request up in the server's `/debug/trace`.
+    pub fn get_traced(&mut self, path: &str, trace_id: u64) -> io::Result<Response> {
+        let id = srs_obs::format_trace_id(trace_id);
+        self.request_with_headers("GET", path, &[("x-srs-trace-id", &id)])
+    }
+
     /// Bodyless POST.
     pub fn post(&mut self, path: &str) -> io::Result<Response> {
         self.request("POST", path)
@@ -67,18 +76,32 @@ impl HttpClient {
     /// error drops the pooled connection and retries once on a fresh one
     /// (a stale keep-alive socket looks exactly like that).
     pub fn request(&mut self, method: &str, path: &str) -> io::Result<Response> {
-        match self.request_once(method, path) {
+        self.request_with_headers(method, path, &[])
+    }
+
+    /// [`HttpClient::request`] with extra request headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<Response> {
+        match self.request_once(method, path, headers) {
             Ok(resp) => Ok(resp),
             Err(_) => {
                 self.stream = None;
-                self.request_once(method, path)
+                self.request_once(method, path, headers)
             }
         }
     }
 
-    fn request_once(&mut self, method: &str, path: &str) -> io::Result<Response> {
+    fn request_once(&mut self, method: &str, path: &str, headers: &[(&str, &str)]) -> io::Result<Response> {
         let reader = self.ensure_connected()?;
-        let msg = format!("{method} {path} HTTP/1.1\r\nHost: srs\r\nContent-Length: 0\r\n\r\n");
+        let mut msg = format!("{method} {path} HTTP/1.1\r\nHost: srs\r\nContent-Length: 0\r\n");
+        for (name, value) in headers {
+            msg.push_str(&format!("{name}: {value}\r\n"));
+        }
+        msg.push_str("\r\n");
         if let Err(e) = reader.get_mut().write_all(msg.as_bytes()) {
             self.stream = None;
             return Err(e);
@@ -115,6 +138,7 @@ fn read_response(r: &mut impl BufRead) -> io::Result<(Response, bool)> {
         parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad_data("malformed status line"))?;
     let mut keep_alive = !version.ends_with("/1.0");
     let mut content_length = 0usize;
+    let mut trace_id = None;
     loop {
         let mut header = String::new();
         if r.read_line(&mut header)? == 0 {
@@ -130,12 +154,14 @@ fn read_response(r: &mut impl BufRead) -> io::Result<(Response, bool)> {
                 content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
             } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
+            } else if name.eq_ignore_ascii_case("x-srs-trace-id") {
+                trace_id = srs_obs::parse_trace_id(value);
             }
         }
     }
     let mut body = vec![0u8; content_length];
     r.read_exact(&mut body)?;
-    Ok((Response { status, body }, keep_alive))
+    Ok((Response { status, body, trace_id }, keep_alive))
 }
 
 #[cfg(test)]
@@ -151,6 +177,14 @@ mod tests {
         assert_eq!(resp.body, b"{\"\"}");
         assert_eq!(resp.body_str(), "{\"\"}");
         assert!(keep);
+        assert_eq!(resp.trace_id, None);
+    }
+
+    #[test]
+    fn trace_id_echo_is_decoded() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\nx-srs-trace-id: 00000000000000ab\r\n\r\n";
+        let (resp, _) = read_response(&mut Cursor::new(raw.as_bytes().to_vec())).unwrap();
+        assert_eq!(resp.trace_id, Some(0xab));
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct QueryAnswer {
     /// passed submit-time validation against an older, larger snapshot,
     /// then a hot reload shrank the graph).
     pub out_of_range: bool,
+    /// When the answering wave handed off to the engine, in ns since the
+    /// process trace epoch ([`srs_obs::now_ns`]) — the end of this
+    /// request's queue linger. Two clock reads *per wave*, so tracing
+    /// adds nothing per-request on the dispatcher side.
+    pub wave_started_ns: u64,
+    /// When the answering wave's engine call returned, same timebase.
+    pub wave_ended_ns: u64,
+    /// How many requests the answering wave coalesced (this request's
+    /// wave membership).
+    pub wave_width: u32,
 }
 
 /// Why a submission was rejected (the request answers 503).
@@ -183,7 +193,9 @@ impl Coalescer {
             // panicking wave drops its reply senders, so each blocked
             // request observes a closed channel and answers 500, while
             // the dispatcher moves on to the next wave.
+            let wave_started_ns = srs_obs::now_ns();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.query_wave(&wave)));
+            let wave_ended_ns = srs_obs::now_ns();
             let outcome = match outcome {
                 Ok(outcome) => outcome,
                 Err(_) => {
@@ -198,11 +210,18 @@ impl Coalescer {
             // A dropped receiver (client hung up mid-wait) is fine — the
             // answer just has nowhere to go.
             let generation = outcome.generation;
-            let answers = outcome
-                .results
-                .into_iter()
-                .zip(outcome.out_of_range)
-                .map(|(result, out_of_range)| QueryAnswer { result, generation, out_of_range });
+            let wave_width = wave.len() as u32;
+            let answers =
+                outcome.results.into_iter().zip(outcome.out_of_range).map(|(result, out_of_range)| {
+                    QueryAnswer {
+                        result,
+                        generation,
+                        out_of_range,
+                        wave_started_ns,
+                        wave_ended_ns,
+                        wave_width,
+                    }
+                });
             for (reply, answer) in replies.drain(..).zip(answers) {
                 let _ = reply.send(answer);
             }

@@ -32,6 +32,11 @@ pub struct Request {
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by a `Connection` header).
     pub keep_alive: bool,
+    /// Client-supplied trace ID (`x-srs-trace-id: <hex>` header), so a
+    /// caller can pre-assign the ID it will search `/debug/trace` for.
+    /// `None` when absent or unparseable (a bad ID is ignored, not a
+    /// 400 — tracing must never fail a query).
+    pub trace_id: Option<u64>,
 }
 
 /// Why a request failed to parse. The connection answers 400 (when the
@@ -113,6 +118,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
     let mut headers = 0usize;
+    let mut trace_id = None;
     loop {
         if !read_line_limited(r, &mut line)? {
             return Err(ParseError::Malformed("truncated headers"));
@@ -145,12 +151,14 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
             } else if tokens.clone().any(|t| t.eq_ignore_ascii_case("keep-alive")) {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("x-srs-trace-id") {
+            trace_id = srs_obs::parse_trace_id(value);
         }
     }
     let mut body = vec![0u8; content_length];
     r.read_exact(&mut body).map_err(ParseError::Io)?;
     let (path, params) = parse_target(&target)?;
-    Ok(Some(Request { method, path, params, body, keep_alive }))
+    Ok(Some(Request { method, path, params, body, keep_alive, trace_id }))
 }
 
 /// Splits a request target into its decoded path and query parameters.
@@ -233,15 +241,33 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_ext(w, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] with extra response headers (the query path uses
+/// this to echo `x-srs-trace-id`). Header values must be pre-sanitized
+/// (no CR/LF) — callers only pass fixed-format values like hex IDs.
+pub fn write_response_ext(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_text(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -352,6 +378,30 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn trace_id_header_is_parsed_leniently() {
+        let req =
+            parse("GET /query?u=1 HTTP/1.1\r\nx-srs-trace-id: 00ffee0012345678\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.trace_id, Some(0x00ff_ee00_1234_5678));
+        let req = parse("GET / HTTP/1.1\r\nX-SRS-Trace-Id: 0xABC\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.trace_id, Some(0xabc), "case-insensitive name, 0x prefix ok");
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.trace_id, None);
+        // A malformed ID is dropped, never a parse error.
+        let req = parse("GET / HTTP/1.1\r\nx-srs-trace-id: not-hex\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.trace_id, None);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response_ext(&mut out, 200, "application/json", b"{}", true, &[("x-srs-trace-id", "00ab")])
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-srs-trace-id: 00ab\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -24,8 +24,27 @@
 //! | `/metrics` | GET | Prometheus text: engine + server families |
 //! | `/healthz` | GET | liveness probe |
 //! | `/info` | GET | snapshot + engine facts, JSON |
+//! | `/debug/traces` | GET | sampled traces (JSON span trees) |
+//! | `/debug/slow` | GET | slow-query log (JSON span trees) |
+//! | `/debug/trace?id=HEX` | GET | one trace by ID |
 //! | `/admin/reload` | POST | hot-swap the snapshot (also on SIGHUP) |
 //! | `/admin/quit` | POST | graceful drain and exit |
+//!
+//! ## Tracing
+//!
+//! Every `/query` carries a 64-bit trace ID — client-assigned via the
+//! `x-srs-trace-id` header or server-assigned — and the ID is echoed in
+//! the response's `x-srs-trace-id` header either way. With tracing
+//! enabled (`--trace-sample N` and/or `--slow-query-ms T`), a sampled
+//! or slow request leaves a span tree in the in-memory
+//! [`srs_obs::TraceStore`]: `request` → `socket_read`, `queue_linger`,
+//! `wave_exec` → per-stage engine spans, with attributes like
+//! `wave_width`, `candidates`, and `fast_tier_route`. Sampling is a
+//! deterministic hash of the trace ID (`splitmix64(id) % N == 0`) — no
+//! RNG is consulted, so results are bit-identical with tracing on or
+//! off, and replaying a workload reproduces the sample set. When
+//! tracing is disabled the per-request cost is one relaxed atomic load
+//! plus one branch.
 //!
 //! Reload is zero-downtime: the new snapshot loads and verifies off to
 //! the side, then [`ServingEngine::swap`] switches generations atomically
@@ -48,6 +67,7 @@ pub use dispatch::{Coalescer, QueryAnswer, SubmitError};
 pub use metrics::ServerMetrics;
 
 use srs_graph::VertexId;
+use srs_obs::{AttrValue, Trace, TraceIdGen, TraceStore};
 use srs_search::engine::WaveQuery;
 use srs_search::persist::PersistError;
 use srs_search::{Dataset, QueryOptions, ServingEngine, TopKResult};
@@ -56,7 +76,7 @@ use std::io;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -93,6 +113,17 @@ pub struct ServerConfig {
     /// [`srs_search::FastTier`]); thresholds keep their
     /// [`QueryOptions`] defaults.
     pub fast_tier: srs_search::FastTier,
+    /// Deterministic trace sampling: keep 1 in `trace_sample` requests
+    /// (0 disables sampling, 1 keeps everything). Keyed on the trace ID
+    /// hash, never an RNG.
+    pub trace_sample: u64,
+    /// Always keep a trace for requests slower than this many
+    /// milliseconds (0 disables the slow-query log).
+    pub slow_query_ms: u64,
+    /// Capacity of the sampled-trace ring.
+    pub trace_capacity: usize,
+    /// Capacity of the always-keep slow-query ring.
+    pub slow_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +140,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(60),
             max_connections: 1024,
             fast_tier: srs_search::FastTier::Off,
+            trace_sample: 0,
+            slow_query_ms: 0,
+            trace_capacity: 256,
+            slow_capacity: 64,
         }
     }
 }
@@ -175,6 +210,14 @@ struct Shared {
     conns: Mutex<ConnTable>,
     /// Signaled whenever a connection deregisters (drain waits on this).
     conn_closed: Condvar,
+    /// Sampled traces + slow-query log ([`TraceStore::enabled`] is the
+    /// whole disabled-path cost).
+    traces: TraceStore,
+    /// Server-assigned trace IDs (used when the client sends none).
+    trace_ids: TraceIdGen,
+    /// FNV-1a 64 content hash of the snapshot currently serving
+    /// (updated on reload; rendered in `/info`).
+    fingerprint: AtomicU64,
 }
 
 impl Shared {
@@ -263,6 +306,14 @@ impl Server {
             max_connections: config.max_connections.max(1),
             conns: Mutex::new(ConnTable::default()),
             conn_closed: Condvar::new(),
+            traces: TraceStore::new(
+                config.trace_capacity,
+                config.slow_capacity,
+                config.trace_sample,
+                config.slow_query_ms.saturating_mul(1_000_000),
+            ),
+            trace_ids: TraceIdGen::new(),
+            fingerprint: AtomicU64::new(info.fingerprint),
         });
         Ok(Server { listener, shared })
     }
@@ -352,10 +403,13 @@ struct Reply {
     content_type: &'static str,
     body: String,
     quit: bool,
+    /// Trace ID echoed as an `x-srs-trace-id` response header (0 = no
+    /// header; only `/query` replies carry one).
+    trace_id: u64,
 }
 
 fn json_reply(status: u16, body: String) -> Reply {
-    Reply { status, content_type: "application/json", body, quit: false }
+    Reply { status, content_type: "application/json", body, quit: false, trace_id: 0 }
 }
 
 fn error_reply(status: u16, message: &str) -> Reply {
@@ -371,7 +425,16 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
         let _ = stream.set_read_timeout(Some(shared.read_timeout));
     }
     let mut reader = BufReader::new(stream);
+    // The one tracing branch the untraced path pays (the load inside
+    // `enabled` is the one atomic). The store's config is immutable, so
+    // hoisting the check out of the loop is sound.
+    let tracing = shared.traces.enabled();
     loop {
+        // With tracing on, this timestamp anchors the `socket_read`
+        // span; on a keep-alive connection it also counts the idle wait
+        // for the next request, which is exactly what a client-side
+        // stall looks like and is worth seeing in the trace.
+        let read_start_ns = if tracing { srs_obs::now_ns() } else { 0 };
         match http::read_request(&mut reader) {
             Ok(None) | Err(http::ParseError::Io(_)) => break,
             Err(http::ParseError::Malformed(reason)) => {
@@ -382,7 +445,7 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
                 break;
             }
             Ok(Some(req)) => {
-                let reply = route(&shared, &req);
+                let reply = route(&shared, &req, read_start_ns);
                 let keep = req.keep_alive && !reply.quit && !shared.shutdown.load(Ordering::SeqCst);
                 let written = write_reply(&shared, reader.get_mut(), &reply, keep);
                 if reply.quit {
@@ -400,6 +463,17 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
 
 fn write_reply(shared: &Shared, w: &mut TcpStream, reply: &Reply, keep_alive: bool) -> io::Result<()> {
     shared.metrics.response(reply.status);
+    if reply.trace_id != 0 {
+        let id = srs_obs::format_trace_id(reply.trace_id);
+        return http::write_response_ext(
+            w,
+            reply.status,
+            reply.content_type,
+            reply.body.as_bytes(),
+            keep_alive,
+            &[("x-srs-trace-id", &id)],
+        );
+    }
     http::write_response(w, reply.status, reply.content_type, reply.body.as_bytes(), keep_alive)
 }
 
@@ -415,11 +489,11 @@ fn begin_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-fn route(shared: &Shared, req: &http::Request) -> Reply {
+fn route(shared: &Shared, req: &http::Request, read_start_ns: u64) -> Reply {
     shared.metrics.requests.inc();
     match req.path.as_str() {
         "/query" => match req.method.as_str() {
-            "GET" => query_reply(shared, req),
+            "GET" => query_reply(shared, req, read_start_ns),
             _ => error_reply(405, "use GET /query"),
         },
         "/metrics" => match req.method.as_str() {
@@ -430,17 +504,46 @@ fn route(shared: &Shared, req: &http::Request) -> Reply {
                     content_type: "text/plain; version=0.0.4",
                     body: shared.engine.metrics().snapshot().to_prometheus(),
                     quit: false,
+                    trace_id: 0,
                 }
             }
             _ => error_reply(405, "use GET /metrics"),
         },
         "/healthz" => match req.method.as_str() {
-            "GET" => Reply { status: 200, content_type: "text/plain", body: "ok\n".to_string(), quit: false },
+            "GET" => Reply {
+                status: 200,
+                content_type: "text/plain",
+                body: "ok\n".to_string(),
+                quit: false,
+                trace_id: 0,
+            },
             _ => error_reply(405, "use GET /healthz"),
         },
         "/info" => match req.method.as_str() {
             "GET" => json_reply(200, info_json(shared)),
             _ => error_reply(405, "use GET /info"),
+        },
+        "/debug/traces" => match req.method.as_str() {
+            "GET" => json_reply(200, TraceStore::render_json(&shared.traces.traces())),
+            _ => error_reply(405, "use GET /debug/traces"),
+        },
+        "/debug/slow" => match req.method.as_str() {
+            "GET" => json_reply(200, TraceStore::render_json(&shared.traces.slow())),
+            _ => error_reply(405, "use GET /debug/slow"),
+        },
+        "/debug/trace" => match req.method.as_str() {
+            "GET" => {
+                let id =
+                    req.params.iter().find(|(k, _)| k == "id").and_then(|(_, v)| srs_obs::parse_trace_id(v));
+                match id {
+                    None => error_reply(400, "missing or malformed id parameter (16 hex digits)"),
+                    Some(id) => match shared.traces.find(id) {
+                        Some(t) => json_reply(200, t.to_json()),
+                        None => error_reply(404, "no trace with that id (evicted or never sampled)"),
+                    },
+                }
+            }
+            _ => error_reply(405, "use GET /debug/trace"),
         },
         "/admin/reload" => match req.method.as_str() {
             "POST" => match reload(shared) {
@@ -455,6 +558,7 @@ fn route(shared: &Shared, req: &http::Request) -> Reply {
                 content_type: "application/json",
                 body: "{\"draining\":true}".to_string(),
                 quit: true,
+                trace_id: 0,
             },
             _ => error_reply(405, "use POST /admin/quit"),
         },
@@ -462,8 +566,21 @@ fn route(shared: &Shared, req: &http::Request) -> Reply {
     }
 }
 
-fn query_reply(shared: &Shared, req: &http::Request) -> Reply {
+fn query_reply(shared: &Shared, req: &http::Request, read_start_ns: u64) -> Reply {
+    let tracing = shared.traces.enabled();
+    // The request's trace ID: the client's if it sent one (so it can
+    // pre-share the ID with `/debug/trace`), a fresh server ID when
+    // tracing is on, or 0 (no ID, no header) on the untraced fast path.
+    let trace_id = req.trace_id.unwrap_or_else(|| if tracing { shared.trace_ids.next_id() } else { 0 });
+    let mut reply = query_reply_inner(shared, req, trace_id, read_start_ns);
+    reply.trace_id = trace_id;
+    reply
+}
+
+fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_start_ns: u64) -> Reply {
     let started = Instant::now();
+    let tracing = shared.traces.enabled();
+    let parsed_ns = if tracing { srs_obs::now_ns() } else { 0 };
     let mut vertex: Option<u64> = None;
     let mut k = shared.default_k;
     for (key, value) in &req.params {
@@ -508,13 +625,91 @@ fn query_reply(shared: &Shared, req: &http::Request) -> Reply {
             // The generation is the one the answering wave pinned, so a
             // reload landing mid-request can never mislabel old-dataset
             // hits with the new generation number.
-            Ok(answer) => json_reply(200, query_json(vertex, k, answer.generation, &answer.result)),
+            Ok(answer) => {
+                // Span assembly happens here, *after* the answer is
+                // computed — tracing reads durations the pipeline
+                // already measured; it never sits on the compute path.
+                if tracing {
+                    let done_ns = srs_obs::now_ns();
+                    let dur = done_ns.saturating_sub(read_start_ns);
+                    if shared.traces.wants(trace_id, dur) {
+                        shared.traces.record(build_trace(
+                            trace_id,
+                            read_start_ns,
+                            parsed_ns,
+                            done_ns,
+                            &answer,
+                            vertex,
+                            k,
+                        ));
+                    }
+                }
+                json_reply(200, query_json(vertex, k, answer.generation, &answer.result))
+            }
             Err(_) => error_reply(500, "dispatcher dropped the query"),
         },
     };
     m.inflight.dec();
-    m.request_latency.observe(started.elapsed().as_nanos() as u64);
+    // The max-latency observation carries the trace ID as an exemplar,
+    // so the p99 outlier on the histogram names the trace explaining it.
+    m.request_latency.observe_exemplar(started.elapsed().as_nanos() as u64, trace_id);
     reply
+}
+
+/// Per-stage span names, aligned index-for-index with
+/// [`srs_search::obs::QUERY_STAGES`] (pinned by a test below).
+const STAGE_SPANS: [&str; 4] = ["stage:enumerate", "stage:bounds", "stage:scan", "stage:collect"];
+
+/// Assembles the span tree for one answered query.
+///
+/// Span durations are real measurements: the request/socket/linger/wave
+/// windows come from `now_ns` reads on this thread and the dispatcher,
+/// and the engine-stage durations are the same `Instant` reads that
+/// feed `srs_query_stage_ns`. Stage *offsets* inside the wave are
+/// synthesized sequentially from the wave start — within a wave the
+/// engine interleaves many queries' stages across workers, so only the
+/// durations (not the absolute stage start times) are faithful.
+fn build_trace(
+    trace_id: u64,
+    read_start_ns: u64,
+    parsed_ns: u64,
+    done_ns: u64,
+    answer: &QueryAnswer,
+    vertex: u64,
+    k: usize,
+) -> Trace {
+    let mut t = Trace::new(trace_id);
+    let root = t.push_span("request", read_start_ns, done_ns.saturating_sub(read_start_ns), None);
+    t.attr(root, "vertex", AttrValue::U64(vertex));
+    t.attr(root, "k", AttrValue::U64(k as u64));
+    t.attr(root, "generation", AttrValue::U64(answer.generation));
+    t.push_span("socket_read", read_start_ns, parsed_ns.saturating_sub(read_start_ns), Some(root));
+    t.push_span("queue_linger", parsed_ns, answer.wave_started_ns.saturating_sub(parsed_ns), Some(root));
+    let wave = t.push_span(
+        "wave_exec",
+        answer.wave_started_ns,
+        answer.wave_ended_ns.saturating_sub(answer.wave_started_ns),
+        Some(root),
+    );
+    let stats = &answer.result.stats;
+    t.attr(wave, "wave_width", AttrValue::U64(answer.wave_width as u64));
+    t.attr(wave, "candidates", AttrValue::U64(stats.candidates));
+    t.attr(wave, "waves", AttrValue::U64(stats.waves));
+    let fast = stats.fast_tier_queries > 0;
+    t.attr(wave, "fast_tier_route", AttrValue::Str(if fast { "linearized" } else { "mc_scan" }));
+    let timings = &answer.result.timings;
+    let mut cursor = answer.wave_started_ns;
+    if fast {
+        t.push_span("stage:fast_tier", cursor, timings.fast_tier_ns, Some(wave));
+        cursor += timings.fast_tier_ns;
+        t.push_span(STAGE_SPANS[3], cursor, timings.stages[3], Some(wave));
+    } else {
+        for (i, name) in STAGE_SPANS.iter().enumerate() {
+            t.push_span(name, cursor, timings.stages[i], Some(wave));
+            cursor += timings.stages[i];
+        }
+    }
+    t
 }
 
 /// Reloads the snapshot from disk and hot-swaps the engine. Serialized —
@@ -526,6 +721,7 @@ fn reload(shared: &Shared) -> Result<u64, String> {
         Ok((dataset, info)) => {
             shared.engine.metrics().record_snapshot_load(&info);
             shared.engine.swap(dataset);
+            shared.fingerprint.store(info.fingerprint, Ordering::Relaxed);
             let generation = shared.engine.generation();
             shared.metrics.generation.set(generation);
             shared.metrics.reloads.inc();
@@ -553,13 +749,18 @@ fn query_json(vertex: u64, k: usize, generation: u64, result: &TopKResult) -> St
 fn info_json(shared: &Shared) -> String {
     let dataset = shared.engine.dataset();
     format!(
-        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"cache_capacity\":{},\"snapshot\":{}}}",
+        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"cache_capacity\":{},\"snapshot\":{},\"uptime_s\":{},\"version\":{},\"fingerprint\":\"{:016x}\",\"trace_sample\":{},\"slow_query_ms\":{}}}",
         dataset.graph().num_vertices(),
         dataset.graph().num_edges(),
         shared.engine.generation(),
         shared.engine.threads(),
         shared.engine.cache_capacity(),
         json_escape(&shared.snapshot.display().to_string()),
+        shared.started.elapsed().as_secs(),
+        json_escape(env!("CARGO_PKG_VERSION")),
+        shared.fingerprint.load(Ordering::Relaxed),
+        shared.traces.sample_n(),
+        shared.traces.slow_threshold_ns() / 1_000_000,
     )
 }
 
@@ -617,5 +818,82 @@ mod tests {
         assert!(c.queue_capacity >= c.max_batch);
         assert!(c.cache_capacity > 0);
         assert!((1..=MAX_K).contains(&c.default_k));
+        assert_eq!(c.trace_sample, 0, "tracing is opt-in");
+        assert_eq!(c.slow_query_ms, 0, "slow log is opt-in");
+        assert!(c.trace_capacity > 0 && c.slow_capacity > 0);
+    }
+
+    #[test]
+    fn stage_span_names_track_engine_stages() {
+        for (span, stage) in STAGE_SPANS.iter().zip(srs_search::obs::QUERY_STAGES) {
+            assert_eq!(*span, format!("stage:{stage}"), "span names must mirror QUERY_STAGES");
+        }
+    }
+
+    #[test]
+    fn build_trace_covers_every_layer() {
+        let answer = QueryAnswer {
+            result: TopKResult {
+                hits: vec![Hit { vertex: 2, score: 0.25 }],
+                stats: srs_search::QueryStats { candidates: 10, waves: 3, ..Default::default() },
+                timings: srs_search::StageTimings { stages: [100, 200, 300, 50], fast_tier_ns: 0 },
+                ..Default::default()
+            },
+            generation: 4,
+            out_of_range: false,
+            wave_started_ns: 2_000,
+            wave_ended_ns: 9_000,
+            wave_width: 5,
+        };
+        let t = build_trace(0xabc, 1_000, 1_500, 10_000, &answer, 7, 3);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "request",
+                "socket_read",
+                "queue_linger",
+                "wave_exec",
+                "stage:enumerate",
+                "stage:bounds",
+                "stage:scan",
+                "stage:collect"
+            ],
+            "one span per layer, four engine stages"
+        );
+        assert_eq!(t.duration_ns(), 9_000, "root covers read → answer");
+        // socket_read + queue_linger + wave_exec partition the window.
+        assert_eq!(t.spans[1].dur_ns, 500);
+        assert_eq!(t.spans[2].dur_ns, 500, "parse → wave start is the linger");
+        assert_eq!(t.spans[3].dur_ns, 7_000);
+        // Stage spans tile the wave sequentially with real durations.
+        assert_eq!(t.spans[4].start_ns, 2_000);
+        assert_eq!(t.spans[5].start_ns, 2_100);
+        assert!(t.spans[4..].iter().all(|s| s.parent == Some(3)));
+        let json = t.to_json();
+        for attr in ["\"wave_width\": 5", "\"candidates\": 10", "\"fast_tier_route\": \"mc_scan\""] {
+            assert!(json.contains(attr), "missing {attr} in {json}");
+        }
+    }
+
+    #[test]
+    fn build_trace_fast_tier_route() {
+        let answer = QueryAnswer {
+            result: TopKResult {
+                stats: srs_search::QueryStats { fast_tier_queries: 1, ..Default::default() },
+                timings: srs_search::StageTimings { stages: [0, 0, 0, 40], fast_tier_ns: 700 },
+                ..Default::default()
+            },
+            generation: 1,
+            out_of_range: false,
+            wave_started_ns: 100,
+            wave_ended_ns: 900,
+            wave_width: 1,
+        };
+        let t = build_trace(1, 0, 50, 1_000, &answer, 0, 5);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"stage:fast_tier"));
+        assert!(!names.contains(&"stage:scan"), "fast tier skips the MC stages");
+        assert!(t.to_json().contains("\"fast_tier_route\": \"linearized\""));
     }
 }
