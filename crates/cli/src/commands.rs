@@ -803,6 +803,9 @@ fn loadgen(args: &Args) -> Result<String, String> {
     }
     // `--slow N`: send a client-assigned trace ID with every request and
     // report the N slowest requests' IDs, ready for `/debug/trace?id=`.
+    // The server only resolves an ID it kept (sampled in by
+    // `--trace-sample` or over `--slow-query-ms`), so the report probes
+    // the slowest one and says whether lookups will work.
     let slow: usize = args.get_or("slow", 0)?;
     if slow > 0 && args.opt("sweep").is_some() {
         return Err("--slow and --sweep are mutually exclusive".into());
@@ -925,6 +928,27 @@ fn loadgen(args: &Args) -> Result<String, String> {
         for (rank, (lat, id)) in r.traced.iter().take(slow).enumerate() {
             let _ =
                 writeln!(out, "  #{:<2} {:>10.2?}  trace {}", rank + 1, lat, srs_obs::format_trace_id(*id));
+        }
+        // These IDs only resolve if the server kept the span tree —
+        // sampled in by --trace-sample or over the --slow-query-ms bar.
+        // Probe the slowest one so a sampled-out run warns instead of
+        // sending the user to a guaranteed 404.
+        let verified = srs_serve::HttpClient::connect(&addr).ok().and_then(|mut c| {
+            c.get(&format!("/debug/trace?id={}", srs_obs::format_trace_id(r.traced[0].1)))
+                .ok()
+                .map(|resp| resp.status == 200)
+        });
+        match verified {
+            Some(true) => {
+                let _ = writeln!(out, "  (verified: #1 resolves in /debug/trace)");
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "  note: #1 did not resolve on the server — ids are only kept when sampled in \
+                     (--trace-sample, deterministic in the id) or slower than --slow-query-ms"
+                );
+            }
         }
     }
     for msg in &r.failures {
@@ -1321,6 +1345,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("completed 20 ok, 0 errors"), "{out}");
         assert!(out.contains("slowest 3"), "{out}");
+        // trace_sample=1 keeps everything, so the report verifies the
+        // slowest id resolves (no sampling warning).
+        assert!(out.contains("(verified: #1 resolves"), "{out}");
+        assert!(!out.contains("did not resolve"), "{out}");
         // Every reported trace ID must resolve on the server.
         let mut c = srs_serve::HttpClient::connect(addr.to_string()).unwrap();
         let ids: Vec<&str> = out.lines().filter_map(|l| l.split("trace ").nth(1)).map(str::trim).collect();

@@ -140,6 +140,13 @@ impl Histogram {
     /// [`Histogram::observe`], additionally updating the exemplar when
     /// this observation is the new maximum. `trace_id == 0` (untraced
     /// request) records the value without touching the exemplar.
+    ///
+    /// Callers should pass a nonzero `trace_id` only for traces they
+    /// actually retained, so the rendered exemplar resolves when pasted
+    /// into a trace lookup (it can still outlive ring eviction — it is
+    /// a debugging pointer, not a guarantee). The exemplar renders only
+    /// in the OpenMetrics and JSON expositions, never the legacy
+    /// Prometheus text format, where the syntax is invalid.
     #[inline]
     pub fn observe_exemplar(&self, v: u64, trace_id: u64) {
         self.observe(v);

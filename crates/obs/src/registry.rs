@@ -4,7 +4,8 @@
 //! hands out `Arc` handles. The interior `Mutex` is taken only at
 //! registration and snapshot time — never on the update path, which goes
 //! straight to the atomic cells through the handles. [`Snapshot`] renders
-//! as Prometheus text exposition format or as hand-rolled JSON (the
+//! as legacy Prometheus text exposition, as OpenMetrics text (the only
+//! exposition where exemplars are legal), or as hand-rolled JSON (the
 //! workspace is offline, so no serde).
 
 use std::sync::{Arc, Mutex};
@@ -221,10 +222,14 @@ impl Snapshot {
             .unwrap_or(0)
     }
 
-    /// Prometheus text exposition format. Histograms emit sparse
-    /// cumulative `_bucket` lines (only buckets that changed the
-    /// cumulative count, plus `+Inf`), `_sum`, and `_count`; `le` bounds
-    /// are the exact inclusive bucket upper bounds `2^i - 1`.
+    /// Legacy Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Histograms emit sparse cumulative
+    /// `_bucket` lines (only buckets that changed the cumulative count,
+    /// plus `+Inf`), `_sum`, and `_count`; `le` bounds are the exact
+    /// inclusive bucket upper bounds `2^i - 1`. Exemplars are **never**
+    /// emitted here — the legacy format predates them and a real
+    /// Prometheus scrape rejects the whole response if one appears; they
+    /// render in [`Snapshot::to_openmetrics`] and [`Snapshot::to_json`].
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for f in &self.families {
@@ -252,19 +257,11 @@ impl Snapshot {
                                 cum
                             ));
                         }
-                        // The exemplar (max traced observation) rides on
-                        // the `+Inf` bucket line, OpenMetrics-style:
-                        // `... N # {trace_id="..."} value`.
-                        let exemplar = match h.exemplar {
-                            Some((v, id)) => format!(" # {{trace_id=\"{id:016x}\"}} {v}"),
-                            None => String::new(),
-                        };
                         out.push_str(&format!(
-                            "{}_bucket{} {}{}\n",
+                            "{}_bucket{} {}\n",
                             f.name,
                             prom_labels(&s.labels, Some("+Inf")),
-                            h.count,
-                            exemplar
+                            h.count
                         ));
                         out.push_str(&format!("{}_sum{} {}\n", f.name, prom_labels(&s.labels, None), h.sum));
                         out.push_str(&format!(
@@ -277,6 +274,72 @@ impl Snapshot {
                 }
             }
         }
+        out
+    }
+
+    /// OpenMetrics 1.0 text exposition
+    /// (`application/openmetrics-text`), the only text format where
+    /// exemplars are legal: the histogram `+Inf` bucket line carries the
+    /// max traced observation as `# {trace_id="..."} value`, and the
+    /// document closes with the mandatory `# EOF` terminator. Counter
+    /// *metadata* drops the `_total` suffix (OpenMetrics names the
+    /// family; the sample line keeps the suffix), so a scraper ingests
+    /// the same series under either exposition.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            let base = match f.kind {
+                MetricKind::Counter => f.name.strip_suffix("_total").unwrap_or(f.name.as_str()),
+                _ => f.name.as_str(),
+            };
+            out.push_str(&format!("# TYPE {} {}\n", base, f.kind.as_str()));
+            out.push_str(&format!("# HELP {} {}\n", base, f.help));
+            for s in &f.samples {
+                match &s.value {
+                    SampleValue::Counter(v) => {
+                        out.push_str(&format!("{}_total{} {}\n", base, prom_labels(&s.labels, None), v));
+                    }
+                    SampleValue::Gauge(v) => {
+                        out.push_str(&format!("{}{} {}\n", base, prom_labels(&s.labels, None), v));
+                    }
+                    SampleValue::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (i, &b) in h.buckets.iter().take(HIST_BUCKETS - 1).enumerate() {
+                            if b == 0 {
+                                continue;
+                            }
+                            cum += b;
+                            let le = bucket_bound(i).to_string();
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                base,
+                                prom_labels(&s.labels, Some(&le)),
+                                cum
+                            ));
+                        }
+                        let exemplar = match h.exemplar {
+                            Some((v, id)) => format!(" # {{trace_id=\"{id:016x}\"}} {v}"),
+                            None => String::new(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}{}\n",
+                            base,
+                            prom_labels(&s.labels, Some("+Inf")),
+                            h.count,
+                            exemplar
+                        ));
+                        out.push_str(&format!("{}_sum{} {}\n", base, prom_labels(&s.labels, None), h.sum));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            base,
+                            prom_labels(&s.labels, None),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str("# EOF\n");
         out
     }
 

@@ -147,21 +147,50 @@ fn family_ordering_is_deterministic_and_sorted() {
 }
 
 #[test]
-fn exemplars_render_openmetrics_style_on_inf_bucket() {
+fn legacy_text_format_never_carries_exemplars() {
     let r = Registry::new();
     let h = r.histogram("srs_lint_exemplar_ns", "latency with exemplar");
     h.observe_exemplar(1_234, 0xdeadbeef);
+    // Exemplar syntax is invalid in `text/plain; version=0.0.4` — a real
+    // Prometheus scrape fails on the line — so the legacy renderer must
+    // drop it entirely; only OpenMetrics and JSON carry it.
     let text = r.snapshot().to_prometheus();
+    assert!(!text.contains("trace_id"), "exemplar leaked into legacy text: {text}");
     let inf = text.lines().find(|l| l.contains("le=\"+Inf\"")).unwrap();
+    assert!(inf.ends_with("+Inf\"} 1"), "+Inf line must be a bare sample: {inf:?}");
+    // JSON snapshot carries the exemplar.
+    let json = r.snapshot().to_json();
+    assert!(json.contains("\"exemplar\": {\"value\": 1234, \"trace_id\": \"00000000deadbeef\"}"));
+}
+
+#[test]
+fn openmetrics_exposition_carries_exemplar_and_terminates_with_eof() {
+    let r = build_registry();
+    let h = r.histogram("srs_lint_exemplar_ns", "latency with exemplar");
+    h.observe_exemplar(1_234, 0xdeadbeef);
+    let text = r.snapshot().to_openmetrics();
+    assert!(text.ends_with("# EOF\n"), "OpenMetrics must close with # EOF: {text:?}");
+    let inf = text
+        .lines()
+        .find(|l| l.starts_with("srs_lint_exemplar_ns_bucket") && l.contains("le=\"+Inf\""))
+        .unwrap();
     assert!(
         inf.ends_with("1 # {trace_id=\"00000000deadbeef\"} 1234"),
         "exemplar must trail the +Inf bucket line: {inf:?}"
     );
-    // Exemplar never leaks onto _sum/_count lines.
-    for l in text.lines().filter(|l| l.contains("_sum") || l.contains("_count")) {
+    // Exemplar never leaks onto _sum/_count lines or exemplar-free
+    // histograms.
+    for l in text.lines().filter(|l| !l.starts_with("srs_lint_exemplar_ns_bucket")) {
         assert!(!l.contains("trace_id"), "exemplar leaked onto {l:?}");
     }
-    // JSON snapshot carries the same exemplar.
-    let json = r.snapshot().to_json();
-    assert!(json.contains("\"exemplar\": {\"value\": 1234, \"trace_id\": \"00000000deadbeef\"}"));
+    // Counter metadata drops the `_total` suffix; sample lines keep it,
+    // so the ingested series name matches the legacy exposition.
+    assert!(text.contains("# TYPE srs_lint_fates counter"), "{text}");
+    assert!(!text.contains("# TYPE srs_lint_fates_total"), "{text}");
+    assert!(text.contains("srs_lint_fates_total{fate=\"refined\"} 5"), "{text}");
+    // Gauges and histograms keep their names verbatim.
+    assert!(text.contains("# TYPE srs_lint_threads gauge"));
+    assert!(text.contains("srs_lint_threads 4"));
+    assert!(text.contains("# TYPE srs_lint_latency_ns histogram"));
+    assert!(text.contains("srs_lint_latency_ns_count 6"));
 }

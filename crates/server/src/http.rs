@@ -37,6 +37,11 @@ pub struct Request {
     /// `None` when absent or unparseable (a bad ID is ignored, not a
     /// 400 — tracing must never fail a query).
     pub trace_id: Option<u64>,
+    /// Whether the `Accept` header asks for the OpenMetrics text
+    /// exposition (`application/openmetrics-text`). `/metrics` serves
+    /// the legacy Prometheus format unless the scraper opts in —
+    /// exemplars are only legal in OpenMetrics.
+    pub wants_openmetrics: bool,
 }
 
 /// Why a request failed to parse. The connection answers 400 (when the
@@ -119,6 +124,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
     let mut content_length = 0usize;
     let mut headers = 0usize;
     let mut trace_id = None;
+    let mut wants_openmetrics = false;
     loop {
         if !read_line_limited(r, &mut line)? {
             return Err(ParseError::Malformed("truncated headers"));
@@ -153,12 +159,14 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
             }
         } else if name.eq_ignore_ascii_case("x-srs-trace-id") {
             trace_id = srs_obs::parse_trace_id(value);
+        } else if name.eq_ignore_ascii_case("accept") {
+            wants_openmetrics = value.to_ascii_lowercase().contains("application/openmetrics-text");
         }
     }
     let mut body = vec![0u8; content_length];
     r.read_exact(&mut body).map_err(ParseError::Io)?;
     let (path, params) = parse_target(&target)?;
-    Ok(Some(Request { method, path, params, body, keep_alive, trace_id }))
+    Ok(Some(Request { method, path, params, body, keep_alive, trace_id, wants_openmetrics }))
 }
 
 /// Splits a request target into its decoded path and query parameters.
@@ -392,6 +400,18 @@ mod tests {
         // A malformed ID is dropped, never a parse error.
         let req = parse("GET / HTTP/1.1\r\nx-srs-trace-id: not-hex\r\n\r\n").unwrap().unwrap();
         assert_eq!(req.trace_id, None);
+    }
+
+    #[test]
+    fn accept_header_negotiates_openmetrics() {
+        let raw = "GET /metrics HTTP/1.1\r\nAccept: application/openmetrics-text; version=1.0.0\r\n\r\n";
+        assert!(parse(raw).unwrap().unwrap().wants_openmetrics);
+        let raw = "GET /metrics HTTP/1.1\r\naccept: text/plain, APPLICATION/OpenMetrics-Text\r\n\r\n";
+        assert!(parse(raw).unwrap().unwrap().wants_openmetrics, "case-insensitive, list-valued");
+        let req = parse("GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n").unwrap().unwrap();
+        assert!(!req.wants_openmetrics);
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(!req.wants_openmetrics, "no Accept header defaults to the legacy format");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! | route | method | behavior |
 //! |---|---|---|
 //! | `/query?u=V[&k=K]` | GET | coalesced top-k query, JSON hits |
-//! | `/metrics` | GET | Prometheus text: engine + server families |
+//! | `/metrics` | GET | Prometheus text (OpenMetrics + exemplars via `Accept`) |
 //! | `/healthz` | GET | liveness probe |
 //! | `/info` | GET | snapshot + engine facts, JSON |
 //! | `/debug/traces` | GET | sampled traces (JSON span trees) |
@@ -37,9 +37,13 @@
 //! the response's `x-srs-trace-id` header either way. With tracing
 //! enabled (`--trace-sample N` and/or `--slow-query-ms T`), a sampled
 //! or slow request leaves a span tree in the in-memory
-//! [`srs_obs::TraceStore`]: `request` → `socket_read`, `queue_linger`,
-//! `wave_exec` → per-stage engine spans, with attributes like
-//! `wave_width`, `candidates`, and `fast_tier_route`. Sampling is a
+//! [`srs_obs::TraceStore`]: a root `request` span covering service time
+//! (parse completion → answer, the window the slow-query threshold and
+//! the latency histogram both measure) with `queue_linger` and
+//! `wave_exec` → per-stage engine children, plus an informational
+//! top-level `socket_read` span (which includes keep-alive idle wait),
+//! and attributes like `wave_width`, `candidates`, and
+//! `fast_tier_route`. Sampling is a
 //! deterministic hash of the trace ID (`splitmix64(id) % N == 0`) — no
 //! RNG is consulted, so results are bit-identical with tracing on or
 //! off, and replaying a workload reproduces the sample set. When
@@ -433,7 +437,10 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
         // With tracing on, this timestamp anchors the `socket_read`
         // span; on a keep-alive connection it also counts the idle wait
         // for the next request, which is exactly what a client-side
-        // stall looks like and is worth seeing in the trace.
+        // stall looks like and is worth seeing in the trace. It is
+        // informational only: the slow-query threshold and the trace's
+        // root duration start at parse completion, so pooled-connection
+        // idle time can never mark a request slow.
         let read_start_ns = if tracing { srs_obs::now_ns() } else { 0 };
         match http::read_request(&mut reader) {
             Ok(None) | Err(http::ParseError::Io(_)) => break,
@@ -499,13 +506,17 @@ fn route(shared: &Shared, req: &http::Request, read_start_ns: u64) -> Reply {
         "/metrics" => match req.method.as_str() {
             "GET" => {
                 shared.metrics.uptime.set(shared.started.elapsed().as_secs());
-                Reply {
-                    status: 200,
-                    content_type: "text/plain; version=0.0.4",
-                    body: shared.engine.metrics().snapshot().to_prometheus(),
-                    quit: false,
-                    trace_id: 0,
-                }
+                let snapshot = shared.engine.metrics().snapshot();
+                // Exemplars are only legal in OpenMetrics, so the
+                // scraper opts in via `Accept`; the legacy text format
+                // stays exemplar-free or a real Prometheus scrape of it
+                // would fail outright.
+                let (content_type, body) = if req.wants_openmetrics {
+                    ("application/openmetrics-text; version=1.0.0; charset=utf-8", snapshot.to_openmetrics())
+                } else {
+                    ("text/plain; version=0.0.4", snapshot.to_prometheus())
+                };
+                Reply { status: 200, content_type, body, quit: false, trace_id: 0 }
             }
             _ => error_reply(405, "use GET /metrics"),
         },
@@ -614,6 +625,9 @@ fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_s
         k,
         opts: Arc::clone(&shared.default_opts),
     });
+    // Nonzero only once a span tree for this request is actually in the
+    // store — the latency exemplar must name an ID that resolves.
+    let mut recorded_id = 0u64;
     let reply = match submitted {
         Err(SubmitError::Full) => error_reply(503, "dispatch queue full"),
         Err(SubmitError::Closed) => error_reply(503, "server is draining"),
@@ -631,8 +645,14 @@ fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_s
                 // already measured; it never sits on the compute path.
                 if tracing {
                     let done_ns = srs_obs::now_ns();
-                    let dur = done_ns.saturating_sub(read_start_ns);
-                    if shared.traces.wants(trace_id, dur) {
+                    // The slow threshold measures service time (parse
+                    // completion → answer), matching the latency
+                    // histogram — the idle wait a pooled keep-alive
+                    // connection spends between requests is visible in
+                    // the informational `socket_read` span but must
+                    // never mark the next request slow.
+                    let service_ns = done_ns.saturating_sub(parsed_ns);
+                    if shared.traces.wants(trace_id, service_ns) {
                         shared.traces.record(build_trace(
                             trace_id,
                             read_start_ns,
@@ -642,6 +662,7 @@ fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_s
                             vertex,
                             k,
                         ));
+                        recorded_id = trace_id;
                     }
                 }
                 json_reply(200, query_json(vertex, k, answer.generation, &answer.result))
@@ -652,7 +673,12 @@ fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_s
     m.inflight.dec();
     // The max-latency observation carries the trace ID as an exemplar,
     // so the p99 outlier on the histogram names the trace explaining it.
-    m.request_latency.observe_exemplar(started.elapsed().as_nanos() as u64, trace_id);
+    // `recorded_id` is 0 unless this request's span tree was actually
+    // stored: error replies, sampled-out requests, and client-supplied
+    // IDs on an untraced server (tracing off) leave the exemplar alone,
+    // so the exemplar always points at a retrievable trace and a client
+    // header can never steer `/metrics` output.
+    m.request_latency.observe_exemplar(started.elapsed().as_nanos() as u64, recorded_id);
     reply
 }
 
@@ -661,6 +687,14 @@ fn query_reply_inner(shared: &Shared, req: &http::Request, trace_id: u64, read_s
 const STAGE_SPANS: [&str; 4] = ["stage:enumerate", "stage:bounds", "stage:scan", "stage:collect"];
 
 /// Assembles the span tree for one answered query.
+///
+/// The root `request` span covers *service time* — parse completion to
+/// answer — so `Trace::duration_ns` (what the slow log thresholds
+/// against and `/debug` reports) agrees with the request latency
+/// histogram. `socket_read` is a top-level sibling, not part of the
+/// root: on a keep-alive connection it includes the idle wait for the
+/// request's first byte, which is client time worth *seeing* in a trace
+/// but never server time to alarm on.
 ///
 /// Span durations are real measurements: the request/socket/linger/wave
 /// windows come from `now_ns` reads on this thread and the dispatcher,
@@ -679,11 +713,11 @@ fn build_trace(
     k: usize,
 ) -> Trace {
     let mut t = Trace::new(trace_id);
-    let root = t.push_span("request", read_start_ns, done_ns.saturating_sub(read_start_ns), None);
+    let root = t.push_span("request", parsed_ns, done_ns.saturating_sub(parsed_ns), None);
     t.attr(root, "vertex", AttrValue::U64(vertex));
     t.attr(root, "k", AttrValue::U64(k as u64));
     t.attr(root, "generation", AttrValue::U64(answer.generation));
-    t.push_span("socket_read", read_start_ns, parsed_ns.saturating_sub(read_start_ns), Some(root));
+    t.push_span("socket_read", read_start_ns, parsed_ns.saturating_sub(read_start_ns), None);
     t.push_span("queue_linger", parsed_ns, answer.wave_started_ns.saturating_sub(parsed_ns), Some(root));
     let wave = t.push_span(
         "wave_exec",
@@ -861,10 +895,15 @@ mod tests {
             ],
             "one span per layer, four engine stages"
         );
-        assert_eq!(t.duration_ns(), 9_000, "root covers read → answer");
-        // socket_read + queue_linger + wave_exec partition the window.
+        assert_eq!(t.duration_ns(), 8_500, "root covers parse → answer (service time)");
+        assert_eq!(t.spans[0].start_ns, 1_500, "root starts at parse completion");
+        // socket_read is an informational top-level sibling (it includes
+        // keep-alive idle wait, which must not count as service time);
+        // queue_linger + wave_exec partition the root.
         assert_eq!(t.spans[1].dur_ns, 500);
+        assert_eq!(t.spans[1].parent, None, "socket_read is not part of the request window");
         assert_eq!(t.spans[2].dur_ns, 500, "parse → wave start is the linger");
+        assert_eq!(t.spans[2].parent, Some(0));
         assert_eq!(t.spans[3].dur_ns, 7_000);
         // Stage spans tile the wave sequentially with real durations.
         assert_eq!(t.spans[4].start_ns, 2_000);

@@ -78,13 +78,29 @@ fn explicit_trace_id_is_explainable_end_to_end() {
     assert_eq!(slow.status, 200);
     assert!(slow.body_str().starts_with('['));
 
-    // The latency histogram's exemplar names a trace ID.
+    // The legacy text exposition (what plain Prometheus scrapes) must
+    // stay exemplar-free — the syntax is invalid there and fails the
+    // whole scrape.
     let metrics = c.get("/metrics").unwrap().body_str().to_string();
-    let bucket_line = metrics
+    assert!(!metrics.contains("trace_id="), "exemplar leaked into the legacy text format");
+    // Negotiating OpenMetrics via Accept gets the exemplar (on the +Inf
+    // bucket line) and the mandatory # EOF terminator.
+    let om = c
+        .request_with_headers("GET", "/metrics", &[("accept", "application/openmetrics-text")])
+        .unwrap()
+        .body_str()
+        .to_string();
+    assert!(om.trim_end().ends_with("# EOF"), "OpenMetrics exposition must close with # EOF");
+    let bucket_line = om
         .lines()
         .find(|l| l.starts_with("srs_server_request_latency_ns_bucket") && l.contains("+Inf"))
         .expect("latency +Inf bucket line");
     assert!(bucket_line.contains("# {trace_id=\""), "exemplar missing from {bucket_line:?}");
+    // The exemplar names a trace that was actually recorded, so the
+    // documented copy-into-/debug/trace workflow resolves.
+    let ex_id = bucket_line.split("trace_id=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+    let found = c.get(&format!("/debug/trace?id={ex_id}")).unwrap();
+    assert_eq!(found.status, 200, "exemplar id {ex_id} must resolve: {}", found.body_str());
 
     // Unknown and malformed IDs answer 404 / 400 rather than 200-empty.
     assert_eq!(c.get("/debug/trace?id=00000000000000aa").unwrap().status, 404);
@@ -137,6 +153,17 @@ fn tracing_is_result_neutral_and_off_by_default() {
     let resp = cp.get_traced("/query?u=1", 0xabcd).unwrap();
     assert_eq!(resp.trace_id, Some(0xabcd));
     assert_eq!(cp.get("/debug/trace?id=000000000000abcd").unwrap().status, 404, "echoed but not stored");
+    // A client-sent ID on an untraced server must not steer /metrics:
+    // no exemplar appears in either exposition.
+    let text = cp.get("/metrics").unwrap().body_str().to_string();
+    assert!(!text.contains("trace_id="), "client header altered the untraced text exposition");
+    let om = cp
+        .request_with_headers("GET", "/metrics", &[("accept", "application/openmetrics-text")])
+        .unwrap()
+        .body_str()
+        .to_string();
+    assert!(!om.contains("trace_id="), "client header altered the untraced OpenMetrics exposition");
+    assert!(om.trim_end().ends_with("# EOF"), "negotiation works with tracing off too");
 
     // /info reports the tracing + identity facts.
     let info_t = ct.get("/info").unwrap().body_str().to_string();
