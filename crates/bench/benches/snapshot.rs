@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use srs_bench::snapbench::SnapshotBenchReport;
 use srs_graph::gen;
 use srs_search::snapshot::{pack_to_bytes, Dataset};
-use srs_search::{Diagonal, QueryOptions, SimRankParams, TopKIndex};
+use srs_search::{load_snapshot, Diagonal, LoadOptions, Loaded, QueryOptions, SimRankParams, TopKIndex};
 use std::time::Instant;
 
 fn bench_snapshot(_c: &mut Criterion) {
@@ -49,6 +49,43 @@ fn bench_snapshot(_c: &mut Criterion) {
         assert_eq!(hit.hits, baseline.hits);
     }
 
+    // Cold-start time-to-first-query, heap vs lazy mmap, over the same
+    // file. Both paths see a warm page cache (the file was just
+    // written), so the measured gap is the work `--mmap` skips at open —
+    // full-bundle checksums and heap materialization — not disk I/O;
+    // on a genuinely cold cache the gap only widens.
+    let path = std::env::temp_dir().join(format!("srs_snapbench_{}.srs", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write snapshot fixture");
+    let single = |loaded: Loaded| match loaded {
+        Loaded::Single(d) => d,
+        Loaded::Sharded(_) => unreachable!("classic pack is unsharded"),
+    };
+    let mut heap_ttfq = f64::INFINITY;
+    let mut heap_resident = 0u64;
+    let mut mmap_ttfq = f64::INFINITY;
+    let mut mmap_resident = 0u64;
+    let mut mmap_mapped = 0u64;
+    for _ in 0..load_reps {
+        let t0 = Instant::now();
+        let (loaded, info, _) = load_snapshot(&path, &LoadOptions::default()).expect("heap load");
+        let ds = single(loaded);
+        let hit = ds.index().query(ds.graph(), 0, 5, &QueryOptions::default());
+        heap_ttfq = heap_ttfq.min(t0.elapsed().as_secs_f64());
+        heap_resident = info.resident_bytes;
+        assert_eq!(hit.hits, baseline.hits);
+
+        let t0 = Instant::now();
+        let mopts = LoadOptions { mmap: true, ..Default::default() };
+        let (loaded, info, _verifier) = load_snapshot(&path, &mopts).expect("mmap load");
+        let ds = single(loaded);
+        let hit = ds.index().query(ds.graph(), 0, 5, &QueryOptions::default());
+        mmap_ttfq = mmap_ttfq.min(t0.elapsed().as_secs_f64());
+        mmap_resident = info.resident_bytes;
+        mmap_mapped = info.mapped_bytes;
+        assert_eq!(hit.hits, baseline.hits);
+    }
+    std::fs::remove_file(&path).ok();
+
     let report = SnapshotBenchReport {
         graph: format!("copying_web(n={n}, out_deg=4, copy_prob=0.8, seed=42)"),
         n,
@@ -57,6 +94,11 @@ fn bench_snapshot(_c: &mut Criterion) {
         sections_verified: sections,
         preprocess_secs,
         load_secs,
+        heap_ttfq_secs: heap_ttfq,
+        mmap_ttfq_secs: mmap_ttfq,
+        heap_resident_bytes: heap_resident,
+        mmap_resident_bytes: mmap_resident,
+        mmap_mapped_bytes: mmap_mapped,
     };
     println!(
         "  preprocess {:.3}s vs snapshot load {:.6}s -> {:.0}x ({} bytes, {} sections)",
@@ -66,11 +108,41 @@ fn bench_snapshot(_c: &mut Criterion) {
         report.snapshot_bytes,
         report.sections_verified
     );
+    println!(
+        "  cold-start TTFQ: heap {:.6}s vs mmap {:.6}s -> {:.1}x; resident {} -> {} bytes \
+         ({} mapped)",
+        report.heap_ttfq_secs,
+        report.mmap_ttfq_secs,
+        report.mmap_speedup(),
+        report.heap_resident_bytes,
+        report.mmap_resident_bytes,
+        report.mmap_mapped_bytes
+    );
+    // Smoke mode's ~5ms preprocess is timer-noise territory, so it only
+    // sanity-checks the ratio; the real threshold is asserted at full
+    // scale, where both sides are best-of-reps stable.
+    let min_speedup = if smoke { 3.0 } else { 10.0 };
     assert!(
-        report.speedup() >= 10.0,
-        "snapshot load must beat the cold rebuild by >=10x, got {:.1}x",
+        report.speedup() >= min_speedup,
+        "snapshot load must beat the cold rebuild by >={min_speedup}x, got {:.1}x",
         report.speedup()
     );
+    // The mapping keeps the bundle's arrays out of the heap in every
+    // mode; the TTFQ ratio is only asserted at full scale, where the
+    // skipped checksum pass dominates timer noise.
+    assert!(
+        report.mmap_resident_bytes * 2 < report.snapshot_bytes,
+        "mmap resident bytes ({}) must stay well under the bundle size ({})",
+        report.mmap_resident_bytes,
+        report.snapshot_bytes
+    );
+    if !smoke {
+        assert!(
+            report.mmap_speedup() >= 5.0,
+            "mmap cold start must reach its first query >=5x faster than heap, got {:.1}x",
+            report.mmap_speedup()
+        );
+    }
 
     if !smoke {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");

@@ -32,6 +32,20 @@ pub struct SnapshotBenchReport {
     /// dataset (best of the measured repetitions: the steady-state cost,
     /// not the page-cache warmup).
     pub load_secs: f64,
+    /// Cold-start time-to-first-query through the heap loader: eager
+    /// checksummed file read, then one answered query.
+    pub heap_ttfq_secs: f64,
+    /// Cold-start time-to-first-query through the lazy `mmap` loader:
+    /// O(sections) open plus structural scans, then one answered query
+    /// faulting in only the pages it touches.
+    pub mmap_ttfq_secs: f64,
+    /// Heap bytes resident after the heap load (≈ the whole bundle).
+    pub heap_resident_bytes: u64,
+    /// Heap bytes resident after the `mmap` load (derived structures
+    /// only — the arrays stay in the mapping).
+    pub mmap_resident_bytes: u64,
+    /// Bytes served through the mapping after the `mmap` load.
+    pub mmap_mapped_bytes: u64,
 }
 
 impl SnapshotBenchReport {
@@ -44,12 +58,24 @@ impl SnapshotBenchReport {
         }
     }
 
+    /// How many times faster the `mmap` cold start reaches its first
+    /// answered query than the heap cold start.
+    pub fn mmap_speedup(&self) -> f64 {
+        if self.mmap_ttfq_secs <= 0.0 {
+            0.0
+        } else {
+            self.heap_ttfq_secs / self.mmap_ttfq_secs
+        }
+    }
+
     /// Serializes the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"graph\": {},\n  \"n\": {},\n  \"m\": {},\n  \"snapshot_bytes\": {},\n  \
              \"sections_verified\": {},\n  \"preprocess_secs\": {:.6},\n  \"load_secs\": {:.6},\n  \
-             \"speedup\": {:.1}\n}}\n",
+             \"speedup\": {:.1},\n  \"heap_ttfq_secs\": {:.6},\n  \"mmap_ttfq_secs\": {:.6},\n  \
+             \"mmap_speedup\": {:.1},\n  \"heap_resident_bytes\": {},\n  \
+             \"mmap_resident_bytes\": {},\n  \"mmap_mapped_bytes\": {}\n}}\n",
             json_string(&self.graph),
             self.n,
             self.m,
@@ -57,7 +83,13 @@ impl SnapshotBenchReport {
             self.sections_verified,
             self.preprocess_secs,
             self.load_secs,
-            self.speedup()
+            self.speedup(),
+            self.heap_ttfq_secs,
+            self.mmap_ttfq_secs,
+            self.mmap_speedup(),
+            self.heap_resident_bytes,
+            self.mmap_resident_bytes,
+            self.mmap_mapped_bytes
         )
     }
 
@@ -81,6 +113,11 @@ mod tests {
             sections_verified: 10,
             preprocess_secs: 2.0,
             load_secs: 0.01,
+            heap_ttfq_secs: 0.05,
+            mmap_ttfq_secs: 0.005,
+            heap_resident_bytes: 12_000,
+            mmap_resident_bytes: 500,
+            mmap_mapped_bytes: 11_500,
         }
     }
 
@@ -89,14 +126,23 @@ mod tests {
         assert!((report().speedup() - 200.0).abs() < 1e-9);
         let degenerate = SnapshotBenchReport { load_secs: 0.0, ..report() };
         assert_eq!(degenerate.speedup(), 0.0);
+        assert!((report().mmap_speedup() - 10.0).abs() < 1e-9);
+        let degenerate = SnapshotBenchReport { mmap_ttfq_secs: 0.0, ..report() };
+        assert_eq!(degenerate.mmap_speedup(), 0.0);
     }
 
     #[test]
     fn json_shape() {
         let j = report().to_json();
-        for key in
-            ["\"graph\"", "\"snapshot_bytes\": 12345", "\"speedup\": 200.0", "\"sections_verified\": 10"]
-        {
+        for key in [
+            "\"graph\"",
+            "\"snapshot_bytes\": 12345",
+            "\"speedup\": 200.0",
+            "\"sections_verified\": 10",
+            "\"mmap_speedup\": 10.0",
+            "\"mmap_resident_bytes\": 500",
+            "\"mmap_mapped_bytes\": 11500",
+        ] {
             assert!(j.contains(key), "missing {key}: {j}");
         }
     }

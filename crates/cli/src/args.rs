@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 /// Flags that take no value; their presence means `true`. Registered here
 /// so `--explain` never swallows the next token as its "value" while
 /// `query --graph` (a value flag with nothing after it) still errors.
-const BOOL_FLAGS: &[&str] = &["explain", "progress"];
+const BOOL_FLAGS: &[&str] =
+    &["explain", "progress", "mmap", "verify-on-load", "prefault", "prune-theta-only"];
 
 /// Parsed command line: subcommand plus `--flag value` pairs.
 #[derive(Debug, Clone, Default)]

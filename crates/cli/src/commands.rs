@@ -5,7 +5,7 @@ use crate::args::Args;
 use srs_graph::{datasets, gen, io, stats, Graph};
 use srs_obs::Progress;
 use srs_search::{
-    persist, snapshot, BuildObs, Dataset, QueryOptions, ServingEngine, ServingMetrics, SimRankParams,
+    persist, snapshot, BuildObs, Dataset, EngineHandle, Loaded, QueryOptions, ServingMetrics, SimRankParams,
     SnapshotInfo, TopKIndex, TopKResult,
 };
 use std::fmt::Write as _;
@@ -20,22 +20,25 @@ usage:
   srs stats      --graph FILE
   srs preprocess --graph FILE --index FILE [--c 0.6] [--t 11] [--seed S] [--progress]
                  [--reorder bfs|degree --graph-out FILE [--map-out FILE]]
-  srs pack       --graph FILE --index FILE --out FILE.srs
+  srs pack       --graph FILE --index FILE --out FILE.srs [--shards N]
   srs query      {--snapshot FILE.srs | --graph FILE --index FILE} --vertex V [--k 20]
                  [--ball R] [--theta X] [--wave-width W] [--explain]
                  [--fast-tier off|auto|always [--fast-tier-degree D] [--fast-tier-candidates C]]
-  srs batch-query {--snapshot FILE.srs | --graph FILE --index FILE}
+  srs batch-query {--snapshot FILE.srs [--mmap [--verify-on-load] [--prefault]]
+                  | --graph FILE --index FILE}
                  [--vertices 1,2,3 | --queries N|FILE|- [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
-                 [--fast-tier off|auto|always] [--metrics-out FILE] [--hits-out FILE]
-                 [--trace-out FILE.json]
-  srs serve      --snapshot FILE.srs [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
+                 [--prune-theta-only] [--fast-tier off|auto|always]
+                 [--metrics-out FILE] [--hits-out FILE] [--trace-out FILE.json]
+  srs serve      --snapshot FILE.srs [--mmap [--verify-on-load] [--prefault]]
+                 [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
                  [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
                  [--read-timeout-s 60] [--max-conns 1024] [--fast-tier off|auto|always]
                  [--trace-sample N] [--slow-query-ms T]
   srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
                  [--zipf 1.0] [--connections 4] [--seed S] [--slow N]
                  [--sweep R1,R2,... [--sweep-out FILE.json]]
+                 [--hotset-shift SECS [--sweep-out FILE.json]]
   srs topk-all   {--snapshot FILE.srs | --graph FILE --index FILE} [--k 20] [--out FILE]
   srs exact      --graph FILE --vertex V [--k 20] [--c 0.6] [--t 11]
   srs validate   --graph FILE --index FILE [--k 20] [--queries 50] [--seed S]
@@ -265,7 +268,7 @@ fn load_dataset(args: &Args) -> Result<(Dataset, Option<SnapshotInfo>), String> 
 }
 
 fn pack(args: &Args) -> Result<String, String> {
-    args.ensure_known(&["graph", "index", "out"])?;
+    args.ensure_known(&["graph", "index", "out", "shards"])?;
     let g = load_graph(Path::new(args.req("graph")?))?;
     let index = load_index(args)?;
     // Dataset::new checks the pair actually belongs together before the
@@ -273,15 +276,40 @@ fn pack(args: &Args) -> Result<String, String> {
     let ds = Dataset::new(g, index).map_err(|e| e.to_string())?;
     let out = Path::new(args.req("out")?);
     let f = std::fs::File::create(out).map_err(|e| format!("{}: {e}", out.display()))?;
-    snapshot::pack(ds.graph(), ds.index(), std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let w = std::io::BufWriter::new(f);
+    // `--shards N` writes the sharded layout (per-shard inverted maps +
+    // manifest) even for N=1, so shard-count experiments compare like
+    // with like; without the flag the classic unsharded bundle is
+    // written.
+    let shards: u32 = args.get_or("shards", 0)?;
+    let layout = if shards > 0 {
+        snapshot::pack_sharded(ds.graph(), ds.index(), shards, w).map_err(|e| e.to_string())?;
+        format!(", {shards} shards")
+    } else {
+        snapshot::pack(ds.graph(), ds.index(), w).map_err(|e| e.to_string())?;
+        String::new()
+    };
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     Ok(format!(
-        "packed snapshot: n={} m={} index {} bytes -> {} ({bytes} bytes)\n",
+        "packed snapshot: n={} m={} index {} bytes{layout} -> {} ({bytes} bytes)\n",
         ds.graph().num_vertices(),
         ds.graph().num_edges(),
         ds.index().memory_bytes(),
         out.display()
     ))
+}
+
+/// The snapshot-backend options shared by `batch-query` and `serve`.
+fn load_options(args: &Args) -> Result<srs_search::LoadOptions, String> {
+    let opts = srs_search::LoadOptions {
+        mmap: args.flag("mmap"),
+        verify_on_load: args.flag("verify-on-load"),
+        prefault: args.flag("prefault"),
+    };
+    if (opts.verify_on_load || opts.prefault) && !opts.mmap {
+        return Err("--verify-on-load/--prefault only apply with --mmap".into());
+    }
+    Ok(opts)
 }
 
 fn query_options(args: &Args) -> Result<QueryOptions, String> {
@@ -370,13 +398,47 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "metrics-out",
         "hits-out",
         "trace-out",
+        "mmap",
+        "verify-on-load",
+        "prefault",
+        "prune-theta-only",
     ])?;
-    let (ds, snap_info) = load_dataset(args)?;
+    let load_opts = load_options(args)?;
+    let (loaded, snap_info) = if let Some(path) = args.opt("snapshot") {
+        if args.opt("graph").is_some() || args.opt("index").is_some() {
+            return Err("--snapshot already carries graph and index; drop --graph/--index".into());
+        }
+        // A finite batch run drops the lazy verifier: load-time structural
+        // validation already bounded every array access, and the process
+        // exits before a background checksum sweep would matter.
+        let (loaded, info, _verifier) =
+            snapshot::load_snapshot(Path::new(path), &load_opts).map_err(|e| format!("{path}: {e}"))?;
+        (loaded, Some(info))
+    } else {
+        if load_opts.mmap {
+            return Err("--mmap requires --snapshot".into());
+        }
+        let g = load_graph(Path::new(args.req("graph")?))?;
+        let index = load_index(args)?;
+        (Loaded::Single(Dataset::new(g, index).map_err(|e| e.to_string())?), None)
+    };
     let k: usize = args.get_or("k", 20)?;
     let threads: usize =
         args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
-    let opts = query_options(args)?;
-    let n = ds.graph().num_vertices();
+    let mut opts = query_options(args)?;
+    // `--prune-theta-only` switches off the adaptive kth-score pruning
+    // floor, leaving only the partition-invariant θ floor. Sharded
+    // engines force this mode regardless; setting it explicitly on an
+    // unsharded run produces the hit lists a sharded run is compared
+    // against bit for bit (the CI determinism matrix).
+    if args.flag("prune-theta-only") {
+        opts.kth_prune = false;
+    }
+    let graph = match &loaded {
+        Loaded::Single(d) => d.graph(),
+        Loaded::Sharded(s) => s.graph(),
+    };
+    let n = graph.num_vertices();
     let queries: Vec<u32> = match args.get_list::<u32>("vertices")? {
         Some(v) if v.is_empty() => return Err("--vertices names no vertices".into()),
         Some(v) => v,
@@ -401,29 +463,68 @@ fn batch_query(args: &Args) -> Result<String, String> {
                 // queries.
                 let count: usize = args.get_or("queries", 100)?;
                 let seed: u64 = args.get_or("seed", 1)?;
-                stats::sample_query_vertices(ds.graph(), count, seed)
+                stats::sample_query_vertices(graph, count, seed)
             }
         },
     };
     if let Some(&bad) = queries.iter().find(|&&u| u >= n) {
         return Err(format!("vertex {bad} out of range (n = {n})"));
     }
-    let engine = ServingEngine::with_threads(ds, threads);
+    let engine = EngineHandle::with_threads(loaded, threads);
     if let Some(info) = &snap_info {
         engine.metrics().record_snapshot_load(info);
     }
-    let batch = engine.query_batch(&queries, k, &opts);
-    let t = &batch.totals;
-    let l = &batch.latency;
+    let start = std::time::Instant::now();
+    // An unsharded engine keeps the batch path (in-batch dedup and its
+    // accounting); a sharded one serves the whole workload as one
+    // scatter-gather wave — same results either way, per vertex.
+    let (results, latencies, totals, deduped) = match &engine {
+        EngineHandle::Single(e) => {
+            let batch = e.query_batch(&queries, k, &opts);
+            (batch.results, batch.latencies, batch.totals, batch.deduped)
+        }
+        EngineHandle::Sharded(_) => {
+            let shared = std::sync::Arc::new(opts.clone());
+            let wave: Vec<srs_search::WaveQuery> = queries
+                .iter()
+                .map(|&u| srs_search::WaveQuery { vertex: u, k, opts: std::sync::Arc::clone(&shared) })
+                .collect();
+            let outcome = engine.query_wave(&wave);
+            let mut totals = srs_search::QueryStats::default();
+            for r in &outcome.results {
+                totals.accumulate(&r.stats);
+            }
+            (outcome.results, outcome.latencies, totals, 0)
+        }
+    };
+    let elapsed = start.elapsed();
+    let t = &totals;
+    // Nearest-rank percentiles, the same formula `BatchResult` uses.
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let rank = |p: f64| -> std::time::Duration {
+        if sorted.is_empty() {
+            return std::time::Duration::ZERO;
+        }
+        sorted[((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1]
+    };
+    let mean = if sorted.is_empty() {
+        std::time::Duration::ZERO
+    } else {
+        sorted.iter().sum::<std::time::Duration>() / sorted.len() as u32
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
         "batch top-{k}: {} queries on {} threads in {:.2?} ({:.0} queries/s)",
         queries.len(),
         engine.threads(),
-        batch.elapsed,
-        batch.queries_per_second()
+        elapsed,
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    if engine.shards() > 1 {
+        let _ = writeln!(out, "shards           {} (scatter-gather merge, θ-only pruning)", engine.shards());
+    }
     if let Some(info) = &snap_info {
         let _ = writeln!(
             out,
@@ -447,12 +548,16 @@ fn batch_query(args: &Args) -> Result<String, String> {
     let _ = writeln!(
         out,
         "latency mean {:.2?} | p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
-        l.mean, l.p50, l.p95, l.p99, l.max
+        mean,
+        rank(0.50),
+        rank(0.95),
+        rank(0.99),
+        rank(1.0)
     );
-    let hits: usize = batch.results.iter().map(|r| r.hits.len()).sum();
+    let hits: usize = results.iter().map(|r| r.hits.len()).sum();
     let _ = writeln!(out, "hits             {} ({:.1} per query)", hits, hits as f64 / queries.len() as f64);
-    if batch.deduped > 0 {
-        let _ = writeln!(out, "deduped          {} (answered once, copied)", batch.deduped);
+    if deduped > 0 {
+        let _ = writeln!(out, "deduped          {deduped} (answered once, copied)");
     }
     if let Some(path) = args.opt("hits-out") {
         // One line per query, input order: `vertex<TAB>hit:score...`.
@@ -461,7 +566,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
         // file is a determinism witness (CI diffs it across wave widths),
         // not just a report.
         let mut body = String::new();
-        for (u, res) in queries.iter().zip(&batch.results) {
+        for (u, res) in queries.iter().zip(&results) {
             let _ = write!(body, "{u}");
             for h in &res.hits {
                 let _ = write!(body, "\t{}:{}", h.vertex, h.score);
@@ -472,7 +577,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "hits -> {path}");
     }
     if let Some(path) = args.opt("trace-out") {
-        let json = chrome_trace_export(&queries, &batch.results, k, engine.threads());
+        let json = chrome_trace_export(&queries, &results, k, engine.threads());
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "chrome trace ({} queries) -> {path}", queries.len());
     }
@@ -567,7 +672,11 @@ fn serve(args: &Args) -> Result<String, String> {
         "fast-tier",
         "trace-sample",
         "slow-query-ms",
+        "mmap",
+        "verify-on-load",
+        "prefault",
     ])?;
+    let load_opts = load_options(args)?;
     let defaults = srs_serve::ServerConfig::default();
     let config = srs_serve::ServerConfig {
         snapshot: Path::new(args.req("snapshot")?).to_path_buf(),
@@ -593,6 +702,9 @@ fn serve(args: &Args) -> Result<String, String> {
         // slower than T. Either one being nonzero enables tracing.
         trace_sample: args.get_or("trace-sample", defaults.trace_sample)?,
         slow_query_ms: args.get_or("slow-query-ms", defaults.slow_query_ms)?,
+        mmap: load_opts.mmap,
+        verify_on_load: load_opts.verify_on_load,
+        prefault: load_opts.prefault,
         ..defaults.clone()
     };
     let server = srs_serve::Server::bind(config).map_err(|e| e.to_string())?;
@@ -662,6 +774,10 @@ impl LoadOutcome {
 /// (`x-srs-trace-id`), and the outcome's `traced` list pairs each
 /// latency with its ID — so the slowest requests can be looked up in the
 /// server's `/debug/trace` after the run.
+/// `hot_offset` rotates the rank→vertex bijection: the same Zipf ranks
+/// land on a disjoint-headed set of vertex ids, which is how
+/// `--hotset-shift` moves the hot set without changing the workload's
+/// shape.
 #[allow(clippy::too_many_arguments)]
 fn run_load(
     addr: &str,
@@ -673,6 +789,7 @@ fn run_load(
     connections: usize,
     seed: u64,
     trace: bool,
+    hot_offset: u64,
 ) -> LoadOutcome {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::{Duration, Instant};
@@ -687,7 +804,7 @@ fn run_load(
         .map(|_| {
             let x = rng.gen_f64();
             let rank = cdf.partition_point(|&p| p <= x).min(n - 1);
-            ((rank as u64 * stride) % n as u64) as u32
+            ((rank as u64 * stride + hot_offset) % n as u64) as u32
         })
         .collect();
     // Pre-drawn per-request trace IDs (deterministic in `--seed`), so the
@@ -785,6 +902,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
         "slow",
         "sweep",
         "sweep-out",
+        "hotset-shift",
     ])?;
     let addr = args.req("addr")?.to_string();
     let k: usize = args.get_or("k", 20)?;
@@ -809,6 +927,9 @@ fn loadgen(args: &Args) -> Result<String, String> {
     let slow: usize = args.get_or("slow", 0)?;
     if slow > 0 && args.opt("sweep").is_some() {
         return Err("--slow and --sweep are mutually exclusive".into());
+    }
+    if args.opt("hotset-shift").is_some() && (slow > 0 || args.opt("sweep").is_some()) {
+        return Err("--hotset-shift is mutually exclusive with --sweep and --slow".into());
     }
 
     // The vertex universe comes from the server itself.
@@ -844,7 +965,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
         );
         for (rung, &rate) in rates.iter().enumerate() {
             let total = (rate * secs).ceil().max(1.0) as usize;
-            let r = run_load(&addr, n, rate, total, k, exponent, connections, seed + rung as u64, false);
+            let r = run_load(&addr, n, rate, total, k, exponent, connections, seed + rung as u64, false, 0);
             let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
             let _ = writeln!(
                 out,
@@ -891,6 +1012,25 @@ fn loadgen(args: &Args) -> Result<String, String> {
     if !(rate.is_finite() && rate > 0.0) {
         return Err("--rate must be a positive number".into());
     }
+
+    if args.opt("hotset-shift").is_some() {
+        let phase_secs: f64 = args.get_req("hotset-shift")?;
+        if !(phase_secs.is_finite() && phase_secs > 0.0) {
+            return Err("--hotset-shift must be a positive number of seconds".into());
+        }
+        return hotset_shift(
+            &addr,
+            n,
+            rate,
+            phase_secs,
+            k,
+            exponent,
+            connections,
+            seed,
+            args.opt("sweep-out"),
+        );
+    }
+
     let total: usize = match args.opt("requests") {
         Some(_) => args.get_req("requests")?,
         None => (rate * secs).ceil().max(1.0) as usize,
@@ -898,7 +1038,7 @@ fn loadgen(args: &Args) -> Result<String, String> {
     if total == 0 {
         return Err("--requests must be positive".into());
     }
-    let r = run_load(&addr, n, rate, total, k, exponent, connections, seed, slow > 0);
+    let r = run_load(&addr, n, rate, total, k, exponent, connections, seed, slow > 0, 0);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -955,6 +1095,123 @@ fn loadgen(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "error: {msg}");
     }
     Ok(out)
+}
+
+/// Three-phase cache study behind `loadgen --hotset-shift SECS`: a Zipf
+/// hotset, the same distribution rotated onto a disjoint hot head, and
+/// the rotated hotset replayed after a snapshot reload. Phases B and C
+/// replay the *same* request stream (same seed, same rotation), so any
+/// hit-rate drop in C is the reload's cache invalidation, not workload
+/// drift. Hit rates come from the server's own `/metrics` cache counters
+/// (per-phase deltas), not a client-side guess.
+#[allow(clippy::too_many_arguments)]
+fn hotset_shift(
+    addr: &str,
+    n: usize,
+    rate: f64,
+    phase_secs: f64,
+    k: usize,
+    exponent: f64,
+    connections: usize,
+    seed: u64,
+    out_path: Option<&str>,
+) -> Result<String, String> {
+    let total = (rate * phase_secs).ceil().max(1.0) as usize;
+    // Rotate by half the id space: with the coprime-stride rank map the
+    // hot heads of the two hotsets are disjoint for any realistic cache.
+    let rotated = n as u64 / 2;
+    let phases: [(&str, u64, u64, bool); 3] = [
+        ("hotset-a", seed, 0, false),
+        ("hotset-b", seed + 1, rotated, false),
+        ("hotset-b-reloaded", seed + 1, rotated, true),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadgen hotset-shift: 3 phases x {phase_secs}s at {rate:.0} rps against {addr} \
+         (zipf {exponent}, k={k}, rotation offset {rotated})"
+    );
+    let mut report = srs_bench::servebench::ServeBenchReport::new(addr.to_string());
+    let mut last = scrape_cache_counters(addr)?;
+    for (name, phase_seed, offset, reload_first) in phases {
+        if reload_first {
+            let mut c = srs_serve::HttpClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let resp = c.post("/admin/reload").map_err(|e| format!("{addr}: POST /admin/reload: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!(
+                    "{addr}: POST /admin/reload answered {}: {}",
+                    resp.status,
+                    resp.body_str()
+                ));
+            }
+        }
+        let r = run_load(addr, n, rate, total, k, exponent, connections, phase_seed, false, offset);
+        let now = scrape_cache_counters(addr)?;
+        let phase = srs_bench::servebench::HotsetPhase {
+            phase: name.to_string(),
+            requests: r.total as u64,
+            completed: r.completed() as u64,
+            errors: r.errors,
+            cache_hits: now.0.saturating_sub(last.0),
+            cache_misses: now.1.saturating_sub(last.1),
+        };
+        last = now;
+        let _ = writeln!(
+            out,
+            "  {name:<18} {:>6.0} qps, {} errors, cache {}/{} hit/miss ({:.1}% hit rate), p99 {:.2?}",
+            r.achieved_qps(),
+            r.errors,
+            phase.cache_hits,
+            phase.cache_misses,
+            100.0 * phase.hit_rate(),
+            r.pct(0.99),
+        );
+        for msg in &r.failures {
+            let _ = writeln!(out, "  error: {msg}");
+        }
+        report.hotset.push(phase);
+    }
+    let _ = writeln!(
+        out,
+        "hit rate: warm {:.1}% -> shifted {:.1}% -> same hotset after reload {:.1}%",
+        100.0 * report.hotset[0].hit_rate(),
+        100.0 * report.hotset[1].hit_rate(),
+        100.0 * report.hotset[2].hit_rate(),
+    );
+    if report.hotset.iter().all(|p| p.cache_hits + p.cache_misses == 0) {
+        let _ = writeln!(
+            out,
+            "note: the server's result cache saw no traffic (cache disabled or sharded engine)"
+        );
+    }
+    if let Some(path) = out_path {
+        report.write(path).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "hotset report -> {path}");
+    }
+    Ok(out)
+}
+
+/// Reads `(srs_cache_hits_total, srs_cache_misses_total)` from the
+/// server's Prometheus text exposition.
+fn scrape_cache_counters(addr: &str) -> Result<(u64, u64), String> {
+    let mut c = srs_serve::HttpClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let resp = c.get("/metrics").map_err(|e| format!("{addr}: GET /metrics: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("{addr}: GET /metrics answered {}", resp.status));
+    }
+    let body = resp.body_str().to_string();
+    let take = |family: &str| -> u64 {
+        body.lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| l.strip_prefix(family))
+            // Require a space after the family name (rejects longer
+            // names sharing the prefix) and take only the first token
+            // (ignores any trailing exemplar annotation).
+            .filter_map(|rest| rest.strip_prefix(' ')?.split_whitespace().next()?.parse::<f64>().ok())
+            .map(|v| v as u64)
+            .sum()
+    };
+    Ok((take("srs_cache_hits_total"), take("srs_cache_misses_total")))
 }
 
 /// Cumulative Zipf(`s`) distribution over `n` ranks (`s = 0` is uniform).
@@ -1312,6 +1569,58 @@ mod tests {
         assert_eq!(c.post("/admin/quit").unwrap().status, 200);
         handle.join().unwrap().unwrap();
         for p in [&g_path, &i_path, &s_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn loadgen_hotset_shift_reports_cache_rates_across_reload() {
+        let g_path = tmp("lghot.bin");
+        let i_path = tmp("lghot.idx");
+        let s_path = tmp("lghot.srs");
+        let j_path = tmp("lghot.json");
+        run(&format!("generate --family web --n 120 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            s_path.display()
+        ))
+        .unwrap();
+        let config = srs_serve::ServerConfig {
+            snapshot: s_path.clone(),
+            addr: "127.0.0.1:0".into(),
+            ..srs_serve::ServerConfig::default()
+        };
+        let server = srs_serve::Server::bind(config).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        // --hotset-shift doesn't compose with --sweep or --slow.
+        let err = run(&format!("loadgen --addr {addr} --hotset-shift 0.1 --sweep 100")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let out = run(&format!(
+            "loadgen --addr {addr} --hotset-shift 0.05 --rate 2000 --connections 3 \
+             --zipf 1.2 --seed 5 --k 5 --sweep-out {}",
+            j_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("hotset-a"), "{out}");
+        assert!(out.contains("hotset-b-reloaded"), "{out}");
+        assert!(out.contains("hit rate: warm"), "{out}");
+        assert!(!out.contains("error:"), "{out}");
+        // A Zipf(1.2) hotset over 120 vertices repeats its head, so the
+        // warm phase must register cache traffic.
+        let json = std::fs::read_to_string(&j_path).unwrap();
+        assert!(json.contains("\"hotset\": ["), "{json}");
+        assert!(json.contains("\"phase\": \"hotset-b-reloaded\""), "{json}");
+        // The reload bumped the generation the cache is keyed by.
+        let mut c = srs_serve::HttpClient::connect(addr.to_string()).unwrap();
+        let info = c.get("/info").unwrap();
+        assert!(info.body_str().contains("\"generation\":2"), "{}", info.body_str());
+        assert_eq!(c.post("/admin/quit").unwrap().status, 200);
+        handle.join().unwrap().unwrap();
+        for p in [&g_path, &i_path, &s_path, &j_path] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -33,9 +33,29 @@
 //! alignment, and every section checksum up front, so a corrupted or
 //! truncated file fails loudly at load time — after `open` succeeds,
 //! section access cannot fail structurally.
+//!
+//! ## Verification modes
+//!
+//! Checksumming is byte-serial, so verifying a multi-GB bundle at open
+//! would erase the O(1)-startup win of serving it via `mmap`. The
+//! reader therefore separates *structural* validation (magic, version,
+//! table bounds, alignment, duplicate tags — always performed, cheap,
+//! O(sections)) from *checksum* verification, which is either eager
+//! ([`VerifyMode::Eager`], the classic heap-load behaviour) or lazy
+//! ([`VerifyMode::Lazy`]): sections start unverified and
+//! [`BundleReader::verify_section`] / [`BundleReader::verify_all`] can
+//! be run later — e.g. on a background thread while queries are already
+//! being served. Each section's verified bit latches once checked.
+//!
+//! The table-derived [`BundleReader::fingerprint`] identifies a bundle
+//! in O(sections) without touching payload pages (it folds each
+//! section's tag, length, and stored checksum), so mmap-backed serving
+//! can report a meaningful snapshot fingerprint without faulting the
+//! whole file in.
 
-use crate::storage::{encode_pod, Pod, SharedSlice};
+use crate::storage::{encode_pod, BundleBuf, MmapRegion, Pod, SharedSlice};
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Bundle file magic.
@@ -86,10 +106,37 @@ impl From<std::io::Error> for BundleError {
 /// the `hash` module uses for maps; here with the reference offset
 /// basis so checksums are stable across builds).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Feeds `bytes` into a running FNV-1a 64 state `h` (start from the
+/// offset basis via [`fnv1a64`] of an empty slice).
+pub fn fnv1a64_extend(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of one section: FNV-1a 64 over its zero-padded tag, byte
+/// length, and stored payload checksum. O(1) — no payload bytes are
+/// read, so computing fingerprints never faults mapped pages in.
+pub fn section_fingerprint(tag: &str, len: u64, checksum: u64) -> u64 {
+    let mut t = [0u8; TAG_LEN];
+    t[..tag.len().min(TAG_LEN)].copy_from_slice(&tag.as_bytes()[..tag.len().min(TAG_LEN)]);
+    let mut h = fnv1a64(&t);
+    h = fnv1a64_extend(h, &len.to_le_bytes());
+    fnv1a64_extend(h, &checksum.to_le_bytes())
+}
+
+/// Folds section (or shard) fingerprints, in order, into one value.
+/// This is the bundle fingerprint when fed every section in table
+/// order, and a shard fingerprint when fed one shard's sections.
+pub fn fold_fingerprints(fps: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = fnv1a64(&[]);
+    for fp in fps {
+        h = fnv1a64_extend(h, &fp.to_le_bytes());
     }
     h
 }
@@ -105,16 +152,40 @@ struct PendingSection {
     payload: Vec<u8>,
 }
 
+/// Page size assumed for page-aligned layout (the x86-64/aarch64
+/// baseline; also the maximum alignment the reader accepts).
+pub const PAGE_SIZE: usize = 4096;
+
 /// Accumulates tagged sections and writes them as one bundle.
 #[derive(Default)]
 pub struct BundleWriter {
     sections: Vec<PendingSection>,
+    page_align: bool,
 }
 
 impl BundleWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rounds every section of at least one page up to a
+    /// [`PAGE_SIZE`]-aligned offset, so an `mmap`ed reader faults in
+    /// only the pages of the sections it actually touches (no two large
+    /// sections share a page). Small sections keep their element
+    /// alignment — padding them to pages would bloat tiny bundles for
+    /// no locality win. Returns `self` for chaining.
+    pub fn page_aligned(mut self) -> Self {
+        self.page_align = true;
+        self
+    }
+
+    fn effective_align(&self, s: &PendingSection) -> usize {
+        if self.page_align && s.payload.len() >= PAGE_SIZE {
+            s.align.max(PAGE_SIZE)
+        } else {
+            s.align
+        }
     }
 
     /// Adds a raw byte section. `align` must be a power of two and is
@@ -156,7 +227,8 @@ impl BundleWriter {
         let mut offsets = Vec::with_capacity(self.sections.len());
         let mut cursor = table_end;
         for s in &self.sections {
-            cursor = cursor.div_ceil(s.align) * s.align;
+            let align = self.effective_align(s);
+            cursor = cursor.div_ceil(align) * align;
             offsets.push(cursor);
             cursor += s.payload.len();
         }
@@ -168,7 +240,7 @@ impl BundleWriter {
             out.extend_from_slice(&s.tag);
             out.extend_from_slice(&(off as u64).to_le_bytes());
             out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
-            out.extend_from_slice(&(s.align as u64).to_le_bytes());
+            out.extend_from_slice(&(self.effective_align(s) as u64).to_le_bytes());
             out.extend_from_slice(&fnv1a64(&s.payload).to_le_bytes());
         }
         for (s, &off) in self.sections.iter().zip(&offsets) {
@@ -190,13 +262,28 @@ struct SectionEntry {
     tag: [u8; TAG_LEN],
     offset: usize,
     len: usize,
+    checksum: u64,
 }
 
-/// A fully validated, in-memory bundle. Sections are borrowed zero-copy
-/// from the one shared buffer.
+/// When section checksums are verified relative to open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Verify every section checksum at open (the classic behaviour):
+    /// open fails loudly on any payload corruption.
+    Eager,
+    /// Verify nothing at open; callers (or a background thread) verify
+    /// via [`BundleReader::verify_all`] / [`BundleReader::verify_section`]
+    /// later. Keeps open O(sections) — no payload page is touched.
+    Lazy,
+}
+
+/// A structurally validated bundle over a shared buffer (heap or
+/// `mmap`). Sections are borrowed zero-copy from the one buffer.
 pub struct BundleReader {
-    buf: Arc<Vec<u8>>,
+    buf: BundleBuf,
     sections: Vec<SectionEntry>,
+    verified: Vec<AtomicBool>,
+    verified_count: AtomicU32,
 }
 
 impl BundleReader {
@@ -208,7 +295,23 @@ impl BundleReader {
 
     /// Opens a bundle from an already shared buffer (see [`BundleReader::open`]).
     pub fn open_shared(buf: Arc<Vec<u8>>) -> Result<Self, BundleError> {
-        let b: &[u8] = &buf;
+        Self::open_buf(BundleBuf::Heap(buf), VerifyMode::Eager)
+    }
+
+    /// Memory-maps the bundle at `path` and opens it. With
+    /// [`VerifyMode::Lazy`] no payload page is faulted in: startup cost
+    /// is O(sections) regardless of bundle size.
+    pub fn open_mapped(path: &std::path::Path, mode: VerifyMode) -> Result<Self, BundleError> {
+        let file = std::fs::File::open(path)?;
+        let region = MmapRegion::map_file(&file)?;
+        Self::open_buf(BundleBuf::Mapped(Arc::new(region)), mode)
+    }
+
+    /// Opens a bundle over any shared buffer with the given checksum
+    /// verification mode. Structural validation (magic, version, table
+    /// bounds, alignment, duplicate tags) always happens here.
+    pub fn open_buf(buf: BundleBuf, mode: VerifyMode) -> Result<Self, BundleError> {
+        let b: &[u8] = buf.as_slice();
         if b.len() < HEADER_LEN {
             return Err(BundleError::Format("truncated header".into()));
         }
@@ -251,7 +354,7 @@ impl BundleReader {
                     b.len()
                 )));
             }
-            if !align.is_power_of_two() || align > 4096 {
+            if !align.is_power_of_two() || align as usize > PAGE_SIZE {
                 return Err(BundleError::Format(format!("section {name:?}: bad alignment {align}")));
             }
             if offset % align != 0 {
@@ -260,23 +363,64 @@ impl BundleReader {
                 )));
             }
             let (offset, len) = (offset as usize, len as usize);
-            let got = fnv1a64(&b[offset..offset + len]);
-            if got != checksum {
-                return Err(BundleError::Format(format!(
-                    "section {name:?}: checksum mismatch (stored {checksum:#018x}, computed {got:#018x})"
-                )));
-            }
             if sections.iter().any(|s: &SectionEntry| s.tag == tag) {
                 return Err(BundleError::Format(format!("duplicate section tag {name:?}")));
             }
-            sections.push(SectionEntry { tag, offset, len });
+            sections.push(SectionEntry { tag, offset, len, checksum });
         }
-        Ok(BundleReader { buf, sections })
+        let verified = (0..sections.len()).map(|_| AtomicBool::new(false)).collect();
+        let reader = BundleReader { buf, sections, verified, verified_count: AtomicU32::new(0) };
+        if mode == VerifyMode::Eager {
+            reader.verify_all()?;
+        }
+        Ok(reader)
+    }
+
+    /// Verifies section `i`'s checksum (latched: later calls are free).
+    /// Named-section error on mismatch.
+    pub fn verify_section(&self, i: u32) -> Result<(), BundleError> {
+        let s =
+            self.sections.get(i as usize).ok_or_else(|| BundleError::Format(format!("no section {i}")))?;
+        let flag = &self.verified[i as usize];
+        if flag.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let name = tag_str(&s.tag);
+        let got = fnv1a64(&self.buf.as_slice()[s.offset..s.offset + s.len]);
+        if got != s.checksum {
+            return Err(BundleError::Format(format!(
+                "section {name:?}: checksum mismatch (stored {:#018x}, computed {got:#018x})",
+                s.checksum
+            )));
+        }
+        if !flag.swap(true, Ordering::AcqRel) {
+            self.verified_count.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Verifies every section checksum, stopping at the first mismatch.
+    /// Returns the number of sections now verified.
+    pub fn verify_all(&self) -> Result<u32, BundleError> {
+        for i in 0..self.sections.len() as u32 {
+            self.verify_section(i)?;
+        }
+        Ok(self.verified_count())
+    }
+
+    /// How many sections have passed checksum verification so far.
+    pub fn verified_count(&self) -> u32 {
+        self.verified_count.load(Ordering::Acquire)
     }
 
     /// The shared underlying buffer.
-    pub fn buffer(&self) -> &Arc<Vec<u8>> {
+    pub fn buffer(&self) -> &BundleBuf {
         &self.buf
+    }
+
+    /// `true` iff the bundle is served through a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.buf.is_mapped()
     }
 
     /// Total size of the bundle in bytes.
@@ -284,7 +428,7 @@ impl BundleReader {
         self.buf.len() as u64
     }
 
-    /// Number of (checksum-verified) sections.
+    /// Number of sections in the table.
     pub fn num_sections(&self) -> u32 {
         self.sections.len() as u32
     }
@@ -301,6 +445,28 @@ impl BundleReader {
         self.sections.get(i as usize).map(|s| (s.offset as u64, s.len as u64))
     }
 
+    /// Tag of section `i` in table order.
+    pub fn section_tag(&self, i: u32) -> Option<&str> {
+        self.sections.get(i as usize).map(|s| tag_str(&s.tag))
+    }
+
+    /// Fingerprint of section `i` in table order (see
+    /// [`section_fingerprint`]); O(1), reads no payload bytes.
+    pub fn section_fingerprint_at(&self, i: u32) -> Option<u64> {
+        self.sections.get(i as usize).map(|s| section_fingerprint(tag_str(&s.tag), s.len as u64, s.checksum))
+    }
+
+    /// The bundle fingerprint: section fingerprints folded in table
+    /// order ([`fold_fingerprints`]). Identifies the bundle's full
+    /// content (tags, lengths, and payload checksums) in O(sections),
+    /// never faulting payload pages — the same value whether the bundle
+    /// is heap-resident, mapped, or sharded.
+    pub fn fingerprint(&self) -> u64 {
+        fold_fingerprints(
+            self.sections.iter().map(|s| section_fingerprint(tag_str(&s.tag), s.len as u64, s.checksum)),
+        )
+    }
+
     fn find(&self, tag: &str) -> Option<&SectionEntry> {
         self.sections.iter().find(|s| tag_str(&s.tag) == tag)
     }
@@ -308,7 +474,7 @@ impl BundleReader {
     /// The raw bytes of section `tag`.
     pub fn bytes(&self, tag: &str) -> Result<&[u8], BundleError> {
         let s = self.find(tag).ok_or_else(|| BundleError::Format(format!("missing section {tag:?}")))?;
-        Ok(&self.buf[s.offset..s.offset + s.len])
+        Ok(&self.buf.as_slice()[s.offset..s.offset + s.len])
     }
 
     /// Section `tag` as a typed array — zero-copy on little-endian hosts
@@ -417,6 +583,81 @@ mod tests {
         let mut w = BundleWriter::new();
         w.add_bytes("a", 1, vec![]);
         w.add_bytes("a", 1, vec![]);
+    }
+
+    #[test]
+    fn lazy_open_defers_checksums_until_verify() {
+        let mut b = sample();
+        let last = b.len() - 1;
+        b[last] ^= 0x40; // corrupt a payload byte
+        let r = BundleReader::open_buf(BundleBuf::from(b), VerifyMode::Lazy).unwrap();
+        assert_eq!(r.verified_count(), 0);
+        let err = r.verify_all().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // The sections before the corrupt one verified and latched.
+        assert!(r.verified_count() < r.num_sections());
+    }
+
+    #[test]
+    fn verify_latches_and_counts() {
+        let r = BundleReader::open_buf(BundleBuf::from(sample()), VerifyMode::Lazy).unwrap();
+        assert_eq!(r.verified_count(), 0);
+        r.verify_section(0).unwrap();
+        r.verify_section(0).unwrap();
+        assert_eq!(r.verified_count(), 1);
+        assert_eq!(r.verify_all().unwrap(), 3);
+        assert_eq!(r.verified_count(), 3);
+        assert!(r.verify_section(9).is_err());
+    }
+
+    #[test]
+    fn open_mapped_roundtrips_lazily() {
+        let dir = std::env::temp_dir().join(format!("srs-bundle-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.srs");
+        std::fs::write(&path, sample()).unwrap();
+        let r = BundleReader::open_mapped(&path, VerifyMode::Lazy).unwrap();
+        assert!(r.is_mapped());
+        assert_eq!(r.verified_count(), 0);
+        assert_eq!(&r.pod_slice::<u64>("nums64").unwrap()[..], &[1, 2, 3]);
+        r.verify_all().unwrap();
+        // Same structure and fingerprint as the heap-resident open.
+        let heap = BundleReader::open(sample()).unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(heap.fingerprint(), r.fingerprint());
+        drop(r);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_table_and_content() {
+        let r = BundleReader::open(sample()).unwrap();
+        let manual = fold_fingerprints((0..r.num_sections()).map(|i| r.section_fingerprint_at(i).unwrap()));
+        assert_eq!(r.fingerprint(), manual);
+        assert_eq!(r.section_tag(0), Some("nums64"));
+        // Different payload content => different checksum => different print.
+        let mut w = BundleWriter::new();
+        w.add_pod("nums64", &[1u64, 2, 4]);
+        w.add_bytes("meta", 1, vec![9, 8, 7]);
+        w.add_pod("nums32", &[10u32, 20]);
+        let other = BundleReader::open(w.to_bytes()).unwrap();
+        assert_ne!(r.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn page_aligned_layout_is_readable_and_aligned() {
+        let mut w = BundleWriter::new().page_aligned();
+        w.add_pod("small", &[1u32]);
+        w.add_pod("big", &vec![7u64; 1024]); // 8192 bytes >= one page
+        w.add_bytes("tail", 1, vec![5; 10]);
+        let bytes = w.to_bytes();
+        let r = BundleReader::open(bytes).unwrap();
+        let (big_off, big_len) = r.section_extent(1).unwrap();
+        assert_eq!(big_len, 8192);
+        assert_eq!(big_off % PAGE_SIZE as u64, 0, "large section must start on a page boundary");
+        assert_eq!(&r.pod_slice::<u64>("big").unwrap()[..8], &[7u64; 8]);
+        assert_eq!(&r.pod_slice::<u32>("small").unwrap()[..], &[1]);
     }
 
     #[test]

@@ -12,8 +12,32 @@
 //! (two graphs with the same edge set compare equal).
 
 use crate::container::{BundleReader, BundleWriter};
-use crate::storage::SharedSlice;
+use crate::storage::{MemoryProfile, SharedSlice};
 use crate::{GraphError, VertexId};
+
+/// How much validation [`Graph::from_bundle_with`] performs on top of
+/// the container's structural checks.
+///
+/// Both levels guarantee *panic-freedom*: every array access a query
+/// can make is bounds-proven at load (offset monotonicity, id ranges,
+/// descriptor target ranges), so even a hand-crafted bundle can never
+/// make the query path index out of bounds. The difference is whether
+/// *derived* data is proven consistent with its source arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationLevel {
+    /// Full semantic validation: additionally rebuilds the reverse-step
+    /// descriptors from the in-CSR and compares, so a consistent graph
+    /// is the only thing the loader can return. O(n + m) with a rebuild
+    /// allocation — the classic heap-load behaviour.
+    #[default]
+    Deep,
+    /// Panic-safety only: range/monotonicity scans (word-wide, cheap)
+    /// without the descriptor rebuild. An inconsistent-but-in-range
+    /// descriptor section yields wrong *scores*, never a crash; pair
+    /// with checksum verification (eager or background) to rule out
+    /// accidental corruption. This is the `mmap` fast-start level.
+    Safety,
+}
 
 /// Decoded reverse-step fast path of one vertex (see
 /// [`Graph::reverse_step`]). Walk kernels branch on this instead of
@@ -369,6 +393,19 @@ impl Graph {
             + self.reverse_desc.len() as u64 * 8
     }
 
+    /// [`Graph::memory_bytes`] split by backing: heap-resident bytes
+    /// versus bytes served through an `mmap` region (page cache, not
+    /// anonymous memory).
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut p = MemoryProfile::default();
+        p.add(&self.out_offsets);
+        p.add(&self.out_targets);
+        p.add(&self.in_offsets);
+        p.add(&self.in_sources);
+        p.add(&self.reverse_desc);
+        p
+    }
+
     /// Entries of the column `P e_u` of the paper's transition matrix:
     /// the uniform distribution over `δ(u)`, or the zero vector when `u` has
     /// no in-links (the walk dies; `P` is substochastic there).
@@ -402,6 +439,11 @@ impl Graph {
     /// a hand-crafted bundle yields a well-formed graph or a
     /// [`GraphError::Format`] — never a panic downstream.
     pub fn from_bundle(r: &BundleReader) -> Result<Graph, GraphError> {
+        Self::from_bundle_with(r, ValidationLevel::Deep)
+    }
+
+    /// [`Graph::from_bundle`] with an explicit [`ValidationLevel`].
+    pub fn from_bundle_with(r: &BundleReader, level: ValidationLevel) -> Result<Graph, GraphError> {
         let sect = |e: crate::container::BundleError| GraphError::Format(e.to_string());
         let meta = r.bytes(SEC_GRAPH_META).map_err(sect)?;
         if meta.len() != GRAPH_META_LEN {
@@ -425,11 +467,23 @@ impl Graph {
                 reverse_desc.len()
             )));
         }
-        // Descriptors are derived data; verify them against the in-CSR so
-        // a consistent graph is the only thing this function can return.
-        let expect = build_reverse_desc(&in_offsets, &in_sources);
-        if expect[..] != reverse_desc[..] {
-            return Err(GraphError::Format("reverse-step descriptors inconsistent with in-adjacency".into()));
+        match level {
+            ValidationLevel::Deep => {
+                // Descriptors are derived data; verify them against the in-CSR
+                // so a consistent graph is the only thing this can return.
+                let expect = build_reverse_desc(&in_offsets, &in_sources);
+                if expect[..] != reverse_desc[..] {
+                    return Err(GraphError::Format(
+                        "reverse-step descriptors inconsistent with in-adjacency".into(),
+                    ));
+                }
+            }
+            ValidationLevel::Safety => {
+                // No rebuild: just prove every descriptor decode stays in
+                // bounds, so `reverse_step`/`in_source_at` can never index
+                // out of range whatever the bytes say.
+                validate_reverse_desc_ranges(n, m, &reverse_desc)?;
+            }
         }
         Ok(Graph { n, out_offsets, out_targets, in_offsets, in_sources, reverse_desc })
     }
@@ -473,6 +527,25 @@ fn validate_csr_side(
     }
     if entries.iter().any(|&v| v >= n) {
         return Err(GraphError::Format(format!("{side}-adjacency: vertex id out of range")));
+    }
+    Ok(())
+}
+
+/// Range-checks reverse-step descriptors without rebuilding them: every
+/// decode must land inside the (already validated) CSR arrays. See
+/// [`ValidationLevel::Safety`].
+fn validate_reverse_desc_ranges(n: u32, m: u64, desc: &[u64]) -> Result<(), GraphError> {
+    for (v, &d) in desc.iter().enumerate() {
+        let len = d >> DESC_LEN_SHIFT;
+        let ok = match len {
+            0 => true,
+            1 => (d as VertexId) < n,
+            DESC_LEN_SAT => true, // falls back to validated offsets
+            _ => (d & DESC_OFFSET_MASK).checked_add(len).is_some_and(|end| end <= m),
+        };
+        if !ok {
+            return Err(GraphError::Format(format!("reverse-step descriptor for vertex {v} out of range")));
+        }
     }
     Ok(())
 }
@@ -677,5 +750,54 @@ mod tests {
         w.add_pod("g.rdesc", &[(1u64 << 40) | 2, g.reverse_desc[1], g.reverse_desc[2]]);
         let r = BundleReader::open(w.to_bytes()).unwrap();
         assert!(matches!(Graph::from_bundle(&r), Err(GraphError::Format(_))));
+        // Safety level accepts it (every decode is in range — wrong
+        // answers are possible, panics are not) and never crashes.
+        let g2 = Graph::from_bundle_with(&r, ValidationLevel::Safety).unwrap();
+        for v in 0..3u32 {
+            match g2.reverse_step(v) {
+                ReverseStep::Unique(w) => assert!(w < 3),
+                ReverseStep::Branch { offset, len } => {
+                    for i in 0..len as u64 {
+                        let _ = g2.in_source_at(offset + i);
+                    }
+                }
+                ReverseStep::Dead => {}
+            }
+        }
+    }
+
+    #[test]
+    fn safety_level_rejects_out_of_range_descriptors() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut w = BundleWriter::new();
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&3u32.to_le_bytes());
+        meta.extend_from_slice(&2u64.to_le_bytes());
+        w.add_bytes("g.meta", 8, meta);
+        w.add_pod("g.out_off", &g.out_offsets[..]);
+        w.add_pod("g.out_tgt", &g.out_targets[..]);
+        w.add_pod("g.in_off", &g.in_offsets[..]);
+        w.add_pod("g.in_src", &g.in_sources[..]);
+        // A branch descriptor pointing past the in-sources array would
+        // make `in_source_at` index out of bounds — must be rejected.
+        w.add_pod("g.rdesc", &[(2u64 << 40) | 100, g.reverse_desc[1], g.reverse_desc[2]]);
+        let r = BundleReader::open(w.to_bytes()).unwrap();
+        assert!(matches!(Graph::from_bundle_with(&r, ValidationLevel::Safety), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn safety_level_roundtrips_valid_bundles() {
+        let g = Graph::from_edges(6, vec![(0, 1), (2, 1), (3, 1), (1, 2), (4, 5), (5, 4)]).unwrap();
+        let mut w = BundleWriter::new();
+        g.add_bundle_sections(&mut w);
+        let r = BundleReader::open(w.to_bytes()).unwrap();
+        let g2 = Graph::from_bundle_with(&r, ValidationLevel::Safety).unwrap();
+        assert_eq!(g, g2);
+        for v in 0..6u32 {
+            assert_eq!(g.reverse_step(v), g2.reverse_step(v));
+        }
+        let profile = g2.memory_profile();
+        assert_eq!(profile.total(), g2.memory_bytes());
+        assert_eq!(profile.mapped_bytes, 0);
     }
 }

@@ -40,7 +40,8 @@ pub mod stats;
 pub mod storage;
 pub mod subgraph;
 
-pub use csr::{Graph, GraphBuilder, ReverseStep, SelfLoopPolicy};
+pub use csr::{Graph, GraphBuilder, ReverseStep, SelfLoopPolicy, ValidationLevel};
+pub use storage::{BundleBuf, MemoryProfile, MmapRegion};
 
 /// Vertex identifier. `u32` keeps adjacency arrays and walk states compact;
 /// graphs of up to ~4.2 billion vertices are representable, far beyond the

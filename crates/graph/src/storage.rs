@@ -13,9 +13,267 @@
 //! byte order) and the section to be aligned for `T`; both are checked
 //! at view construction. Big-endian hosts transparently fall back to a
 //! decoded owned vector, so correctness never depends on endianness.
+//!
+//! The shared buffer behind a view is a [`BundleBuf`]: either a heap
+//! `Arc<Vec<u8>>` (the classic fully-resident load) or a read-only
+//! [`MmapRegion`] (`mmap(2)`), so a multi-GB snapshot can be served
+//! straight from the page cache without ever being copied onto the heap.
 
 use std::ops::Deref;
 use std::sync::Arc;
+
+/// One read-only `mmap(2)` region covering a whole snapshot file.
+///
+/// Declared directly against the kernel's stable C ABI (the same
+/// std-only approach `srs-server` uses for `signal(2)`), so no external
+/// crate is needed. The mapping is `PROT_READ | MAP_PRIVATE`: the file
+/// is never written through the map, and other processes' writes to the
+/// file are not required to be visible. On non-Unix hosts the "map" is
+/// a plain buffered read — same API, fully resident.
+///
+/// Safety audit: the pointer is only produced by a successful `mmap`
+/// call of exactly `len` bytes and only released by `Drop` via
+/// `munmap`; `as_slice` hands out `&[u8]` borrows that cannot outlive
+/// the region. The one hazard `mmap` cannot rule out is the backing
+/// file being *truncated* while mapped (a later page touch raises
+/// `SIGBUS`); the snapshot workflow writes bundles atomically via
+/// rename, and the serving contract documents that live snapshot files
+/// must not be truncated in place.
+#[cfg(unix)]
+pub struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MADV_WILLNEED: i32 = 3;
+
+    extern "C" {
+        pub fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+        pub fn madvise(addr: *mut u8, len: usize, advice: i32) -> i32;
+    }
+}
+
+// SAFETY: the region is immutable after construction (PROT_READ) and
+// the pointer stays valid until Drop, so sharing across threads is as
+// safe as sharing `&[u8]`.
+#[cfg(unix)]
+unsafe impl Send for MmapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(unix)]
+impl MmapRegion {
+    /// Maps the whole of `file` read-only. The mapping length is fixed
+    /// at the file's length at call time.
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(MmapRegion { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: a fresh read-only private mapping of `len` bytes over
+        // an open descriptor; the kernel validates every argument and we
+        // check for MAP_FAILED (-1) before the pointer is ever used.
+        let ptr = unsafe {
+            sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as usize == usize::MAX {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(MmapRegion { ptr, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Hints the kernel to read the whole region ahead
+    /// (`madvise(MADV_WILLNEED)`). Advisory: failures are ignored.
+    pub fn advise_willneed(&self) {
+        if self.len > 0 {
+            // SAFETY: advises over the exact live mapping; madvise never
+            // invalidates the mapping regardless of outcome.
+            unsafe {
+                sys::madvise(self.ptr, self.len, sys::MADV_WILLNEED);
+            }
+        }
+    }
+
+    /// Touches one byte per page so every page is faulted in now rather
+    /// than on first query. Returns the number of pages touched.
+    pub fn prefault(&self) -> u64 {
+        let bytes = self.as_slice();
+        let mut acc = 0u8;
+        let mut pages = 0u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            // Volatile so the loop is not optimised away as dead reads.
+            acc ^= unsafe { std::ptr::read_volatile(bytes.as_ptr().add(i)) };
+            pages += 1;
+            i += 4096;
+        }
+        std::hint::black_box(acc);
+        pages
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: unmapping the exact region returned by mmap; the
+            // pointer is never used again (self is being dropped).
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Non-Unix fallback: same API, backed by a plain buffered read.
+#[cfg(not(unix))]
+pub struct MmapRegion {
+    buf: Vec<u8>,
+}
+
+#[cfg(not(unix))]
+impl MmapRegion {
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut f = file;
+        f.read_to_end(&mut buf)?;
+        Ok(MmapRegion { buf })
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn advise_willneed(&self) {}
+
+    pub fn prefault(&self) -> u64 {
+        0
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion").field("len", &self.as_slice().len()).finish()
+    }
+}
+
+/// The shared byte buffer a bundle (and every view into it) lives in:
+/// fully heap-resident, or a read-only file mapping served from the
+/// page cache. Clones are one `Arc` bump either way.
+#[derive(Clone, Debug)]
+pub enum BundleBuf {
+    /// A heap-resident buffer (classic eager load).
+    Heap(Arc<Vec<u8>>),
+    /// A read-only `mmap(2)` region.
+    Mapped(Arc<MmapRegion>),
+}
+
+impl BundleBuf {
+    /// The underlying bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            BundleBuf::Heap(v) => v,
+            BundleBuf::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Total length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` iff the buffer holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// `true` iff the buffer is a file mapping rather than heap memory.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, BundleBuf::Mapped(_))
+    }
+}
+
+impl From<Vec<u8>> for BundleBuf {
+    fn from(v: Vec<u8>) -> Self {
+        BundleBuf::Heap(Arc::new(v))
+    }
+}
+
+impl From<Arc<Vec<u8>>> for BundleBuf {
+    fn from(v: Arc<Vec<u8>>) -> Self {
+        BundleBuf::Heap(v)
+    }
+}
+
+impl From<Arc<MmapRegion>> for BundleBuf {
+    fn from(m: Arc<MmapRegion>) -> Self {
+        BundleBuf::Mapped(m)
+    }
+}
+
+/// Byte accounting for a loaded structure, split by backing: bytes that
+/// occupy process heap (`resident_bytes`) versus bytes reachable only
+/// through a file mapping (`mapped_bytes`), which cost page cache, not
+/// anonymous memory. Views into a shared buffer attribute their spans
+/// to the buffer's backing; padding between sections is not counted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryProfile {
+    /// Heap bytes: owned vectors plus views into a heap-resident buffer.
+    pub resident_bytes: u64,
+    /// Bytes served through an `mmap` region.
+    pub mapped_bytes: u64,
+}
+
+impl MemoryProfile {
+    /// Attributes `slice` to the matching bucket.
+    pub fn add<T: Pod>(&mut self, slice: &SharedSlice<T>) {
+        let bytes = (slice.len() * T::SIZE) as u64;
+        if slice.is_mapped() {
+            self.mapped_bytes += bytes;
+        } else {
+            self.resident_bytes += bytes;
+        }
+    }
+
+    /// Adds raw heap bytes (for non-`SharedSlice` members).
+    pub fn add_resident(&mut self, bytes: u64) {
+        self.resident_bytes += bytes;
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: MemoryProfile) {
+        self.resident_bytes += other.resident_bytes;
+        self.mapped_bytes += other.mapped_bytes;
+    }
+
+    /// Resident + mapped.
+    pub fn total(&self) -> u64 {
+        self.resident_bytes + self.mapped_bytes
+    }
+}
 
 mod sealed {
     pub trait Sealed {}
@@ -77,7 +335,7 @@ impl std::fmt::Display for ViewError {
 
 enum Backing<T: Pod> {
     Owned(Vec<T>),
-    View(Arc<Vec<u8>>),
+    View(BundleBuf),
 }
 
 /// An immutable `[T]` that is either an owned `Vec<T>` or a zero-copy
@@ -91,9 +349,9 @@ pub struct SharedSlice<T: Pod> {
 }
 
 // SAFETY: the pointer always targets memory owned (and kept alive) by
-// `backing` — an immutable `Vec<T>` or an `Arc<Vec<u8>>` — and the data
-// is never mutated after construction, so sharing across threads is as
-// safe as sharing `&[T]`.
+// `backing` — an immutable `Vec<T>` or a shared [`BundleBuf`] — and the
+// data is never mutated after construction, so sharing across threads
+// is as safe as sharing `&[T]`.
 unsafe impl<T: Pod> Send for SharedSlice<T> {}
 unsafe impl<T: Pod> Sync for SharedSlice<T> {}
 
@@ -110,22 +368,23 @@ impl<T: Pod> SharedSlice<T> {
     /// be a whole number of elements. On big-endian hosts (where the
     /// little-endian on-disk layout cannot be reinterpreted) the bytes
     /// are decoded into an owned vector instead — same result, one copy.
-    pub fn view(buf: &Arc<Vec<u8>>, offset: usize, byte_len: usize) -> Result<Self, ViewError> {
+    pub fn view(buf: &BundleBuf, offset: usize, byte_len: usize) -> Result<Self, ViewError> {
+        let all = buf.as_slice();
         let end = offset.checked_add(byte_len).ok_or(ViewError::OutOfBounds)?;
-        if end > buf.len() {
+        if end > all.len() {
             return Err(ViewError::OutOfBounds);
         }
         if !byte_len.is_multiple_of(T::SIZE) {
             return Err(ViewError::Misaligned);
         }
         let len = byte_len / T::SIZE;
-        let base = buf.as_ptr().wrapping_add(offset);
+        let base = all.as_ptr().wrapping_add(offset);
         if cfg!(target_endian = "little") && (base as usize).is_multiple_of(std::mem::align_of::<T>()) {
             let ptr = base as *const T;
-            Ok(SharedSlice { ptr, len, backing: Backing::View(Arc::clone(buf)) })
+            Ok(SharedSlice { ptr, len, backing: Backing::View(buf.clone()) })
         } else {
             // Unaligned section or big-endian host: decode a copy.
-            let bytes = &buf[offset..end];
+            let bytes = &all[offset..end];
             let mut v = Vec::with_capacity(len);
             for chunk in bytes.chunks_exact(T::SIZE) {
                 v.push(T::read_le(chunk));
@@ -160,6 +419,12 @@ impl<T: Pod> SharedSlice<T> {
         matches!(self.backing, Backing::View(_))
     }
 
+    /// `true` iff this slice is a zero-copy view into an `mmap`ed
+    /// buffer, i.e. its bytes live in the page cache, not on the heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(&self.backing, Backing::View(buf) if buf.is_mapped())
+    }
+
     /// Copies the elements into a fresh `Vec<T>`.
     pub fn to_vec(&self) -> Vec<T> {
         self.as_slice().to_vec()
@@ -179,7 +444,7 @@ impl<T: Pod> Clone for SharedSlice<T> {
         match &self.backing {
             Backing::Owned(v) => Self::from_vec(v.clone()),
             Backing::View(buf) => {
-                SharedSlice { ptr: self.ptr, len: self.len, backing: Backing::View(Arc::clone(buf)) }
+                SharedSlice { ptr: self.ptr, len: self.len, backing: Backing::View(buf.clone()) }
             }
         }
     }
@@ -259,11 +524,12 @@ mod tests {
     fn view_is_zero_copy_and_correct() {
         let mut bytes = Vec::new();
         encode_pod(&[10u32, 20, 30, 40], &mut bytes);
-        let buf = Arc::new(bytes);
+        let buf = BundleBuf::from(bytes);
         let s = SharedSlice::<u32>::view(&buf, 0, 16).unwrap();
         assert_eq!(&s[..], &[10, 20, 30, 40]);
         #[cfg(target_endian = "little")]
         assert!(s.is_view());
+        assert!(!s.is_mapped());
         // Sub-view at an element boundary.
         let tail = SharedSlice::<u32>::view(&buf, 8, 8).unwrap();
         assert_eq!(&tail[..], &[30, 40]);
@@ -271,7 +537,7 @@ mod tests {
 
     #[test]
     fn view_rejects_bad_ranges() {
-        let buf = Arc::new(vec![0u8; 16]);
+        let buf = BundleBuf::from(vec![0u8; 16]);
         assert_eq!(SharedSlice::<u64>::view(&buf, 8, 16), Err(ViewError::OutOfBounds));
         assert_eq!(SharedSlice::<u64>::view(&buf, 0, 12), Err(ViewError::Misaligned));
         assert_eq!(SharedSlice::<u64>::view(&buf, usize::MAX, 8), Err(ViewError::OutOfBounds));
@@ -283,7 +549,7 @@ mod tests {
         // layout; the view must still decode correctly via the copy path.
         let mut bytes = vec![0u8; 2];
         encode_pod(&[7u64, 9], &mut bytes);
-        let buf = Arc::new(bytes);
+        let buf = BundleBuf::from(bytes);
         let s = SharedSlice::<u64>::view(&buf, 2, 16).unwrap();
         assert_eq!(&s[..], &[7, 9]);
     }
@@ -293,11 +559,59 @@ mod tests {
         let vals = [1.5f64, -0.0, f64::INFINITY, 1.0e-300];
         let mut bytes = Vec::new();
         encode_pod(&vals, &mut bytes);
-        let buf = Arc::new(bytes);
+        let buf = BundleBuf::from(bytes);
         let s = SharedSlice::<f64>::view(&buf, 0, 32).unwrap();
         for (a, b) in vals.iter().zip(s.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn mmap_region_maps_and_views() {
+        let dir = std::env::temp_dir().join(format!("srs-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("region.bin");
+        let mut bytes = Vec::new();
+        encode_pod(&[11u64, 22, 33], &mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let region = MmapRegion::map_file(&file).unwrap();
+        assert_eq!(region.as_slice(), &bytes[..]);
+        region.advise_willneed();
+        let _ = region.prefault();
+        let buf = BundleBuf::Mapped(Arc::new(region));
+        let s = SharedSlice::<u64>::view(&buf, 0, 24).unwrap();
+        assert_eq!(&s[..], &[11, 22, 33]);
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(s.is_mapped());
+        let mut profile = MemoryProfile::default();
+        profile.add(&s);
+        #[cfg(all(unix, target_endian = "little"))]
+        assert_eq!(profile, MemoryProfile { resident_bytes: 0, mapped_bytes: 24 });
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn memory_profile_splits_backings() {
+        let owned = SharedSlice::from_vec(vec![1u32, 2, 3]);
+        let heap_buf = {
+            let mut b = Vec::new();
+            encode_pod(&[4u32, 5], &mut b);
+            BundleBuf::from(b)
+        };
+        let view = SharedSlice::<u32>::view(&heap_buf, 0, 8).unwrap();
+        let mut profile = MemoryProfile::default();
+        profile.add(&owned);
+        profile.add(&view);
+        profile.add_resident(10);
+        assert_eq!(profile.resident_bytes, 12 + 8 + 10);
+        assert_eq!(profile.mapped_bytes, 0);
+        assert_eq!(profile.total(), 30);
+        let mut other = MemoryProfile { resident_bytes: 1, mapped_bytes: 2 };
+        other.merge(profile);
+        assert_eq!(other.total(), 33);
     }
 
     #[test]

@@ -151,6 +151,14 @@ impl GammaTable {
         (self.gamma.len() * 4) as u64
     }
 
+    /// [`GammaTable::memory_bytes`] split by backing (heap-resident
+    /// versus `mmap`-served bytes).
+    pub fn memory_profile(&self) -> srs_graph::MemoryProfile {
+        let mut p = srs_graph::MemoryProfile::default();
+        p.add(&self.gamma);
+        p
+    }
+
     /// Raw storage (for persistence).
     pub(crate) fn raw(&self) -> &[f32] {
         &self.gamma

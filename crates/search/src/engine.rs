@@ -1183,18 +1183,22 @@ mod tests {
 
     #[test]
     fn serving_engine_pool_is_stable_after_warmup() {
-        // Zero steady-state allocation proxy: once the pool reaches the
-        // worker count, repeated batches neither grow nor shrink it.
+        // Zero steady-state allocation proxy: the pool is a high-water
+        // mark of batch concurrency — it can only grow toward the worker
+        // count (how many workers raced a given batch is scheduling
+        // noise), never past it, and never shrinks between batches.
         let (g, idx) = build();
         let engine = ServingEngine::with_threads(Dataset::new(g, idx).unwrap(), 4);
         let queries: Vec<VertexId> = (0..32).collect();
         let mut out = BatchResult::new();
         engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
-        let warm = engine.pooled_states();
+        let mut warm = engine.pooled_states();
         assert!((1..=4).contains(&warm), "pool = {warm}");
         for _ in 0..3 {
             engine.query_batch_into(&queries, 5, &QueryOptions::default(), &mut out);
-            assert_eq!(engine.pooled_states(), warm, "pool drifted in steady state");
+            let now = engine.pooled_states();
+            assert!((warm..=4).contains(&now), "pool must stay within [{warm}, 4], got {now}");
+            warm = now;
         }
     }
 

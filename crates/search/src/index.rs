@@ -32,10 +32,13 @@ const BUILD_CHUNK: usize = 256;
 
 /// The candidate index: bipartite graph `H` in CSR form, both directions.
 ///
-/// The forward side is a [`srs_graph::storage::SharedSlice`] — owned when
-/// built, a zero-copy view when loaded from a snapshot bundle. The
-/// inverted side is always re-derived on load (cheaper than storing it),
-/// so it stays owned.
+/// Both sides are [`srs_graph::storage::SharedSlice`]s — owned when
+/// built, zero-copy views when loaded from a snapshot bundle that
+/// persists them (bundles written before the inverted sections existed
+/// re-derive the inverted side on load, which stays owned). Under
+/// sharded serving the forward side is the *global* map while the
+/// inverted side holds only the holders inside this shard's vertex
+/// range, so per-shard candidate sets partition the global one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateIndex {
     n: u32,
@@ -44,8 +47,8 @@ pub struct CandidateIndex {
     entries: srs_graph::storage::SharedSlice<VertexId>,
     /// Inverted: `inv_entries[inv_offsets[w]..inv_offsets[w+1]]` = vertices
     /// having signature `w`.
-    inv_offsets: Vec<u64>,
-    inv_entries: Vec<VertexId>,
+    inv_offsets: srs_graph::storage::SharedSlice<u64>,
+    inv_entries: srs_graph::storage::SharedSlice<VertexId>,
 }
 
 impl CandidateIndex {
@@ -199,8 +202,8 @@ impl CandidateIndex {
             n: n as u32,
             offsets: offsets.into(),
             entries: entries.into(),
-            inv_offsets,
-            inv_entries,
+            inv_offsets: inv_offsets.into(),
+            inv_entries: inv_entries.into(),
         }
     }
 
@@ -285,9 +288,36 @@ impl CandidateIndex {
             + (self.entries.len() as u64 + self.inv_entries.len() as u64) * 4
     }
 
+    /// [`CandidateIndex::memory_bytes`] split by backing (heap-resident
+    /// versus `mmap`-served bytes).
+    pub fn memory_profile(&self) -> srs_graph::MemoryProfile {
+        let mut p = srs_graph::MemoryProfile::default();
+        p.add(&self.offsets);
+        p.add(&self.entries);
+        p.add(&self.inv_offsets);
+        p.add(&self.inv_entries);
+        p
+    }
+
+    /// Memory profile of the inverted side only. Sharded datasets use
+    /// this to account for shards past the first: those share the
+    /// forward arrays (and γ, diagonal, graph) with shard 0 and add
+    /// only their own inverted slice.
+    pub fn inverted_memory_profile(&self) -> srs_graph::MemoryProfile {
+        let mut p = srs_graph::MemoryProfile::default();
+        p.add(&self.inv_offsets);
+        p.add(&self.inv_entries);
+        p
+    }
+
     /// Raw parts for persistence.
     pub(crate) fn raw_parts(&self) -> (u32, &[u64], &[VertexId]) {
         (self.n, &self.offsets, &self.entries)
+    }
+
+    /// Raw inverted-side arrays for persistence.
+    pub(crate) fn inv_raw_parts(&self) -> (&[u64], &[VertexId]) {
+        (&self.inv_offsets, &self.inv_entries)
     }
 
     /// Rebuilds from persisted forward CSR (the inverted side is
@@ -301,7 +331,53 @@ impl CandidateIndex {
         let (offsets, entries) = (offsets.into(), entries.into());
         assert_eq!(offsets.len(), n as usize + 1, "offsets length");
         let (inv_offsets, inv_entries) = invert(n as usize, &offsets, &entries);
+        CandidateIndex {
+            n,
+            offsets,
+            entries,
+            inv_offsets: inv_offsets.into(),
+            inv_entries: inv_entries.into(),
+        }
+    }
+
+    /// Assembles from a persisted forward CSR *and* a persisted inverted
+    /// side (which may cover only one shard's vertex range). The caller
+    /// (the persist layer) is responsible for having validated both sides
+    /// — this only asserts the shape invariants that are programming
+    /// errors rather than data errors.
+    pub(crate) fn from_parts_with_inverted(
+        n: u32,
+        offsets: impl Into<srs_graph::storage::SharedSlice<u64>>,
+        entries: impl Into<srs_graph::storage::SharedSlice<VertexId>>,
+        inv_offsets: impl Into<srs_graph::storage::SharedSlice<u64>>,
+        inv_entries: impl Into<srs_graph::storage::SharedSlice<VertexId>>,
+    ) -> Self {
+        let (offsets, entries) = (offsets.into(), entries.into());
+        let (inv_offsets, inv_entries) = (inv_offsets.into(), inv_entries.into());
+        assert_eq!(offsets.len(), n as usize + 1, "offsets length");
+        assert_eq!(inv_offsets.len(), n as usize + 1, "inverted offsets length");
         CandidateIndex { n, offsets, entries, inv_offsets, inv_entries }
+    }
+
+    /// Restricts the inverted map to holders in `[lo, hi)`: the
+    /// per-shard inverted CSR for a vertex-range shard. Offsets keep
+    /// length `n + 1` (the signature space stays global); only entries
+    /// inside the range survive, so the shards' candidate sets are a
+    /// disjoint partition of the global one.
+    pub fn inverted_for_range(&self, lo: VertexId, hi: VertexId) -> (Vec<u64>, Vec<VertexId>) {
+        let n = self.n as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut entries = Vec::new();
+        for w in 0..n as VertexId {
+            for &v in self.holders(w) {
+                if v >= lo && v < hi {
+                    entries.push(v);
+                }
+            }
+            offsets.push(entries.len() as u64);
+        }
+        (offsets, entries)
     }
 }
 

@@ -34,6 +34,7 @@ pub mod extend;
 pub mod index;
 pub mod obs;
 pub mod persist;
+pub mod sharded;
 pub mod single_pair;
 pub mod snapshot;
 pub mod topk;
@@ -42,8 +43,11 @@ pub mod validate;
 pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine, WaveOutcome, WaveQuery};
 pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics, StageTimings};
+pub use sharded::{EngineHandle, ShardedEngine};
 pub use single_pair::{SinglePairEstimator, WaveEstimator};
-pub use snapshot::{Dataset, SnapshotInfo};
+pub use snapshot::{
+    load_snapshot, Dataset, LoadOptions, Loaded, ShardedDataset, SnapshotInfo, SnapshotVerifier,
+};
 pub use topk::{FastTier, Hit, QueryContext, QueryOptions, QueryScratch, QueryStats, TopKIndex, TopKResult};
 
 /// The diagonal correction matrix `D` used by the estimators.

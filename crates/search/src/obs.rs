@@ -37,6 +37,7 @@
 //! | `srs_index_bytes` / `srs_engine_threads` / `srs_engine_pooled_scratches` | gauge | |
 //! | `srs_dataset_swaps_total` | counter | |
 //! | `srs_snapshot_load_ns` / `srs_snapshot_bytes` / `srs_snapshot_sections_verified` | gauge | |
+//! | `srs_snapshot_resident_bytes` / `srs_snapshot_mapped_bytes` | gauge | |
 
 use crate::topk::QueryStats;
 use srs_mc::WalkStepCounts;
@@ -154,6 +155,13 @@ pub struct ServingMetrics {
     /// `srs_snapshot_sections_verified` (checksum-verified sections of
     /// the last loaded snapshot).
     pub snapshot_sections: Arc<Gauge>,
+    /// `srs_snapshot_resident_bytes` (loaded structures living on the
+    /// process heap — owned arrays, decoded fallbacks, per-vertex
+    /// diagonals).
+    pub snapshot_resident: Arc<Gauge>,
+    /// `srs_snapshot_mapped_bytes` (loaded structures served through the
+    /// `mmap` region: page cache, not heap; 0 for heap-backed loads).
+    pub snapshot_mapped: Arc<Gauge>,
 }
 
 impl Default for ServingMetrics {
@@ -230,6 +238,10 @@ impl ServingMetrics {
             snapshot_bytes: r.gauge("srs_snapshot_bytes", "Bytes mapped by the last snapshot load"),
             snapshot_sections: r
                 .gauge("srs_snapshot_sections_verified", "Checksum-verified sections of the last load"),
+            snapshot_resident: r
+                .gauge("srs_snapshot_resident_bytes", "Snapshot bytes resident on the process heap"),
+            snapshot_mapped: r
+                .gauge("srs_snapshot_mapped_bytes", "Snapshot bytes served through the mmap region"),
             registry: r,
         }
     }
@@ -239,6 +251,8 @@ impl ServingMetrics {
         self.snapshot_load_ns.set(info.load_time.as_nanos() as u64);
         self.snapshot_bytes.set(info.bytes);
         self.snapshot_sections.set(info.sections_verified as u64);
+        self.snapshot_resident.set(info.resident_bytes);
+        self.snapshot_mapped.set(info.mapped_bytes);
     }
 
     /// The underlying registry (for registering extra app-level metrics
@@ -381,6 +395,8 @@ mod tests {
             "srs_snapshot_load_ns",
             "srs_snapshot_bytes",
             "srs_snapshot_sections_verified",
+            "srs_snapshot_resident_bytes",
+            "srs_snapshot_mapped_bytes",
         ] {
             assert!(snap.family(family).is_some(), "missing family {family}");
         }
@@ -404,10 +420,16 @@ mod tests {
             sections_verified: 11,
             load_time: std::time::Duration::from_nanos(5678),
             fingerprint: 0xfeed,
+            resident_bytes: 200,
+            mapped_bytes: 1000,
+            shards: 4,
+            mapped: true,
         });
         assert_eq!(m.snapshot_bytes.get(), 1234);
         assert_eq!(m.snapshot_sections.get(), 11);
         assert_eq!(m.snapshot_load_ns.get(), 5678);
+        assert_eq!(m.snapshot_resident.get(), 200);
+        assert_eq!(m.snapshot_mapped.get(), 1000);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::{Diagonal, SimRankParams};
 use bytes::{Buf, BufMut};
 use srs_graph::container::{is_bundle, BundleError, BundleReader, BundleWriter};
 use srs_graph::storage::SharedSlice;
-use srs_graph::VertexId;
+use srs_graph::{ValidationLevel, VertexId};
 use std::io::{Read, Write};
 
 /// Persistence failures.
@@ -68,6 +68,17 @@ const SEC_DIAG: &str = "i.diag";
 const SEC_GAMMA: &str = "i.gamma";
 const SEC_CAND_OFFSETS: &str = "i.cand_off";
 const SEC_CAND_ENTRIES: &str = "i.cand_ent";
+/// Global inverted candidate map (signature → holders). Written since
+/// PR 9 so `mmap` loads skip the O(m) re-derivation; absent in older
+/// bundles (the loader falls back to re-deriving) and in sharded
+/// bundles (which carry per-shard inverted sections instead).
+const SEC_CAND_INV_OFFSETS: &str = "i.cinv_off";
+const SEC_CAND_INV_ENTRIES: &str = "i.cinv_ent";
+
+/// Tags of shard `s`'s inverted candidate sections.
+pub(crate) fn shard_inv_tags(s: u32) -> (String, String) {
+    (format!("i.sinv_off.{s}"), format!("i.sinv_ent.{s}"))
+}
 /// c, theta, seed, uniform-diag (f64/u64 × 4), eight u32 params, n,
 /// gamma steps, diagonal tag, padding (u32 × 4).
 const INDEX_META_LEN: usize = 8 * 4 + 4 * 8 + 4 * 4;
@@ -76,10 +87,20 @@ const DIAG_UNIFORM: u32 = 0;
 const DIAG_PER_VERTEX: u32 = 1;
 
 /// Appends the index's sections (`i.*` tags) to a bundle under
-/// construction. The inverse of [`index_from_bundle`]. Composes with
+/// construction, including the global inverted candidate map. The
+/// inverse of [`index_from_bundle`]. Composes with
 /// [`srs_graph::Graph::add_bundle_sections`] to form a full serving
 /// snapshot in one file.
 pub fn add_index_sections(index: &TopKIndex, w: &mut BundleWriter) {
+    add_index_core_sections(index, w);
+    let (inv_offsets, inv_entries) = index.candidates.inv_raw_parts();
+    w.add_pod(SEC_CAND_INV_OFFSETS, inv_offsets);
+    w.add_pod(SEC_CAND_INV_ENTRIES, inv_entries);
+}
+
+/// The index sections minus the inverted map — what a sharded bundle
+/// stores globally (each shard carries its own inverted slice instead).
+pub(crate) fn add_index_core_sections(index: &TopKIndex, w: &mut BundleWriter) {
     let p = &index.params;
     let (diag_tag, uniform) = match &index.diag {
         Diagonal::Uniform(x) => (DIAG_UNIFORM, *x),
@@ -111,6 +132,113 @@ pub fn add_index_sections(index: &TopKIndex, w: &mut BundleWriter) {
 /// borrowing the γ table and candidate CSR zero-copy from the bundle's
 /// buffer. Other sections (e.g. a snapshot's graph) are ignored.
 pub fn index_from_bundle(r: &BundleReader) -> Result<TopKIndex, PersistError> {
+    index_from_bundle_with(r, ValidationLevel::Deep)
+}
+
+/// [`index_from_bundle`] with an explicit validation level. Both levels
+/// run the shape/range scans that make the query path panic-free; only
+/// [`ValidationLevel::Deep`] additionally proves the persisted inverted
+/// map consistent with the forward map (by re-deriving and comparing).
+pub fn index_from_bundle_with(r: &BundleReader, level: ValidationLevel) -> Result<TopKIndex, PersistError> {
+    let core = read_index_core(r)?;
+    let inverted = if r.has(SEC_CAND_INV_OFFSETS) {
+        let inv_offsets: SharedSlice<u64> = r.pod_slice(SEC_CAND_INV_OFFSETS)?;
+        let inv_entries: SharedSlice<VertexId> = r.pod_slice(SEC_CAND_INV_ENTRIES)?;
+        validate_inverted(core.n, &inv_offsets, &inv_entries, None, Some(core.entries.len() as u64))?;
+        Some((inv_offsets, inv_entries))
+    } else {
+        None // pre-PR-9 bundle: re-derive below
+    };
+    core.into_index(inverted, level)
+}
+
+/// The shared `i.*` payloads of a bundle, parsed and shape-validated but
+/// not yet assembled into a [`TopKIndex`]. Sharded loading parses this
+/// once and assembles one index per shard from it.
+pub(crate) struct IndexCore {
+    params: SimRankParams,
+    seed: u64,
+    diag: Diagonal,
+    steps: u32,
+    gamma: SharedSlice<f32>,
+    n: u32,
+    offsets: SharedSlice<u64>,
+    entries: SharedSlice<VertexId>,
+}
+
+impl IndexCore {
+    /// Number of vertices the index covers.
+    pub(crate) fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// Assembles a [`TopKIndex`], re-deriving the inverted map when
+    /// `inverted` is `None` and (at [`ValidationLevel::Deep`]) proving a
+    /// supplied inverted map consistent with the forward map.
+    fn into_index(
+        self,
+        inverted: Option<(SharedSlice<u64>, SharedSlice<VertexId>)>,
+        level: ValidationLevel,
+    ) -> Result<TopKIndex, PersistError> {
+        let candidates = match inverted {
+            None => CandidateIndex::from_raw_parts(self.n, self.offsets, self.entries),
+            Some((inv_offsets, inv_entries)) => {
+                let idx = CandidateIndex::from_parts_with_inverted(
+                    self.n,
+                    self.offsets,
+                    self.entries,
+                    inv_offsets,
+                    inv_entries,
+                );
+                if level == ValidationLevel::Deep {
+                    let (n, off, ent) = idx.raw_parts();
+                    let rebuilt = CandidateIndex::from_raw_parts(n, off.to_vec(), ent.to_vec());
+                    if rebuilt.inv_raw_parts() != idx.inv_raw_parts() {
+                        return Err(PersistError::Format(
+                            "inverted candidate map inconsistent with forward map".into(),
+                        ));
+                    }
+                }
+                idx
+            }
+        };
+        Ok(TopKIndex {
+            params: self.params,
+            diag: self.diag,
+            gamma: GammaTable::from_raw(self.steps, self.gamma),
+            candidates,
+            seed: self.seed,
+        })
+    }
+
+    /// Assembles a shard's index: the global forward map plus this
+    /// shard's inverted slice. The inverted side must already be
+    /// validated (see [`validate_inverted`]); clones of the shared
+    /// slices are O(1) `Arc` bumps.
+    pub(crate) fn shard_index(
+        &self,
+        inv_offsets: SharedSlice<u64>,
+        inv_entries: SharedSlice<VertexId>,
+    ) -> TopKIndex {
+        TopKIndex {
+            params: self.params.clone(),
+            diag: self.diag.clone(),
+            gamma: GammaTable::from_raw(self.steps, self.gamma.clone()),
+            candidates: CandidateIndex::from_parts_with_inverted(
+                self.n,
+                self.offsets.clone(),
+                self.entries.clone(),
+                inv_offsets,
+                inv_entries,
+            ),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Parses and shape-validates the shared `i.*` sections (everything but
+/// the inverted map).
+pub(crate) fn read_index_core(r: &BundleReader) -> Result<IndexCore, PersistError> {
     let meta = r.bytes(SEC_INDEX_META)?;
     if meta.len() != INDEX_META_LEN {
         return Err(PersistError::Format(format!(
@@ -148,7 +276,60 @@ pub fn index_from_bundle(r: &BundleReader) -> Result<TopKIndex, PersistError> {
     let gamma: SharedSlice<f32> = r.pod_slice(SEC_GAMMA)?;
     let offsets: SharedSlice<u64> = r.pod_slice(SEC_CAND_OFFSETS)?;
     let entries: SharedSlice<VertexId> = r.pod_slice(SEC_CAND_ENTRIES)?;
-    assemble(params, seed, diag, steps, gamma, n, offsets, entries)
+    validate_core(&params, &seed, &diag, steps, &gamma, n, &offsets, &entries)?;
+    Ok(IndexCore { params, seed, diag, steps, gamma, n, offsets, entries })
+}
+
+/// Shape/range scans making every query-path access of a persisted
+/// inverted CSR bounds-proven: offsets cover `n + 1` slots, start at 0,
+/// grow monotonically, end at the entry count, and every entry names a
+/// real vertex (and stays inside `range` when the map is one shard's
+/// slice). `expect_total` pins the entry count for the *global* map,
+/// where it must equal the forward entry count.
+fn validate_inverted(
+    n: u32,
+    inv_offsets: &[u64],
+    inv_entries: &[VertexId],
+    range: Option<(VertexId, VertexId)>,
+    expect_total: Option<u64>,
+) -> Result<(), PersistError> {
+    if inv_offsets.len() != n as usize + 1 {
+        return Err(PersistError::Format("inverted offsets shape mismatch".into()));
+    }
+    if inv_offsets[0] != 0 || inv_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Format("inverted offsets not monotone".into()));
+    }
+    if inv_offsets[n as usize] != inv_entries.len() as u64 {
+        return Err(PersistError::Format("inverted entry count mismatch".into()));
+    }
+    if let Some(total) = expect_total {
+        if inv_entries.len() as u64 != total {
+            return Err(PersistError::Format(format!(
+                "inverted map has {} entries, forward map {total}",
+                inv_entries.len()
+            )));
+        }
+    }
+    let (lo, hi) = range.unwrap_or((0, n));
+    if inv_entries.iter().any(|&v| v < lo || v >= hi) {
+        return Err(PersistError::Format("inverted entry out of range".into()));
+    }
+    Ok(())
+}
+
+/// Loads shard `s`'s inverted sections, validated against its vertex
+/// range.
+pub(crate) fn shard_inverted_from_bundle(
+    r: &BundleReader,
+    s: u32,
+    n: u32,
+    range: (VertexId, VertexId),
+) -> Result<(SharedSlice<u64>, SharedSlice<VertexId>), PersistError> {
+    let (off_tag, ent_tag) = shard_inv_tags(s);
+    let inv_offsets: SharedSlice<u64> = r.pod_slice(&off_tag)?;
+    let inv_entries: SharedSlice<VertexId> = r.pod_slice(&ent_tag)?;
+    validate_inverted(n, &inv_offsets, &inv_entries, Some(range), None)?;
+    Ok((inv_offsets, inv_entries))
 }
 
 /// Serializes the index as a `SRSBNDL1` bundle.
@@ -175,7 +356,8 @@ pub fn load<R: Read>(mut r: R) -> Result<TopKIndex, PersistError> {
 }
 
 /// Structural validation shared by the bundle and legacy load paths,
-/// then assembly. A corrupted artifact must error here, not panic later.
+/// then assembly (re-deriving the inverted map). A corrupted artifact
+/// must error here, not panic later.
 #[allow(clippy::too_many_arguments)]
 fn assemble(
     params: SimRankParams,
@@ -187,6 +369,24 @@ fn assemble(
     offsets: SharedSlice<u64>,
     entries: SharedSlice<VertexId>,
 ) -> Result<TopKIndex, PersistError> {
+    validate_core(&params, &seed, &diag, steps, &gamma, n, &offsets, &entries)?;
+    let gamma = GammaTable::from_raw(steps, gamma);
+    let candidates = CandidateIndex::from_raw_parts(n, offsets, entries);
+    Ok(TopKIndex { params, diag, gamma, candidates, seed })
+}
+
+/// The shape/range scans behind [`assemble`] and [`read_index_core`].
+#[allow(clippy::too_many_arguments)]
+fn validate_core(
+    params: &SimRankParams,
+    _seed: &u64,
+    diag: &Diagonal,
+    steps: u32,
+    gamma: &SharedSlice<f32>,
+    n: u32,
+    offsets: &SharedSlice<u64>,
+    entries: &SharedSlice<VertexId>,
+) -> Result<(), PersistError> {
     if steps == 0 || !gamma.len().is_multiple_of(steps as usize) {
         return Err(PersistError::Format("gamma shape mismatch".into()));
     }
@@ -218,14 +418,15 @@ fn assemble(
                 v.len()
             )));
         }
+        Diagonal::PerVertex(v) if v.iter().any(|x| !x.is_finite()) => {
+            return Err(PersistError::Format("non-finite diagonal".into()));
+        }
         Diagonal::Uniform(x) if !x.is_finite() => {
             return Err(PersistError::Format("non-finite diagonal".into()));
         }
         _ => {}
     }
-    let gamma = GammaTable::from_raw(steps, gamma);
-    let candidates = CandidateIndex::from_raw_parts(n, offsets, entries);
-    Ok(TopKIndex { params, diag, gamma, candidates, seed })
+    Ok(())
 }
 
 /// Writes the **legacy** `SRSIDX01` per-element stream.

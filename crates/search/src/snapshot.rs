@@ -9,19 +9,48 @@
 //! they don't know, a snapshot also loads anywhere a graph bundle does
 //! (e.g. `srs_graph::io::read_binary`).
 //!
+//! [`load_snapshot`] is the serving entry point: [`LoadOptions`] selects
+//! the backing (heap read vs `mmap`) and verification mode. An `mmap`
+//! load without `verify_on_load` is O(sections): structural table checks
+//! plus cheap word-wide shape/range scans (which guarantee the query
+//! path cannot panic, whatever the bytes say), with checksums deferred
+//! to a [`SnapshotVerifier`] the server runs on a background thread.
+//!
+//! Bundles packed with [`pack_sharded`] additionally carry per-shard
+//! inverted candidate sections and a `s.manifest` section mapping shard
+//! → vertex range + fingerprint; [`load_snapshot`] auto-detects the
+//! manifest and returns a [`ShardedDataset`] (one [`Dataset`] per shard,
+//! all sharing the one graph and the global forward candidate map).
+//!
 //! [`Dataset`] is the unit the serving layer owns and swaps: an
 //! `Arc<Graph>` + `Arc<TopKIndex>` pair that clones in O(1), so an
 //! engine can atomically replace its dataset while in-flight batches
 //! keep the old one alive (see [`crate::engine::ServingEngine`]).
 
-use crate::persist::{add_index_sections, index_from_bundle, PersistError};
+use crate::persist::{
+    add_index_core_sections, add_index_sections, index_from_bundle_with, read_index_core, shard_inv_tags,
+    shard_inverted_from_bundle, PersistError,
+};
 use crate::topk::TopKIndex;
-use srs_graph::container::{BundleReader, BundleWriter};
-use srs_graph::Graph;
+use srs_graph::container::{
+    fnv1a64, fold_fingerprints, section_fingerprint, BundleReader, BundleWriter, VerifyMode,
+};
+use srs_graph::storage::{encode_pod, BundleBuf};
+use srs_graph::{Graph, MemoryProfile, ValidationLevel, VertexId};
 use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Tag of the shard manifest section (present only in sharded bundles).
+pub const SEC_MANIFEST: &str = "s.manifest";
+
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// Maximum shard count [`pack_sharded`] accepts (keeps shard section
+/// tags within the container's 16-byte tag limit with margin).
+pub const MAX_SHARDS: u32 = 64;
 
 /// An immutable graph + index pair, shared via `Arc` so clones are O(1)
 /// and a serving engine can hand the same dataset to many threads (or
@@ -69,29 +98,121 @@ impl Dataset {
         &self.index
     }
 
-    /// Loads a snapshot from bundle bytes. Returns the dataset plus
-    /// [`SnapshotInfo`] load statistics (for `srs-obs` gauges).
-    pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<(Self, SnapshotInfo), PersistError> {
-        let started = std::time::Instant::now();
-        // Content fingerprint over the raw bundle — the git-describe-style
-        // identity `/info` reports, so two servers can be compared for
-        // "are we serving the same snapshot" without shipping the file.
-        let fingerprint = srs_graph::container::fnv1a64(&bytes);
-        let reader = BundleReader::open(bytes)?;
-        let graph = Graph::from_bundle(&reader).map_err(|e| PersistError::Format(e.to_string()))?;
-        let index = index_from_bundle(&reader)?;
-        let info = SnapshotInfo {
-            bytes: reader.total_bytes(),
-            sections_verified: reader.num_sections(),
-            load_time: started.elapsed(),
-            fingerprint,
-        };
-        Ok((Self::new(graph, index)?, info))
+    /// Heap bytes vs mapped bytes behind this dataset's hot arrays.
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut p = self.graph.memory_profile();
+        p.merge(self.index.memory_profile());
+        p
     }
 
-    /// Loads a snapshot file written by [`pack`].
+    /// Loads a snapshot from bundle bytes (heap backing, eager
+    /// verification, deep validation — the classic path). A sharded
+    /// bundle loads too: the global forward candidate map is present,
+    /// so the inverted map is re-derived and the shard sections are
+    /// ignored. Returns the dataset plus [`SnapshotInfo`] load
+    /// statistics (for `srs-obs` gauges).
+    pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<(Self, SnapshotInfo), PersistError> {
+        let started = std::time::Instant::now();
+        let reader = BundleReader::open_buf(BundleBuf::from(bytes), VerifyMode::Eager)?;
+        let graph = Graph::from_bundle(&reader).map_err(|e| PersistError::Format(e.to_string()))?;
+        let index = index_from_bundle_with(&reader, ValidationLevel::Deep)?;
+        let ds = Self::new(graph, index)?;
+        let info = SnapshotInfo::from_load(&reader, ds.memory_profile(), 1, started.elapsed());
+        Ok((ds, info))
+    }
+
+    /// Loads a snapshot file written by [`pack`] (or [`pack_sharded`];
+    /// see [`Dataset::from_snapshot_bytes`]).
     pub fn load<P: AsRef<Path>>(path: P) -> Result<(Self, SnapshotInfo), PersistError> {
         Self::from_snapshot_bytes(std::fs::read(path)?)
+    }
+}
+
+/// How [`load_snapshot`] backs and verifies the bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Serve the file through `mmap(2)` instead of reading it onto the
+    /// heap: near-zero resident cost, O(sections) startup.
+    pub mmap: bool,
+    /// With `mmap`, verify every section checksum at open (touches every
+    /// page — trades the O(1) startup for eager corruption detection).
+    /// Without `mmap` checksums are always verified at open.
+    pub verify_on_load: bool,
+    /// With `mmap`, fault every page in at load time
+    /// (`madvise(MADV_WILLNEED)` + a touch pass) so first queries don't
+    /// pay page-fault latency.
+    pub prefault: bool,
+}
+
+/// What [`load_snapshot`] produced: one dataset, or one per shard.
+#[derive(Debug, Clone)]
+pub enum Loaded {
+    /// An unsharded snapshot.
+    Single(Dataset),
+    /// A sharded snapshot (bundle carried a `s.manifest` section).
+    Sharded(ShardedDataset),
+}
+
+impl Loaded {
+    /// Vertices in the underlying graph.
+    pub fn num_vertices(&self) -> u32 {
+        match self {
+            Loaded::Single(d) => d.graph().num_vertices(),
+            Loaded::Sharded(s) => s.graph().num_vertices(),
+        }
+    }
+}
+
+/// A sharded snapshot: one [`Dataset`] per vertex-range shard, all
+/// sharing the same graph, γ table, diagonal, and forward candidate
+/// map — only the inverted candidate map is partitioned, so shard `s`
+/// enumerates exactly the candidates in `ranges[s]` and the shards'
+/// candidate sets are a disjoint partition of the global one.
+#[derive(Debug, Clone)]
+pub struct ShardedDataset {
+    graph: Arc<Graph>,
+    shards: Vec<Dataset>,
+    ranges: Vec<(VertexId, VertexId)>,
+}
+
+impl ShardedDataset {
+    /// The shared graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared graph handle.
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The per-shard datasets, in shard (= vertex-range) order.
+    pub fn shards(&self) -> &[Dataset] {
+        &self.shards
+    }
+
+    /// The shard vertex ranges `[lo, hi)`, in shard order.
+    pub fn ranges(&self) -> &[(VertexId, VertexId)] {
+        &self.ranges
+    }
+
+    /// Heap vs mapped bytes across the whole sharded dataset. Shared
+    /// arrays (graph, γ, forward map) are counted once; each shard adds
+    /// only its own inverted slice.
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut p = match self.shards.first() {
+            Some(d) => d.memory_profile(),
+            None => self.graph.memory_profile(),
+        };
+        for d in &self.shards[1..] {
+            p.merge(d.index().candidate_index().inverted_memory_profile());
+        }
+        p
     }
 }
 
@@ -99,31 +220,323 @@ impl Dataset {
 /// [`crate::obs::ServingMetrics`] and the CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotInfo {
-    /// Total bundle size in bytes (everything mapped into memory).
+    /// Total bundle size in bytes (everything readable, resident or not).
     pub bytes: u64,
-    /// Number of sections whose checksums were verified at open.
+    /// Number of sections whose checksums have been verified (all of
+    /// them after an eager open; 0 after a lazy `mmap` open until the
+    /// background verifier runs).
     pub sections_verified: u32,
     /// Wall-clock time from first byte to ready dataset.
     pub load_time: Duration,
-    /// FNV-1a 64 hash of the raw bundle bytes — a stable content
-    /// identity for the snapshot (rendered as 16 hex digits in `/info`).
+    /// Content fingerprint: per-section fingerprints (tag, length,
+    /// stored checksum) folded in table order — see
+    /// [`srs_graph::container::BundleReader::fingerprint`]. Identifies
+    /// the snapshot in O(sections) without touching payload pages, and
+    /// is identical across heap, `mmap`, and sharded loads of the same
+    /// file (rendered as 16 hex digits in `/info`).
     pub fingerprint: u64,
+    /// Bytes of the loaded structures living on the process heap.
+    pub resident_bytes: u64,
+    /// Bytes served through the `mmap` region (page cache, not heap).
+    pub mapped_bytes: u64,
+    /// Shard count (1 for unsharded snapshots).
+    pub shards: u32,
+    /// Whether the bundle is backed by a file mapping.
+    pub mapped: bool,
 }
 
-/// Writes graph + index as one snapshot bundle (the `srs pack` artifact).
+impl SnapshotInfo {
+    fn from_load(r: &BundleReader, profile: MemoryProfile, shards: u32, load_time: Duration) -> Self {
+        SnapshotInfo {
+            bytes: r.total_bytes(),
+            sections_verified: r.verified_count(),
+            load_time,
+            fingerprint: r.fingerprint(),
+            resident_bytes: profile.resident_bytes,
+            mapped_bytes: profile.mapped_bytes,
+            shards,
+            mapped: r.is_mapped(),
+        }
+    }
+}
+
+/// Deferred checksum verification of a lazily opened snapshot. Keeps
+/// the bundle (and its mapping) alive; run [`SnapshotVerifier::verify_all`]
+/// on a background thread to get the eager-open corruption guarantee
+/// without blocking startup or the query path.
+#[derive(Clone)]
+pub struct SnapshotVerifier {
+    reader: Arc<BundleReader>,
+}
+
+impl SnapshotVerifier {
+    /// Verifies every section checksum (latched; safe to call from any
+    /// thread while queries run). Named-section error on mismatch.
+    pub fn verify_all(&self) -> Result<u32, PersistError> {
+        self.reader.verify_all().map_err(PersistError::from)
+    }
+
+    /// Sections verified so far.
+    pub fn verified_count(&self) -> u32 {
+        self.reader.verified_count()
+    }
+
+    /// Total sections in the bundle.
+    pub fn num_sections(&self) -> u32 {
+        self.reader.num_sections()
+    }
+}
+
+impl std::fmt::Debug for SnapshotVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotVerifier")
+            .field("verified", &self.verified_count())
+            .field("sections", &self.num_sections())
+            .finish()
+    }
+}
+
+/// Loads a snapshot for serving: backing and verification per `opts`,
+/// sharding auto-detected from the `s.manifest` section. Returns the
+/// loaded dataset(s), load statistics, and — for lazy `mmap` opens —
+/// the [`SnapshotVerifier`] to run in the background.
+pub fn load_snapshot<P: AsRef<Path>>(
+    path: P,
+    opts: &LoadOptions,
+) -> Result<(Loaded, SnapshotInfo, Option<SnapshotVerifier>), PersistError> {
+    let started = std::time::Instant::now();
+    // Mode map: heap loads keep the classic eager-checksum + deep
+    // validation contract. Mapped loads run the panic-safety scans
+    // either way; `verify_on_load` adds eager checksums on top (the
+    // deep derived-data rebuilds stay off — checksums already rule out
+    // accidental corruption, and the scans rule out crashes).
+    let (mode, level) = if opts.mmap {
+        let mode = if opts.verify_on_load { VerifyMode::Eager } else { VerifyMode::Lazy };
+        (mode, ValidationLevel::Safety)
+    } else {
+        (VerifyMode::Eager, ValidationLevel::Deep)
+    };
+    let reader = if opts.mmap {
+        BundleReader::open_mapped(path.as_ref(), mode)?
+    } else {
+        BundleReader::open_buf(BundleBuf::from(std::fs::read(path)?), mode)?
+    };
+    if opts.prefault {
+        if let BundleBuf::Mapped(m) = reader.buffer() {
+            m.advise_willneed();
+            m.prefault();
+        }
+    }
+    let reader = Arc::new(reader);
+    let loaded = build_loaded(&reader, level)?;
+    let (profile, shards) = match &loaded {
+        Loaded::Single(d) => (d.memory_profile(), 1),
+        Loaded::Sharded(s) => (s.memory_profile(), s.num_shards()),
+    };
+    let info = SnapshotInfo::from_load(&reader, profile, shards, started.elapsed());
+    let verifier = (mode == VerifyMode::Lazy).then(|| SnapshotVerifier { reader: Arc::clone(&reader) });
+    Ok((loaded, info, verifier))
+}
+
+fn build_loaded(reader: &BundleReader, level: ValidationLevel) -> Result<Loaded, PersistError> {
+    let graph =
+        Arc::new(Graph::from_bundle_with(reader, level).map_err(|e| PersistError::Format(e.to_string()))?);
+    if !reader.has(SEC_MANIFEST) {
+        let index = index_from_bundle_with(reader, level)?;
+        return Ok(Loaded::Single(Dataset::from_arcs(graph, Arc::new(index))?));
+    }
+    let manifest = parse_manifest(reader.bytes(SEC_MANIFEST)?)?;
+    let core = read_index_core(reader)?;
+    let n = core.num_vertices();
+    validate_ranges(n, &manifest.ranges)?;
+    // Cross-check each shard's stored fingerprint against the section
+    // table before touching any shard payload: a damaged manifest (or a
+    // manifest pointing at swapped/resized shard sections) fails loudly
+    // with a named error in every verification mode, at O(shards) cost.
+    let table_fps = shard_table_fingerprints(reader, manifest.ranges.len() as u32)?;
+    for (s, (&stored, &computed)) in manifest.fingerprints.iter().zip(&table_fps).enumerate() {
+        if stored != computed {
+            return Err(PersistError::Format(format!(
+                "section {SEC_MANIFEST:?}: shard {s} fingerprint mismatch \
+                 (stored {stored:#018x}, computed {computed:#018x})"
+            )));
+        }
+    }
+    let mut shards = Vec::with_capacity(manifest.ranges.len());
+    let mut inv_total = 0u64;
+    for (s, &range) in manifest.ranges.iter().enumerate() {
+        let (inv_offsets, inv_entries) = shard_inverted_from_bundle(reader, s as u32, n, range)?;
+        inv_total += inv_entries.len() as u64;
+        let index = core.shard_index(inv_offsets, inv_entries);
+        shards.push(Dataset::from_arcs(Arc::clone(&graph), Arc::new(index))?);
+    }
+    // The shard ranges partition the vertex space and each shard's
+    // entries were range-checked, so the shard maps are disjoint; equal
+    // totals therefore mean they partition the global inverted map.
+    let forward_total = shards[0].index().candidate_index().num_edges();
+    if inv_total != forward_total {
+        return Err(PersistError::Format(format!(
+            "sharded inverted maps cover {inv_total} entries, forward map has {forward_total}"
+        )));
+    }
+    let ranges = manifest.ranges;
+    Ok(Loaded::Sharded(ShardedDataset { graph, shards, ranges }))
+}
+
+struct Manifest {
+    ranges: Vec<(VertexId, VertexId)>,
+    fingerprints: Vec<u64>,
+}
+
+fn parse_manifest(bytes: &[u8]) -> Result<Manifest, PersistError> {
+    let fail = |m: &str| PersistError::Format(format!("section {SEC_MANIFEST:?}: {m}"));
+    if bytes.len() < 8 {
+        return Err(fail("truncated header"));
+    }
+    let version = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if version != MANIFEST_VERSION {
+        return Err(fail(&format!("unsupported manifest version {version}")));
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if count == 0 || count > MAX_SHARDS {
+        return Err(fail(&format!("shard count {count} outside 1..={MAX_SHARDS}")));
+    }
+    let expect = 8 + count as usize * 16;
+    if bytes.len() != expect {
+        return Err(fail(&format!("{} bytes for {count} shards, expected {expect}", bytes.len())));
+    }
+    let mut ranges = Vec::with_capacity(count as usize);
+    let mut fingerprints = Vec::with_capacity(count as usize);
+    for s in 0..count as usize {
+        let e = &bytes[8 + s * 16..8 + (s + 1) * 16];
+        let lo = u32::from_le_bytes(e[..4].try_into().unwrap());
+        let hi = u32::from_le_bytes(e[4..8].try_into().unwrap());
+        ranges.push((lo, hi));
+        fingerprints.push(u64::from_le_bytes(e[8..16].try_into().unwrap()));
+    }
+    Ok(Manifest { ranges, fingerprints })
+}
+
+/// Shard ranges must tile `[0, n)` contiguously in order — anything
+/// else would silently drop or double-count candidates.
+fn validate_ranges(n: u32, ranges: &[(VertexId, VertexId)]) -> Result<(), PersistError> {
+    let fail = |m: String| PersistError::Format(format!("section {SEC_MANIFEST:?}: {m}"));
+    let mut cursor = 0u32;
+    for (s, &(lo, hi)) in ranges.iter().enumerate() {
+        if lo != cursor || hi < lo || hi > n {
+            return Err(fail(format!("shard {s} range {lo}..{hi} does not tile 0..{n}")));
+        }
+        cursor = hi;
+    }
+    if cursor != n {
+        return Err(fail(format!("shard ranges end at {cursor}, graph has {n} vertices")));
+    }
+    Ok(())
+}
+
+/// Computes each shard's fingerprint from the section *table* (tags,
+/// lengths, stored checksums — no payload reads): the fold of its two
+/// inverted sections' fingerprints, in tag order `off` then `ent`.
+fn shard_table_fingerprints(r: &BundleReader, shards: u32) -> Result<Vec<u64>, PersistError> {
+    let fp_of = |tag: &str| -> Result<u64, PersistError> {
+        for i in 0..r.num_sections() {
+            if r.section_tag(i) == Some(tag) {
+                return Ok(r.section_fingerprint_at(i).expect("section index in range"));
+            }
+        }
+        Err(PersistError::Format(format!("missing section {tag:?}")))
+    };
+    (0..shards)
+        .map(|s| {
+            let (off_tag, ent_tag) = shard_inv_tags(s);
+            Ok(fold_fingerprints([fp_of(&off_tag)?, fp_of(&ent_tag)?]))
+        })
+        .collect()
+}
+
+/// The contiguous vertex ranges `pack --shards N` splits `0..n` into
+/// (near-equal vertex counts; shard `s` owns `[s·n/N, (s+1)·n/N)`).
+pub fn shard_ranges(n: u32, shards: u32) -> Vec<(VertexId, VertexId)> {
+    let (n64, s64) = (n as u64, shards as u64);
+    (0..s64).map(|s| (((s * n64) / s64) as u32, (((s + 1) * n64) / s64) as u32)).collect()
+}
+
+/// Writes graph + index as one snapshot bundle (the `srs pack`
+/// artifact). Large sections start on page boundaries so `mmap` loads
+/// fault in only what they touch.
 pub fn pack<W: Write>(graph: &Graph, index: &TopKIndex, w: W) -> Result<(), PersistError> {
-    let mut bundle = BundleWriter::new();
-    graph.add_bundle_sections(&mut bundle);
-    add_index_sections(index, &mut bundle);
-    bundle.write_to(w).map_err(PersistError::from)
+    w_pack(graph, index).write_to(w).map_err(PersistError::from)
 }
 
 /// [`pack`] to a byte vector.
 pub fn pack_to_bytes(graph: &Graph, index: &TopKIndex) -> Vec<u8> {
-    let mut bundle = BundleWriter::new();
+    w_pack(graph, index).to_bytes()
+}
+
+fn w_pack(graph: &Graph, index: &TopKIndex) -> BundleWriter {
+    let mut bundle = BundleWriter::new().page_aligned();
     graph.add_bundle_sections(&mut bundle);
     add_index_sections(index, &mut bundle);
-    bundle.to_bytes()
+    bundle
+}
+
+/// Writes a sharded snapshot: the global sections (graph, index core —
+/// no global inverted map) plus per-shard inverted candidate sections
+/// and the `s.manifest` section carrying each shard's vertex range and
+/// fingerprint. `shards == 1` still writes the sharded layout — that is
+/// the degenerate case the bit-identity CI pin compares against.
+pub fn pack_sharded<W: Write>(
+    graph: &Graph,
+    index: &TopKIndex,
+    shards: u32,
+    w: W,
+) -> Result<(), PersistError> {
+    Ok(w_pack_sharded(graph, index, shards)?.write_to(w)?)
+}
+
+/// [`pack_sharded`] to a byte vector.
+pub fn pack_sharded_to_bytes(graph: &Graph, index: &TopKIndex, shards: u32) -> Result<Vec<u8>, PersistError> {
+    Ok(w_pack_sharded(graph, index, shards)?.to_bytes())
+}
+
+fn w_pack_sharded(graph: &Graph, index: &TopKIndex, shards: u32) -> Result<BundleWriter, PersistError> {
+    let n = graph.num_vertices();
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(PersistError::Format(format!("shard count {shards} outside 1..={MAX_SHARDS}")));
+    }
+    if shards > n.max(1) {
+        return Err(PersistError::Format(format!("{shards} shards for {n} vertices")));
+    }
+    let mut bundle = BundleWriter::new().page_aligned();
+    graph.add_bundle_sections(&mut bundle);
+    add_index_core_sections(index, &mut bundle);
+    let ranges = shard_ranges(n, shards);
+    let mut manifest = Vec::with_capacity(8 + ranges.len() * 16);
+    manifest.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    manifest.extend_from_slice(&shards.to_le_bytes());
+    for (s, &(lo, hi)) in ranges.iter().enumerate() {
+        let (inv_offsets, inv_entries) = index.candidate_index().inverted_for_range(lo, hi);
+        let (off_tag, ent_tag) = shard_inv_tags(s as u32);
+        let mut off_bytes = Vec::with_capacity(inv_offsets.len() * 8);
+        encode_pod(&inv_offsets, &mut off_bytes);
+        let mut ent_bytes = Vec::with_capacity(inv_entries.len() * 4);
+        encode_pod(&inv_entries, &mut ent_bytes);
+        // The shard fingerprint folds its sections' (tag, len, checksum)
+        // fingerprints — exactly what the loader recomputes from the
+        // section table, so a damaged manifest or a swapped shard
+        // section fails the cross-check in every verification mode.
+        let fp = fold_fingerprints([
+            section_fingerprint(&off_tag, off_bytes.len() as u64, fnv1a64(&off_bytes)),
+            section_fingerprint(&ent_tag, ent_bytes.len() as u64, fnv1a64(&ent_bytes)),
+        ]);
+        manifest.extend_from_slice(&lo.to_le_bytes());
+        manifest.extend_from_slice(&hi.to_le_bytes());
+        manifest.extend_from_slice(&fp.to_le_bytes());
+        bundle.add_bytes(&off_tag, 8, off_bytes);
+        bundle.add_bytes(&ent_tag, 4, ent_bytes);
+    }
+    bundle.add_bytes(SEC_MANIFEST, 8, manifest);
+    Ok(bundle)
 }
 
 #[cfg(test)]
@@ -140,20 +553,31 @@ mod tests {
         (g, idx)
     }
 
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("srs-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
     #[test]
     fn snapshot_roundtrip_is_bit_identical() {
         let (g, idx) = build(120, 5);
         let bytes = pack_to_bytes(&g, &idx);
         let (ds, info) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
         assert_eq!(info.bytes, bytes.len() as u64);
-        assert_eq!(info.fingerprint, srs_graph::container::fnv1a64(&bytes));
         assert_ne!(info.fingerprint, 0);
         // Same bytes → same fingerprint (the identity is content-derived).
         let (_, info2) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
         assert_eq!(info.fingerprint, info2.fingerprint);
-        // 6 graph sections + 4 index sections (uniform diagonal stores
-        // no `i.diag`).
-        assert_eq!(info.sections_verified, 10, "{info:?}");
+        // 6 graph sections + 6 index sections (uniform diagonal stores
+        // no `i.diag`; the inverted candidate map adds two sections).
+        assert_eq!(info.sections_verified, 12, "{info:?}");
+        assert_eq!(info.shards, 1);
+        assert!(!info.mapped);
+        assert_eq!(info.mapped_bytes, 0);
+        assert!(info.resident_bytes > 0);
         assert_eq!(*ds.graph(), g);
         for u in [0u32, 7, 64, 119] {
             let a = idx.query(&g, u, 8, &QueryOptions::default());
@@ -161,6 +585,165 @@ mod tests {
             assert_eq!(a.hits, b.hits, "u={u}");
             assert_eq!(a.stats, b.stats, "u={u}");
         }
+    }
+
+    #[test]
+    fn fingerprint_is_backing_invariant_and_content_sensitive() {
+        let (g, idx) = build(80, 6);
+        let bytes = pack_to_bytes(&g, &idx);
+        let (_, heap_info) = Dataset::from_snapshot_bytes(bytes.clone()).unwrap();
+        let path = write_temp("fp.srs", &bytes);
+        let (_, mmap_info, _) =
+            load_snapshot(&path, &LoadOptions { mmap: true, ..Default::default() }).unwrap();
+        assert_eq!(heap_info.fingerprint, mmap_info.fingerprint);
+        // Different content → different fingerprint.
+        let (g2, idx2) = build(80, 7);
+        let other = pack_to_bytes(&g2, &idx2);
+        let (_, other_info) = Dataset::from_snapshot_bytes(other).unwrap();
+        assert_ne!(heap_info.fingerprint, other_info.fingerprint);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mmap_load_is_lazy_and_answers_identically() {
+        let (g, idx) = build(100, 8);
+        let bytes = pack_to_bytes(&g, &idx);
+        let path = write_temp("lazy.srs", &bytes);
+        let (loaded, info, verifier) =
+            load_snapshot(&path, &LoadOptions { mmap: true, ..Default::default() }).unwrap();
+        assert!(info.mapped);
+        assert_eq!(info.sections_verified, 0, "lazy open must not checksum");
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(info.mapped_bytes > 0, "{info:?}");
+        let ds = match loaded {
+            Loaded::Single(d) => d,
+            other => panic!("expected single dataset, got {other:?}"),
+        };
+        for u in [0u32, 31, 99] {
+            let a = idx.query(&g, u, 6, &QueryOptions::default());
+            let b = ds.index().query(ds.graph(), u, 6, &QueryOptions::default());
+            assert_eq!(a.hits, b.hits, "u={u}");
+        }
+        // The deferred verifier reaches full coverage on intact bytes.
+        let v = verifier.expect("lazy open returns a verifier");
+        let verified = v.verify_all().unwrap();
+        assert_eq!(verified, v.num_sections());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_on_load_catches_corruption_mmap() {
+        let (g, idx) = build(60, 12);
+        let mut bytes = pack_to_bytes(&g, &idx);
+        // Corrupt the γ table: every bit pattern is a structurally valid
+        // f32, so only checksums can catch this — the panic-safety scans
+        // (correctly) let it through.
+        let reader = BundleReader::open(bytes.clone()).unwrap();
+        let gidx = (0..reader.num_sections()).find(|&i| reader.section_tag(i) == Some("i.gamma")).unwrap();
+        let (off, _) = reader.section_extent(gidx).unwrap();
+        drop(reader);
+        bytes[off as usize] ^= 0x20;
+        let path = write_temp("corrupt.srs", &bytes);
+        let eager = LoadOptions { mmap: true, verify_on_load: true, ..Default::default() };
+        let err = load_snapshot(&path, &eager).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Lazy open defers: load succeeds, the verifier reports it.
+        let lazy = LoadOptions { mmap: true, ..Default::default() };
+        let (_, _, verifier) = load_snapshot(&path, &lazy).unwrap();
+        let err = verifier.unwrap().verify_all().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_pack_loads_and_partitions_candidates() {
+        let (g, idx) = build(90, 4);
+        let bytes = pack_sharded_to_bytes(&g, &idx, 4).unwrap();
+        let path = write_temp("sharded.srs", &bytes);
+        for opts in [
+            LoadOptions::default(),
+            LoadOptions { mmap: true, ..Default::default() },
+            LoadOptions { mmap: true, verify_on_load: true, ..Default::default() },
+        ] {
+            let (loaded, info, _) = load_snapshot(&path, &opts).unwrap();
+            assert_eq!(info.shards, 4);
+            let sd = match loaded {
+                Loaded::Sharded(s) => s,
+                other => panic!("expected sharded dataset, got {other:?}"),
+            };
+            assert_eq!(sd.num_shards(), 4);
+            assert_eq!(sd.ranges(), &shard_ranges(90, 4)[..]);
+            // Per-shard candidate sets partition the global ones.
+            for u in [0u32, 17, 45, 89] {
+                let mut union: Vec<VertexId> = Vec::new();
+                for (d, &(lo, hi)) in sd.shards().iter().zip(sd.ranges()) {
+                    let cs = d.index().candidate_index().candidates(u);
+                    assert!(cs.iter().all(|&v| v >= lo && v < hi), "u={u} shard {lo}..{hi}");
+                    union.extend(cs);
+                }
+                union.sort_unstable();
+                assert_eq!(union, idx.candidate_index().candidates(u), "u={u}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_bundle_still_loads_unsharded() {
+        // A classic reader ignores the shard sections and re-derives the
+        // inverted map from the global forward sections.
+        let (g, idx) = build(70, 3);
+        let bytes = pack_sharded_to_bytes(&g, &idx, 2).unwrap();
+        let (ds, info) = Dataset::from_snapshot_bytes(bytes).unwrap();
+        assert_eq!(info.shards, 1);
+        for u in [0u32, 35, 69] {
+            let a = idx.query(&g, u, 5, &QueryOptions::default());
+            let b = ds.index().query(ds.graph(), u, 5, &QueryOptions::default());
+            assert_eq!(a.hits, b.hits, "u={u}");
+        }
+    }
+
+    #[test]
+    fn damaged_manifest_fails_with_named_error_in_all_modes() {
+        let (g, idx) = build(50, 2);
+        let bytes = pack_sharded_to_bytes(&g, &idx, 2).unwrap();
+        let reader = BundleReader::open(bytes.clone()).unwrap();
+        // Find the manifest section and flip a fingerprint byte, then
+        // recompute the container checksum so only the manifest-level
+        // cross-check can catch it.
+        let idx_manifest =
+            (0..reader.num_sections()).find(|&i| reader.section_tag(i) == Some(SEC_MANIFEST)).unwrap();
+        let (off, len) = reader.section_extent(idx_manifest).unwrap();
+        drop(reader);
+        let mut damaged = bytes.clone();
+        damaged[(off + len - 1) as usize] ^= 0xFF; // last fingerprint byte
+        let entry_base = 16 + idx_manifest as usize * 48;
+        let cks = fnv1a64(&damaged[off as usize..(off + len) as usize]);
+        damaged[entry_base + 40..entry_base + 48].copy_from_slice(&cks.to_le_bytes());
+        let path = write_temp("badmanifest.srs", &damaged);
+        for opts in [
+            LoadOptions::default(),
+            LoadOptions { mmap: true, ..Default::default() },
+            LoadOptions { mmap: true, verify_on_load: true, ..Default::default() },
+        ] {
+            let err = load_snapshot(&path, &opts).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(SEC_MANIFEST) && msg.contains("fingerprint mismatch"),
+                "opts {opts:?}: {msg}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for (n, s) in [(10u32, 4u32), (7, 7), (100, 1), (5, 2), (0, 1)] {
+            let r = shard_ranges(n, s);
+            assert_eq!(r.len(), s as usize);
+            validate_ranges(n, &r).unwrap();
+        }
+        assert!(pack_sharded_to_bytes(&build(4, 1).0, &build(4, 1).1, 5).is_err());
     }
 
     #[test]

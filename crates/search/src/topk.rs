@@ -98,6 +98,16 @@ pub struct QueryOptions {
     /// Slack subtracted from the running k-th score before pruning, to
     /// absorb Monte-Carlo noise in the bounds and estimates.
     pub bound_slack: f64,
+    /// Tighten the pruning threshold with the running k-th heap score
+    /// (Algorithm 5's `max(θ, kth − slack)`). On by default — it is the
+    /// main source of pruning power once the heap fills. Off, pruning
+    /// uses `θ` alone, which makes every per-candidate decision
+    /// independent of scan order and candidate partition: the reported
+    /// set becomes exactly "all candidates with refined score ≥ θ"
+    /// (truncated to the top k), so sharded scatter-gather can merge
+    /// per-shard top-k lists bit-identically to an unsharded scan. The
+    /// sharded engine forces this off; single-node serving keeps it on.
+    pub kth_prune: bool,
     /// A candidate is refined when its coarse estimate reaches this
     /// fraction of the pruning threshold.
     pub coarse_fraction: f64,
@@ -152,6 +162,7 @@ impl Default for QueryOptions {
             use_l2: true,
             adaptive: true,
             bound_slack: 0.02,
+            kth_prune: true,
             coarse_fraction: 0.5,
             candidate_ball: None,
             theta: None,
@@ -181,6 +192,7 @@ impl QueryOptions {
         self.use_l2.hash(&mut h);
         self.adaptive.hash(&mut h);
         self.bound_slack.to_bits().hash(&mut h);
+        self.kth_prune.hash(&mut h);
         self.coarse_fraction.to_bits().hash(&mut h);
         self.candidate_ball.hash(&mut h);
         self.theta.map(f64::to_bits).hash(&mut h);
@@ -352,6 +364,18 @@ impl TopKIndex {
     /// Preprocess artifact size in bytes (the "Index" column of Table 4).
     pub fn memory_bytes(&self) -> u64 {
         self.gamma.memory_bytes() + self.candidates.memory_bytes()
+    }
+
+    /// Index bytes split by backing (heap-resident versus `mmap`-served).
+    /// A per-vertex diagonal counts as resident — it is always decoded
+    /// onto the heap.
+    pub fn memory_profile(&self) -> srs_graph::MemoryProfile {
+        let mut p = self.gamma.memory_profile();
+        p.merge(self.candidates.memory_profile());
+        if let crate::Diagonal::PerVertex(v) = &self.diag {
+            p.add_resident((v.len() * 8) as u64);
+        }
+        p
     }
 
     /// Answers a top-k query (Algorithm 5). Allocates fresh query state;
@@ -746,7 +770,8 @@ impl QueryScratch {
             // survivors. Pure work collection — nothing is recorded, no
             // stat bumped; consumption below re-decides every candidate
             // against the threshold in force *then*.
-            let prune_floor = theta.max(kth_score(&self.heap, k) - opts.bound_slack);
+            let prune_floor =
+                if opts.kth_prune { theta.max(kth_score(&self.heap, k) - opts.bound_slack) } else { theta };
             let wave = &mut self.wave;
             wave.survivors.clear();
             wave.targets.clear();
@@ -917,7 +942,8 @@ impl QueryScratch {
         let engine = WalkEngine::new(g);
         for ci in span {
             let (d, v) = cands[ci];
-            let prune_at = theta.max(kth_score(&self.heap, k) - opts.bound_slack);
+            let prune_at =
+                if opts.kth_prune { theta.max(kth_score(&self.heap, k) - opts.bound_slack) } else { theta };
             // Bound values come from the wave's formation pass when it
             // examined this candidate (the identical pure expressions, so
             // reuse cannot change a decision) and are computed here
@@ -945,8 +971,11 @@ impl QueryScratch {
                     // Candidates are distance-sorted: every later candidate
                     // has an even smaller c^d, but their L1/L2 bounds could
                     // not save them either (bounds only prune further), so
-                    // the scan can stop outright.
-                    if kth_score(&self.heap, k) <= theta {
+                    // the scan can stop outright. (With `kth_prune` off the
+                    // threshold is θ everywhere, so the break is always
+                    // sound; either way the per-candidate fates it records
+                    // match what scanning the tail one-by-one would record.)
+                    if !opts.kth_prune || kth_score(&self.heap, k) <= theta {
                         // Everything after this position shares or exceeds
                         // this distance, so its c^⌈d/2⌉ bound is no better;
                         // count by position so distance ties are included.

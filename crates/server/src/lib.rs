@@ -1,9 +1,9 @@
 #![warn(missing_docs)]
-//! # srs-serve — the batching network daemon over [`ServingEngine`]
+//! # srs-serve — the batching network daemon over [`EngineHandle`]
 //!
-//! A long-lived process that loads one `.srs` snapshot, owns a
-//! [`ServingEngine`], and answers top-k SimRank queries over HTTP/1.1 +
-//! JSON. The design goal is to put the engine's *batch* path — where its
+//! A long-lived process that loads one `.srs` snapshot (heap or
+//! mmap-backed, unsharded or sharded), owns an [`EngineHandle`], and
+//! answers top-k SimRank queries over HTTP/1.1 + JSON. The design goal is to put the engine's *batch* path — where its
 //! throughput lives — behind a *single-query* network API without giving
 //! up either: concurrent requests are **coalesced** into engine waves by
 //! a bounded-queue dispatcher ([`dispatch::Coalescer`]), so N concurrent
@@ -51,7 +51,7 @@
 //! plus one branch.
 //!
 //! Reload is zero-downtime: the new snapshot loads and verifies off to
-//! the side, then [`ServingEngine::swap`] switches generations atomically
+//! the side, then [`EngineHandle::swap`] switches generations atomically
 //! — in-flight waves finish on the old dataset, new waves see the new
 //! one, and no request ever fails *spuriously* because a reload happened
 //! (a request whose vertex no longer exists in a smaller snapshot gets a
@@ -74,7 +74,7 @@ use srs_graph::VertexId;
 use srs_obs::{AttrValue, Trace, TraceIdGen, TraceStore};
 use srs_search::engine::WaveQuery;
 use srs_search::persist::PersistError;
-use srs_search::{Dataset, QueryOptions, ServingEngine, TopKResult};
+use srs_search::{load_snapshot, EngineHandle, LoadOptions, QueryOptions, TopKResult};
 use std::collections::HashMap;
 use std::io;
 use std::io::BufReader;
@@ -128,6 +128,20 @@ pub struct ServerConfig {
     pub trace_capacity: usize,
     /// Capacity of the always-keep slow-query ring.
     pub slow_capacity: usize,
+    /// Serve the snapshot from a memory map instead of reading it onto
+    /// the heap: O(1) startup, pages fault in from the page cache on
+    /// demand, and resident cost stays near zero until queries touch
+    /// the data. Checksums verify lazily (a background thread sweeps
+    /// them off the query path) unless `verify_on_load` is set.
+    pub mmap: bool,
+    /// With `mmap`, verify every section checksum *before* serving
+    /// (trades the O(1) startup for eager corruption detection).
+    /// Ignored for heap loads, which always verify eagerly.
+    pub verify_on_load: bool,
+    /// With `mmap`, touch every mapped page at load time so first
+    /// queries never pay major-fault latency (costs startup time
+    /// proportional to the snapshot size).
+    pub prefault: bool,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +162,9 @@ impl Default for ServerConfig {
             slow_query_ms: 0,
             trace_capacity: 256,
             slow_capacity: 64,
+            mmap: false,
+            verify_on_load: false,
+            prefault: false,
         }
     }
 }
@@ -195,10 +212,16 @@ struct ConnTable {
 /// State shared by the accept loop, connection threads, the dispatcher,
 /// and the SIGHUP watcher.
 struct Shared {
-    engine: Arc<ServingEngine>,
+    engine: Arc<EngineHandle>,
     coalescer: Arc<Coalescer>,
     metrics: ServerMetrics,
     snapshot: PathBuf,
+    /// How the snapshot was loaded at bind time; reloads reuse the same
+    /// options so a server started with `--mmap` stays mmap-backed.
+    load_opts: LoadOptions,
+    /// Whether the serving snapshot is memory-mapped (what the load
+    /// actually produced, rendered in `/info`).
+    mapped: bool,
     /// Serializes reloads (endpoint + SIGHUP can race).
     reload_lock: Mutex<()>,
     shutdown: AtomicBool,
@@ -281,14 +304,23 @@ impl Server {
     /// Loads the snapshot, builds the engine + dispatcher, and binds the
     /// listen socket. Nothing runs until [`Server::run`].
     pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
-        let (dataset, info) = Dataset::load(&config.snapshot)?;
-        let engine = if config.threads == 0 {
-            ServingEngine::new(dataset)
-        } else {
-            ServingEngine::with_threads(dataset, config.threads)
+        let load_opts = LoadOptions {
+            mmap: config.mmap,
+            verify_on_load: config.verify_on_load,
+            prefault: config.prefault,
         };
+        let (loaded, info, verifier) = load_snapshot(&config.snapshot, &load_opts)?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let engine = Arc::new(EngineHandle::with_threads(loaded, threads));
         engine.metrics().record_snapshot_load(&info);
         engine.set_cache_capacity(config.cache_capacity);
+        if let Some(verifier) = verifier {
+            spawn_background_verify(Arc::clone(&engine), verifier);
+        }
         let metrics = ServerMetrics::register_on(engine.metrics().registry());
         metrics.generation.set(engine.generation());
         let listener = TcpListener::bind(&config.addr)?;
@@ -296,10 +328,12 @@ impl Server {
         let coalescer =
             Arc::new(Coalescer::new(config.queue_capacity, config.max_batch, config.batch_window));
         let shared = Arc::new(Shared {
-            engine: Arc::new(engine),
+            engine,
             coalescer,
             metrics,
             snapshot: config.snapshot,
+            load_opts,
+            mapped: info.mapped,
             reload_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -329,7 +363,7 @@ impl Server {
 
     /// The serving engine (tests compare served answers against direct
     /// engine calls through this).
-    pub fn engine(&self) -> Arc<ServingEngine> {
+    pub fn engine(&self) -> Arc<EngineHandle> {
         Arc::clone(&self.shared.engine)
     }
 
@@ -746,15 +780,40 @@ fn build_trace(
     t
 }
 
-/// Reloads the snapshot from disk and hot-swaps the engine. Serialized —
-/// concurrent reload requests (endpoint + SIGHUP) apply one at a time.
-/// On failure the old dataset keeps serving untouched.
+/// Sweeps a lazily-loaded snapshot's checksums on a detached thread, so
+/// corruption surfaces promptly without ever sitting on the query path.
+/// On success the sections gauge catches up to the verified count; on
+/// failure the verdict is logged (queries stay structurally safe either
+/// way — load-time range validation already bounded every array).
+fn spawn_background_verify(engine: Arc<EngineHandle>, verifier: srs_search::SnapshotVerifier) {
+    let spawned = std::thread::Builder::new().name("srs-verify".to_string()).spawn(move || {
+        match verifier.verify_all() {
+            Ok(n) => engine.metrics().snapshot_sections.set(n as u64),
+            Err(e) => eprintln!("srs-serve: background snapshot verification failed: {e}"),
+        }
+    });
+    if let Err(e) = spawned {
+        eprintln!("srs-serve: could not spawn background verifier: {e}");
+    }
+}
+
+/// Reloads the snapshot from disk (with the same load options as bind)
+/// and hot-swaps the engine. Serialized — concurrent reload requests
+/// (endpoint + SIGHUP) apply one at a time. On failure — including a
+/// shape change (sharded ↔ unsharded), which a hot reload refuses — the
+/// old dataset keeps serving untouched.
 fn reload(shared: &Shared) -> Result<u64, String> {
     let _guard = shared.reload_lock.lock().unwrap();
-    match Dataset::load(&shared.snapshot) {
-        Ok((dataset, info)) => {
+    let swapped = load_snapshot(&shared.snapshot, &shared.load_opts).and_then(|(loaded, info, verifier)| {
+        shared.engine.swap(loaded)?;
+        Ok((info, verifier))
+    });
+    match swapped {
+        Ok((info, verifier)) => {
             shared.engine.metrics().record_snapshot_load(&info);
-            shared.engine.swap(dataset);
+            if let Some(verifier) = verifier {
+                spawn_background_verify(Arc::clone(&shared.engine), verifier);
+            }
             shared.fingerprint.store(info.fingerprint, Ordering::Relaxed);
             let generation = shared.engine.generation();
             shared.metrics.generation.set(generation);
@@ -783,11 +842,13 @@ fn query_json(vertex: u64, k: usize, generation: u64, result: &TopKResult) -> St
 fn info_json(shared: &Shared) -> String {
     let dataset = shared.engine.dataset();
     format!(
-        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"cache_capacity\":{},\"snapshot\":{},\"uptime_s\":{},\"version\":{},\"fingerprint\":\"{:016x}\",\"trace_sample\":{},\"slow_query_ms\":{}}}",
+        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"shards\":{},\"mapped\":{},\"cache_capacity\":{},\"snapshot\":{},\"uptime_s\":{},\"version\":{},\"fingerprint\":\"{:016x}\",\"trace_sample\":{},\"slow_query_ms\":{}}}",
         dataset.graph().num_vertices(),
         dataset.graph().num_edges(),
         shared.engine.generation(),
         shared.engine.threads(),
+        shared.engine.shards(),
+        shared.mapped,
         shared.engine.cache_capacity(),
         json_escape(&shared.snapshot.display().to_string()),
         shared.started.elapsed().as_secs(),

@@ -4,7 +4,7 @@
 //! drop nothing.
 
 use srs_graph::gen;
-use srs_search::{snapshot, QueryOptions, ServingEngine, SimRankParams, TopKIndex};
+use srs_search::{snapshot, EngineHandle, QueryOptions, ServingEngine, SimRankParams, TopKIndex};
 use srs_serve::{HttpClient, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -32,7 +32,7 @@ fn config(snapshot: &Path) -> ServerConfig {
 
 struct Running {
     addr: SocketAddr,
-    engine: Arc<ServingEngine>,
+    engine: Arc<EngineHandle>,
     handle: std::thread::JoinHandle<std::io::Result<()>>,
 }
 
@@ -52,7 +52,7 @@ fn quit(r: Running) {
 
 /// The exact body `/query` must answer, built from a direct engine call
 /// (the server adds nothing but JSON framing — same seeds, same walks).
-fn expected_body(engine: &ServingEngine, u: u32, k: usize) -> String {
+fn expected_body(engine: &EngineHandle, u: u32, k: usize) -> String {
     let result = engine.query(u, k, &QueryOptions::default());
     let mut body = format!("{{\"vertex\":{u},\"k\":{k},\"generation\":{},\"hits\":[", engine.generation());
     for (i, h) in result.hits.iter().enumerate() {
@@ -204,7 +204,7 @@ fn dispatcher_survives_stale_vertex_validation() {
 
     let snap = fixture_snapshot("stale");
     let (dataset, _info) = srs_search::Dataset::load(&snap).unwrap();
-    let engine = Arc::new(ServingEngine::new(dataset));
+    let engine = Arc::new(EngineHandle::Single(ServingEngine::new(dataset)));
     let metrics = ServerMetrics::register_on(engine.metrics().registry());
     let coalescer = Arc::new(Coalescer::new(16, 8, Duration::ZERO));
     let dispatcher = {

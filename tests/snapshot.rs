@@ -5,7 +5,10 @@
 
 use srs_graph::{container, gen};
 use srs_search::snapshot::{self, Dataset};
-use srs_search::{Diagonal, QueryOptions, ServingEngine, SimRankParams, TopKIndex};
+use srs_search::{
+    load_snapshot, Diagonal, EngineHandle, LoadOptions, Loaded, QueryOptions, ServingEngine, SimRankParams,
+    TopKIndex, WaveQuery,
+};
 
 fn build(n: u32, seed: u64) -> Dataset {
     let g = gen::copying_web(n, 4, 0.8, seed);
@@ -86,6 +89,159 @@ fn bit_flips_never_panic_and_never_corrupt_answers() {
                 }
             }
         }
+    }
+}
+
+fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("srs_it_{}_{name}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn mmap_truncation_never_panics_and_always_errors() {
+    let ds = build(80, 3);
+    let bytes = packed(&ds);
+    let reader = container::BundleReader::open(bytes.clone()).unwrap();
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 8, 15, 16];
+    for i in 0..reader.num_sections() {
+        let (off, len) = reader.section_extent(i).unwrap();
+        for c in [off, off + 1, off + len, (off + len).saturating_sub(1)] {
+            if (c as usize) < bytes.len() {
+                cuts.push(c as usize);
+            }
+        }
+    }
+    cuts.extend((0..bytes.len()).step_by(163));
+    let lazy = LoadOptions { mmap: true, ..Default::default() };
+    let eager = LoadOptions { mmap: true, verify_on_load: true, ..Default::default() };
+    let path = write_temp("mmap_trunc.srs", &bytes);
+    for cut in cuts {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        for opts in [lazy, eager] {
+            assert!(
+                load_snapshot(&path, &opts).is_err(),
+                "truncation to {cut} bytes must not load under {opts:?}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mmap_bit_flips_fail_verification_or_serve_identical_answers() {
+    let ds = build(80, 4);
+    let bytes = packed(&ds);
+    let baseline: Vec<_> =
+        (0..80).map(|u| ds.index().query(ds.graph(), u, 5, &QueryOptions::default()).hits).collect();
+    let path = write_temp("mmap_flip.srs", &bytes);
+    let lazy = LoadOptions { mmap: true, ..Default::default() };
+    let eager = LoadOptions { mmap: true, verify_on_load: true, ..Default::default() };
+    let mut state = 0xd1b5_4a32_d192_ed03u64;
+    for _ in 0..150 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pos = (state >> 33) as usize % bytes.len();
+        let bit = 1u8 << ((state >> 29) & 7);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= bit;
+        std::fs::write(&path, &corrupt).unwrap();
+        // `--verify-on-load` keeps the heap loader's guarantee on a
+        // mapping: reject the flip, or (padding) answer identically.
+        match load_snapshot(&path, &eager) {
+            Err(_) => {}
+            Ok((Loaded::Single(loaded), info, verifier)) => {
+                assert!(info.mapped, "eager mmap load must stay mapped");
+                assert!(verifier.is_none(), "eager open must not hand back a verifier");
+                for (u, want) in baseline.iter().enumerate() {
+                    let got = loaded.index().query(loaded.graph(), u as u32, 5, &QueryOptions::default());
+                    assert_eq!(want, &got.hits, "flip at byte {pos} changed answers under mmap");
+                }
+            }
+            Ok(_) => panic!("unsharded snapshot loaded as sharded"),
+        }
+        // The lazy default defers checksums to the background sweep: the
+        // open itself must never panic, and whenever the sweep passes
+        // the served answers must match the baseline bit for bit.
+        match load_snapshot(&path, &lazy) {
+            Err(_) => {}
+            Ok((Loaded::Single(loaded), _, Some(verifier))) => {
+                if verifier.verify_all().is_ok() {
+                    for (u, want) in baseline.iter().enumerate() {
+                        let got = loaded.index().query(loaded.graph(), u as u32, 5, &QueryOptions::default());
+                        assert_eq!(want, &got.hits, "verified flip at byte {pos} changed answers");
+                    }
+                }
+            }
+            Ok(_) => panic!("lazy mmap open must hand back a verifier"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_manifest_corruption_fails_closed_in_every_mode() {
+    let ds = build(100, 6);
+    let bytes = snapshot::pack_sharded_to_bytes(ds.graph(), ds.index(), 4).unwrap();
+    let reader = container::BundleReader::open(bytes.clone()).unwrap();
+    let idx = (0..reader.num_sections())
+        .find(|&i| reader.section_tag(i) == Some(snapshot::SEC_MANIFEST))
+        .expect("sharded bundle carries a manifest");
+    let (off, len) = reader.section_extent(idx).unwrap();
+    let path = write_temp("shard_manifest.srs", &bytes);
+    let heap = LoadOptions::default();
+    let lazy = LoadOptions { mmap: true, ..Default::default() };
+    // Flip one bit in every manifest byte: version, shard count, each
+    // range bound, and each fingerprint must all fail closed — with the
+    // manifest named — whether checksums are eager (heap) or deferred
+    // (lazy mmap, where the structural cross-checks stand alone).
+    for byte in 0..len as usize {
+        let mut corrupt = bytes.clone();
+        corrupt[off as usize + byte] ^= 1u8 << (byte % 8);
+        std::fs::write(&path, &corrupt).unwrap();
+        for opts in [heap, lazy] {
+            match load_snapshot(&path, &opts) {
+                Ok(_) => panic!("manifest flip at byte {byte} must not load under {opts:?}"),
+                Err(e) => {
+                    let msg = e.to_string();
+                    assert!(msg.contains(snapshot::SEC_MANIFEST), "error must name the manifest: {msg}");
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_mmap_serving_matches_unsharded_heap_bit_for_bit() {
+    let ds = build(150, 9);
+    let unsharded = packed(&ds);
+    let sharded = snapshot::pack_sharded_to_bytes(ds.graph(), ds.index(), 4).unwrap();
+    let p_heap = write_temp("ident_heap.srs", &unsharded);
+    let p_shard = write_temp("ident_shard.srs", &sharded);
+    let (l_heap, _, _) = load_snapshot(&p_heap, &LoadOptions::default()).unwrap();
+    let mmap_eager = LoadOptions { mmap: true, verify_on_load: true, ..Default::default() };
+    let (l_shard, info, _) = load_snapshot(&p_shard, &mmap_eager).unwrap();
+    assert!(info.mapped);
+    assert_eq!(info.shards, 4);
+    let heap = EngineHandle::with_threads(l_heap, 2);
+    let shard = EngineHandle::with_threads(l_shard, 3);
+    assert_eq!(heap.shards(), 1);
+    assert_eq!(shard.shards(), 4);
+    // θ-only pruning is the partition-invariant mode the sharded engine
+    // forces; running the unsharded engine the same way pins the merge
+    // to bit-identical output.
+    let opts = std::sync::Arc::new(QueryOptions { kth_prune: false, ..Default::default() });
+    let wave: Vec<WaveQuery> = (0..150)
+        .step_by(2)
+        .map(|u| WaveQuery { vertex: u, k: 8, opts: std::sync::Arc::clone(&opts) })
+        .collect();
+    let a = heap.query_wave(&wave);
+    let b = shard.query_wave(&wave);
+    for ((qa, qb), q) in a.results.iter().zip(&b.results).zip(&wave) {
+        assert_eq!(qa.hits, qb.hits, "vertex {} answers diverged across backends", q.vertex);
+    }
+    for p in [&p_heap, &p_shard] {
+        std::fs::remove_file(p).ok();
     }
 }
 
