@@ -22,6 +22,7 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod extendbench;
 pub mod metrics;
 pub mod querybench;
 pub mod servebench;

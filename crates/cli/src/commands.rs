@@ -24,17 +24,22 @@ usage:
   srs query      {--snapshot FILE.srs | --graph FILE --index FILE} --vertex V [--k 20]
                  [--ball R] [--theta X] [--wave-width W] [--explain]
                  [--fast-tier off|auto|always [--fast-tier-degree D] [--fast-tier-candidates C]]
-  srs batch-query {--snapshot FILE.srs [--mmap [--verify-on-load] [--prefault]]
-                  | --graph FILE --index FILE}
+  srs batch-query {--snapshot FILE.srs [--deltas D1,D2,...]
+                  [--mmap [--verify-on-load] [--prefault]] | --graph FILE --index FILE}
                  [--vertices 1,2,3 | --queries N|FILE|- [--seed S]]
                  [--k 20] [--threads T] [--ball R] [--theta X] [--wave-width W]
                  [--prune-theta-only] [--fast-tier off|auto|always]
                  [--metrics-out FILE] [--hits-out FILE] [--trace-out FILE.json]
-  srs serve      --snapshot FILE.srs [--mmap [--verify-on-load] [--prefault]]
+  srs serve      --snapshot FILE.srs [--deltas D1,D2,...] [--staleness-depth N]
+                 [--mmap [--verify-on-load] [--prefault]]
                  [--addr 127.0.0.1:7171] [--threads T] [--max-batch 64]
                  [--batch-window-us 500] [--queue 1024] [--cache 4096] [--k 20]
                  [--read-timeout-s 60] [--max-conns 1024] [--fast-tier off|auto|always]
                  [--trace-sample N] [--slow-query-ms T]
+  srs delta      --snapshot FILE.srs [--deltas D1,D2,...] --edits FILE|- --out FILE.d
+                 [--staleness-depth N] [--threads T]
+  srs ingest     --addr HOST:PORT --edits FILE|- [--depth N]
+  srs compact    --snapshot FILE.srs --deltas D1,D2,... --out FILE.srs
   srs loadgen    --addr HOST:PORT [--rate 200] [--duration-s 2 | --requests N] [--k 20]
                  [--zipf 1.0] [--connections 4] [--seed S] [--slow N]
                  [--sweep R1,R2,... [--sweep-out FILE.json]]
@@ -61,6 +66,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "query" => query(&args),
         "batch-query" => batch_query(&args),
         "serve" => serve(&args),
+        "delta" => delta(&args),
+        "ingest" => ingest(&args),
+        "compact" => compact(&args),
         "loadgen" => loadgen(&args),
         "topk-all" => topk_all(&args),
         "exact" => exact(&args),
@@ -384,6 +392,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "graph",
         "index",
         "snapshot",
+        "deltas",
         "vertices",
         "queries",
         "seed",
@@ -404,6 +413,7 @@ fn batch_query(args: &Args) -> Result<String, String> {
         "prune-theta-only",
     ])?;
     let load_opts = load_options(args)?;
+    let chain_paths: Vec<String> = args.get_list::<String>("deltas")?.unwrap_or_default();
     let (loaded, snap_info) = if let Some(path) = args.opt("snapshot") {
         if args.opt("graph").is_some() || args.opt("index").is_some() {
             return Err("--snapshot already carries graph and index; drop --graph/--index".into());
@@ -411,12 +421,24 @@ fn batch_query(args: &Args) -> Result<String, String> {
         // A finite batch run drops the lazy verifier: load-time structural
         // validation already bounded every array access, and the process
         // exits before a background checksum sweep would matter.
-        let (loaded, info, _verifier) =
-            snapshot::load_snapshot(Path::new(path), &load_opts).map_err(|e| format!("{path}: {e}"))?;
+        // `--deltas` replays a delta chain on top of the base snapshot —
+        // the offline twin of `serve --deltas`, used by CI to diff
+        // chain-served answers against a compacted bundle.
+        let (loaded, info, _verifier) = if chain_paths.is_empty() {
+            snapshot::load_snapshot(Path::new(path), &load_opts).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            let (loaded, info, _chain, verifier) =
+                srs_search::load_chain(Path::new(path), &chain_paths, &load_opts)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            (loaded, info, verifier)
+        };
         (loaded, Some(info))
     } else {
         if load_opts.mmap {
             return Err("--mmap requires --snapshot".into());
+        }
+        if !chain_paths.is_empty() {
+            return Err("--deltas requires --snapshot".into());
         }
         let g = load_graph(Path::new(args.req("graph")?))?;
         let index = load_index(args)?;
@@ -660,6 +682,8 @@ fn parse_query_lines(text: &str, source: &str) -> Result<Vec<u32>, String> {
 fn serve(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
         "snapshot",
+        "deltas",
+        "staleness-depth",
         "addr",
         "threads",
         "max-batch",
@@ -680,6 +704,19 @@ fn serve(args: &Args) -> Result<String, String> {
     let defaults = srs_serve::ServerConfig::default();
     let config = srs_serve::ServerConfig {
         snapshot: Path::new(args.req("snapshot")?).to_path_buf(),
+        // `--deltas d1,d2` replays an existing delta chain on top of the
+        // base snapshot at startup (application order); `--staleness-depth`
+        // sets the default recompute depth for `/admin/ingest` batches.
+        deltas: args
+            .get_list::<String>("deltas")?
+            .unwrap_or_default()
+            .into_iter()
+            .map(std::path::PathBuf::from)
+            .collect(),
+        staleness_depth: match args.opt("staleness-depth") {
+            Some(v) => Some(v.parse().map_err(|e| format!("--staleness-depth: {e}"))?),
+            None => None,
+        },
         addr: args.opt("addr").unwrap_or(&defaults.addr).to_string(),
         threads: args.get_or("threads", defaults.threads)?,
         max_batch: args.get_or("max-batch", defaults.max_batch)?,
@@ -730,6 +767,128 @@ fn serve(args: &Args) -> Result<String, String> {
         snap.counter_total("srs_server_requests_total"),
         snap.counter_total("srs_server_waves_total"),
         engine.generation()
+    ))
+}
+
+/// Reads an edit batch from a file or stdin (`-`): binary `SRSEDIT1` if
+/// the magic matches, otherwise the text form (`grow N`, `+ u v`,
+/// `- u v`, bare `u v` inserts, `#` comments).
+fn read_edit_batch(spec: &str) -> Result<srs_graph::GraphDelta, String> {
+    let bytes = if spec == "-" {
+        let mut b = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut b)
+            .map_err(|e| format!("stdin: {e}"))?;
+        b
+    } else {
+        std::fs::read(spec).map_err(|e| format!("{spec}: {e}"))?
+    };
+    if bytes.starts_with(srs_graph::delta::EDIT_MAGIC) {
+        srs_graph::GraphDelta::from_bytes(&bytes).map_err(|e| format!("{spec}: {e}"))
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("{spec}: edit batch is neither SRSEDIT1 binary nor UTF-8 text"))?;
+        srs_graph::GraphDelta::parse_text(text).map_err(|e| format!("{spec}: {e}"))
+    }
+}
+
+/// Builds a delta snapshot offline: the same incremental maintenance the
+/// server runs on `/admin/ingest`, but from files — load the base (plus
+/// any existing chain), apply one edit batch, write the next chain link.
+fn delta(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["snapshot", "deltas", "edits", "out", "staleness-depth", "threads"])?;
+    let base = Path::new(args.req("snapshot")?);
+    let chain_paths: Vec<String> = args.get_list::<String>("deltas")?.unwrap_or_default();
+    let out = Path::new(args.req("out")?);
+    let batch = read_edit_batch(args.req("edits")?)?;
+    if batch.is_empty() {
+        return Err("edit batch is empty (nothing to apply)".into());
+    }
+    let opts = srs_search::LoadOptions::default();
+    let (loaded, _, chain, _) =
+        srs_search::load_chain(base, &chain_paths, &opts).map_err(|e| format!("{}: {e}", base.display()))?;
+    let ds = match loaded {
+        Loaded::Single(d) => d,
+        Loaded::Sharded(_) => return Err("delta chains require an unsharded base snapshot".into()),
+    };
+    let t = ds.index().params().t;
+    let depth: u32 = args.get_or("staleness-depth", t.saturating_sub(1))?;
+    let threads: usize =
+        args.get_or("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))?;
+    let start = std::time::Instant::now();
+    let built = srs_search::build_delta(&ds, &batch, depth, threads, chain.tip_fingerprint)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    std::fs::write(out, &built.bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+    Ok(format!(
+        "delta built in {:.2?}: +{} -{} edges, {} appended, {} dirty, {} reused \
+         (staleness depth {depth}, chain depth {} -> {}) -> {} ({} bytes, fingerprint {:016x})\n",
+        elapsed,
+        batch.num_insertions(),
+        batch.num_deletions(),
+        built.stats.appended,
+        built.stats.dirty,
+        built.stats.reused,
+        chain.depth,
+        chain.depth + 1,
+        out.display(),
+        built.bytes.len(),
+        built.fingerprint
+    ))
+}
+
+/// Posts an edit batch to a running server's `/admin/ingest`. The batch
+/// is parsed locally first (catching malformed input before it travels)
+/// and sent in the canonical binary form.
+fn ingest(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["addr", "edits", "depth"])?;
+    let addr = args.req("addr")?;
+    let batch = read_edit_batch(args.req("edits")?)?;
+    if batch.is_empty() {
+        return Err("edit batch is empty (nothing to ingest)".into());
+    }
+    let path = match args.opt("depth") {
+        Some(d) => {
+            let _: u32 = d.parse().map_err(|e| format!("--depth: {e}"))?;
+            format!("/admin/ingest?depth={d}")
+        }
+        None => "/admin/ingest".to_string(),
+    };
+    let mut client = srs_serve::HttpClient::connect(addr.to_string()).map_err(|e| format!("{addr}: {e}"))?;
+    let resp = client.post_body(&path, &batch.to_bytes()).map_err(|e| format!("{addr}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("ingest failed ({}): {}", resp.status, resp.body_str()));
+    }
+    Ok(format!(
+        "ingested +{} -{} edges: {}\n",
+        batch.num_insertions(),
+        batch.num_deletions(),
+        resp.body_str()
+    ))
+}
+
+/// Folds a delta chain back into one self-contained base snapshot —
+/// byte-identical serving state, O(1)-chain startup again.
+fn compact(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["snapshot", "deltas", "out"])?;
+    let base = Path::new(args.req("snapshot")?);
+    let deltas: Vec<String> = args.get_list::<String>("deltas")?.unwrap_or_default();
+    if deltas.is_empty() {
+        return Err("--deltas names no delta files (nothing to compact)".into());
+    }
+    let out = Path::new(args.req("out")?);
+    let start = std::time::Instant::now();
+    let f = std::fs::File::create(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let (ds, chain) =
+        srs_search::compact_chain(base, &deltas, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "compacted {} deltas in {:.2?}: n={} m={} -> {} ({bytes} bytes, chain fingerprint {:016x})\n",
+        chain.depth,
+        start.elapsed(),
+        ds.graph().num_vertices(),
+        ds.graph().num_edges(),
+        out.display(),
+        chain.fingerprint
     ))
 }
 
@@ -1768,6 +1927,144 @@ mod tests {
         let out = handle.join().unwrap().unwrap();
         assert!(out.contains("server stopped:"), "{out}");
         for p in [&g_path, &i_path, &s_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn dynamic_graph_workflow_end_to_end() {
+        let g_path = tmp("dyn.bin");
+        let i_path = tmp("dyn.idx");
+        let s_path = tmp("dyn.srs");
+        let e1 = tmp("dyn_e1.txt");
+        let e2 = tmp("dyn_e2.txt");
+        let e3 = tmp("dyn_e3.txt");
+        let d1 = tmp("dyn.srs.d0001");
+        let d2 = tmp("dyn.srs.d0002");
+        let compacted = tmp("dyn_compacted.srs");
+        let h_chain = tmp("dyn_chain.tsv");
+        let h_comp = tmp("dyn_comp.tsv");
+        run(&format!("generate --family web --n 200 --deg 4 --out {}", g_path.display())).unwrap();
+        run(&format!("preprocess --graph {} --index {}", g_path.display(), i_path.display())).unwrap();
+        run(&format!(
+            "pack --graph {} --index {} --out {}",
+            g_path.display(),
+            i_path.display(),
+            s_path.display()
+        ))
+        .unwrap();
+
+        // Offline chain: d1 grows the graph and wires the new vertex in,
+        // d2 deletes one of d1's edges again.
+        std::fs::write(&e1, "grow 202\n+ 200 1\n+ 201 200\n+ 200 5\n+ 0 200\n").unwrap();
+        std::fs::write(&e2, "- 200 5\n+ 201 1\n").unwrap();
+        let out = run(&format!(
+            "delta --snapshot {} --edits {} --out {}",
+            s_path.display(),
+            e1.display(),
+            d1.display()
+        ))
+        .unwrap();
+        assert!(out.contains("delta built"), "{out}");
+        assert!(out.contains("+4 -0 edges"), "{out}");
+        assert!(out.contains("chain depth 0 -> 1"), "{out}");
+        let out = run(&format!(
+            "delta --snapshot {} --deltas {} --edits {} --out {}",
+            s_path.display(),
+            d1.display(),
+            e2.display(),
+            d2.display()
+        ))
+        .unwrap();
+        assert!(out.contains("+1 -1 edges"), "{out}");
+        assert!(out.contains("chain depth 1 -> 2"), "{out}");
+
+        // Empty batches are rejected before any work happens.
+        std::fs::write(&e3, "# nothing\n").unwrap();
+        let err = run(&format!(
+            "delta --snapshot {} --edits {} --out {}",
+            s_path.display(),
+            e3.display(),
+            d2.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // Serve the chain and ingest a third batch over HTTP.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let cmd = format!(
+            "serve --snapshot {} --deltas {},{} --addr {addr}",
+            s_path.display(),
+            d1.display(),
+            d2.display()
+        );
+        let handle = std::thread::spawn(move || run(&cmd));
+        let mut client = None;
+        for _ in 0..200 {
+            match srs_serve::HttpClient::connect(addr.clone()) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+            }
+        }
+        let mut client = client.expect("server never came up");
+        let info = client.get("/info").unwrap().body_str().to_string();
+        assert!(info.contains("\"chain_depth\":2"), "{info}");
+        assert!(info.contains("\"vertices\":202"), "{info}");
+        std::fs::write(&e3, "+ 201 5\n").unwrap();
+        let out = run(&format!("ingest --addr {addr} --edits {}", e3.display())).unwrap();
+        assert!(out.contains("ingested +1 -0 edges"), "{out}");
+        assert!(out.contains("\"chain_depth\":3"), "{out}");
+        // The ingested edge shows up in queries: 201 and 5 now share an
+        // in-neighbour pattern with 201's other targets.
+        let resp = client.get("/query?u=201&k=10").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let info = client.get("/info").unwrap().body_str().to_string();
+        assert!(info.contains("\"chain_depth\":3"), "{info}");
+        assert_eq!(client.post("/admin/quit").unwrap().status, 200);
+        handle.join().unwrap().unwrap();
+        let d3 = tmp("dyn.srs.d0003");
+        assert!(d3.exists(), "ingest persisted the third chain link");
+
+        // Compact the 3-deep chain; serving answers are byte-identical.
+        let out = run(&format!(
+            "compact --snapshot {} --deltas {},{},{} --out {}",
+            s_path.display(),
+            d1.display(),
+            d2.display(),
+            d3.display(),
+            compacted.display()
+        ))
+        .unwrap();
+        assert!(out.contains("compacted 3 deltas"), "{out}");
+        assert!(out.contains("n=202"), "{out}");
+        run(&format!(
+            "batch-query --snapshot {} --deltas {},{},{} --queries 16 --k 5 --hits-out {}",
+            s_path.display(),
+            d1.display(),
+            d2.display(),
+            d3.display(),
+            h_chain.display()
+        ))
+        .unwrap();
+        run(&format!(
+            "batch-query --snapshot {} --queries 16 --k 5 --hits-out {}",
+            compacted.display(),
+            h_comp.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&h_chain).unwrap(),
+            std::fs::read(&h_comp).unwrap(),
+            "chain serving must be byte-identical to the compacted bundle"
+        );
+        for p in [&g_path, &i_path, &s_path, &e1, &e2, &e3, &d1, &d2, &d3, &compacted, &h_chain, &h_comp] {
             std::fs::remove_file(p).ok();
         }
     }

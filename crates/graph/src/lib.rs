@@ -14,6 +14,10 @@
 //! * [`bfs`] — directed / undirected breadth-first search with reusable
 //!   buffers, bounded-radius variants, and pairwise-distance sampling (used
 //!   by the Figure 2 reproduction).
+//! * [`delta`] — batched online mutations ([`GraphDelta`]: edge
+//!   insertions/deletions, append-only growth) with deterministic
+//!   application, plus frontier-based dirty-set dilation for incremental
+//!   index maintenance.
 //! * [`gen`] — synthetic generators (Erdős–Rényi, preferential attachment,
 //!   copying-model web graphs, Watts–Strogatz, citation model, and small
 //!   closed-form fixtures) substituting for the paper's SNAP/LAW datasets.
@@ -32,6 +36,7 @@ pub mod bfs;
 pub mod container;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod gen;
 pub mod hash;
 pub mod io;
@@ -41,6 +46,7 @@ pub mod storage;
 pub mod subgraph;
 
 pub use csr::{Graph, GraphBuilder, ReverseStep, SelfLoopPolicy, ValidationLevel};
+pub use delta::{dilate_dirty, GraphDelta};
 pub use storage::{BundleBuf, MemoryProfile, MmapRegion};
 
 /// Vertex identifier. `u32` keeps adjacency arrays and walk states compact;

@@ -555,6 +555,23 @@ impl EngineState {
     }
 }
 
+/// The outcome of [`ServingEngine::apply_delta`]: everything the caller
+/// needs to persist the delta and chain the next one.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The serialized delta snapshot (an `SRSBNDL1` delta bundle). Write
+    /// it next to the base snapshot so a restart can replay the chain.
+    pub bytes: Vec<u8>,
+    /// How much work the incremental extension did (appended / dirty /
+    /// reused vertex counts).
+    pub stats: crate::extend::ExtendStats,
+    /// The delta bundle's own container fingerprint — the
+    /// `parent_fingerprint` for the *next* delta in the chain.
+    pub fingerprint: u64,
+    /// The engine generation now serving the edited graph.
+    pub generation: u64,
+}
+
 /// An *owned*, hot-swappable serving engine over a [`Dataset`].
 ///
 /// Unlike [`QueryEngine`] (which borrows its graph and index for `'g`),
@@ -707,6 +724,45 @@ impl ServingEngine {
         drop(current);
         self.metrics.dataset_swaps.inc();
         old.dataset.clone()
+    }
+
+    /// Applies a batch of graph edits to the served dataset *in place*:
+    /// builds the incrementally-extended dataset (recomputing only the
+    /// dirty rows, on this engine's worker threads), serializes a delta
+    /// snapshot chained to `parent_fingerprint`, and hot-swaps the new
+    /// generation in. In-flight batches drain against the old dataset;
+    /// no request is ever dropped or torn.
+    ///
+    /// Concurrent `apply_delta` calls are the caller's responsibility to
+    /// serialize (the server holds its reload lock across the call) — two
+    /// racing appliers would each extend the *same* base and the loser's
+    /// edits would be swapped away.
+    ///
+    /// Returns the delta bundle bytes (for persisting alongside the base
+    /// snapshot), the extension stats, the delta's own container
+    /// fingerprint (the next delta's parent link), and the generation now
+    /// serving.
+    pub fn apply_delta(
+        &self,
+        batch: &srs_graph::GraphDelta,
+        staleness_depth: u32,
+        parent_fingerprint: u64,
+    ) -> Result<AppliedDelta, crate::persist::PersistError> {
+        let base = self.dataset();
+        let t0 = Instant::now();
+        let built =
+            crate::chain::build_delta(&base, batch, staleness_depth, self.threads, parent_fingerprint)?;
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        self.swap(built.dataset);
+        if self.metrics_on {
+            self.metrics.record_extend(&built.stats, elapsed_ns);
+        }
+        Ok(AppliedDelta {
+            bytes: built.bytes,
+            stats: built.stats,
+            fingerprint: built.fingerprint,
+            generation: self.generation(),
+        })
     }
 
     /// Answers one query through the pool (no worker threads spawned).

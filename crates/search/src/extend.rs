@@ -1,35 +1,42 @@
-//! Incremental index maintenance for growing graphs.
+//! Incremental index maintenance for mutating graphs.
 //!
 //! The preprocess (Algorithms 3 + 4) is *per-vertex independent*: γ rows
 //! and candidate signatures of vertex `u` depend only on walks from `u`.
-//! When a graph grows by appending vertices (the usual ingestion pattern —
-//! new users, new pages; existing vertex ids stable), the index can
-//! therefore be extended by running the preprocess for the new vertices
-//! only, instead of rebuilding from scratch.
+//! When a graph mutates — edges inserted or deleted, vertices appended —
+//! the index can therefore be repaired by re-running the preprocess for
+//! the affected vertices only, instead of rebuilding from scratch.
 //!
-//! Caveat, stated honestly: new edges perturb the walk distributions of
-//! every vertex whose reverse walks can *reach* a changed vertex, not just
-//! the changed vertices themselves. [`extend_appended`] therefore takes a
-//! `staleness_depth`: the dirty set (vertices whose in-neighbour list
+//! Caveat, stated honestly: an edge edit perturbs the walk distributions
+//! of every vertex whose reverse walks can *reach* a changed vertex, not
+//! just the changed vertices themselves. [`extend_delta`] therefore takes
+//! a `staleness_depth`: the dirty set (vertices whose in-neighbour list
 //! changed, plus all appended vertices) is dilated `staleness_depth` steps
-//! along reverse-walk reachability before recomputation.
+//! along reverse-walk reachability — a frontier BFS over the dirty set's
+//! out-edges (`O(edges touched)`), not a full scan per step — before
+//! recomputation.
 //!
 //! * `staleness_depth = T − 1` recomputes everything a fresh build would
 //!   compute differently — the extended index is **bit-identical** to a
-//!   full rebuild (tested), at a cost that approaches a rebuild on
-//!   small-world graphs.
+//!   full rebuild (tested, including mixed insert/delete batches), at a
+//!   cost that approaches a rebuild on small-world graphs.
 //! * `staleness_depth = 0` recomputes only the directly-changed vertices —
 //!   cheap, and the reused rows carry a bias bounded by how much the
 //!   downstream walk distributions moved (the artifacts are Monte-Carlo
 //!   estimates to begin with). Query quality degrades gracefully; the
 //!   [`ExtendStats`] counters tell callers when a periodic full rebuild
 //!   is due.
+//!
+//! Recomputation runs over the dirty set on the same work-stealing build
+//! path as a full build, with the thread count an explicit parameter like
+//! every other build entry point. Determinism is thread-count-independent:
+//! per-vertex artifacts are keyed by per-`(seed, vertex)` RNG streams, so
+//! `threads = 1` and `threads = 8` produce the same bytes (tested).
 
 use crate::bounds::GammaTable;
 use crate::index::CandidateIndex;
 use crate::topk::TopKIndex;
 use srs_graph::hash::mix_seed;
-use srs_graph::{Graph, VertexId};
+use srs_graph::{dilate_dirty, Graph, VertexId};
 
 /// Outcome counters of an incremental extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +48,20 @@ pub struct ExtendStats {
     pub dirty: u32,
     /// Vertices whose preprocess artifacts were reused untouched.
     pub reused: u32,
+}
+
+/// Full result of [`extend_delta`]: the repaired index plus the dirty mask
+/// that drove recomputation (the mask is what a delta snapshot persists —
+/// exactly the rows that differ from the base index).
+#[derive(Debug)]
+pub struct ExtendOutcome {
+    /// The extended index (covers the new graph).
+    pub index: TopKIndex,
+    /// Recompute/reuse counters.
+    pub stats: ExtendStats,
+    /// Per-vertex recompute mask over the *new* graph's vertices: `true`
+    /// where the γ row and candidate signature were rebuilt.
+    pub dirty: Vec<bool>,
 }
 
 /// Errors from incremental extension.
@@ -69,24 +90,27 @@ impl std::fmt::Display for ExtendError {
 
 impl std::error::Error for ExtendError {}
 
-/// Extends `index` (built on `old`) to cover `new`, where `new` equals
-/// `old` plus appended vertices and any set of new edges. Recomputes the
-/// preprocess for the dirty set dilated `staleness_depth` reverse-walk
-/// steps (see the module docs for choosing the depth); reuses everything
-/// else.
-pub fn extend_appended(
+/// Extends `index` (built on `old`) to cover `new`, where `new` differs
+/// from `old` by any batch of edge insertions **and deletions** plus
+/// append-only vertex growth (see [`srs_graph::GraphDelta`]). Recomputes
+/// the preprocess for the dirty set dilated `staleness_depth` reverse-walk
+/// steps (see the module docs for choosing the depth) on `threads` worker
+/// threads; reuses everything else.
+pub fn extend_delta(
     index: &TopKIndex,
     old: &Graph,
     new: &Graph,
     staleness_depth: u32,
-) -> Result<(TopKIndex, ExtendStats), ExtendError> {
+    threads: usize,
+) -> Result<ExtendOutcome, ExtendError> {
     let old_n = old.num_vertices();
     let new_n = new.num_vertices();
     if new_n < old_n {
         return Err(ExtendError::Shrunk { index_n: old_n, graph_n: new_n });
     }
     // Seed dirty set: appended vertices + old vertices whose in-list
-    // changed.
+    // changed (catches insertions and deletions alike — both rewrite the
+    // target's in-neighbour slice).
     let mut dirty = vec![false; new_n as usize];
     for v in 0..old_n {
         if old.in_neighbors(v) != new.in_neighbors(v) {
@@ -98,19 +122,7 @@ pub fn extend_appended(
     }
     // Dilate: a vertex is stale if any of its in-neighbours is stale — one
     // dilation per reverse-walk step that can observe the change.
-    for _ in 0..staleness_depth {
-        let snapshot = dirty.clone();
-        let mut changed = false;
-        for u in 0..new_n {
-            if !dirty[u as usize] && new.in_neighbors(u).iter().any(|&w| snapshot[w as usize]) {
-                dirty[u as usize] = true;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    dilate_dirty(new, &mut dirty, staleness_depth);
     let dirty_count = dirty.iter().filter(|&&d| d).count() as u32 - (new_n - old_n);
 
     // Rebuild-from-scratch for the dirty set, reusing clean rows. A fresh
@@ -118,7 +130,6 @@ pub fn extend_appended(
     // (seed, vertex) streams, so recomputing exactly the dirty vertices
     // reproduces what a full rebuild would store for them.
     let params = index.params().clone();
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let fresh_gamma =
         GammaTable::build_for(new, &params, &index.diag, mix_seed(&[index.seed, 1]), threads, &dirty);
     let mut gamma_raw: Vec<f32> = Vec::with_capacity(new_n as usize * params.t as usize);
@@ -140,14 +151,30 @@ pub fn extend_appended(
     let candidates = CandidateIndex::from_raw_parts(new_n, offsets, entries);
 
     let stats = ExtendStats { appended: new_n - old_n, dirty: dirty_count, reused: old_n - dirty_count };
-    Ok((TopKIndex { params, diag: index.diag.clone(), gamma, candidates, seed: index.seed }, stats))
+    let index = TopKIndex { params, diag: index.diag.clone(), gamma, candidates, seed: index.seed };
+    Ok(ExtendOutcome { index, stats, dirty })
+}
+
+/// The append-only special case of [`extend_delta`], kept for callers that
+/// model pure growth (`new` equals `old` plus appended vertices and new
+/// edges). Identical recompute semantics; returns just the index and
+/// counters.
+pub fn extend_appended(
+    index: &TopKIndex,
+    old: &Graph,
+    new: &Graph,
+    staleness_depth: u32,
+    threads: usize,
+) -> Result<(TopKIndex, ExtendStats), ExtendError> {
+    let out = extend_delta(index, old, new, staleness_depth, threads)?;
+    Ok((out.index, out.stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Diagonal, SimRankParams};
-    use srs_graph::GraphBuilder;
+    use srs_graph::{GraphBuilder, GraphDelta};
 
     fn build_graph(n: u32, extra: &[(u32, u32)]) -> Graph {
         let mut b = GraphBuilder::new(n);
@@ -175,7 +202,7 @@ mod tests {
         let p = params();
         let idx_old = TopKIndex::build_with(&old, &p, Diagonal::paper_default(p.c), 9, 2);
         // Full-fidelity extension: dilate staleness the whole walk horizon.
-        let (extended, stats) = extend_appended(&idx_old, &old, &new, p.t - 1).unwrap();
+        let (extended, stats) = extend_appended(&idx_old, &old, &new, p.t - 1, 2).unwrap();
         let rebuilt = TopKIndex::build_with(&new, &p, Diagonal::paper_default(p.c), 9, 2);
         assert_eq!(extended.gamma, rebuilt.gamma);
         assert_eq!(extended.candidates, rebuilt.candidates);
@@ -191,13 +218,65 @@ mod tests {
     }
 
     #[test]
+    fn mixed_insert_delete_equals_full_rebuild() {
+        // The acceptance pin: a delta with insertions AND deletions plus
+        // growth, extended at depth T − 1, must be bit-identical to a
+        // rebuild of the mutated graph.
+        let old = build_graph(120, &[(70, 5), (80, 5)]);
+        let mut d = GraphDelta::new();
+        d.grow_to(135);
+        d.insert(130, 7);
+        d.insert(134, 60);
+        d.delete(70, 5); // shrinks δ(5)
+        d.delete(9, 3); // part of the base pattern (9 → 9/3)
+        let new = d.apply(&old).unwrap();
+        assert!(!new.has_edge(70, 5) && new.has_edge(130, 7));
+        let p = params();
+        let idx_old = TopKIndex::build_with(&old, &p, Diagonal::paper_default(p.c), 9, 2);
+        let out = extend_delta(&idx_old, &old, &new, p.t - 1, 2).unwrap();
+        let rebuilt = TopKIndex::build_with(&new, &p, Diagonal::paper_default(p.c), 9, 2);
+        assert_eq!(out.index.gamma, rebuilt.gamma);
+        assert_eq!(out.index.candidates, rebuilt.candidates);
+        assert_eq!(out.stats.appended, 15);
+        assert!(out.stats.dirty > 0, "deletions must dirty the targets");
+        // The mask marks exactly the recomputed rows.
+        assert_eq!(out.dirty.iter().filter(|&&x| x).count() as u32, out.stats.dirty + out.stats.appended);
+        for u in [3u32, 5, 70, 130, 134] {
+            assert_eq!(
+                out.index.query(&new, u, 5, &Default::default()).hits,
+                rebuilt.query(&new, u, 5, &Default::default()).hits,
+                "u={u}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bytes() {
+        // The determinism contract: per-(seed, vertex) streams make the
+        // recompute independent of worker count.
+        let old = build_graph(140, &[]);
+        let mut d = GraphDelta::new();
+        d.insert(120, 11);
+        d.delete(12, 6);
+        let new = d.apply(&old).unwrap();
+        let p = params();
+        let idx_old = TopKIndex::build_with(&old, &p, Diagonal::paper_default(p.c), 5, 3);
+        let a = extend_delta(&idx_old, &old, &new, 2, 1).unwrap();
+        let b = extend_delta(&idx_old, &old, &new, 2, 4).unwrap();
+        assert_eq!(a.index.gamma, b.index.gamma);
+        assert_eq!(a.index.candidates, b.index.candidates);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.dirty, b.dirty);
+    }
+
+    #[test]
     fn pure_append_without_new_inlinks_reuses_everything_old() {
         let old = build_graph(100, &[]);
         // New vertices only link *among themselves*: no old vertex dirty.
         let new = build_graph(110, &[(105, 101), (106, 101), (107, 102)]);
         let p = params();
         let idx_old = TopKIndex::build_with(&old, &p, Diagonal::paper_default(p.c), 4, 2);
-        let (_, stats) = extend_appended(&idx_old, &old, &new, 0).unwrap();
+        let (_, stats) = extend_appended(&idx_old, &old, &new, 0, 2).unwrap();
         assert_eq!(stats.appended, 10);
         // build_graph wires 100..110 to u/2, u/3 ∈ old — those targets gain
         // in-links, so some old vertices are dirty; at depth 0 the clean
@@ -212,7 +291,7 @@ mod tests {
         let p = params();
         let idx = TopKIndex::build_with(&old, &p, Diagonal::paper_default(p.c), 1, 1);
         assert_eq!(
-            extend_appended(&idx, &old, &new, 3).unwrap_err(),
+            extend_appended(&idx, &old, &new, 3, 1).unwrap_err(),
             ExtendError::Shrunk { index_n: 50, graph_n: 40 }
         );
     }
@@ -222,7 +301,7 @@ mod tests {
         let g = build_graph(80, &[]);
         let p = params();
         let idx = TopKIndex::build_with(&g, &p, Diagonal::paper_default(p.c), 2, 2);
-        let (same, stats) = extend_appended(&idx, &g, &g, p.t).unwrap();
+        let (same, stats) = extend_appended(&idx, &g, &g, p.t, 2).unwrap();
         assert_eq!(stats, ExtendStats { appended: 0, dirty: 0, reused: 80 });
         assert_eq!(same.gamma, idx.gamma);
         assert_eq!(same.candidates, idx.candidates);

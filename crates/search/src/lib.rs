@@ -17,6 +17,7 @@
 //! | §2.2 — similarity search for *all* vertices | [`all_vertices`] |
 //! | index persistence (`O(n)` preprocess artifacts) | [`persist`] |
 //! | snapshot bundles (graph + index, zero-copy) + hot-swap datasets | [`snapshot`], [`engine::ServingEngine`] |
+//! | incremental maintenance + delta snapshot chains | [`extend`], [`chain`] |
 //! | validation against the deterministic solver | [`validate`] |
 //! | serving metrics, stage timers, explain traces | [`obs`] |
 //!
@@ -28,6 +29,7 @@
 
 pub mod all_vertices;
 pub mod bounds;
+pub mod chain;
 pub mod colocate;
 pub mod engine;
 pub mod extend;
@@ -40,7 +42,11 @@ pub mod snapshot;
 pub mod topk;
 pub mod validate;
 
-pub use engine::{BatchResult, LatencySummary, QueryEngine, ServingEngine, WaveOutcome, WaveQuery};
+pub use chain::{build_delta, compact_chain, load_chain, BuiltDelta, ChainInfo, DeltaHeader};
+pub use engine::{
+    AppliedDelta, BatchResult, LatencySummary, QueryEngine, ServingEngine, WaveOutcome, WaveQuery,
+};
+pub use extend::{extend_appended, extend_delta, ExtendError, ExtendOutcome, ExtendStats};
 pub use index::SeenStamps;
 pub use obs::{BuildObs, ServingMetrics, StageTimings};
 pub use sharded::{EngineHandle, ShardedEngine};

@@ -38,6 +38,10 @@
 //! | `srs_dataset_swaps_total` | counter | |
 //! | `srs_snapshot_load_ns` / `srs_snapshot_bytes` / `srs_snapshot_sections_verified` | gauge | |
 //! | `srs_snapshot_resident_bytes` / `srs_snapshot_mapped_bytes` | gauge | |
+//! | `srs_extend_applies_total` | counter | |
+//! | `srs_extend_appended_vertices_total` / `srs_extend_dirty_vertices_total` / `srs_extend_reused_vertices_total` | counter | |
+//! | `srs_extend_apply_ns` | histogram | |
+//! | `srs_chain_depth` | gauge | |
 
 use crate::topk::QueryStats;
 use srs_mc::WalkStepCounts;
@@ -162,6 +166,25 @@ pub struct ServingMetrics {
     /// `srs_snapshot_mapped_bytes` (loaded structures served through the
     /// `mmap` region: page cache, not heap; 0 for heap-backed loads).
     pub snapshot_mapped: Arc<Gauge>,
+    /// `srs_extend_applies_total` (delta batches applied through
+    /// [`crate::engine::ServingEngine::apply_delta`] or a chain load).
+    pub extend_applies: Arc<Counter>,
+    /// `srs_extend_appended_vertices_total` (vertices appended by applied
+    /// deltas).
+    pub extend_appended: Arc<Counter>,
+    /// `srs_extend_dirty_vertices_total` (old vertices recomputed by
+    /// applied deltas — the incremental work).
+    pub extend_dirty: Arc<Counter>,
+    /// `srs_extend_reused_vertices_total` (vertices whose artifacts were
+    /// reused untouched — the rebuild work avoided).
+    pub extend_reused: Arc<Counter>,
+    /// `srs_extend_apply_ns` (wall time of one delta apply: graph build +
+    /// dirty recompute + hot swap).
+    pub extend_apply_ns: Arc<Histogram>,
+    /// `srs_chain_depth` (delta bundles layered on the served base
+    /// snapshot; 0 when serving a plain snapshot, reset by compaction or
+    /// reload).
+    pub chain_depth: Arc<Gauge>,
 }
 
 impl Default for ServingMetrics {
@@ -242,6 +265,16 @@ impl ServingMetrics {
                 .gauge("srs_snapshot_resident_bytes", "Snapshot bytes resident on the process heap"),
             snapshot_mapped: r
                 .gauge("srs_snapshot_mapped_bytes", "Snapshot bytes served through the mmap region"),
+            extend_applies: r
+                .counter("srs_extend_applies_total", "Delta batches applied to the served index"),
+            extend_appended: r
+                .counter("srs_extend_appended_vertices_total", "Vertices appended by applied deltas"),
+            extend_dirty: r
+                .counter("srs_extend_dirty_vertices_total", "Vertices recomputed by applied deltas"),
+            extend_reused: r
+                .counter("srs_extend_reused_vertices_total", "Vertex artifacts reused across applied deltas"),
+            extend_apply_ns: r.histogram("srs_extend_apply_ns", "Wall time of one delta apply (ns)"),
+            chain_depth: r.gauge("srs_chain_depth", "Delta bundles layered on the served base snapshot"),
             registry: r,
         }
     }
@@ -253,6 +286,16 @@ impl ServingMetrics {
         self.snapshot_sections.set(info.sections_verified as u64);
         self.snapshot_resident.set(info.resident_bytes);
         self.snapshot_mapped.set(info.mapped_bytes);
+    }
+
+    /// Records one delta apply's counters: the [`crate::ExtendStats`]
+    /// split plus the wall time of the whole apply.
+    pub fn record_extend(&self, stats: &crate::ExtendStats, elapsed_ns: u64) {
+        self.extend_applies.inc();
+        self.extend_appended.add(stats.appended as u64);
+        self.extend_dirty.add(stats.dirty as u64);
+        self.extend_reused.add(stats.reused as u64);
+        self.extend_apply_ns.observe(elapsed_ns);
     }
 
     /// The underlying registry (for registering extra app-level metrics
@@ -364,6 +407,8 @@ mod tests {
             fast_tier_fallbacks: 2,
         });
         m.record_walk_steps(WalkStepCounts { dead: 1, unique: 2, branch: 3 });
+        m.record_extend(&crate::ExtendStats { appended: 3, dirty: 5, reused: 92 }, 1000);
+        m.chain_depth.set(2);
         let snap = m.snapshot();
         for family in [
             "srs_queries_total",
@@ -397,6 +442,12 @@ mod tests {
             "srs_snapshot_sections_verified",
             "srs_snapshot_resident_bytes",
             "srs_snapshot_mapped_bytes",
+            "srs_extend_applies_total",
+            "srs_extend_appended_vertices_total",
+            "srs_extend_dirty_vertices_total",
+            "srs_extend_reused_vertices_total",
+            "srs_extend_apply_ns",
+            "srs_chain_depth",
         ] {
             assert!(snap.family(family).is_some(), "missing family {family}");
         }
@@ -410,6 +461,10 @@ mod tests {
         assert_eq!(snap.counter_total("srs_query_fast_tier_fallback_total"), 2);
         assert_eq!(snap.family("srs_query_candidate_fates_total").unwrap().samples.len(), 5);
         assert_eq!(snap.family("srs_query_stage_ns").unwrap().samples.len(), 4);
+        assert_eq!(snap.counter_total("srs_extend_applies_total"), 1);
+        assert_eq!(snap.counter_total("srs_extend_dirty_vertices_total"), 5);
+        assert_eq!(snap.counter_total("srs_extend_reused_vertices_total"), 92);
+        assert_eq!(m.chain_depth.get(), 2);
     }
 
     #[test]

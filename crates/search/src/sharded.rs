@@ -392,6 +392,25 @@ impl EngineHandle {
         }
     }
 
+    /// Applies a batch of graph edits in place (see
+    /// [`ServingEngine::apply_delta`]). Only an unsharded engine can
+    /// ingest online — a sharded engine partitions the inverted
+    /// candidate map per shard, so an incremental extension would have
+    /// to re-partition every shard (that is a repack, not a delta).
+    pub fn apply_delta(
+        &self,
+        batch: &srs_graph::GraphDelta,
+        staleness_depth: u32,
+        parent_fingerprint: u64,
+    ) -> Result<crate::engine::AppliedDelta, PersistError> {
+        match self {
+            EngineHandle::Single(e) => e.apply_delta(batch, staleness_depth, parent_fingerprint),
+            EngineHandle::Sharded(_) => Err(PersistError::Format(
+                "online ingest requires an unsharded engine (delta chains do not shard)".into(),
+            )),
+        }
+    }
+
     /// Atomically replaces the served dataset. The new load must have
     /// the same shape as the running engine (single vs sharded) —
     /// changing shape changes the serving topology, which a hot reload

@@ -72,6 +72,18 @@ impl HttpClient {
         self.request("POST", path)
     }
 
+    /// POST carrying a request body (e.g. an edit batch for
+    /// `/admin/ingest`). Same one-retry semantics as the bodyless forms.
+    pub fn post_body(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        match self.request_once("POST", path, &[], body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.stream = None;
+                self.request_once("POST", path, &[], body)
+            }
+        }
+    }
+
     /// Sends one bodyless request and reads the response. A transport
     /// error drops the pooled connection and retries once on a fresh one
     /// (a stale keep-alive socket looks exactly like that).
@@ -86,23 +98,31 @@ impl HttpClient {
         path: &str,
         headers: &[(&str, &str)],
     ) -> io::Result<Response> {
-        match self.request_once(method, path, headers) {
+        match self.request_once(method, path, headers, &[]) {
             Ok(resp) => Ok(resp),
             Err(_) => {
                 self.stream = None;
-                self.request_once(method, path, headers)
+                self.request_once(method, path, headers, &[])
             }
         }
     }
 
-    fn request_once(&mut self, method: &str, path: &str, headers: &[(&str, &str)]) -> io::Result<Response> {
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
         let reader = self.ensure_connected()?;
-        let mut msg = format!("{method} {path} HTTP/1.1\r\nHost: srs\r\nContent-Length: 0\r\n");
+        let mut msg = format!("{method} {path} HTTP/1.1\r\nHost: srs\r\nContent-Length: {}\r\n", body.len());
         for (name, value) in headers {
             msg.push_str(&format!("{name}: {value}\r\n"));
         }
         msg.push_str("\r\n");
-        if let Err(e) = reader.get_mut().write_all(msg.as_bytes()) {
+        let mut wire = msg.into_bytes();
+        wire.extend_from_slice(body);
+        if let Err(e) = reader.get_mut().write_all(&wire) {
             self.stream = None;
             return Err(e);
         }

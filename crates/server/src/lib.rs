@@ -27,7 +27,8 @@
 //! | `/debug/traces` | GET | sampled traces (JSON span trees) |
 //! | `/debug/slow` | GET | slow-query log (JSON span trees) |
 //! | `/debug/trace?id=HEX` | GET | one trace by ID |
-//! | `/admin/reload` | POST | hot-swap the snapshot (also on SIGHUP) |
+//! | `/admin/ingest` | POST | apply an edit batch online (delta chain grows) |
+//! | `/admin/reload` | POST | hot-swap the snapshot + replay the delta chain (also on SIGHUP) |
 //! | `/admin/quit` | POST | graceful drain and exit |
 //!
 //! ## Tracing
@@ -70,11 +71,12 @@ pub use client::{HttpClient, Response};
 pub use dispatch::{Coalescer, QueryAnswer, SubmitError};
 pub use metrics::ServerMetrics;
 
-use srs_graph::VertexId;
+use srs_graph::container::{fnv1a64_extend, fold_fingerprints};
+use srs_graph::{GraphDelta, VertexId};
 use srs_obs::{AttrValue, Trace, TraceIdGen, TraceStore};
 use srs_search::engine::WaveQuery;
 use srs_search::persist::PersistError;
-use srs_search::{load_snapshot, EngineHandle, LoadOptions, QueryOptions, TopKResult};
+use srs_search::{load_chain, ChainInfo, EngineHandle, LoadOptions, QueryOptions, TopKResult};
 use std::collections::HashMap;
 use std::io;
 use std::io::BufReader;
@@ -92,6 +94,14 @@ pub const MAX_K: usize = 10_000;
 pub struct ServerConfig {
     /// Path of the `.srs` snapshot to serve (also the reload source).
     pub snapshot: PathBuf,
+    /// Ordered delta chain to replay on top of the snapshot at startup
+    /// (files previously written by `/admin/ingest` or `srs delta`).
+    pub deltas: Vec<PathBuf>,
+    /// Dilation depth for online ingest (`/admin/ingest`). `None` means
+    /// full depth (`T − 1`): every applied delta is bit-identical to a
+    /// rebuild. Smaller depths trade freshness-adjacent accuracy for
+    /// cheaper applies (see DESIGN.md §5m).
+    pub staleness_depth: Option<u32>,
     /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
     pub addr: String,
     /// Engine worker threads (0 = all available parallelism).
@@ -148,6 +158,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             snapshot: PathBuf::new(),
+            deltas: Vec::new(),
+            staleness_depth: None,
             addr: "127.0.0.1:7171".to_string(),
             threads: 0,
             max_batch: 64,
@@ -201,6 +213,60 @@ impl From<PersistError> for ServeError {
     }
 }
 
+/// The served delta chain: which files extend the base snapshot, and the
+/// fingerprints that link them. Mutated only under the reload lock (by
+/// `/admin/ingest`); reload replays exactly these paths so a restarted or
+/// reloaded server serves the same state the chain describes.
+struct ChainState {
+    /// Delta files in application order (startup chain + ingested).
+    paths: Vec<PathBuf>,
+    /// Running left-fold over every artifact fingerprint, base first.
+    /// [`fold_fingerprints`] is a left fold, so chaining one more delta
+    /// is a single [`fnv1a64_extend`] — no need to keep the whole list.
+    fold_acc: u64,
+    /// The serving-state fingerprint `/info` reports: the base container
+    /// fingerprint at depth 0, the fold at depth ≥ 1 — exactly what
+    /// [`load_chain`] would compute for this chain.
+    fingerprint: u64,
+    /// Fingerprint of the last artifact (the next delta's parent).
+    tip: u64,
+    /// Total recomputed rows across the chain's deltas.
+    dirty_total: u64,
+    /// Minimum staleness depth across the chain (`u32::MAX` = empty).
+    min_staleness_depth: u32,
+}
+
+impl ChainState {
+    fn from_info(paths: Vec<PathBuf>, chain: &ChainInfo) -> ChainState {
+        // At depth ≥ 1 the chain fingerprint *is* the fold accumulator;
+        // at depth 0 it is the bare base fingerprint, one fold step shy.
+        let fold_acc =
+            if chain.depth == 0 { fold_fingerprints([chain.fingerprint]) } else { chain.fingerprint };
+        ChainState {
+            paths,
+            fold_acc,
+            fingerprint: chain.fingerprint,
+            tip: chain.tip_fingerprint,
+            dirty_total: chain.dirty_total,
+            min_staleness_depth: chain.min_staleness_depth,
+        }
+    }
+
+    /// Records one ingested delta at the end of the chain.
+    fn push(&mut self, path: PathBuf, delta_fingerprint: u64, recomputed: u64, depth: u32) {
+        self.paths.push(path);
+        self.fold_acc = fnv1a64_extend(self.fold_acc, &delta_fingerprint.to_le_bytes());
+        self.fingerprint = self.fold_acc;
+        self.tip = delta_fingerprint;
+        self.dirty_total += recomputed;
+        self.min_staleness_depth = self.min_staleness_depth.min(depth);
+    }
+
+    fn depth(&self) -> u32 {
+        self.paths.len() as u32
+    }
+}
+
 /// The open-connection registry: stream clones keyed by connection id,
 /// so shutdown can unblock idle readers and `run` can wait for writers.
 #[derive(Default)]
@@ -242,9 +308,16 @@ struct Shared {
     traces: TraceStore,
     /// Server-assigned trace IDs (used when the client sends none).
     trace_ids: TraceIdGen,
-    /// FNV-1a 64 content hash of the snapshot currently serving
-    /// (updated on reload; rendered in `/info`).
+    /// FNV-1a 64 content hash of the serving state — the base snapshot's
+    /// fingerprint, or the folded chain fingerprint once deltas apply
+    /// (updated on reload and ingest; rendered in `/info`).
     fingerprint: AtomicU64,
+    /// The served delta chain (startup chain + `/admin/ingest` appends).
+    /// Mutated only under `reload_lock`.
+    chain: Mutex<ChainState>,
+    /// Dilation depth `/admin/ingest` applies deltas at (`None` = full
+    /// depth, `T − 1`).
+    ingest_depth: Option<u32>,
 }
 
 impl Shared {
@@ -309,7 +382,7 @@ impl Server {
             verify_on_load: config.verify_on_load,
             prefault: config.prefault,
         };
-        let (loaded, info, verifier) = load_snapshot(&config.snapshot, &load_opts)?;
+        let (loaded, info, chain_info, verifier) = load_chain(&config.snapshot, &config.deltas, &load_opts)?;
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
         } else {
@@ -317,6 +390,7 @@ impl Server {
         };
         let engine = Arc::new(EngineHandle::with_threads(loaded, threads));
         engine.metrics().record_snapshot_load(&info);
+        engine.metrics().chain_depth.set(chain_info.depth as u64);
         engine.set_cache_capacity(config.cache_capacity);
         if let Some(verifier) = verifier {
             spawn_background_verify(Arc::clone(&engine), verifier);
@@ -352,6 +426,8 @@ impl Server {
             ),
             trace_ids: TraceIdGen::new(),
             fingerprint: AtomicU64::new(info.fingerprint),
+            chain: Mutex::new(ChainState::from_info(config.deltas, &chain_info)),
+            ingest_depth: config.staleness_depth,
         });
         Ok(Server { listener, shared })
     }
@@ -590,6 +666,10 @@ fn route(shared: &Shared, req: &http::Request, read_start_ns: u64) -> Reply {
             }
             _ => error_reply(405, "use GET /debug/trace"),
         },
+        "/admin/ingest" => match req.method.as_str() {
+            "POST" => ingest_reply(shared, req),
+            _ => error_reply(405, "use POST /admin/ingest"),
+        },
         "/admin/reload" => match req.method.as_str() {
             "POST" => match reload(shared) {
                 Ok(generation) => json_reply(200, format!("{{\"generation\":{generation}}}")),
@@ -797,20 +877,121 @@ fn spawn_background_verify(engine: Arc<EngineHandle>, verifier: srs_search::Snap
     }
 }
 
-/// Reloads the snapshot from disk (with the same load options as bind)
-/// and hot-swaps the engine. Serialized — concurrent reload requests
-/// (endpoint + SIGHUP) apply one at a time. On failure — including a
-/// shape change (sharded ↔ unsharded), which a hot reload refuses — the
+/// The path `/admin/ingest` persists chain link `k` (1-based) under:
+/// the base snapshot path with a `.d{k:04}` suffix appended, so chain
+/// files sort in application order next to their base.
+fn delta_path(base: &std::path::Path, k: u32) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".d{k:04}"));
+    PathBuf::from(name)
+}
+
+/// `POST /admin/ingest`: applies one edit batch to the served graph.
+///
+/// The body is either the [`GraphDelta`] text format (`+ u v` / `- u v` /
+/// `grow n` lines) or the `SRSEDIT1` binary serialization (sniffed by
+/// magic). An optional `depth=N` query parameter overrides the server's
+/// configured staleness depth for this batch. The whole operation runs
+/// under the reload lock: the index is repaired incrementally
+/// ([`EngineHandle::apply_delta`]), the delta bundle is persisted next to
+/// the base snapshot, and the chain state advances — so a concurrent (or
+/// later) reload replays exactly what is now serving. In-flight queries
+/// drain against the pre-edit generation; nothing is dropped.
+fn ingest_reply(shared: &Shared, req: &http::Request) -> Reply {
+    let mut depth_override = None;
+    for (key, value) in &req.params {
+        match key.as_str() {
+            "depth" => match value.parse::<u32>() {
+                Ok(d) => depth_override = Some(d),
+                Err(_) => return error_reply(400, "parameter depth must be a non-negative integer"),
+            },
+            other => return error_reply(400, &format!("unknown parameter: {other}")),
+        }
+    }
+    let batch = if req.body.starts_with(srs_graph::delta::EDIT_MAGIC) {
+        GraphDelta::from_bytes(&req.body)
+    } else {
+        match std::str::from_utf8(&req.body) {
+            Ok(text) => GraphDelta::parse_text(text),
+            Err(_) => return error_reply(400, "body is neither SRSEDIT1 binary nor UTF-8 edit text"),
+        }
+    };
+    let batch = match batch {
+        Ok(b) if b.is_empty() => return error_reply(400, "empty edit batch"),
+        Ok(b) => b,
+        Err(e) => return error_reply(400, &format!("bad edit batch: {e}")),
+    };
+
+    let _guard = shared.reload_lock.lock().unwrap();
+    let mut chain = shared.chain.lock().unwrap();
+    let depth = depth_override.or(shared.ingest_depth).unwrap_or_else(|| {
+        let t = shared.engine.dataset().index().params().t;
+        t.saturating_sub(1)
+    });
+    let applied = match shared.engine.apply_delta(&batch, depth, chain.tip) {
+        Ok(a) => a,
+        Err(e) => {
+            shared.metrics.ingest_failures.inc();
+            return error_reply(400, &format!("ingest failed: {e}"));
+        }
+    };
+    // The engine is already serving the edited graph; persist the chain
+    // link so reloads and restarts replay it. A write failure leaves the
+    // served state ahead of the on-disk chain — report it loudly (a
+    // reload would revert the batch) and do not advance the chain.
+    let path = delta_path(&shared.snapshot, chain.depth() + 1);
+    if let Err(e) = std::fs::write(&path, &applied.bytes) {
+        shared.metrics.ingest_failures.inc();
+        return error_reply(
+            500,
+            &format!(
+                "edits applied in memory (generation {}) but persisting {} failed: {e}; \
+                 reload will revert this batch",
+                applied.generation,
+                path.display()
+            ),
+        );
+    }
+    let recomputed = applied.stats.appended as u64 + applied.stats.dirty as u64;
+    chain.push(path.clone(), applied.fingerprint, recomputed, depth);
+    shared.fingerprint.store(chain.fingerprint, Ordering::Relaxed);
+    shared.engine.metrics().chain_depth.set(chain.depth() as u64);
+    shared.metrics.generation.set(applied.generation);
+    shared.metrics.ingests.inc();
+    json_reply(
+        200,
+        format!(
+            "{{\"generation\":{},\"chain_depth\":{},\"staleness_depth\":{depth},\"appended\":{},\"dirty\":{},\"reused\":{},\"fingerprint\":\"{:016x}\",\"delta\":{}}}",
+            applied.generation,
+            chain.depth(),
+            applied.stats.appended,
+            applied.stats.dirty,
+            applied.stats.reused,
+            chain.fingerprint,
+            json_escape(&path.display().to_string()),
+        ),
+    )
+}
+
+/// Reloads the snapshot from disk (with the same load options as bind),
+/// replays the current delta chain on top, and hot-swaps the engine.
+/// Serialized — concurrent reload requests (endpoint + SIGHUP) apply one
+/// at a time, and never interleave with an ingest. On failure — including
+/// a shape change (sharded ↔ unsharded), which a hot reload refuses — the
 /// old dataset keeps serving untouched.
 fn reload(shared: &Shared) -> Result<u64, String> {
     let _guard = shared.reload_lock.lock().unwrap();
-    let swapped = load_snapshot(&shared.snapshot, &shared.load_opts).and_then(|(loaded, info, verifier)| {
-        shared.engine.swap(loaded)?;
-        Ok((info, verifier))
-    });
+    let chain_paths = shared.chain.lock().unwrap().paths.clone();
+    let swapped = load_chain(&shared.snapshot, &chain_paths, &shared.load_opts).and_then(
+        |(loaded, info, chain_info, verifier)| {
+            shared.engine.swap(loaded)?;
+            Ok((info, chain_info, verifier))
+        },
+    );
     match swapped {
-        Ok((info, verifier)) => {
+        Ok((info, chain_info, verifier)) => {
             shared.engine.metrics().record_snapshot_load(&info);
+            shared.engine.metrics().chain_depth.set(chain_info.depth as u64);
             if let Some(verifier) = verifier {
                 spawn_background_verify(Arc::clone(&shared.engine), verifier);
             }
@@ -841,8 +1022,14 @@ fn query_json(vertex: u64, k: usize, generation: u64, result: &TopKResult) -> St
 
 fn info_json(shared: &Shared) -> String {
     let dataset = shared.engine.dataset();
+    let (chain_depth, tip, dirty_total, min_depth) = {
+        let chain = shared.chain.lock().unwrap();
+        (chain.depth(), chain.tip, chain.dirty_total, chain.min_staleness_depth)
+    };
+    // `u32::MAX` marks an empty chain — render it as null, not a number.
+    let min_depth_json = if min_depth == u32::MAX { "null".to_string() } else { min_depth.to_string() };
     format!(
-        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"shards\":{},\"mapped\":{},\"cache_capacity\":{},\"snapshot\":{},\"uptime_s\":{},\"version\":{},\"fingerprint\":\"{:016x}\",\"trace_sample\":{},\"slow_query_ms\":{}}}",
+        "{{\"vertices\":{},\"edges\":{},\"generation\":{},\"threads\":{},\"shards\":{},\"mapped\":{},\"cache_capacity\":{},\"snapshot\":{},\"uptime_s\":{},\"version\":{},\"fingerprint\":\"{:016x}\",\"chain_depth\":{chain_depth},\"tip_fingerprint\":\"{tip:016x}\",\"chain_dirty_total\":{dirty_total},\"min_staleness_depth\":{min_depth_json},\"trace_sample\":{},\"slow_query_ms\":{}}}",
         dataset.graph().num_vertices(),
         dataset.graph().num_edges(),
         shared.engine.generation(),

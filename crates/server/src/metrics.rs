@@ -18,6 +18,7 @@
 //! | `srs_server_wave_size` | histogram | |
 //! | `srs_server_request_latency_ns` | histogram | |
 //! | `srs_server_reloads_total` / `srs_server_reload_failures_total` | counter | |
+//! | `srs_server_ingests_total` / `srs_server_ingest_failures_total` | counter | |
 //! | `srs_server_snapshot_generation` | gauge | |
 //! | `srs_server_uptime_seconds` | gauge | |
 
@@ -66,6 +67,12 @@ pub struct ServerMetrics {
     /// `srs_server_reload_failures_total` — reload attempts that failed
     /// (the old dataset stays in service).
     pub reload_failures: Arc<Counter>,
+    /// `srs_server_ingests_total` — edit batches applied and persisted
+    /// via `/admin/ingest`.
+    pub ingests: Arc<Counter>,
+    /// `srs_server_ingest_failures_total` — ingest attempts rejected or
+    /// failed (bad batch, apply error, or persist error).
+    pub ingest_failures: Arc<Counter>,
     /// `srs_server_snapshot_generation` — the engine generation currently
     /// serving (1 at startup, +1 per reload).
     pub generation: Arc<Gauge>,
@@ -98,6 +105,9 @@ impl ServerMetrics {
                 .histogram("srs_server_request_latency_ns", "Per-request wall latency, queueing included"),
             reloads: r.counter("srs_server_reloads_total", "Successful snapshot hot reloads"),
             reload_failures: r.counter("srs_server_reload_failures_total", "Snapshot reloads that failed"),
+            ingests: r.counter("srs_server_ingests_total", "Edit batches applied via /admin/ingest"),
+            ingest_failures: r
+                .counter("srs_server_ingest_failures_total", "Ingest attempts rejected or failed"),
             generation: r.gauge("srs_server_snapshot_generation", "Dataset generation currently serving"),
             uptime: r.gauge("srs_server_uptime_seconds", "Seconds since server start"),
         }
@@ -145,6 +155,8 @@ mod tests {
             "srs_server_request_latency_ns",
             "srs_server_reloads_total",
             "srs_server_reload_failures_total",
+            "srs_server_ingests_total",
+            "srs_server_ingest_failures_total",
             "srs_server_snapshot_generation",
             "srs_server_uptime_seconds",
         ] {

@@ -365,3 +365,105 @@ fn quit_drains_and_rejects_new_work() {
     }
     std::fs::remove_file(&snap).ok();
 }
+
+/// The acceptance loop for online ingestion: edit batches land over
+/// `/admin/ingest` while query traffic hammers the same socket. Every
+/// response — traffic and admin alike — must be a 200, each batch must
+/// be visible to queries the moment its POST answers (the new vertex
+/// ranks its engineered twin), and the persisted chain must replay the
+/// same state on a reload.
+#[test]
+fn ingest_under_concurrent_traffic_drops_nothing() {
+    let snap = fixture_snapshot("ingest");
+    let r = start(config(&snap));
+    let addr = r.addr;
+    // The fixture graph, rebuilt locally to engineer the batches: each
+    // ingest appends one vertex wired with exactly the in-neighbour set
+    // of an existing low-in-degree vertex, making the pair near-twins
+    // (they meet their random surfers at distance one), so the twin must
+    // show up in the new vertex's top-k immediately after the POST.
+    let g = gen::copying_web(300, 4, 0.8, 8);
+    let twins: Vec<u32> =
+        (0..300u32).rev().filter(|&v| (1..=4).contains(&g.in_neighbors(v).len())).take(5).collect();
+    assert_eq!(twins.len(), 5, "fixture graph must offer five low-in-degree twins");
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..4u32 {
+            let (stop, served) = (&stop, &served);
+            scope.spawn(move || {
+                let mut c = HttpClient::connect(addr.to_string()).unwrap();
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (w * 53 + i * 13) % 300;
+                    let resp = c.get(&format!("/query?u={u}&k=5")).unwrap();
+                    assert_eq!(resp.status, 200, "query failed during ingest: {}", resp.body_str());
+                    i += 1;
+                }
+                served.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        let mut admin = HttpClient::connect(addr.to_string()).unwrap();
+        for (i, &twin) in twins.iter().enumerate() {
+            std::thread::sleep(Duration::from_millis(20));
+            let fresh = 300 + i as u32;
+            let mut batch = format!("grow {}\n", fresh + 1);
+            for &src in g.in_neighbors(twin) {
+                batch.push_str(&format!("+ {src} {fresh}\n"));
+            }
+            let resp = admin.post_body("/admin/ingest", batch.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200, "ingest {i}: {}", resp.body_str());
+            assert!(
+                resp.body_str().contains(&format!("\"chain_depth\":{}", i + 1)),
+                "ingest {i}: {}",
+                resp.body_str()
+            );
+            // Freshness: the POST has answered, so the very next query
+            // must see the new vertex and rank its twin.
+            let seen = admin.get(&format!("/query?u={fresh}&k=10")).unwrap();
+            assert_eq!(seen.status, 200, "{}", seen.body_str());
+            assert!(
+                seen.body_str().contains(&format!("{{\"vertex\":{twin},")),
+                "ingest {i}: twin {twin} missing from {}",
+                seen.body_str()
+            );
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(served.load(Ordering::Relaxed) > 0, "traffic threads never got a query through");
+
+    let mut c = HttpClient::connect(addr.to_string()).unwrap();
+    let info = c.get("/info").unwrap();
+    assert!(info.body_str().contains("\"chain_depth\":5"), "{}", info.body_str());
+    assert!(info.body_str().contains("\"vertices\":305"), "{}", info.body_str());
+
+    // Zero non-200s, fleet-wide: every recorded response was a 200.
+    let m = r.engine.metrics().snapshot();
+    assert_eq!(m.counter_total("srs_server_responses_total"), {
+        m.to_prometheus()
+            .lines()
+            .filter_map(|l| l.strip_prefix("srs_server_responses_total{code=\"200\"} "))
+            .map(|v| v.parse::<u64>().unwrap())
+            .sum()
+    });
+
+    // A reload replays the persisted chain: same vertex count, same
+    // chain depth, and the grown vertex still answers with its twin.
+    assert_eq!(c.post("/admin/reload").unwrap().status, 200);
+    let info = c.get("/info").unwrap();
+    assert!(info.body_str().contains("\"chain_depth\":5"), "{}", info.body_str());
+    assert!(info.body_str().contains("\"vertices\":305"), "{}", info.body_str());
+    let seen = c.get("/query?u=304&k=10").unwrap();
+    assert_eq!(seen.status, 200);
+    assert!(seen.body_str().contains(&format!("{{\"vertex\":{},", twins[4])), "{}", seen.body_str());
+
+    quit(r);
+    std::fs::remove_file(&snap).ok();
+    for i in 1..=5u32 {
+        let mut name = snap.as_os_str().to_os_string();
+        name.push(format!(".d{i:04}"));
+        std::fs::remove_file(PathBuf::from(name)).ok();
+    }
+}

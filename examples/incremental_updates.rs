@@ -28,7 +28,7 @@ fn main() {
 
     for depth in [0u32, 2, params.t - 1] {
         let t = Instant::now();
-        let (extended, stats) = extend_appended(&index, &old, &new, depth).expect("append-only growth");
+        let (extended, stats) = extend_appended(&index, &old, &new, depth, 2).expect("append-only growth");
         println!(
             "extend depth={depth}: {:.2?} (appended {}, recomputed {}, reused {})",
             t.elapsed(),
@@ -43,7 +43,7 @@ fn main() {
     let t = Instant::now();
     let rebuilt = TopKIndex::build(&new, &params, 3);
     println!("full rebuild for comparison: {:.2?}", t.elapsed());
-    let (exact, _) = extend_appended(&index, &old, &new, params.t - 1).expect("append-only growth");
+    let (exact, _) = extend_appended(&index, &old, &new, params.t - 1, 2).expect("append-only growth");
     let same = exact.memory_bytes() == rebuilt.memory_bytes();
     println!("full-depth extension identical to rebuild: {same}");
 }

@@ -1,0 +1,250 @@
+//! Workspace-level delta-chain tests: a chain file survives the same
+//! abuse a base snapshot does (bit flips, truncation) in every load
+//! mode, and the staleness-depth knob trades freshness for accuracy the
+//! way DESIGN.md §5m promises — measured against the exact solver.
+
+use srs_exact::{partial_sums, ExactParams};
+use srs_graph::{gen, GraphDelta};
+use srs_search::snapshot::{self, Dataset};
+use srs_search::{
+    build_delta, load_chain, Diagonal, LoadOptions, Loaded, QueryOptions, SimRankParams, TopKIndex,
+};
+
+fn build(n: u32, seed: u64) -> Dataset {
+    let g = gen::copying_web(n, 4, 0.8, seed);
+    let params = SimRankParams { r_bounds: 300, r_gamma: 25, ..Default::default() };
+    let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), seed, 2);
+    Dataset::new(g, idx).unwrap()
+}
+
+fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("srs_chain_it_{}_{name}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// A base on disk plus one full-depth delta on disk, with the clean
+/// chain's answers as the corruption baseline.
+struct ChainFixture {
+    base_path: std::path::PathBuf,
+    delta_path: std::path::PathBuf,
+    delta_bytes: Vec<u8>,
+    baseline: Vec<Vec<srs_search::Hit>>,
+    new_n: u32,
+}
+
+fn chain_fixture(tag: &str) -> ChainFixture {
+    let ds = build(80, 4);
+    let base_bytes = snapshot::pack_to_bytes(ds.graph(), ds.index());
+    let base_path = write_temp(&format!("{tag}.srs"), &base_bytes);
+    let (base, base_info) = Dataset::from_snapshot_bytes(base_bytes).unwrap();
+    let t = base.index().params().t;
+    let mut batch = GraphDelta::new();
+    batch.grow_to(83);
+    batch.insert(80, 1);
+    batch.insert(81, 80);
+    batch.insert(82, 2);
+    batch.delete(1, 0);
+    let built = build_delta(&base, &batch, t - 1, 2, base_info.fingerprint).unwrap();
+    let delta_path = write_temp(&format!("{tag}.srs.d0001"), &built.bytes);
+    let baseline: Vec<_> = (0..83)
+        .map(|u| built.dataset.index().query(built.dataset.graph(), u, 5, &QueryOptions::default()).hits)
+        .collect();
+    ChainFixture { base_path, delta_path, delta_bytes: built.bytes, baseline, new_n: 83 }
+}
+
+fn all_modes() -> [LoadOptions; 3] {
+    [
+        LoadOptions::default(),
+        LoadOptions { mmap: true, ..Default::default() },
+        LoadOptions { mmap: true, verify_on_load: true, ..Default::default() },
+    ]
+}
+
+#[test]
+fn delta_bit_flips_fail_closed_in_every_mode() {
+    let fx = chain_fixture("flip");
+    // Seeded single-byte flips across the delta file, loaded heap, lazy
+    // mmap, and eager mmap. Deltas are always eagerly checksummed, so a
+    // flip inside any payload or the table must be rejected; flips that
+    // land in alignment padding may load — but then every answer must be
+    // bit-identical to the clean chain.
+    let mut rejected = 0usize;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..150 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pos = (state >> 33) as usize % fx.delta_bytes.len();
+        let bit = 1u8 << ((state >> 29) & 7);
+        let mut corrupt = fx.delta_bytes.clone();
+        corrupt[pos] ^= bit;
+        std::fs::write(&fx.delta_path, &corrupt).unwrap();
+        for opts in all_modes() {
+            match load_chain(&fx.base_path, &[&fx.delta_path], &opts) {
+                Err(_) => rejected += 1,
+                Ok((Loaded::Single(loaded), _, chain, verifier)) => {
+                    assert_eq!(chain.depth, 1, "flip at byte {pos} changed the chain shape");
+                    // The base file is clean, so a handed-back lazy
+                    // verifier must pass; the flip lives in the delta.
+                    if let Some(v) = verifier {
+                        v.verify_all().unwrap();
+                    }
+                    for (u, want) in fx.baseline.iter().enumerate() {
+                        let got = loaded.index().query(loaded.graph(), u as u32, 5, &QueryOptions::default());
+                        assert_eq!(want, &got.hits, "flip at byte {pos} changed answers ({opts:?})");
+                    }
+                }
+                Ok(_) => panic!("unsharded chain loaded as sharded"),
+            }
+        }
+    }
+    assert!(rejected > 0, "some flips must land in checksummed delta payload");
+    for p in [&fx.base_path, &fx.delta_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn delta_truncation_never_panics_and_always_errors() {
+    let fx = chain_fixture("trunc");
+    // Every proper prefix of the delta file is missing data: header
+    // edges, a stride sweep, and the final bytes must all fail closed in
+    // every load mode.
+    let len = fx.delta_bytes.len();
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 8, 15, 16, len - 1, len.saturating_sub(8)];
+    cuts.extend((0..len).step_by(97));
+    for cut in cuts {
+        std::fs::write(&fx.delta_path, &fx.delta_bytes[..cut]).unwrap();
+        for opts in all_modes() {
+            assert!(
+                load_chain(&fx.base_path, &[&fx.delta_path], &opts).is_err(),
+                "delta truncated to {cut} bytes must not load under {opts:?}"
+            );
+        }
+    }
+    // A missing chain link is an error, not a silently shorter chain.
+    std::fs::remove_file(&fx.delta_path).ok();
+    for opts in all_modes() {
+        assert!(load_chain(&fx.base_path, &[&fx.delta_path], &opts).is_err());
+    }
+    std::fs::remove_file(&fx.base_path).ok();
+}
+
+#[test]
+fn corrupt_delta_never_reaches_a_serving_engine() {
+    // The failure-injection shape a server restart hits: chain loads are
+    // all-or-nothing, so after a rejected delta the caller still has the
+    // clean base to fall back to — and that base serves exactly the
+    // pre-edit answers.
+    let fx = chain_fixture("fallback");
+    let mut corrupt = fx.delta_bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&fx.delta_path, &corrupt).unwrap();
+    let chain_load = load_chain(&fx.base_path, &[&fx.delta_path], &LoadOptions::default());
+    if let Ok((Loaded::Single(loaded), _, _, _)) = &chain_load {
+        // Mid-file flips land in checksummed payload for this fixture.
+        for (u, want) in fx.baseline.iter().enumerate() {
+            let got = loaded.index().query(loaded.graph(), u as u32, 5, &QueryOptions::default());
+            assert_eq!(want, &got.hits);
+        }
+    }
+    let (fallback, _, chain, _) =
+        load_chain(&fx.base_path, &[] as &[&std::path::Path], &LoadOptions::default()).unwrap();
+    assert_eq!(chain.depth, 0);
+    let ds = match fallback {
+        Loaded::Single(d) => d,
+        other => panic!("{other:?}"),
+    };
+    // The pre-edit base knows nothing of the grown vertices.
+    assert!(ds.graph().num_vertices() < fx.new_n);
+    for p in [&fx.base_path, &fx.delta_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Exact top-`k` of vertex `u` (self excluded, zero scores excluded,
+/// ties broken by vertex id) — the reference set for precision@k, same
+/// shape as `rankings_agree_across_score_families`.
+fn exact_topk(score: impl Fn(u32) -> f64, u: u32, n: u32, k: usize) -> Vec<u32> {
+    let mut o: Vec<(f64, u32)> = (0..n).filter(|&v| v != u).map(|v| (score(v), v)).collect();
+    o.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    o.truncate(k);
+    o.into_iter().filter(|&(s, _)| s > 1e-9).map(|(_, v)| v).collect()
+}
+
+#[test]
+fn staleness_depth_trades_freshness_for_accuracy() {
+    // One disruptive batch absorbed at staleness depth 0, 1, and T−1.
+    // Precision@k against the exact solver on the *post-edit* graph must
+    // not decrease with depth, and the full-depth chain must answer
+    // bit-identically to an index rebuilt from scratch.
+    let n: u32 = 100;
+    let seed = 5u64;
+    let g = gen::copying_web(n, 4, 0.8, seed);
+    let params = SimRankParams { r_bounds: 300, r_gamma: 25, ..Default::default() };
+    let idx = TopKIndex::build_with(&g, &params, Diagonal::paper_default(params.c), seed, 2);
+    let base = Dataset::new(g.clone(), idx).unwrap();
+    let t = params.t;
+
+    // Rewire the in-lists of the top-id block wholesale. In copying_web
+    // every edge points to a lower id, so dirtying high-id vertices makes
+    // the dilation frontier flow down the id range: the dirty set grows
+    // 30 → 61 → 71 rows across the depths tested, and stale rows really
+    // are wrong about the post-edit similarities.
+    let mut batch = GraphDelta::new();
+    for (u, v) in g.edges() {
+        if v >= 70 {
+            batch.delete(u, v);
+        }
+    }
+    for v in 70..100u32 {
+        batch.insert((v * 7 + 1) % 70, v);
+        batch.insert((v * 13 + 5) % 70, v);
+    }
+    assert!(!batch.is_empty());
+
+    let new_g = batch.apply(&g).unwrap();
+    let exact = partial_sums::all_pairs(&new_g, &ExactParams::new(params.c, t), 2);
+    let k = 5usize;
+    let queries: Vec<u32> = (0..n).collect();
+
+    let precision_at = |ds: &Dataset| -> f64 {
+        let (mut agree, mut total) = (0usize, 0usize);
+        for &u in &queries {
+            let want = exact_topk(|v| exact.get(u as usize, v as usize), u, n, k);
+            if want.is_empty() {
+                continue;
+            }
+            let got = ds.index().query(ds.graph(), u, k, &QueryOptions::default());
+            total += want.len();
+            agree += want.iter().filter(|v| got.hits.iter().any(|h| h.vertex == **v)).count();
+        }
+        assert!(total > 0);
+        agree as f64 / total as f64
+    };
+
+    let mut datasets = Vec::new();
+    for depth in [0, 1, t - 1] {
+        let built = build_delta(&base, &batch, depth, 2, 0x5EED).unwrap();
+        datasets.push((depth, built.dataset));
+    }
+    let precisions: Vec<(u32, f64)> = datasets.iter().map(|(d, ds)| (*d, precision_at(ds))).collect();
+    for w in precisions.windows(2) {
+        assert!(w[1].1 >= w[0].1, "precision@{k} must not decrease with staleness depth: {precisions:?}");
+    }
+    let (_, full) = precisions.last().unwrap();
+    let (_, stale) = precisions.first().unwrap();
+    assert!(full > stale, "the batch must be disruptive enough to separate depth 0 from T−1: {precisions:?}");
+
+    // Full depth ⇒ bit-identical to the from-scratch rebuild, at every
+    // vertex, including the candidate fates.
+    let rebuilt_idx = TopKIndex::build_with(&new_g, &params, Diagonal::paper_default(params.c), seed, 2);
+    let rebuilt = Dataset::new(new_g, rebuilt_idx).unwrap();
+    let (_, chained) = datasets.last().unwrap();
+    for &u in &queries {
+        let a = chained.index().query(chained.graph(), u, k, &QueryOptions::default());
+        let b = rebuilt.index().query(rebuilt.graph(), u, k, &QueryOptions::default());
+        assert_eq!(a.hits, b.hits, "full-depth chain diverged from rebuild at vertex {u}");
+        assert_eq!(a.stats, b.stats, "candidate fates diverged at vertex {u}");
+    }
+}
